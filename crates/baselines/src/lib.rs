@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! Baseline memory-offloading policies the paper compares against.
+//!
+//! * [`NoOffloadPolicy`] — the paper's "Baseline": FaaSMem's platform
+//!   without any memory offloading (§8.1).
+//! * [`TmoPolicy`] — a TMO-like feedback policy (Weiner et al., ASPLOS'22):
+//!   offloads a tiny fixed fraction of memory on a slow period (0.05%
+//!   every 6 s, §2.2) and backs off when the observed request slowdown
+//!   crosses a pressure threshold. Safe, but far too slow for short-lived
+//!   serverless containers — which is exactly what Fig 12 shows.
+//! * [`DamonPolicy`] — a DAMON-like sampling policy: ages Access bits on a
+//!   fixed period, declares pages cold after an idle threshold, and
+//!   offloads them immediately — *stage-agnostically*. During keep-alive
+//!   every hot page eventually looks cold, gets offloaded, and the next
+//!   request pays a massive recall penalty (the up-to-14× P95 blow-up of
+//!   Fig 2).
+//!
+//! All three run on the identical platform and
+//! [`MemoryPolicy`](faasmem_faas::MemoryPolicy) interface as FaaSMem
+//! itself.
+
+pub mod damon;
+pub mod tmo;
+
+pub use damon::{DamonConfig, DamonMode, DamonPolicy};
+pub use faasmem_faas::NullPolicy as NoOffloadPolicy;
+pub use tmo::{TmoConfig, TmoPolicy};
+
+use faasmem_faas::MemoryPolicy;
+
+/// Convenience: the paper's comparison systems by name.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_baselines::baseline_by_name;
+///
+/// assert!(baseline_by_name("TMO").is_some());
+/// assert!(baseline_by_name("Baseline").is_some());
+/// assert!(baseline_by_name("nope").is_none());
+/// ```
+pub fn baseline_by_name(name: &str) -> Option<Box<dyn MemoryPolicy>> {
+    match name {
+        "Baseline" => Some(Box::new(NoOffloadPolicy)),
+        "TMO" => Some(Box::new(TmoPolicy::default())),
+        "DAMON" => Some(Box::new(DamonPolicy::default())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for name in ["Baseline", "TMO", "DAMON"] {
+            let p = baseline_by_name(name).expect(name);
+            assert_eq!(p.name(), name);
+        }
+        assert!(baseline_by_name("FaaSMem").is_none(), "FaaSMem lives in faasmem-core");
+    }
+}

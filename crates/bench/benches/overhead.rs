@@ -1,0 +1,129 @@
+//! Criterion micro-benchmarks for the Fig 15 overhead analysis.
+//!
+//! Measures the cost of the FaaSMem primitives on 4 KiB-page tables sized
+//! like the paper's benchmarks: time-barrier insertion, hot-pool
+//! promotion scans, rollback, and the inactive-list collection behind the
+//! reactive/window offloads. The paper's bounds: barrier insertion
+//! ≤ 2.5 ms (micro) / ≤ 10 ms (apps), rollback ≤ 7.5 ms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faasmem_core::{PucketKind, Puckets};
+use faasmem_mem::{mib_to_pages, PageTable, Segment, PAGE_SIZE_4K};
+use faasmem_workload::BenchmarkSpec;
+
+/// Builds a fully segregated table for a benchmark, with the working set
+/// promoted to the hot pool.
+fn build_table(spec: &BenchmarkSpec) -> (PageTable, Puckets) {
+    let mut table = PageTable::new(PAGE_SIZE_4K);
+    let runtime_pages = mib_to_pages(spec.runtime_mib, PAGE_SIZE_4K) as u32;
+    let init_pages = mib_to_pages(spec.init_mib, PAGE_SIZE_4K) as u32;
+    let hot_runtime = mib_to_pages(spec.runtime_hot_mib, PAGE_SIZE_4K) as u32;
+    let r = table.alloc(Segment::Runtime, runtime_pages);
+    let mut puckets = Puckets::new();
+    puckets.insert_runtime_init_barrier(&mut table);
+    let i = table.alloc(Segment::Init, init_pages);
+    puckets.insert_init_exec_barrier(&mut table);
+    table.scan_accessed();
+    table.touch_range(r.take(hot_runtime));
+    table.touch_range(i.take(init_pages / 2));
+    puckets.promote_accessed(&mut table);
+    (table, puckets)
+}
+
+fn bench_time_barrier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("time_barrier_insertion");
+    for name in ["json", "web", "bert"] {
+        let spec = BenchmarkSpec::by_name(name).expect("catalog");
+        let runtime_pages = mib_to_pages(spec.runtime_mib, PAGE_SIZE_4K) as u32;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &runtime_pages, |b, &pages| {
+            b.iter_with_setup(
+                || {
+                    let mut table = PageTable::new(PAGE_SIZE_4K);
+                    table.alloc(Segment::Runtime, pages);
+                    (table, Puckets::new())
+                },
+                |(mut table, mut puckets)| {
+                    puckets.insert_runtime_init_barrier(&mut table);
+                    std::hint::black_box(table.current_generation());
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_rollback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_pool_rollback");
+    for name in ["json", "web", "bert"] {
+        let spec = BenchmarkSpec::by_name(name).expect("catalog");
+        let (table, puckets) = build_table(&spec);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter_with_setup(
+                || table.clone(),
+                |mut t| {
+                    std::hint::black_box(puckets.rollback_hot_pool(&mut t));
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_promotion_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("promotion_scan");
+    for name in ["json", "web", "bert"] {
+        let spec = BenchmarkSpec::by_name(name).expect("catalog");
+        let (mut table, puckets) = build_table(&spec);
+        // Leave fresh Access bits for the scan to consume.
+        let r = faasmem_mem::PageRange::new(faasmem_mem::PageId(0), 256.min(table.len() as u32));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| {
+                table.touch_range(r);
+                std::hint::black_box(puckets.promote_accessed(&mut table));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_inactive_collection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inactive_list_collection");
+    for name in ["json", "web", "bert"] {
+        let spec = BenchmarkSpec::by_name(name).expect("catalog");
+        let (table, puckets) = build_table(&spec);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| {
+                std::hint::black_box(puckets.inactive_pages(&table, PucketKind::Runtime));
+                std::hint::black_box(puckets.inactive_pages(&table, PucketKind::Init));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_aging_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("damon_aging_scan");
+    for name in ["json", "bert"] {
+        let spec = BenchmarkSpec::by_name(name).expect("catalog");
+        let (table, _) = build_table(&spec);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter_with_setup(
+                || table.clone(),
+                |mut t| {
+                    std::hint::black_box(t.age_and_collect_idle(4));
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_time_barrier,
+    bench_rollback,
+    bench_promotion_scan,
+    bench_inactive_collection,
+    bench_aging_scan
+);
+criterion_main!(benches);

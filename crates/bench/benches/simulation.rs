@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the simulation substrate itself: event-queue
+//! throughput, request execution, and whole-run throughput per policy.
+//!
+//! These guard the simulator's performance budget (hour-long Azure-style
+//! traces must stay in the low seconds) and double as an ablation bench:
+//! the per-policy group shows what each offloading mechanism costs in
+//! simulation time relative to the no-offload baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faasmem_baselines::{DamonPolicy, NoOffloadPolicy, TmoPolicy};
+use faasmem_core::FaasMemPolicy;
+use faasmem_faas::{MemoryPolicy, PlatformSim};
+use faasmem_sim::{EventQueue, SimTime};
+use faasmem_workload::{BenchmarkSpec, FunctionId, LoadClass, TraceSynthesizer};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for n in [1_000u64, 100_000] {
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::with_capacity(n as usize);
+                for i in 0..n {
+                    q.push(SimTime::from_micros(i.wrapping_mul(2_654_435_761) % 1_000_000), i);
+                }
+                let mut sum = 0u64;
+                while let Some((_, v)) = q.pop() {
+                    sum = sum.wrapping_add(v);
+                }
+                std::hint::black_box(sum)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn run_trace<P: MemoryPolicy + 'static>(policy: P) -> usize {
+    let trace = TraceSynthesizer::new(42)
+        .load_class(LoadClass::High)
+        .duration(SimTime::from_mins(10))
+        .synthesize_for(FunctionId(0));
+    let mut sim = PlatformSim::builder()
+        .register_function(BenchmarkSpec::by_name("web").expect("catalog"))
+        .policy(policy)
+        .seed(1)
+        .build();
+    sim.run(&trace).requests_completed
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ten_minute_web_trace");
+    group.sample_size(10);
+    group.bench_function("baseline", |b| b.iter(|| run_trace(NoOffloadPolicy)));
+    group.bench_function("tmo", |b| b.iter(|| run_trace(TmoPolicy::default())));
+    group.bench_function("damon", |b| b.iter(|| run_trace(DamonPolicy::default())));
+    group.bench_function("faasmem", |b| b.iter(|| run_trace(FaasMemPolicy::new())));
+    group.bench_function("faasmem_no_pucket", |b| {
+        b.iter(|| run_trace(FaasMemPolicy::builder().without_pucket().build()))
+    });
+    group.bench_function("faasmem_no_semiwarm", |b| {
+        b.iter(|| run_trace(FaasMemPolicy::builder().without_semiwarm().build()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_policies);
+criterion_main!(benches);

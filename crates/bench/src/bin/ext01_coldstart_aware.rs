@@ -1,0 +1,87 @@
+//! §8.3.2 extension: cold-start-aware semi-warm timing.
+//!
+//! Under bursty load the observed container-reused intervals
+//! underestimate the ideal semi-warm start timing (cold-start congestion
+//! hides the long would-be reuses), so FaaSMem's 99th-percentile timing
+//! fires too early and the P99 latency suffers. The paper leaves the fix
+//! as future work; this build implements it: the gap behind every cold
+//! start is fed into the reuse CDF as a censored sample.
+//!
+//! Expected shape: on steady traffic the two variants are identical; on
+//! the clustered pattern the aware variant's censored samples push the
+//! start timing to the cap, so it stops paying offload bandwidth for
+//! containers whose demand provably returns late — the trade is explicit:
+//! less drain traffic and more resident memory. (The paper's P99-latency
+//! side of this story needs cold-start *congestion*, which shows up in
+//! the Fig 13 bursty case.)
+
+use faasmem_bench::{fmt_mib, fmt_secs, render_table};
+use faasmem_core::{FaasMemConfigBuilder, FaasMemPolicy};
+use faasmem_faas::PlatformSim;
+use faasmem_sim::SimTime;
+use faasmem_workload::{BenchmarkSpec, FunctionId, Invocation, InvocationTrace, LoadClass, TraceSynthesizer};
+
+/// Clustered arrivals: bursts of `cluster_size` requests 5 s apart, with
+/// `gap_secs` of silence between bursts. When the gap exceeds the
+/// keep-alive, every burst begins with cold starts — the §8.3.2 hazard.
+fn clustered_trace(clusters: u64, cluster_size: u64, gap_secs: u64) -> InvocationTrace {
+    let mut invs = Vec::new();
+    for c in 0..clusters {
+        for i in 0..cluster_size {
+            invs.push(Invocation {
+                at: SimTime::from_secs(10 + c * gap_secs + i * 5),
+                function: FunctionId(0),
+            });
+        }
+    }
+    let horizon = SimTime::from_secs(10 + clusters * gap_secs + 1_000);
+    InvocationTrace::from_invocations(invs, horizon)
+}
+
+fn main() {
+    let spec = BenchmarkSpec::by_name("bert").expect("catalog");
+    for (case, trace) in [
+        (
+            "steady (common)",
+            TraceSynthesizer::new(904)
+                .load_class(LoadClass::High)
+                .duration(SimTime::from_mins(60))
+                .synthesize_for(FunctionId(0)),
+        ),
+        ("clustered bursts, 11-minute silences", clustered_trace(6, 8, 660)),
+    ] {
+        println!("=== {case}: {} invocations ===", trace.len());
+        let mut rows = Vec::new();
+        for (label, aware) in [("FaaSMem (paper)", false), ("FaaSMem + cold-start-aware", true)] {
+            let policy = FaasMemPolicy::builder()
+                .config(FaasMemConfigBuilder::new().cold_start_aware(aware).build())
+                .build();
+            let stats = policy.stats();
+            let mut sim = PlatformSim::builder()
+                .register_function(spec.clone())
+                .policy(policy)
+                .seed(31)
+                .build();
+            let mut report = sim.run(&trace);
+            let s = report.latency.summary();
+            rows.push(vec![
+                label.to_string(),
+                fmt_mib(report.avg_local_mib()),
+                fmt_secs(s.p95.as_secs_f64()),
+                fmt_secs(s.p99.as_secs_f64()),
+                format!(
+                    "{:.0} MiB",
+                    stats.borrow().semi_warm_bytes as f64 / (1024.0 * 1024.0)
+                ),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(&["variant", "avg mem", "P95", "P99", "semi-warm drained"], &rows)
+        );
+        println!();
+    }
+    println!("Paper reference (§8.3.2): under burst, FaaSMem's P99 rose 25% because the");
+    println!("collected reuse intervals underestimated the ideal timing; accounting for");
+    println!("cold-start incidents was named as the path to a more precise timing.");
+}

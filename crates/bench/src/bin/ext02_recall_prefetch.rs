@@ -1,0 +1,69 @@
+//! Extension: Leap-style batch prefetch on semi-warm recall.
+//!
+//! The paper's related work highlights remote-memory prefetchers (Leap,
+//! ATC'20); Fastswap itself prefetches around faults. This extension
+//! wires the idea into the semi-warm recall path: when a request lands on
+//! a drained container, the whole drained hot set returns in one batched
+//! page-in instead of thousands of serial demand faults. The per-fault
+//! CPU cost (the dominant term for CPU-capped containers) disappears from
+//! the critical path; the transfer itself still takes link time.
+//!
+//! Expected shape: identical memory savings, visibly lower semi-warm-hit
+//! latency — strongest at small CPU shares and fine page sizes.
+
+use faasmem_bench::{fmt_mib, fmt_secs, render_table};
+use faasmem_core::{FaasMemConfigBuilder, FaasMemPolicy};
+use faasmem_faas::PlatformSim;
+use faasmem_sim::SimTime;
+use faasmem_workload::{BenchmarkSpec, FunctionId, Invocation, InvocationTrace};
+
+fn main() {
+    for app in ["bert", "web"] {
+        let spec = BenchmarkSpec::by_name(app).expect("catalog");
+        // Requests every ~7 minutes: past the semi-warm start (240 s
+        // default / learned p99), inside the 10-minute keep-alive — every
+        // warm request is a semi-warm hit.
+        let invs: Vec<Invocation> = (0..12)
+            .map(|i| Invocation { at: SimTime::from_secs(10 + i * 420), function: FunctionId(0) })
+            .collect();
+        let trace = InvocationTrace::from_invocations(invs, SimTime::from_secs(7_000));
+        println!("=== {app}: 12 requests, 7-minute gaps (all semi-warm hits) ===");
+        let mut rows = Vec::new();
+        for (label, prefetch) in [("demand faults (paper)", false), ("batch prefetch (ext)", true)] {
+            let policy = FaasMemPolicy::builder()
+                .config(FaasMemConfigBuilder::new().recall_prefetch(prefetch).build())
+                .build();
+            let mut sim = PlatformSim::builder()
+                .register_function(spec.clone())
+                .policy(policy)
+                .page_size(16 * 1024)
+                .seed(8)
+                .build();
+            let report = sim.run(&trace);
+            let warm: Vec<_> = report.requests.iter().filter(|r| !r.cold).collect();
+            let warm_p95 = {
+                let mut lat: Vec<f64> = warm.iter().map(|r| r.latency.as_secs_f64()).collect();
+                lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                lat[((lat.len() as f64 * 0.95).ceil() as usize - 1).min(lat.len() - 1)]
+            };
+            let faults: u32 = warm.iter().map(|r| r.faults).sum();
+            rows.push(vec![
+                label.to_string(),
+                fmt_mib(report.avg_local_mib()),
+                fmt_secs(warm_p95),
+                faults.to_string(),
+                format!("{:.0} MiB", report.pool_stats.bytes_in as f64 / (1024.0 * 1024.0)),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(
+                &["recall path", "avg mem", "warm P95", "demand faults", "recalled"],
+                &rows
+            )
+        );
+        println!();
+    }
+    println!("Shape: same memory savings; the prefetch variant removes the per-fault CPU");
+    println!("term from the semi-warm-hit critical path (related work: Leap, Fastswap prefetch).");
+}

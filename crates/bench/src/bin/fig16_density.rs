@@ -1,0 +1,60 @@
+//! Figure 16: remote bandwidth consumption and deployment-density
+//! improvement of the three applications under 20 random traces.
+//!
+//! Expected shape (paper §8.6): bandwidth grows roughly linearly with
+//! request load (with an uptick at very low loads, where semi-warm starts
+//! earlier); density improvement is positively correlated with request
+//! load and negatively with the standard deviation of request intervals;
+//! maxima ≈ 1.4× (Bert), 1.4× (Graph), 2.2× (Web).
+
+use faasmem_bench::{render_table, Experiment, PolicyKind};
+use faasmem_faas::estimate_density;
+use faasmem_sim::SimTime;
+use faasmem_workload::{BenchmarkSpec, FunctionId, LoadClass, TraceSynthesizer};
+
+fn main() {
+    for app in ["bert", "graph", "web"] {
+        let spec = BenchmarkSpec::by_name(app).expect("catalog");
+        println!("=== Fig 16 ({app}, quota {} MiB) ===", spec.quota_mib);
+        let mut rows = Vec::new();
+        let mut max_density: f64 = 1.0;
+        for trace_id in 0u64..20 {
+            let class = match trace_id % 3 {
+                0 => LoadClass::High,
+                1 => LoadClass::Middle,
+                _ => LoadClass::Low,
+            };
+            let trace = TraceSynthesizer::new(1600 + trace_id)
+                .load_class(class)
+                .bursty(trace_id % 2 == 0)
+                .duration(SimTime::from_mins(60))
+                .synthesize_for(FunctionId(0));
+            if trace.is_empty() {
+                continue;
+            }
+            let stats = trace.stats();
+            let outcome = Experiment::new(spec.clone(), PolicyKind::FaasMem).run(&trace);
+            let density = estimate_density(&outcome.report, &spec);
+            max_density = max_density.max(density.improvement);
+            rows.push(vec![
+                format!("{trace_id}"),
+                format!("{:.1}", stats.req_per_min),
+                format!("{:.0}s", stats.interval_std_secs),
+                format!("{:.2} MB/s", outcome.report.mean_offload_bandwidth_mbps()),
+                format!("{:.0} MiB", density.offloaded_per_container_mib),
+                format!("{:.2}x", density.improvement),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(
+                &["trace", "req/min", "σ(intervals)", "offload bw", "offload/ctr", "density"],
+                &rows
+            )
+        );
+        println!("max density improvement: {max_density:.2}x");
+        println!();
+    }
+    println!("Paper reference (Fig 16): density up to 1.4x/1.4x/2.2x (Bert/Graph/Web);");
+    println!("positively correlated with req/min, negatively with σ of request intervals.");
+}

@@ -1,0 +1,84 @@
+//! Artifact driver: runs every experiment binary in sequence and writes
+//! each one's output under `results/` — the equivalent of the paper
+//! artifact's `test.py` workflow.
+//!
+//! ```text
+//! cargo run --release -p faasmem-bench --bin runall [output-dir]
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Instant;
+
+/// Every experiment in evaluation order.
+const EXPERIMENTS: &[&str] = &[
+    "fig01_keepalive_sweep",
+    "fig02_damon_p95",
+    "fig03_memory_layout",
+    "fig04_runtime_inactive",
+    "fig05_requests_per_container",
+    "fig06_bert_scan",
+    "fig08_runtime_recalls",
+    "fig09_web_scan",
+    "fig10_rollback_demo",
+    "fig11_reuse_cdf",
+    "fig12_main_eval",
+    "tab01_diverse_traces",
+    "fig13_ablation",
+    "fig14_semiwarm_applicability",
+    "fig15_overhead",
+    "fig16_density",
+    "disc01_pool_technologies",
+    "disc02_hardware_sampling",
+    "disc03_memory_sharing",
+    "disc04_rack_provisioning",
+    "disc05_keepalive_policies",
+    "disc06_load_imbalance",
+    "ext01_coldstart_aware",
+    "ext02_recall_prefetch",
+    "abl01_window_policy",
+    "abl02_semiwarm_percentile",
+    "abl03_rollback_interval",
+    "abl04_page_granularity",
+    "abl05_offload_rate",
+];
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    fs::create_dir_all(&out_dir).expect("create output dir");
+    let self_exe = std::env::current_exe().expect("current exe path");
+    let bin_dir = self_exe.parent().expect("bin dir");
+
+    let mut failures = 0;
+    for name in EXPERIMENTS {
+        let start = Instant::now();
+        let output = Command::new(bin_dir.join(name)).output();
+        match output {
+            Ok(out) if out.status.success() => {
+                let path = out_dir.join(format!("{name}.txt"));
+                fs::write(&path, &out.stdout).expect("write result");
+                println!("{name:<32} ok  ({:>5} ms)  -> {}", start.elapsed().as_millis(), path.display());
+            }
+            Ok(out) => {
+                failures += 1;
+                eprintln!("{name:<32} FAILED (status {:?})", out.status.code());
+                eprintln!("{}", String::from_utf8_lossy(&out.stderr));
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!(
+                    "{name:<32} NOT FOUND ({e}); build first: cargo build --release -p faasmem-bench"
+                );
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+    println!("\nall {} experiments written to {}", EXPERIMENTS.len(), out_dir.display());
+}

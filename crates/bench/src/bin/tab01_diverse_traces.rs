@@ -1,0 +1,49 @@
+//! Table 1: P95 latency and average memory of the three applications
+//! (Bert, Graph, Web) under six diverse high-load traces, for Baseline,
+//! TMO and FaaSMem.
+//!
+//! Expected shape (paper): FaaSMem offloads far more than TMO under every
+//! trace (its cells are "darker"); Web shows the highest offload ratio;
+//! one trace (ID-5, an extreme surge) inflates everyone's tail latency
+//! through cold-start congestion, yet FaaSMem still saves 14.4%–68.0% of
+//! memory at baseline-level latency.
+
+use faasmem_bench::{fmt_mib, fmt_secs, render_table, Experiment, PolicyKind};
+use faasmem_sim::SimTime;
+use faasmem_workload::{BenchmarkSpec, FunctionId, LoadClass, TraceSynthesizer};
+
+fn main() {
+    let apps = ["bert", "graph", "web"];
+    for app in apps {
+        let spec = BenchmarkSpec::by_name(app).expect("catalog");
+        println!("=== Table 1 ({app}) ===");
+        let mut rows = Vec::new();
+        for trace_id in 1u64..=6 {
+            // Trace ID-5 models the paper's anomaly: an extreme
+            // short-term surge that congests cold starts.
+            let bursty = trace_id == 5 || trace_id % 2 == 0;
+            let synth = TraceSynthesizer::new(100 + trace_id)
+                .load_class(LoadClass::High)
+                .bursty(bursty)
+                .duration(SimTime::from_mins(60));
+            let trace = synth.synthesize_for(FunctionId(0));
+            let mut cells = vec![format!("{trace_id}")];
+            for kind in PolicyKind::HEAD_TO_HEAD {
+                let mut outcome = Experiment::new(spec.clone(), kind).run(&trace);
+                cells.push(fmt_secs(outcome.report.p95_latency().as_secs_f64()));
+                cells.push(fmt_mib(outcome.report.avg_local_mib()));
+            }
+            rows.push(cells);
+        }
+        println!(
+            "{}",
+            render_table(
+                &["ID", "Base Lat", "Base Mem", "TMO Lat", "TMO Mem", "FaaSMem Lat", "FaaSMem Mem"],
+                &rows
+            )
+        );
+        println!();
+    }
+    println!("Paper reference (Tab 1): FaaSMem's memory column is far below TMO's under every trace;");
+    println!("Web gets the largest relative cut; latency stays at the baseline level.");
+}

@@ -1,0 +1,348 @@
+//! Page Buckets (Puckets): time-barrier page segregation (paper §4).
+//!
+//! The kernel cannot tell which lifecycle stage allocated a page — the
+//! cgroup LRU mixes them. FaaSMem's insight is that MGLRU *generations*
+//! give an ordering: by creating a new generation exactly when the runtime
+//! finishes loading (the Runtime-Init barrier) and again when user init
+//! completes (the Init-Execution barrier), every page's generation number
+//! reveals its segment. [`Puckets`] performs that classification and
+//! maintains each Pucket's inactive list plus the shared hot page pool.
+
+use faasmem_mem::{Generation, PageId, PageMeta, PageState, PageTable};
+
+/// Which Pucket a page belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PucketKind {
+    /// Pages allocated before the Runtime-Init barrier.
+    Runtime,
+    /// Pages between the two barriers.
+    Init,
+    /// Pages allocated after the Init-Execution barrier.
+    Execution,
+}
+
+/// What a hot-pool promotion scan found.
+///
+/// After the Runtime Pucket has been reactively offloaded, any further
+/// `runtime_promoted` pages are *recalls* — the Fig 8 metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PromoteSummary {
+    /// Runtime-Pucket pages promoted to the hot pool by this scan.
+    pub runtime_promoted: u32,
+    /// Init-Pucket pages promoted.
+    pub init_promoted: u32,
+    /// Promoted Runtime-Pucket pages that were *recalled from remote
+    /// memory* by this request — the Fig 8 metric. Re-promotions of
+    /// still-local pages after a rollback do not count.
+    pub runtime_recalled: u32,
+    /// Promoted Init-Pucket pages recalled from remote memory.
+    pub init_recalled: u32,
+}
+
+/// The two time barriers of one container and the page classification /
+/// maintenance operations built on them.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_core::{PucketKind, Puckets};
+/// use faasmem_mem::{PageTable, Segment, PAGE_SIZE_4K};
+///
+/// let mut table = PageTable::new(PAGE_SIZE_4K);
+/// let runtime = table.alloc(Segment::Runtime, 8);
+/// let mut puckets = Puckets::new();
+/// puckets.insert_runtime_init_barrier(&mut table);
+/// let init = table.alloc(Segment::Init, 4);
+/// puckets.insert_init_exec_barrier(&mut table);
+///
+/// assert_eq!(puckets.classify(table.meta(runtime.start())), PucketKind::Runtime);
+/// assert_eq!(puckets.classify(table.meta(init.start())), PucketKind::Init);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Puckets {
+    runtime_init: Option<Generation>,
+    init_exec: Option<Generation>,
+}
+
+impl Puckets {
+    /// Creates the (not yet barriered) Pucket state for a new container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts the Runtime-Init time barrier: called when the container
+    /// runtime has finished loading.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier was already inserted.
+    pub fn insert_runtime_init_barrier(&mut self, table: &mut PageTable) -> Generation {
+        assert!(self.runtime_init.is_none(), "runtime-init barrier already inserted");
+        let gen = table.create_generation();
+        self.runtime_init = Some(gen);
+        gen
+    }
+
+    /// Inserts the Init-Execution time barrier: called when function
+    /// initialization completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before the Runtime-Init barrier, or twice.
+    pub fn insert_init_exec_barrier(&mut self, table: &mut PageTable) -> Generation {
+        assert!(self.runtime_init.is_some(), "init-exec barrier before runtime-init");
+        assert!(self.init_exec.is_none(), "init-exec barrier already inserted");
+        let gen = table.create_generation();
+        self.init_exec = Some(gen);
+        gen
+    }
+
+    /// `true` once both barriers are in place.
+    pub fn is_segregated(&self) -> bool {
+        self.runtime_init.is_some() && self.init_exec.is_some()
+    }
+
+    /// Classifies a page by its generation relative to the barriers.
+    /// Before any barrier exists every page is Runtime; between barrier
+    /// insertions, pages after the first barrier are Init.
+    pub fn classify(&self, meta: PageMeta) -> PucketKind {
+        let gen = Generation(meta.generation());
+        match (self.runtime_init, self.init_exec) {
+            (None, _) => PucketKind::Runtime,
+            (Some(ri), None) => {
+                if gen < ri {
+                    PucketKind::Runtime
+                } else {
+                    PucketKind::Init
+                }
+            }
+            (Some(ri), Some(ie)) => {
+                if gen < ri {
+                    PucketKind::Runtime
+                } else if gen < ie {
+                    PucketKind::Init
+                } else {
+                    PucketKind::Execution
+                }
+            }
+        }
+    }
+
+    /// The inactive list of one Pucket: live local pages of that Pucket
+    /// not currently in the hot page pool — the offloading candidates.
+    pub fn inactive_pages(&self, table: &PageTable, kind: PucketKind) -> Vec<PageId> {
+        table.collect_ids(|_, m| {
+            m.state() == PageState::Local && !m.in_hot_pool() && self.classify(m) == kind
+        })
+    }
+
+    /// Number of inactive pages in one Pucket (cheaper than collecting).
+    pub fn inactive_count(&self, table: &PageTable, kind: PucketKind) -> u64 {
+        table
+            .iter_live()
+            .filter(|&(_, m)| {
+                m.state() == PageState::Local && !m.in_hot_pool() && self.classify(m) == kind
+            })
+            .count() as u64
+    }
+
+    /// Pages currently in the shared hot page pool (any Pucket), local
+    /// only.
+    pub fn hot_pool_pages(&self, table: &PageTable) -> Vec<PageId> {
+        table.collect_ids(|_, m| m.state() == PageState::Local && m.in_hot_pool())
+    }
+
+    /// Scans Access bits and promotes revisited Runtime/Init-Pucket pages
+    /// into the hot page pool. Execution-Pucket accesses are ignored —
+    /// the paper does not monitor that segment (§4).
+    pub fn promote_accessed(&self, table: &mut PageTable) -> PromoteSummary {
+        let accessed = table.scan_accessed_with_faults();
+        let mut summary = PromoteSummary::default();
+        for (id, faulted) in accessed {
+            let meta = table.meta(id);
+            if meta.in_hot_pool() {
+                continue;
+            }
+            match self.classify(meta) {
+                PucketKind::Runtime => {
+                    summary.runtime_promoted += 1;
+                    if faulted {
+                        summary.runtime_recalled += 1;
+                    }
+                    table.set_in_hot_pool(id, true);
+                }
+                PucketKind::Init => {
+                    summary.init_promoted += 1;
+                    if faulted {
+                        summary.init_recalled += 1;
+                    }
+                    table.set_in_hot_pool(id, true);
+                }
+                PucketKind::Execution => {}
+            }
+        }
+        summary
+    }
+
+    /// Rolls every hot-pool page back to its original Pucket's inactive
+    /// list (§5.3). Returns how many pages were rolled back.
+    pub fn rollback_hot_pool(&self, table: &mut PageTable) -> u32 {
+        let hot = self.hot_pool_pages(table);
+        for &id in &hot {
+            table.set_in_hot_pool(id, false);
+        }
+        hot.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasmem_mem::{PageRange, Segment, PAGE_SIZE_4K};
+
+    /// Builds a table with 10 runtime, 6 init and 4 exec pages, fully
+    /// barriered.
+    fn segregated() -> (PageTable, Puckets, PageRange, PageRange, PageRange) {
+        let mut table = PageTable::new(PAGE_SIZE_4K);
+        let runtime = table.alloc(Segment::Runtime, 10);
+        let mut puckets = Puckets::new();
+        puckets.insert_runtime_init_barrier(&mut table);
+        let init = table.alloc(Segment::Init, 6);
+        puckets.insert_init_exec_barrier(&mut table);
+        let exec = table.alloc(Segment::Execution, 4);
+        (table, puckets, runtime, init, exec)
+    }
+
+    #[test]
+    fn generation_classification_matches_segments() {
+        let (table, puckets, ..) = segregated();
+        // The gen-based classification (what the kernel mechanism can
+        // see) must agree with the segment tags (ground truth the
+        // platform recorded at alloc time).
+        for (_, m) in table.iter_live() {
+            let expected = match m.segment() {
+                Segment::Runtime => PucketKind::Runtime,
+                Segment::Init => PucketKind::Init,
+                Segment::Execution => PucketKind::Execution,
+            };
+            assert_eq!(puckets.classify(m), expected);
+        }
+    }
+
+    #[test]
+    fn before_barriers_everything_is_runtime() {
+        let mut table = PageTable::new(PAGE_SIZE_4K);
+        let r = table.alloc(Segment::Runtime, 2);
+        let puckets = Puckets::new();
+        assert!(!puckets.is_segregated());
+        assert_eq!(puckets.classify(table.meta(r.start())), PucketKind::Runtime);
+    }
+
+    #[test]
+    fn between_barriers_new_pages_are_init() {
+        let mut table = PageTable::new(PAGE_SIZE_4K);
+        table.alloc(Segment::Runtime, 2);
+        let mut puckets = Puckets::new();
+        puckets.insert_runtime_init_barrier(&mut table);
+        let init = table.alloc(Segment::Init, 2);
+        assert_eq!(puckets.classify(table.meta(init.start())), PucketKind::Init);
+        assert!(!puckets.is_segregated());
+    }
+
+    #[test]
+    fn inactive_lists_start_full() {
+        let (table, puckets, runtime, init, _) = segregated();
+        assert_eq!(puckets.inactive_count(&table, PucketKind::Runtime), u64::from(runtime.len()));
+        assert_eq!(puckets.inactive_count(&table, PucketKind::Init), u64::from(init.len()));
+        assert!(puckets.hot_pool_pages(&table).is_empty());
+    }
+
+    #[test]
+    fn promotion_moves_accessed_pages_to_hot_pool() {
+        let (mut table, puckets, runtime, init, exec) = segregated();
+        // Clear allocation-time Access bits first.
+        table.scan_accessed();
+        table.touch_range(runtime.take(3));
+        table.touch_range(init.take(2));
+        table.touch_range(exec); // execution accesses are ignored
+        let summary = puckets.promote_accessed(&mut table);
+        assert_eq!(summary.runtime_promoted, 3);
+        assert_eq!(summary.init_promoted, 2);
+        assert_eq!(puckets.hot_pool_pages(&table).len(), 5);
+        assert_eq!(puckets.inactive_count(&table, PucketKind::Runtime), 7);
+        assert_eq!(puckets.inactive_count(&table, PucketKind::Init), 4);
+    }
+
+    #[test]
+    fn promotion_is_idempotent_for_hot_pages() {
+        let (mut table, puckets, runtime, ..) = segregated();
+        table.scan_accessed();
+        table.touch_range(runtime.take(2));
+        puckets.promote_accessed(&mut table);
+        table.touch_range(runtime.take(2));
+        let second = puckets.promote_accessed(&mut table);
+        assert_eq!(second.runtime_promoted, 0, "already in the hot pool");
+    }
+
+    #[test]
+    fn rollback_returns_pages_to_inactive_lists() {
+        let (mut table, puckets, runtime, init, _) = segregated();
+        table.scan_accessed();
+        table.touch_range(runtime.take(4));
+        table.touch_range(init.take(1));
+        puckets.promote_accessed(&mut table);
+        let rolled = puckets.rollback_hot_pool(&mut table);
+        assert_eq!(rolled, 5);
+        assert!(puckets.hot_pool_pages(&table).is_empty());
+        assert_eq!(puckets.inactive_count(&table, PucketKind::Runtime), 10);
+        assert_eq!(puckets.inactive_count(&table, PucketKind::Init), 6);
+    }
+
+    #[test]
+    fn inactive_excludes_remote_pages() {
+        let (mut table, puckets, runtime, ..) = segregated();
+        let inactive = puckets.inactive_pages(&table, PucketKind::Runtime);
+        table.offload_pages(inactive.iter().copied());
+        assert_eq!(puckets.inactive_count(&table, PucketKind::Runtime), 0);
+        // Fault one back: it's local and not hot → inactive again.
+        table.touch(runtime.start());
+        assert_eq!(puckets.inactive_count(&table, PucketKind::Runtime), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already inserted")]
+    fn double_runtime_barrier_panics() {
+        let mut table = PageTable::new(PAGE_SIZE_4K);
+        let mut p = Puckets::new();
+        p.insert_runtime_init_barrier(&mut table);
+        p.insert_runtime_init_barrier(&mut table);
+    }
+
+    #[test]
+    #[should_panic(expected = "before runtime-init")]
+    fn init_barrier_first_panics() {
+        let mut table = PageTable::new(PAGE_SIZE_4K);
+        let mut p = Puckets::new();
+        p.insert_init_exec_barrier(&mut table);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_every_live_page_has_exactly_one_pucket(
+            runtime in 0u32..30, init in 0u32..30, exec in 0u32..30,
+        ) {
+            let mut table = PageTable::new(PAGE_SIZE_4K);
+            table.alloc(Segment::Runtime, runtime);
+            let mut puckets = Puckets::new();
+            puckets.insert_runtime_init_barrier(&mut table);
+            table.alloc(Segment::Init, init);
+            puckets.insert_init_exec_barrier(&mut table);
+            table.alloc(Segment::Execution, exec);
+            let counts = [PucketKind::Runtime, PucketKind::Init, PucketKind::Execution]
+                .map(|k| table.iter_live().filter(|&(_, m)| puckets.classify(m) == k).count() as u32);
+            proptest::prop_assert_eq!(counts[0], runtime);
+            proptest::prop_assert_eq!(counts[1], init);
+            proptest::prop_assert_eq!(counts[2], exec);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Periodic hot-page-pool rollback (paper §5.3).
+//!
+//! Offloaded pages trickle back into the hot page pool as requests recall
+//! them — but some of those promotions are stale. FaaSMem periodically
+//! *rolls back* every hot-pool page to its original Pucket, re-observes
+//! for one request window, and offloads whatever stayed untouched. A
+//! minimum interval `t` between rollbacks bounds the overhead (§8.5
+//! recommends ≥ 10 s for < 0.1% overhead).
+//!
+//! [`RollbackCycle`] is the request-driven state machine; the actual page
+//! motion is performed by the policy using
+//! [`Puckets::rollback_hot_pool`](crate::Puckets::rollback_hot_pool).
+
+use faasmem_sim::{SimDuration, SimTime};
+
+/// Where the cycle currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RollbackPhase {
+    /// Accumulating requests; waiting for the window + time conditions.
+    Waiting,
+    /// A rollback happened; re-observing for one request window.
+    Observing {
+        /// Requests still to observe before offloading the leftovers.
+        requests_left: u32,
+    },
+}
+
+/// What the policy must do after feeding an event to the cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RollbackAction {
+    /// Nothing to do.
+    None,
+    /// Roll every hot-pool page back to its Pucket now.
+    RollBack,
+    /// The observation window ended: offload all still-inactive pages.
+    OffloadLeftovers,
+}
+
+/// The rollback state machine of one container.
+///
+/// Trigger rule (§5.3): a rollback fires only when *both* a full request
+/// window has passed since the last cycle *and* at least `t` has elapsed
+/// since the previous rollback.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_core::rollback::{RollbackAction, RollbackCycle};
+/// use faasmem_sim::{SimDuration, SimTime};
+///
+/// let mut cycle = RollbackCycle::new(SimDuration::from_secs(10));
+/// cycle.arm(2, SimTime::ZERO); // window size 2, cycle armed at t=0
+/// // Two requests later but only 5 s in: time condition not met.
+/// assert_eq!(cycle.on_request_end(SimTime::from_secs(5)), RollbackAction::None);
+/// assert_eq!(cycle.on_request_end(SimTime::from_secs(5)), RollbackAction::None);
+/// // Next request at 12 s: both conditions hold → roll back.
+/// assert_eq!(cycle.on_request_end(SimTime::from_secs(12)), RollbackAction::RollBack);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RollbackCycle {
+    min_interval: SimDuration,
+    window: Option<u32>,
+    phase: RollbackPhase,
+    requests_since_cycle: u32,
+    last_rollback: Option<SimTime>,
+    armed_at: Option<SimTime>,
+    rollbacks_performed: u64,
+}
+
+impl RollbackCycle {
+    /// Creates an (unarmed) cycle with minimum rollback interval `t`.
+    pub fn new(min_interval: SimDuration) -> Self {
+        RollbackCycle {
+            min_interval,
+            window: None,
+            phase: RollbackPhase::Waiting,
+            requests_since_cycle: 0,
+            last_rollback: None,
+            armed_at: None,
+            rollbacks_performed: 0,
+        }
+    }
+
+    /// Arms the cycle once the Init-Pucket window has been profiled;
+    /// rollback reuses that window size (§5.3 "utilizes insights gained
+    /// from profiling the request-window through the Init Pucket").
+    pub fn arm(&mut self, window: u32, now: SimTime) {
+        self.window = Some(window.max(1));
+        self.armed_at = Some(now);
+    }
+
+    /// `true` once [`RollbackCycle::arm`] has been called.
+    pub fn is_armed(&self) -> bool {
+        self.window.is_some()
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> RollbackPhase {
+        self.phase
+    }
+
+    /// Lifetime rollbacks performed.
+    pub fn rollbacks_performed(&self) -> u64 {
+        self.rollbacks_performed
+    }
+
+    /// Feeds a completed request; returns what the policy must do.
+    pub fn on_request_end(&mut self, now: SimTime) -> RollbackAction {
+        let Some(window) = self.window else {
+            return RollbackAction::None;
+        };
+        match self.phase {
+            RollbackPhase::Observing { requests_left } => {
+                let left = requests_left.saturating_sub(1);
+                if left == 0 {
+                    self.phase = RollbackPhase::Waiting;
+                    self.requests_since_cycle = 0;
+                    RollbackAction::OffloadLeftovers
+                } else {
+                    self.phase = RollbackPhase::Observing { requests_left: left };
+                    RollbackAction::None
+                }
+            }
+            RollbackPhase::Waiting => {
+                self.requests_since_cycle += 1;
+                let window_met = self.requests_since_cycle >= window;
+                let reference = self.last_rollback.or(self.armed_at).unwrap_or(SimTime::ZERO);
+                let time_met = now.saturating_since(reference) >= self.min_interval;
+                if window_met && time_met {
+                    self.phase = RollbackPhase::Observing { requests_left: window };
+                    self.last_rollback = Some(now);
+                    self.rollbacks_performed += 1;
+                    RollbackAction::RollBack
+                } else {
+                    RollbackAction::None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn unarmed_cycle_is_inert() {
+        let mut c = RollbackCycle::new(SimDuration::from_secs(10));
+        assert!(!c.is_armed());
+        for s in 0..100 {
+            assert_eq!(c.on_request_end(t(s)), RollbackAction::None);
+        }
+        assert_eq!(c.rollbacks_performed(), 0);
+    }
+
+    #[test]
+    fn full_cycle_rollback_then_offload() {
+        let mut c = RollbackCycle::new(SimDuration::from_secs(10));
+        c.arm(2, t(0));
+        assert_eq!(c.on_request_end(t(11)), RollbackAction::None); // 1 of window 2
+        assert_eq!(c.on_request_end(t(12)), RollbackAction::RollBack);
+        assert_eq!(c.phase(), RollbackPhase::Observing { requests_left: 2 });
+        assert_eq!(c.on_request_end(t(13)), RollbackAction::None);
+        assert_eq!(c.on_request_end(t(14)), RollbackAction::OffloadLeftovers);
+        assert_eq!(c.phase(), RollbackPhase::Waiting);
+        assert_eq!(c.rollbacks_performed(), 1);
+    }
+
+    #[test]
+    fn time_gate_blocks_frequent_rollbacks() {
+        let mut c = RollbackCycle::new(SimDuration::from_secs(10));
+        c.arm(1, t(0));
+        assert_eq!(c.on_request_end(t(1)), RollbackAction::None, "too soon after arming");
+        assert_eq!(c.on_request_end(t(10)), RollbackAction::RollBack);
+        assert_eq!(c.on_request_end(t(10)), RollbackAction::OffloadLeftovers);
+        // Window met immediately, but < 10 s since the last rollback.
+        assert_eq!(c.on_request_end(t(15)), RollbackAction::None);
+        assert_eq!(c.on_request_end(t(21)), RollbackAction::RollBack);
+        assert_eq!(c.rollbacks_performed(), 2);
+    }
+
+    #[test]
+    fn window_gate_blocks_early_rollbacks() {
+        let mut c = RollbackCycle::new(SimDuration::from_secs(1));
+        c.arm(3, t(0));
+        assert_eq!(c.on_request_end(t(100)), RollbackAction::None);
+        assert_eq!(c.on_request_end(t(200)), RollbackAction::None);
+        assert_eq!(c.on_request_end(t(300)), RollbackAction::RollBack);
+    }
+
+    #[test]
+    fn window_of_one_alternates() {
+        let mut c = RollbackCycle::new(SimDuration::ZERO);
+        c.arm(1, t(0));
+        assert_eq!(c.on_request_end(t(1)), RollbackAction::RollBack);
+        assert_eq!(c.on_request_end(t(2)), RollbackAction::OffloadLeftovers);
+        assert_eq!(c.on_request_end(t(3)), RollbackAction::RollBack);
+        assert_eq!(c.on_request_end(t(4)), RollbackAction::OffloadLeftovers);
+    }
+
+    #[test]
+    fn arm_clamps_zero_window() {
+        let mut c = RollbackCycle::new(SimDuration::ZERO);
+        c.arm(0, t(0));
+        assert_eq!(c.on_request_end(t(1)), RollbackAction::RollBack);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_rollback_intervals_respect_t(
+            gaps in proptest::collection::vec(1u64..30, 1..200),
+            window in 1u32..5,
+            min_interval in 5u64..60,
+        ) {
+            let mut c = RollbackCycle::new(SimDuration::from_secs(min_interval));
+            c.arm(window, SimTime::ZERO);
+            let mut now = SimTime::ZERO;
+            let mut rollback_times = Vec::new();
+            for &g in &gaps {
+                now += SimDuration::from_secs(g);
+                if c.on_request_end(now) == RollbackAction::RollBack {
+                    rollback_times.push(now);
+                }
+            }
+            for pair in rollback_times.windows(2) {
+                proptest::prop_assert!(
+                    pair[1].saturating_since(pair[0]) >= SimDuration::from_secs(min_interval)
+                );
+            }
+        }
+    }
+}

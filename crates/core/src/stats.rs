@@ -1,0 +1,140 @@
+//! Mechanism-level statistics FaaSMem exposes to the experiments.
+//!
+//! Some of the paper's figures measure the *mechanism* rather than the
+//! platform: Fig 8 counts Runtime-Pucket recalls, Fig 14 the share of
+//! container lifetime spent semi-warm. The platform's
+//! [`RunReport`](faasmem_faas::RunReport) cannot see those, so the policy
+//! publishes them through a shared [`StatsHandle`] the experiment keeps.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use faasmem_sim::SimDuration;
+use faasmem_faas::FunctionId;
+
+/// One container's semi-warm activity over its lifetime (Fig 14 input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SemiWarmRecord {
+    /// The function the container served.
+    pub function: FunctionId,
+    /// Container lifetime (create → recycle).
+    pub lifetime: SimDuration,
+    /// Cumulative time spent in semi-warm periods.
+    pub semi_warm_time: SimDuration,
+}
+
+impl SemiWarmRecord {
+    /// Fraction of the lifetime spent semi-warm, in `[0, 1]`.
+    pub fn semi_warm_fraction(&self) -> f64 {
+        let life = self.lifetime.as_secs_f64();
+        if life <= 0.0 {
+            0.0
+        } else {
+            (self.semi_warm_time.as_secs_f64() / life).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Aggregated FaaSMem mechanism statistics for one run.
+#[derive(Debug, Clone, Default)]
+pub struct FaasMemStats {
+    /// Per-recycled-container semi-warm records.
+    pub semi_warm_records: Vec<SemiWarmRecord>,
+    /// Pages recalled into the hot pool from the Runtime Pucket *after*
+    /// its reactive offload, summed per function (Fig 8).
+    pub runtime_recalls: HashMap<FunctionId, u64>,
+    /// Containers per function that performed the reactive runtime
+    /// offload (the Fig 8 denominator).
+    pub runtime_offloads: HashMap<FunctionId, u64>,
+    /// Request-window sizes the gradient detector chose, per container.
+    pub windows_chosen: Vec<(FunctionId, u32)>,
+    /// Total hot-pool rollbacks performed.
+    pub rollbacks: u64,
+    /// Bytes offloaded by semi-warm gradual drains.
+    pub semi_warm_bytes: u64,
+}
+
+impl FaasMemStats {
+    /// Mean Runtime-Pucket recalls per container for `function`; `None`
+    /// if no container of that function offloaded its Runtime Pucket.
+    pub fn mean_runtime_recalls(&self, function: FunctionId) -> Option<f64> {
+        let containers = *self.runtime_offloads.get(&function)?;
+        if containers == 0 {
+            return None;
+        }
+        let recalls = self.runtime_recalls.get(&function).copied().unwrap_or(0);
+        Some(recalls as f64 / containers as f64)
+    }
+
+    /// Semi-warm lifetime fractions across all containers (Fig 14 CDF
+    /// input).
+    pub fn semi_warm_fractions(&self) -> Vec<f64> {
+        self.semi_warm_records.iter().map(SemiWarmRecord::semi_warm_fraction).collect()
+    }
+}
+
+/// Shared, interior-mutable handle to [`FaasMemStats`]: the policy holds
+/// one clone and mutates it during the run; the experiment holds another
+/// and reads it afterwards.
+pub type StatsHandle = Rc<RefCell<FaasMemStats>>;
+
+/// Creates a fresh stats handle.
+pub fn new_stats_handle() -> StatsHandle {
+    Rc::new(RefCell::new(FaasMemStats::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_is_clamped_and_safe() {
+        let r = SemiWarmRecord {
+            function: FunctionId(0),
+            lifetime: SimDuration::from_secs(100),
+            semi_warm_time: SimDuration::from_secs(60),
+        };
+        assert!((r.semi_warm_fraction() - 0.6).abs() < 1e-12);
+        let zero = SemiWarmRecord {
+            function: FunctionId(0),
+            lifetime: SimDuration::ZERO,
+            semi_warm_time: SimDuration::ZERO,
+        };
+        assert_eq!(zero.semi_warm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn mean_recalls_handles_missing_data() {
+        let mut s = FaasMemStats::default();
+        assert_eq!(s.mean_runtime_recalls(FunctionId(0)), None);
+        s.runtime_offloads.insert(FunctionId(0), 4);
+        assert_eq!(s.mean_runtime_recalls(FunctionId(0)), Some(0.0));
+        s.runtime_recalls.insert(FunctionId(0), 6);
+        assert_eq!(s.mean_runtime_recalls(FunctionId(0)), Some(1.5));
+    }
+
+    #[test]
+    fn handle_is_shared() {
+        let h = new_stats_handle();
+        let h2 = Rc::clone(&h);
+        h.borrow_mut().rollbacks = 3;
+        assert_eq!(h2.borrow().rollbacks, 3);
+    }
+
+    #[test]
+    fn fractions_collects_all_records() {
+        let mut s = FaasMemStats::default();
+        for (life, warm) in [(100u64, 50u64), (10, 10)] {
+            s.semi_warm_records.push(SemiWarmRecord {
+                function: FunctionId(0),
+                lifetime: SimDuration::from_secs(life),
+                semi_warm_time: SimDuration::from_secs(warm),
+            });
+        }
+        let f = s.semi_warm_fractions();
+        assert_eq!(f.len(), 2);
+        assert!((f[0] - 0.5).abs() < 1e-12);
+        assert!((f[1] - 1.0).abs() < 1e-12);
+    }
+}

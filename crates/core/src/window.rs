@@ -1,0 +1,208 @@
+//! Adaptive request-window detection for the Init Pucket (paper §5.2).
+//!
+//! The Init Pucket cannot be offloaded after the first request like the
+//! Runtime Pucket: a page unaccessed by one request may well be needed by
+//! a later one (Web's cached HTML pages). FaaSMem therefore watches the
+//! *descent gradient* of the remaining inactive init pages as requests
+//! complete — once it "tends to zero", further requests are unlikely to
+//! reveal new hot pages and the remaining inactive pages are offloaded.
+
+/// Tracks the shrinking Init-Pucket inactive list and decides when the
+/// request window closes.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_core::WindowTracker;
+///
+/// // ML-inference style: the hot set stabilises after one request.
+/// let mut w = WindowTracker::new(1000, 0.005, 2, 20);
+/// assert!(w.observe(600).is_none());  // request 1: big drop (allocated→hot)
+/// assert!(w.observe(598).is_none());  // request 2: gradient ~0 (1st stable)
+/// let window = w.observe(598);        // request 3: gradient 0 (2nd stable)
+/// assert_eq!(window, Some(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowTracker {
+    init_total: u64,
+    epsilon_pages: u64,
+    stable_rounds_needed: u32,
+    cap: u32,
+    prev_remaining: Option<u64>,
+    stable_rounds: u32,
+    requests_seen: u32,
+    window: Option<u32>,
+}
+
+impl WindowTracker {
+    /// Creates a tracker for an Init Pucket of `init_total` pages.
+    ///
+    /// * `epsilon` — gradient threshold as a fraction of `init_total`;
+    ///   a drop of fewer than `epsilon × init_total` pages counts as
+    ///   "gradient tends to zero".
+    /// * `stable_rounds` — consecutive below-threshold requests needed.
+    /// * `cap` — hard upper bound on the window.
+    pub fn new(init_total: u64, epsilon: f64, stable_rounds: u32, cap: u32) -> Self {
+        let epsilon_pages = ((init_total as f64 * epsilon).ceil() as u64).max(1);
+        WindowTracker {
+            init_total,
+            epsilon_pages,
+            stable_rounds_needed: stable_rounds.max(1),
+            cap: cap.max(1),
+            prev_remaining: None,
+            stable_rounds: 0,
+            requests_seen: 0,
+            window: None,
+        }
+    }
+
+    /// Feeds the inactive-page count observed after a completed request.
+    /// Returns `Some(window_size)` exactly once, when the window closes.
+    pub fn observe(&mut self, remaining_inactive: u64) -> Option<u32> {
+        if self.window.is_some() {
+            return None; // already closed
+        }
+        self.requests_seen += 1;
+        let closed = match self.prev_remaining {
+            Some(prev) => {
+                let drop = prev.saturating_sub(remaining_inactive);
+                if drop < self.epsilon_pages {
+                    self.stable_rounds += 1;
+                } else {
+                    self.stable_rounds = 0;
+                }
+                self.stable_rounds >= self.stable_rounds_needed
+            }
+            None => {
+                // An empty init pucket needs no window at all.
+                self.init_total == 0 || remaining_inactive == 0
+            }
+        };
+        if closed || self.requests_seen >= self.cap {
+            let w = self.requests_seen.min(self.cap);
+            self.window = Some(w);
+            return Some(w);
+        }
+        self.prev_remaining = Some(remaining_inactive);
+        None
+    }
+
+    /// The detected window size, once closed.
+    pub fn window(&self) -> Option<u32> {
+        self.window
+    }
+
+    /// Requests observed so far.
+    pub fn requests_seen(&self) -> u32 {
+        self.requests_seen
+    }
+
+    /// `true` once the window has closed (offload performed).
+    pub fn is_closed(&self) -> bool {
+        self.window.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_function_closes_quickly() {
+        // Bert-like: hot set fixed → remaining stops dropping after req 1.
+        let mut w = WindowTracker::new(1000, 0.005, 2, 20);
+        assert_eq!(w.observe(560), None);
+        assert_eq!(w.observe(556), None); // drop 4 < 5 → stable #1
+        assert_eq!(w.observe(555), Some(3)); // stable #2 → close
+        assert!(w.is_closed());
+        assert_eq!(w.window(), Some(3));
+    }
+
+    #[test]
+    fn scattered_accesses_need_larger_window() {
+        // Web-like: each request reveals ~50 new hot pages for a while.
+        let mut w = WindowTracker::new(1000, 0.005, 2, 20);
+        let mut remaining = 1000u64;
+        let mut closed_at = None;
+        for req in 1..=20 {
+            let drop = if req <= 10 { 50 } else { 2 };
+            remaining -= drop.min(remaining);
+            if let Some(win) = w.observe(remaining) {
+                closed_at = Some(win);
+                break;
+            }
+        }
+        let win = closed_at.expect("window must close");
+        assert!(win >= 12, "needs to see the stabilisation, got {win}");
+    }
+
+    #[test]
+    fn cap_forces_closure() {
+        let mut w = WindowTracker::new(10_000, 0.001, 3, 5);
+        let mut remaining = 10_000u64;
+        for req in 1..=5 {
+            remaining -= 500; // always a big gradient
+            let got = w.observe(remaining);
+            if req < 5 {
+                assert_eq!(got, None);
+            } else {
+                assert_eq!(got, Some(5), "cap reached");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_init_pucket_closes_immediately() {
+        let mut w = WindowTracker::new(0, 0.005, 2, 20);
+        assert_eq!(w.observe(0), Some(1));
+    }
+
+    #[test]
+    fn fully_hot_init_closes_immediately() {
+        // Micro-benchmark style: everything promoted by request 1.
+        let mut w = WindowTracker::new(100, 0.005, 2, 20);
+        assert_eq!(w.observe(0), Some(1));
+    }
+
+    #[test]
+    fn observe_after_close_is_inert() {
+        let mut w = WindowTracker::new(0, 0.005, 2, 20);
+        assert_eq!(w.observe(0), Some(1));
+        assert_eq!(w.observe(0), None);
+        assert_eq!(w.requests_seen(), 1, "post-close observations not counted");
+    }
+
+    #[test]
+    fn gradient_reset_on_new_drop() {
+        let mut w = WindowTracker::new(1000, 0.005, 2, 50);
+        assert_eq!(w.observe(500), None);
+        assert_eq!(w.observe(499), None); // stable #1
+        assert_eq!(w.observe(400), None); // big drop: reset
+        assert_eq!(w.observe(399), None); // stable #1
+        assert_eq!(w.observe(399), Some(5)); // stable #2 → close at 5
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_window_always_closes_within_cap(
+            drops in proptest::collection::vec(0u64..100, 1..100),
+            cap in 1u32..30,
+        ) {
+            let mut w = WindowTracker::new(5_000, 0.005, 2, cap);
+            let mut remaining: u64 = 5_000;
+            let mut window = None;
+            for &d in &drops {
+                remaining = remaining.saturating_sub(d);
+                if let Some(win) = w.observe(remaining) {
+                    window = Some(win);
+                    break;
+                }
+            }
+            if drops.len() as u32 >= cap {
+                let win = window.expect("must close by the cap");
+                proptest::prop_assert!(win <= cap);
+                proptest::prop_assert!(win >= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,786 @@
+//! The platform simulator: event loop, routing, keep-alive.
+
+use std::collections::HashMap;
+
+use faasmem_mem::{mib_to_pages, PageId};
+use faasmem_pool::{BandwidthGovernor, PoolConfig, RemotePool};
+use faasmem_sim::{Clock, EventQueue, SimDuration, SimRng, SimTime};
+use faasmem_workload::{BenchmarkSpec, FunctionId, InvocationTrace, RequestAccess};
+
+use crate::container::{Container, ContainerId, ContainerStage};
+use crate::policy::{MemoryPolicy, NullPolicy, PolicyCtx};
+use crate::report::{ContainerRecord, RequestRecord, RunReport};
+
+/// Platform-wide configuration.
+///
+/// The default page size is 64 KiB rather than the kernel's 4 KiB: the
+/// policies operate on page *sets*, so a 16× coarser granularity preserves
+/// every decision boundary while keeping multi-gigabyte, hour-long traces
+/// fast to simulate. Experiments that measure per-page costs (the Fig 15
+/// overhead benches) use 4 KiB explicitly.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Bytes per simulated page.
+    pub page_size: u64,
+    /// Keep-alive timeout before an idle container is recycled
+    /// (the paper's platform uses 10 minutes, §8.1).
+    pub keep_alive: SimDuration,
+    /// Remote pool and interconnect model.
+    pub pool: PoolConfig,
+    /// Sliding window of the offload-bandwidth governor.
+    pub governor_window: SimDuration,
+    /// Log-normal sigma of execution-time jitter.
+    pub exec_jitter_sigma: f64,
+    /// CPU cost of handling one demand fault (trap + mapping), in
+    /// microseconds. Charged per faulted page and divided by the
+    /// container's CPU share: fault handling is kernel work accounted to
+    /// the (CPU-capped) container cgroup, which is why 0.1-core
+    /// micro-benchmarks suffer the worst blow-ups in the paper's Fig 2.
+    pub fault_cpu_micros: u64,
+    /// FAASM-style runtime sharing (paper §9, "Memory sharing in
+    /// serverless"): containers of the same function map one shared copy
+    /// of the runtime segment, so node-local accounting counts each
+    /// function's runtime once instead of per container. Orthogonal to —
+    /// and combinable with — FaaSMem's offloading.
+    pub share_runtime: bool,
+    /// Optional hybrid-histogram keep-alive (paper §10's related work):
+    /// when set, each function's timeout adapts to its observed
+    /// idle-before-reuse distribution instead of the fixed `keep_alive`.
+    pub adaptive_keep_alive: Option<crate::keepalive::AdaptiveKeepAlive>,
+    /// RNG seed for all platform randomness.
+    pub seed: u64,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            page_size: 64 * 1024,
+            keep_alive: SimDuration::from_mins(10),
+            pool: PoolConfig::default(),
+            governor_window: SimDuration::from_secs(1),
+            exec_jitter_sigma: 0.05,
+            fault_cpu_micros: 8,
+            share_runtime: false,
+            adaptive_keep_alive: None,
+            seed: 0xFAA5,
+        }
+    }
+}
+
+/// Builder for [`PlatformSim`].
+pub struct PlatformBuilder {
+    config: PlatformConfig,
+    specs: Vec<BenchmarkSpec>,
+    policy: Box<dyn MemoryPolicy>,
+}
+
+impl PlatformBuilder {
+    fn new() -> Self {
+        PlatformBuilder {
+            config: PlatformConfig::default(),
+            specs: Vec::new(),
+            policy: Box::new(NullPolicy),
+        }
+    }
+
+    /// Registers a function; functions get sequential [`FunctionId`]s in
+    /// registration order (matching trace synthesis).
+    pub fn register_function(mut self, spec: BenchmarkSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Registers many functions at once.
+    pub fn register_functions<I: IntoIterator<Item = BenchmarkSpec>>(mut self, specs: I) -> Self {
+        self.specs.extend(specs);
+        self
+    }
+
+    /// Installs the memory policy under test.
+    pub fn policy<P: MemoryPolicy + 'static>(mut self, policy: P) -> Self {
+        self.policy = Box::new(policy);
+        self
+    }
+
+    /// Replaces the whole configuration.
+    pub fn config(mut self, config: PlatformConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the keep-alive timeout.
+    pub fn keep_alive(mut self, keep_alive: SimDuration) -> Self {
+        self.config.keep_alive = keep_alive;
+        self
+    }
+
+    /// Overrides the page size.
+    pub fn page_size(mut self, page_size: u64) -> Self {
+        self.config.page_size = page_size;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Enables FAASM-style runtime sharing (see
+    /// [`PlatformConfig::share_runtime`]).
+    pub fn share_runtime(mut self, on: bool) -> Self {
+        self.config.share_runtime = on;
+        self
+    }
+
+    /// Installs a hybrid-histogram keep-alive policy (see
+    /// [`PlatformConfig::adaptive_keep_alive`]).
+    pub fn adaptive_keep_alive(mut self, policy: crate::keepalive::AdaptiveKeepAlive) -> Self {
+        self.config.adaptive_keep_alive = Some(policy);
+        self
+    }
+
+    /// Builds the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no functions were registered.
+    pub fn build(self) -> PlatformSim {
+        assert!(!self.specs.is_empty(), "register at least one function");
+        let governor = BandwidthGovernor::new(
+            self.config.pool.effective_out_bytes_per_sec(),
+            self.config.governor_window,
+        );
+        PlatformSim {
+            rng: SimRng::seed_from(self.config.seed),
+            pool: RemotePool::new(self.config.pool.clone()),
+            governor,
+            specs: self.specs,
+            policy: self.policy,
+            config: self.config,
+            containers: HashMap::new(),
+            in_flight: HashMap::new(),
+            next_container: 0,
+            reuse_gaps: HashMap::new(),
+            ran: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Index into the trace's invocation list.
+    Invoke(u32),
+    RuntimeLoaded(ContainerId),
+    InitDone(ContainerId),
+    FinishExec(ContainerId),
+    RecycleCheck(ContainerId),
+    Tick,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    arrived: SimTime,
+    exec_started: SimTime,
+    cold: bool,
+    faults: u32,
+}
+
+/// The serverless-platform simulator.
+///
+/// Construct with [`PlatformSim::builder`], then call [`PlatformSim::run`]
+/// with an invocation trace. A simulator instance runs one trace; build a
+/// fresh one per experiment to keep runs independent and deterministic.
+pub struct PlatformSim {
+    config: PlatformConfig,
+    specs: Vec<BenchmarkSpec>,
+    policy: Box<dyn MemoryPolicy>,
+    containers: HashMap<ContainerId, Container>,
+    in_flight: HashMap<ContainerId, InFlight>,
+    pool: RemotePool,
+    governor: BandwidthGovernor,
+    rng: SimRng,
+    next_container: u64,
+    /// Observed idle-before-reuse gaps per function, in seconds (drives
+    /// the adaptive keep-alive).
+    reuse_gaps: HashMap<FunctionId, Vec<f64>>,
+    ran: bool,
+}
+
+impl PlatformSim {
+    /// Starts building a platform.
+    pub fn builder() -> PlatformBuilder {
+        PlatformBuilder::new()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Runs the trace to completion (all containers recycled) and returns
+    /// the measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice on the same simulator, or if the trace
+    /// invokes an unregistered function.
+    pub fn run(&mut self, trace: &InvocationTrace) -> RunReport {
+        assert!(!self.ran, "PlatformSim::run consumes the simulator; build a fresh one");
+        self.ran = true;
+
+        let invocations: Vec<_> = trace.iter().copied().collect();
+        for inv in &invocations {
+            assert!(
+                (inv.function.0 as usize) < self.specs.len(),
+                "trace invokes unregistered {}",
+                inv.function
+            );
+        }
+
+        let mut queue: EventQueue<Event> = EventQueue::with_capacity(invocations.len() * 4);
+        for (i, inv) in invocations.iter().enumerate() {
+            queue.push(inv.at, Event::Invoke(i as u32));
+        }
+        let tick = self.policy.tick_interval();
+        if let Some(dt) = tick {
+            queue.push(SimTime::ZERO + dt, Event::Tick);
+        }
+
+        let mut clock = Clock::new();
+        let mut report = RunReport {
+            policy: self.policy.name(),
+            requests_completed: 0,
+            cold_starts: 0,
+            latency: faasmem_metrics::LatencyRecorder::new(),
+            requests: Vec::with_capacity(invocations.len()),
+            local_mem: faasmem_metrics::TimeSeries::new(),
+            remote_mem: faasmem_metrics::TimeSeries::new(),
+            live_containers: faasmem_metrics::TimeSeries::new(),
+            pool_stats: Default::default(),
+            containers: Vec::new(),
+            reuse_intervals: HashMap::new(),
+            finished_at: SimTime::ZERO,
+        };
+        report.local_mem.record(SimTime::ZERO, 0.0);
+        report.remote_mem.record(SimTime::ZERO, 0.0);
+        report.live_containers.record(SimTime::ZERO, 0.0);
+
+        while let Some((at, event)) = queue.pop() {
+            clock.advance_to(at);
+            let now = clock.now();
+            match event {
+                Event::Invoke(i) => {
+                    let inv = invocations[i as usize];
+                    self.handle_invoke(now, inv.function, &mut queue, &mut report);
+                }
+                Event::RuntimeLoaded(id) => self.handle_runtime_loaded(now, id, &mut queue),
+                Event::InitDone(id) => self.handle_init_done(now, id, &mut queue),
+                Event::FinishExec(id) => self.handle_finish(now, id, &mut queue, &mut report),
+                Event::RecycleCheck(id) => {
+                    self.handle_recycle(now, id, &mut queue, &mut report)
+                }
+                Event::Tick => {
+                    let ids: Vec<ContainerId> = self.containers.keys().copied().collect();
+                    for id in ids {
+                        let container = self.containers.get_mut(&id).expect("live container");
+                        let mut ctx = PolicyCtx {
+                            now,
+                            container,
+                            pool: &mut self.pool,
+                            governor: &mut self.governor,
+                        };
+                        self.policy.on_tick(&mut ctx);
+                    }
+                    if let Some(dt) = tick {
+                        if !self.containers.is_empty() || !queue.is_empty() {
+                            queue.push(now + dt, Event::Tick);
+                        }
+                    }
+                }
+            }
+            self.record_memory(now, &mut report);
+        }
+
+        // Retire any containers still alive (should not happen after the
+        // keep-alive drain, but be robust).
+        let leftover: Vec<ContainerId> = self.containers.keys().copied().collect();
+        for id in leftover {
+            self.recycle_container(clock.now(), id, &mut report);
+        }
+        self.record_memory(clock.now(), &mut report);
+
+        report.pool_stats = self.pool.stats();
+        report.finished_at = clock.now();
+        report
+    }
+
+    /// The keep-alive timeout currently applicable to `function`.
+    fn timeout_for(&self, function: FunctionId) -> SimDuration {
+        match self.config.adaptive_keep_alive {
+            Some(policy) => {
+                let gaps = self.reuse_gaps.get(&function).map(Vec::as_slice).unwrap_or(&[]);
+                policy.timeout_from_samples(gaps)
+            }
+            None => self.config.keep_alive,
+        }
+    }
+
+    fn record_memory(&self, now: SimTime, report: &mut RunReport) {
+        let mut local: u64 = self.containers.values().map(|c| c.table().local_bytes()).sum();
+        if self.config.share_runtime {
+            // Runtime sharing: per function, all containers but one map
+            // the same physical runtime pages — deduct the duplicates.
+            let mut max_runtime: HashMap<FunctionId, u64> = HashMap::new();
+            let mut sum_runtime: HashMap<FunctionId, u64> = HashMap::new();
+            for c in self.containers.values() {
+                let rt = c.table().local_pages_in(faasmem_mem::Segment::Runtime)
+                    * self.config.page_size;
+                let max = max_runtime.entry(c.function()).or_default();
+                *max = (*max).max(rt);
+                *sum_runtime.entry(c.function()).or_default() += rt;
+            }
+            for (f, sum) in sum_runtime {
+                local -= sum - max_runtime[&f];
+            }
+        }
+        let remote: u64 = self.containers.values().map(|c| c.table().remote_bytes()).sum();
+        report.local_mem.record(now, local as f64);
+        report.remote_mem.record(now, remote as f64);
+        report.live_containers.record(now, self.containers.len() as f64);
+    }
+
+    fn handle_invoke(
+        &mut self,
+        now: SimTime,
+        function: FunctionId,
+        queue: &mut EventQueue<Event>,
+        report: &mut RunReport,
+    ) {
+        // Route to the most-recently-used idle warm container, if any.
+        let warm = self
+            .containers
+            .values()
+            .filter(|c| c.function() == function && c.stage() == ContainerStage::KeepAlive)
+            .max_by_key(|c| c.last_used())
+            .map(|c| c.id());
+
+        if let Some(id) = warm {
+            let idle = {
+                let c = self.containers.get(&id).expect("warm container");
+                c.idle_since(now)
+            };
+            report.reuse_intervals.entry(function).or_default().push(idle);
+            self.reuse_gaps.entry(function).or_default().push(idle.as_secs_f64());
+            {
+                let container = self.containers.get_mut(&id).expect("warm container");
+                let mut ctx = PolicyCtx {
+                    now,
+                    container,
+                    pool: &mut self.pool,
+                    governor: &mut self.governor,
+                };
+                self.policy.on_request_start(&mut ctx, Some(idle));
+            }
+            self.containers.get_mut(&id).expect("warm container").begin_execution(now);
+            self.start_execution(now, id, now, false, queue);
+        } else {
+            // Cold start.
+            let id = ContainerId(self.next_container);
+            self.next_container += 1;
+            let spec = self.specs[function.0 as usize].clone();
+            let launch = spec.launch_time;
+            let container = Container::new(id, function, spec, self.config.page_size, now);
+            self.containers.insert(id, container);
+            self.in_flight.insert(
+                id,
+                InFlight { arrived: now, exec_started: now, cold: true, faults: 0 },
+            );
+            let jitter = self.rng.lognormal_jitter(0.03);
+            queue.push(now + launch.mul_f64(jitter), Event::RuntimeLoaded(id));
+        }
+    }
+
+    fn handle_runtime_loaded(
+        &mut self,
+        now: SimTime,
+        id: ContainerId,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let init_time = {
+            let container = self.containers.get_mut(&id).expect("launching container");
+            container.finish_launch();
+            container.spec().init_time
+        };
+        {
+            let container = self.containers.get_mut(&id).expect("launching container");
+            let mut ctx = PolicyCtx {
+                now,
+                container,
+                pool: &mut self.pool,
+                governor: &mut self.governor,
+            };
+            self.policy.on_runtime_loaded(&mut ctx);
+        }
+        let jitter = self.rng.lognormal_jitter(0.03);
+        queue.push(now + init_time.mul_f64(jitter), Event::InitDone(id));
+    }
+
+    fn handle_init_done(&mut self, now: SimTime, id: ContainerId, queue: &mut EventQueue<Event>) {
+        {
+            let container = self.containers.get_mut(&id).expect("initializing container");
+            container.finish_init();
+        }
+        {
+            let container = self.containers.get_mut(&id).expect("initializing container");
+            let mut ctx = PolicyCtx {
+                now,
+                container,
+                pool: &mut self.pool,
+                governor: &mut self.governor,
+            };
+            self.policy.on_init_done(&mut ctx);
+            self.policy.on_request_start(&mut ctx, None);
+        }
+        let arrived = self.in_flight.get(&id).expect("pending request").arrived;
+        self.start_execution(now, id, arrived, true, queue);
+    }
+
+    /// Plans the request's page accesses, charges remote faults, and
+    /// schedules its completion.
+    fn start_execution(
+        &mut self,
+        now: SimTime,
+        id: ContainerId,
+        arrived: SimTime,
+        cold: bool,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let page_size = self.config.page_size;
+        let container = self.containers.get_mut(&id).expect("executing container");
+        let spec = container.spec().clone();
+        let exec_pages = mib_to_pages(spec.exec_mib, page_size) as u32;
+        let plan = RequestAccess::plan_with_rare_runtime(
+            spec.init_access,
+            container.runtime_hot_pages(),
+            container.runtime_range().len(),
+            spec.runtime_rare_touch_prob,
+            container.init_range().len(),
+            exec_pages,
+            &mut self.rng,
+        );
+
+        let runtime_base = container.runtime_range().start().0;
+        let init_base = container.init_range().start().0;
+        let table = container.table_mut();
+        let mut outcome = table.touch_pages(plan.runtime.iter().map(|i| PageId(runtime_base + i)));
+        outcome.merge(table.touch_pages(plan.init.iter().map(|i| PageId(init_base + i))));
+        let exec_range = table.alloc(faasmem_mem::Segment::Execution, plan.exec_pages);
+        table.touch_range(exec_range);
+        container.set_exec_range(exec_range);
+
+        let stall = if outcome.faulted > 0 {
+            let link = self
+                .pool
+                .page_in(now, u64::from(outcome.faulted), page_size)
+                .expect("faulted pages are held by the pool");
+            // Per-fault CPU handling, throttled by the container's CPU
+            // share (cgroup-accounted kernel time).
+            let cpu_micros = (u64::from(outcome.faulted) * self.config.fault_cpu_micros) as f64
+                / spec.cpu_share.max(0.01);
+            link + SimDuration::from_micros(cpu_micros as u64)
+        } else {
+            SimDuration::ZERO
+        };
+        container.record_request_penalty(outcome.faulted, stall);
+
+        let jitter = self.rng.lognormal_jitter(self.config.exec_jitter_sigma);
+        let exec_time = spec.exec_time.mul_f64(jitter) + stall;
+        self.in_flight.insert(
+            id,
+            InFlight { arrived, exec_started: now, cold, faults: outcome.faulted },
+        );
+        queue.push(now + exec_time, Event::FinishExec(id));
+    }
+
+    fn handle_finish(
+        &mut self,
+        now: SimTime,
+        id: ContainerId,
+        queue: &mut EventQueue<Event>,
+        report: &mut RunReport,
+    ) {
+        let flight = self.in_flight.remove(&id).expect("in-flight request");
+        let busy = now.saturating_since(flight.exec_started);
+        {
+            let container = self.containers.get_mut(&id).expect("executing container");
+            container.finish_execution(now, busy);
+        }
+        {
+            let container = self.containers.get_mut(&id).expect("container");
+            let mut ctx = PolicyCtx {
+                now,
+                container,
+                pool: &mut self.pool,
+                governor: &mut self.governor,
+            };
+            self.policy.on_request_end(&mut ctx);
+        }
+        let function = self.containers.get(&id).expect("container").function();
+        let latency = now.saturating_since(flight.arrived);
+        report.latency.record(latency);
+        report.requests.push(RequestRecord {
+            function,
+            arrived: flight.arrived,
+            latency,
+            cold: flight.cold,
+            faults: flight.faults,
+        });
+        report.requests_completed += 1;
+        if flight.cold {
+            report.cold_starts += 1;
+        }
+        queue.push(now + self.timeout_for(function), Event::RecycleCheck(id));
+    }
+
+    fn handle_recycle(
+        &mut self,
+        now: SimTime,
+        id: ContainerId,
+        queue: &mut EventQueue<Event>,
+        report: &mut RunReport,
+    ) {
+        let Some(container) = self.containers.get(&id) else {
+            return; // already recycled
+        };
+        if container.stage() != ContainerStage::KeepAlive {
+            return; // busy again; a newer check is scheduled
+        }
+        let timeout = self.timeout_for(container.function());
+        if container.idle_since(now) < timeout {
+            // Reused since this check was scheduled, or the adaptive
+            // timeout grew in the meantime: re-arm at the new deadline.
+            let deadline = container.last_used() + timeout;
+            if deadline > now {
+                queue.push(deadline, Event::RecycleCheck(id));
+            }
+            return;
+        }
+        self.recycle_container(now, id, report);
+    }
+
+    fn recycle_container(&mut self, now: SimTime, id: ContainerId, report: &mut RunReport) {
+        {
+            let container = self.containers.get_mut(&id).expect("container to recycle");
+            let mut ctx = PolicyCtx {
+                now,
+                container,
+                pool: &mut self.pool,
+                governor: &mut self.governor,
+            };
+            self.policy.on_container_recycled(&mut ctx);
+        }
+        let container = self.containers.remove(&id).expect("container to recycle");
+        let remote_pages = container.table().remote_pages();
+        if remote_pages > 0 {
+            self.pool
+                .discard(remote_pages, self.config.page_size)
+                .expect("pool holds this container's remote pages");
+        }
+        report.containers.push(ContainerRecord {
+            function: container.function(),
+            created_at: container.created_at(),
+            retired_at: now,
+            requests_served: container.requests_served(),
+            busy_time: container.busy_time(),
+        });
+        self.in_flight.remove(&id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasmem_workload::{Invocation, LoadClass, TraceSynthesizer};
+
+    fn spec() -> BenchmarkSpec {
+        BenchmarkSpec::by_name("json").unwrap()
+    }
+
+    fn one_function_trace(times_secs: &[u64]) -> InvocationTrace {
+        let invs = times_secs
+            .iter()
+            .map(|&s| Invocation { at: SimTime::from_secs(s), function: FunctionId(0) })
+            .collect();
+        InvocationTrace::from_invocations(invs, SimTime::from_secs(2_000))
+    }
+
+    fn sim() -> PlatformSim {
+        PlatformSim::builder().register_function(spec()).seed(1).build()
+    }
+
+    #[test]
+    fn single_request_cold_starts_and_recycles() {
+        let mut s = sim();
+        let report = s.run(&one_function_trace(&[10]));
+        assert_eq!(report.requests_completed, 1);
+        assert_eq!(report.cold_starts, 1);
+        assert_eq!(report.containers.len(), 1);
+        let c = &report.containers[0];
+        assert_eq!(c.requests_served, 1);
+        // Latency includes launch + init + exec.
+        let lat = report.requests[0].latency;
+        assert!(lat >= spec().launch_time + spec().init_time);
+        // Lifetime ≈ cold start + exec + keep-alive.
+        assert!(c.lifetime() >= SimDuration::from_mins(10));
+    }
+
+    #[test]
+    fn warm_request_avoids_cold_start() {
+        let mut s = sim();
+        let report = s.run(&one_function_trace(&[10, 30]));
+        assert_eq!(report.requests_completed, 2);
+        assert_eq!(report.cold_starts, 1);
+        assert_eq!(report.containers.len(), 1, "same container reused");
+        let warm = &report.requests[1];
+        assert!(!warm.cold);
+        assert!(warm.latency < spec().launch_time, "warm latency is just exec");
+        // Reuse interval was observed.
+        let gaps = &report.reuse_intervals[&FunctionId(0)];
+        assert_eq!(gaps.len(), 1);
+        assert!(gaps[0] > SimDuration::from_secs(15) && gaps[0] < SimDuration::from_secs(25));
+    }
+
+    #[test]
+    fn keep_alive_expiry_forces_new_cold_start() {
+        let mut s = sim();
+        // Second request 700 s later: beyond the 600 s keep-alive.
+        let report = s.run(&one_function_trace(&[10, 710]));
+        assert_eq!(report.cold_starts, 2);
+        assert_eq!(report.containers.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_requests_scale_out() {
+        let mut s = sim();
+        // Two arrivals in the same second: the first container is still
+        // cold-starting, so the second must scale out.
+        let report = s.run(&one_function_trace(&[10, 10]));
+        assert_eq!(report.cold_starts, 2);
+        assert_eq!(report.containers.len(), 2);
+    }
+
+    #[test]
+    fn memory_timeline_rises_and_falls() {
+        let mut s = sim();
+        let report = s.run(&one_function_trace(&[10]));
+        let peak = report.local_mem.max_value().unwrap();
+        let base_bytes = (spec().base_mib() * 1024 * 1024) as f64;
+        assert!(peak >= base_bytes, "peak {peak} >= base {base_bytes}");
+        // After recycle everything is released.
+        assert_eq!(report.local_mem.last_value(), Some(0.0));
+        assert_eq!(report.live_containers.last_value(), Some(0.0));
+    }
+
+    #[test]
+    fn null_policy_never_touches_pool() {
+        let mut s = sim();
+        let report = s.run(&one_function_trace(&[10, 20, 30, 40]));
+        assert_eq!(report.pool_stats.bytes_out, 0);
+        assert_eq!(report.pool_stats.bytes_in, 0);
+        assert!(report.requests.iter().all(|r| r.faults == 0));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let trace = TraceSynthesizer::new(3)
+            .load_class(LoadClass::High)
+            .duration(SimTime::from_mins(10))
+            .synthesize_for(FunctionId(0));
+        let run = |seed| {
+            let mut s = PlatformSim::builder().register_function(spec()).seed(seed).build();
+            let mut r = s.run(&trace);
+            (r.requests_completed, r.cold_starts, r.p95_latency(), r.avg_local_mib())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).2, run(8).2, "different seeds should jitter latency");
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh one")]
+    fn double_run_panics() {
+        let mut s = sim();
+        let t = one_function_trace(&[1]);
+        let _ = s.run(&t);
+        let _ = s.run(&t);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn unknown_function_panics() {
+        let mut s = sim();
+        let t = InvocationTrace::from_invocations(
+            vec![Invocation { at: SimTime::ZERO, function: FunctionId(5) }],
+            SimTime::from_secs(1),
+        );
+        let _ = s.run(&t);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one function")]
+    fn empty_builder_panics() {
+        let _ = PlatformSim::builder().build();
+    }
+
+    #[test]
+    fn multi_function_routing_is_isolated() {
+        let mut s = PlatformSim::builder()
+            .register_function(BenchmarkSpec::by_name("json").unwrap())
+            .register_function(BenchmarkSpec::by_name("float").unwrap())
+            .seed(2)
+            .build();
+        let invs = vec![
+            Invocation { at: SimTime::from_secs(1), function: FunctionId(0) },
+            Invocation { at: SimTime::from_secs(30), function: FunctionId(1) },
+            Invocation { at: SimTime::from_secs(60), function: FunctionId(0) },
+        ];
+        let trace = InvocationTrace::from_invocations(invs, SimTime::from_secs(100));
+        let report = s.run(&trace);
+        assert_eq!(report.requests_completed, 3);
+        // fn#1's container cannot serve fn#0: exactly 2 cold starts.
+        assert_eq!(report.cold_starts, 2);
+        assert_eq!(report.containers.len(), 2);
+    }
+
+    #[test]
+    fn runtime_sharing_deducts_duplicates() {
+        // Two concurrent containers of the same function: with sharing
+        // on, the node counts one runtime copy instead of two.
+        let run_with = |share: bool| {
+            let mut s = PlatformSim::builder()
+                .register_function(spec())
+                .share_runtime(share)
+                .seed(1)
+                .build();
+            let report = s.run(&one_function_trace(&[10, 10]));
+            report.local_mem.max_value().unwrap()
+        };
+        let unshared = run_with(false);
+        let shared = run_with(true);
+        let runtime_bytes = (spec().runtime_mib * 1024 * 1024) as f64;
+        let saved = unshared - shared;
+        assert!(
+            (saved - runtime_bytes).abs() < runtime_bytes * 0.2,
+            "expected ~one runtime copy saved ({runtime_bytes}), got {saved}"
+        );
+    }
+
+    #[test]
+    fn busy_fraction_reflected_in_records() {
+        let mut s = sim();
+        let report = s.run(&one_function_trace(&[10, 20, 30]));
+        let c = &report.containers[0];
+        assert!(c.busy_time > SimDuration::ZERO);
+        assert!(c.inactive_fraction() > 0.9, "mostly idle during keep-alive");
+    }
+}

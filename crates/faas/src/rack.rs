@@ -1,0 +1,178 @@
+//! Rack-level provisioning analysis (paper §9).
+//!
+//! The paper sizes the memory-pool architecture at rack granularity: ~10
+//! compute nodes share one memory node, because cross-rack pooling costs
+//! too much latency. Given per-node measurements (from [`RunReport`]s or
+//! production constants), [`RackPlan`] answers the three §9 questions:
+//!
+//! 1. **Bandwidth** — does the aggregate offload + recall traffic fit the
+//!    rack's RDMA fabric? (Paper: 5000 containers × 0.82 MB/s ≈ 32 Gbps
+//!    per node, 320 Gbps per rack, under one 400 Gbps NIC.)
+//! 2. **Pool capacity** — how much pool memory must the rack's memory
+//!    node offer? (Paper: local:remote ≈ 1:0.8 → ~3 TB for 10 × 384 GB
+//!    nodes.)
+//! 3. **Cost** — what does the pool save versus upgrading every node's
+//!    DRAM, given the pool can be built from reused memory? (Paper: ~44%
+//!    DRAM cost reduction.)
+
+use crate::report::RunReport;
+
+/// Per-node inputs to the rack analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeProfile {
+    /// Node-local DRAM in GiB.
+    pub local_dram_gib: f64,
+    /// Containers hosted per node.
+    pub containers: f64,
+    /// Mean remote-pool bandwidth per container, MB/s (offload + recall).
+    pub bandwidth_per_container_mbps: f64,
+    /// Remote:local memory ratio (the paper recommends ~0.8).
+    pub remote_to_local_ratio: f64,
+}
+
+impl NodeProfile {
+    /// The paper's production node (§9): 384 GB DRAM, up to 5000
+    /// containers with FaaSMem's 2× density, ≤ 0.82 MB/s per container,
+    /// 1:0.8 local:remote.
+    pub fn paper_production() -> Self {
+        NodeProfile {
+            local_dram_gib: 384.0,
+            containers: 5_000.0,
+            bandwidth_per_container_mbps: 0.82,
+            remote_to_local_ratio: 0.8,
+        }
+    }
+
+    /// Derives a profile from a measured run: per-container bandwidth and
+    /// the remote:local ratio come from the report; DRAM and container
+    /// count are the planner's targets.
+    pub fn from_report(report: &RunReport, local_dram_gib: f64, containers: f64) -> Self {
+        let avg_containers = report.avg_live_containers().max(1e-9);
+        let secs = report.finished_at.as_secs_f64().max(1e-9);
+        let per_container_mbps =
+            (report.pool_stats.bytes_out + report.pool_stats.bytes_in) as f64
+                / secs
+                / 1e6
+                / avg_containers;
+        let local = report.local_mem.time_weighted_mean(report.finished_at).unwrap_or(0.0);
+        let remote = report.remote_mem.time_weighted_mean(report.finished_at).unwrap_or(0.0);
+        NodeProfile {
+            local_dram_gib,
+            containers,
+            bandwidth_per_container_mbps: per_container_mbps,
+            remote_to_local_ratio: if local > 0.0 { remote / local } else { 0.0 },
+        }
+    }
+}
+
+/// A rack configuration to validate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RackPlan {
+    /// Compute nodes per rack (paper: ~10).
+    pub nodes: u32,
+    /// Rack fabric bandwidth toward the memory node, Gbps (paper: up to
+    /// 400 Gbps RDMA NICs, extensible with more adapters).
+    pub fabric_gbps: f64,
+    /// Relative cost of pool memory vs node DRAM (the pool reuses older
+    /// or retired memory; < 1.0).
+    pub pool_memory_cost_factor: f64,
+}
+
+impl Default for RackPlan {
+    fn default() -> Self {
+        RackPlan { nodes: 10, fabric_gbps: 400.0, pool_memory_cost_factor: 0.3 }
+    }
+}
+
+/// The outcome of the §9 arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RackReport {
+    /// Aggregate remote bandwidth demand of the rack, Gbps.
+    pub demand_gbps: f64,
+    /// Fraction of the fabric the demand consumes.
+    pub fabric_utilization: f64,
+    /// Pool memory the rack's memory node must offer, GiB.
+    pub pool_gib: f64,
+    /// DRAM cost of the pooled design relative to provisioning the same
+    /// total memory as node DRAM (1.0 = no saving).
+    pub relative_dram_cost: f64,
+}
+
+impl RackReport {
+    /// Runs the analysis for `plan` with every node shaped like `node`.
+    pub fn analyze(node: NodeProfile, plan: RackPlan) -> RackReport {
+        let per_node_mbps = node.containers * node.bandwidth_per_container_mbps;
+        let demand_gbps = per_node_mbps * 8.0 / 1_000.0 * f64::from(plan.nodes);
+        let pool_gib =
+            node.local_dram_gib * node.remote_to_local_ratio * f64::from(plan.nodes);
+        // Cost comparison per §9: serving (local + remote) worth of
+        // memory either as all-new node DRAM, or as node DRAM + cheap
+        // (reused) pool memory.
+        let local_total = node.local_dram_gib * f64::from(plan.nodes);
+        let all_dram_cost = local_total + pool_gib; // everything at DRAM price
+        let pooled_cost = local_total + pool_gib * plan.pool_memory_cost_factor;
+        RackReport {
+            demand_gbps,
+            fabric_utilization: demand_gbps / plan.fabric_gbps,
+            pool_gib,
+            relative_dram_cost: pooled_cost / all_dram_cost,
+        }
+    }
+
+    /// `true` when the fabric absorbs the demand with headroom.
+    pub fn bandwidth_fits(&self) -> bool {
+        self.fabric_utilization < 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_arithmetic_reproduced() {
+        // §9: 5000 containers × 0.82 MB/s ≈ 32.8 Gbps per node,
+        // ≈ 328 Gbps per 10-node rack — inside a 400 Gbps NIC.
+        let r = RackReport::analyze(NodeProfile::paper_production(), RackPlan::default());
+        assert!((r.demand_gbps - 328.0).abs() < 1.0, "demand {}", r.demand_gbps);
+        assert!(r.bandwidth_fits());
+        assert!(r.fabric_utilization > 0.75 && r.fabric_utilization < 0.9);
+        // §9: 10 × 384 GB × 0.8 ≈ 3 TB pool.
+        assert!((r.pool_gib - 3_072.0).abs() < 1.0, "pool {}", r.pool_gib);
+    }
+
+    #[test]
+    fn cost_saving_matches_44_percent_claim() {
+        // §9 claims ~44% DRAM cost reduction. With 1:0.8 local:remote,
+        // pooling turns 44% of the total memory (the remote share) into
+        // cheap reused memory: 1 - (1 + 0.8·c)/(1.8). c = 0 gives the
+        // upper bound 44.4%.
+        let node = NodeProfile::paper_production();
+        let plan = RackPlan { pool_memory_cost_factor: 0.0, ..RackPlan::default() };
+        let r = RackReport::analyze(node, plan);
+        let saving = 1.0 - r.relative_dram_cost;
+        assert!((saving - 0.444).abs() < 0.01, "saving {saving}");
+    }
+
+    #[test]
+    fn over_subscribed_fabric_is_flagged() {
+        let node = NodeProfile {
+            bandwidth_per_container_mbps: 3.0,
+            ..NodeProfile::paper_production()
+        };
+        let r = RackReport::analyze(node, RackPlan::default());
+        assert!(!r.bandwidth_fits());
+        assert!(r.fabric_utilization > 1.0);
+    }
+
+    #[test]
+    fn scaling_nodes_scales_demand_and_pool() {
+        let node = NodeProfile::paper_production();
+        let r10 = RackReport::analyze(node, RackPlan::default());
+        let r5 = RackReport::analyze(node, RackPlan { nodes: 5, ..RackPlan::default() });
+        assert!((r10.demand_gbps / r5.demand_gbps - 2.0).abs() < 1e-9);
+        assert!((r10.pool_gib / r5.pool_gib - 2.0).abs() < 1e-9);
+        // Relative cost is scale-free.
+        assert!((r10.relative_dram_cost - r5.relative_dram_cost).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,308 @@
+//! Run reports: everything the experiments measure.
+
+use std::collections::HashMap;
+
+use faasmem_metrics::{Cdf, LatencyRecorder, LatencySummary, TimeSeries};
+use faasmem_pool::PoolStats;
+use faasmem_sim::{SimDuration, SimTime};
+use faasmem_workload::FunctionId;
+
+/// Per-request measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// The invoked function.
+    pub function: FunctionId,
+    /// Arrival time at the gateway.
+    pub arrived: SimTime,
+    /// End-to-end latency (cold start + execution + fault stalls).
+    pub latency: SimDuration,
+    /// Whether the request triggered a cold start.
+    pub cold: bool,
+    /// Remote faults taken during execution.
+    pub faults: u32,
+}
+
+/// Per-container lifetime measurement, recorded at recycle time (or at
+/// the end of the run for containers still alive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContainerRecord {
+    /// The function the container served.
+    pub function: FunctionId,
+    /// Cold-start begin.
+    pub created_at: SimTime,
+    /// Recycle time (or run end).
+    pub retired_at: SimTime,
+    /// Requests completed over the lifetime.
+    pub requests_served: u64,
+    /// Total time spent executing requests.
+    pub busy_time: SimDuration,
+}
+
+impl ContainerRecord {
+    /// Container lifetime.
+    pub fn lifetime(&self) -> SimDuration {
+        self.retired_at.saturating_since(self.created_at)
+    }
+
+    /// Fraction of the lifetime the container's memory sat inactive —
+    /// the Fig 1 metric.
+    pub fn inactive_fraction(&self) -> f64 {
+        let life = self.lifetime().as_secs_f64();
+        if life <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.busy_time.as_secs_f64() / life).max(0.0)
+    }
+}
+
+/// The full output of one platform run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Policy under test, as reported by [`MemoryPolicy::name`](crate::MemoryPolicy::name).
+    pub policy: &'static str,
+    /// Requests completed.
+    pub requests_completed: usize,
+    /// Requests that triggered a cold start.
+    pub cold_starts: usize,
+    /// End-to-end latency samples over all requests.
+    pub latency: LatencyRecorder,
+    /// Per-request records in completion order.
+    pub requests: Vec<RequestRecord>,
+    /// Node-wide local memory footprint over time (bytes).
+    pub local_mem: TimeSeries,
+    /// Node-wide remote (offloaded) memory over time (bytes).
+    pub remote_mem: TimeSeries,
+    /// Live containers over time.
+    pub live_containers: TimeSeries,
+    /// Remote pool traffic counters at run end.
+    pub pool_stats: PoolStats,
+    /// Lifetime records of all containers (recycled or alive at end).
+    pub containers: Vec<ContainerRecord>,
+    /// Observed container reused intervals per function (keep-alive gap
+    /// before each warm start) — the semi-warm CDF input.
+    pub reuse_intervals: HashMap<FunctionId, Vec<SimDuration>>,
+    /// When the run ended (trace horizon + drain).
+    pub finished_at: SimTime,
+}
+
+impl RunReport {
+    /// Time-weighted mean of node-local memory in MiB — the paper's
+    /// "average local memory usage".
+    pub fn avg_local_mib(&self) -> f64 {
+        self.local_mem
+            .time_weighted_mean(self.finished_at)
+            .unwrap_or(0.0)
+            / (1024.0 * 1024.0)
+    }
+
+    /// Time-weighted mean of offloaded memory in MiB.
+    pub fn avg_remote_mib(&self) -> f64 {
+        self.remote_mem
+            .time_weighted_mean(self.finished_at)
+            .unwrap_or(0.0)
+            / (1024.0 * 1024.0)
+    }
+
+    /// Time-weighted mean number of live containers.
+    pub fn avg_live_containers(&self) -> f64 {
+        self.live_containers.time_weighted_mean(self.finished_at).unwrap_or(0.0)
+    }
+
+    /// P95 end-to-end latency, the paper's headline QoS metric.
+    pub fn p95_latency(&mut self) -> SimDuration {
+        self.latency.percentile(0.95).unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Fraction of requests that cold-started.
+    pub fn cold_start_ratio(&self) -> f64 {
+        if self.requests_completed == 0 {
+            0.0
+        } else {
+            self.cold_starts as f64 / self.requests_completed as f64
+        }
+    }
+
+    /// Aggregate inactive-time fraction over all containers, weighted by
+    /// lifetime (Fig 1's "memory inactive time").
+    pub fn memory_inactive_fraction(&self) -> f64 {
+        let total_life: f64 = self.containers.iter().map(|c| c.lifetime().as_secs_f64()).sum();
+        if total_life <= 0.0 {
+            return 0.0;
+        }
+        let total_busy: f64 = self.containers.iter().map(|c| c.busy_time.as_secs_f64()).sum();
+        (1.0 - total_busy / total_life).max(0.0)
+    }
+
+    /// CDF of requests handled per container (Fig 5).
+    pub fn requests_per_container_cdf(&self) -> Cdf {
+        Cdf::from_samples(self.containers.iter().map(|c| c.requests_served as f64))
+    }
+
+    /// Per-function request summaries: latency digest, request count,
+    /// cold starts and total faults, sorted by function id. The per-app
+    /// rows of Table 1 and the multi-tenant examples build on this.
+    pub fn per_function_summaries(&self) -> Vec<FunctionSummary> {
+        let mut by_function: HashMap<FunctionId, (LatencyRecorder, usize, usize, u64)> =
+            HashMap::new();
+        for r in &self.requests {
+            let entry = by_function.entry(r.function).or_default();
+            entry.0.record(r.latency);
+            entry.1 += 1;
+            if r.cold {
+                entry.2 += 1;
+            }
+            entry.3 += u64::from(r.faults);
+        }
+        let mut out: Vec<FunctionSummary> = by_function
+            .into_iter()
+            .map(|(function, (mut lat, requests, cold_starts, faults))| FunctionSummary {
+                function,
+                latency: lat.summary(),
+                requests,
+                cold_starts,
+                faults,
+            })
+            .collect();
+        out.sort_by_key(|s| s.function);
+        out
+    }
+
+    /// Mean offload bandwidth per second of run, MB/s (Fig 16 y-axis).
+    pub fn mean_offload_bandwidth_mbps(&self) -> f64 {
+        let secs = self.finished_at.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.pool_stats.bytes_out as f64 / secs / 1e6
+        }
+    }
+}
+
+/// One function's view of a run (see
+/// [`RunReport::per_function_summaries`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FunctionSummary {
+    /// The function.
+    pub function: FunctionId,
+    /// Latency digest over its requests.
+    pub latency: LatencySummary,
+    /// Requests completed.
+    pub requests: usize,
+    /// Requests that cold-started.
+    pub cold_starts: usize,
+    /// Total remote faults across its requests.
+    pub faults: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn container_record_inactive_fraction() {
+        let rec = ContainerRecord {
+            function: FunctionId(0),
+            created_at: SimTime::from_secs(0),
+            retired_at: SimTime::from_secs(100),
+            requests_served: 5,
+            busy_time: SimDuration::from_secs(10),
+        };
+        assert_eq!(rec.lifetime(), SimDuration::from_secs(100));
+        assert!((rec.inactive_fraction() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_lifetime_is_not_nan() {
+        let rec = ContainerRecord {
+            function: FunctionId(0),
+            created_at: SimTime::from_secs(5),
+            retired_at: SimTime::from_secs(5),
+            requests_served: 0,
+            busy_time: SimDuration::ZERO,
+        };
+        assert_eq!(rec.inactive_fraction(), 0.0);
+    }
+
+    fn empty_report() -> RunReport {
+        RunReport {
+            policy: "test",
+            requests_completed: 0,
+            cold_starts: 0,
+            latency: LatencyRecorder::new(),
+            requests: Vec::new(),
+            local_mem: TimeSeries::new(),
+            remote_mem: TimeSeries::new(),
+            live_containers: TimeSeries::new(),
+            pool_stats: PoolStats::default(),
+            containers: Vec::new(),
+            reuse_intervals: HashMap::new(),
+            finished_at: SimTime::from_secs(10),
+        }
+    }
+
+    #[test]
+    fn empty_report_metrics_are_zero() {
+        let mut r = empty_report();
+        assert_eq!(r.avg_local_mib(), 0.0);
+        assert_eq!(r.avg_remote_mib(), 0.0);
+        assert_eq!(r.cold_start_ratio(), 0.0);
+        assert_eq!(r.memory_inactive_fraction(), 0.0);
+        assert_eq!(r.p95_latency(), SimDuration::ZERO);
+        assert_eq!(r.mean_offload_bandwidth_mbps(), 0.0);
+        assert!(r.requests_per_container_cdf().is_empty());
+    }
+
+    #[test]
+    fn aggregate_inactive_fraction_weighted_by_lifetime() {
+        let mut r = empty_report();
+        r.containers.push(ContainerRecord {
+            function: FunctionId(0),
+            created_at: SimTime::ZERO,
+            retired_at: SimTime::from_secs(100),
+            requests_served: 1,
+            busy_time: SimDuration::from_secs(50),
+        });
+        r.containers.push(ContainerRecord {
+            function: FunctionId(0),
+            created_at: SimTime::ZERO,
+            retired_at: SimTime::from_secs(300),
+            requests_served: 1,
+            busy_time: SimDuration::ZERO,
+        });
+        // busy 50 over total 400 → 87.5% inactive.
+        assert!((r.memory_inactive_fraction() - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_function_summaries_split_and_sort() {
+        let mut r = empty_report();
+        for (f, ms, cold, faults) in
+            [(1u32, 10u64, true, 5u32), (0, 20, false, 0), (1, 30, false, 2)]
+        {
+            r.requests.push(RequestRecord {
+                function: FunctionId(f),
+                arrived: SimTime::ZERO,
+                latency: SimDuration::from_millis(ms),
+                cold,
+                faults,
+            });
+        }
+        let summaries = r.per_function_summaries();
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].function, FunctionId(0));
+        assert_eq!(summaries[0].requests, 1);
+        assert_eq!(summaries[1].function, FunctionId(1));
+        assert_eq!(summaries[1].requests, 2);
+        assert_eq!(summaries[1].cold_starts, 1);
+        assert_eq!(summaries[1].faults, 7);
+        assert_eq!(summaries[1].latency.p50, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn cold_start_ratio_counts() {
+        let mut r = empty_report();
+        r.requests_completed = 4;
+        r.cold_starts = 1;
+        assert_eq!(r.cold_start_ratio(), 0.25);
+    }
+}

@@ -1,0 +1,142 @@
+//! Cgroup-style memory accounting snapshots.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+/// A point-in-time snapshot of a container's (or node's) memory state.
+///
+/// Snapshots add together, so node-level accounting is just the sum over
+/// containers.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_mem::MemStats;
+///
+/// let a = MemStats { local_bytes: 100, remote_bytes: 20, ..MemStats::default() };
+/// let b = MemStats { local_bytes: 50, remote_bytes: 0, ..MemStats::default() };
+/// let node = a + b;
+/// assert_eq!(node.local_bytes, 150);
+/// assert_eq!(node.resident_bytes(), 170);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Bytes resident in local DRAM.
+    pub local_bytes: u64,
+    /// Bytes swapped out to the remote memory pool.
+    pub remote_bytes: u64,
+    /// Pages resident in local DRAM.
+    pub local_pages: u64,
+    /// Pages in the remote pool.
+    pub remote_pages: u64,
+    /// Lifetime pages offloaded (page-out traffic).
+    pub total_offloaded: u64,
+    /// Lifetime pages faulted back in (page-in traffic).
+    pub total_faulted: u64,
+}
+
+impl MemStats {
+    /// Total resident bytes: local plus remote.
+    pub fn resident_bytes(&self) -> u64 {
+        self.local_bytes + self.remote_bytes
+    }
+
+    /// Fraction of resident memory that has been offloaded, in `[0, 1]`;
+    /// zero when nothing is resident.
+    pub fn offload_ratio(&self) -> f64 {
+        let total = self.resident_bytes();
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_bytes as f64 / total as f64
+        }
+    }
+
+    /// Local footprint in MiB (the unit the paper's figures use).
+    pub fn local_mib(&self) -> f64 {
+        self.local_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Remote footprint in MiB.
+    pub fn remote_mib(&self) -> f64 {
+        self.remote_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+impl Add for MemStats {
+    type Output = MemStats;
+    fn add(self, rhs: MemStats) -> MemStats {
+        MemStats {
+            local_bytes: self.local_bytes + rhs.local_bytes,
+            remote_bytes: self.remote_bytes + rhs.remote_bytes,
+            local_pages: self.local_pages + rhs.local_pages,
+            remote_pages: self.remote_pages + rhs.remote_pages,
+            total_offloaded: self.total_offloaded + rhs.total_offloaded,
+            total_faulted: self.total_faulted + rhs.total_faulted,
+        }
+    }
+}
+
+impl Sum for MemStats {
+    fn sum<I: Iterator<Item = MemStats>>(iter: I) -> MemStats {
+        iter.fold(MemStats::default(), Add::add)
+    }
+}
+
+impl fmt::Display for MemStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "local {:.1} MiB, remote {:.1} MiB ({:.1}% offloaded)",
+            self.local_mib(),
+            self.remote_mib(),
+            self.offload_ratio() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_ratio_is_zero() {
+        assert_eq!(MemStats::default().offload_ratio(), 0.0);
+        assert_eq!(MemStats::default().resident_bytes(), 0);
+    }
+
+    #[test]
+    fn ratio_and_units() {
+        let s = MemStats {
+            local_bytes: 3 * 1024 * 1024,
+            remote_bytes: 1024 * 1024,
+            ..MemStats::default()
+        };
+        assert!((s.offload_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(s.local_mib(), 3.0);
+        assert_eq!(s.remote_mib(), 1.0);
+    }
+
+    #[test]
+    fn sum_over_containers() {
+        let parts = vec![
+            MemStats { local_bytes: 1, local_pages: 1, ..MemStats::default() },
+            MemStats { local_bytes: 2, remote_bytes: 5, remote_pages: 2, ..MemStats::default() },
+            MemStats { total_offloaded: 7, total_faulted: 3, ..MemStats::default() },
+        ];
+        let node: MemStats = parts.into_iter().sum();
+        assert_eq!(node.local_bytes, 3);
+        assert_eq!(node.remote_bytes, 5);
+        assert_eq!(node.local_pages, 1);
+        assert_eq!(node.remote_pages, 2);
+        assert_eq!(node.total_offloaded, 7);
+        assert_eq!(node.total_faulted, 3);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = MemStats::default();
+        assert!(!s.to_string().is_empty());
+    }
+}

@@ -1,0 +1,812 @@
+//! The per-container page table.
+//!
+//! A [`PageTable`] is the moral equivalent of a container cgroup's memory
+//! state in the paper's modified kernel: every page the container has
+//! allocated, its residency (local DRAM vs remote pool), its simulated
+//! Access bit, its MGLRU generation, and which lifecycle segment it was
+//! allocated in. All policy code — FaaSMem's Puckets as well as the TMO
+//! and DAMON baselines — operates purely through this interface, which is
+//! what keeps the head-to-head evaluation honest.
+
+use crate::page::{PageId, PageMeta, PageRange, PageState, Segment};
+use crate::stats::MemStats;
+
+/// An MGLRU generation number.
+///
+/// Creating a new generation is how FaaSMem inserts a *time barrier*
+/// (paper §7): pages allocated afterwards carry the new generation, so the
+/// barrier cleanly segregates runtime, init and execution pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Generation(pub u32);
+
+/// Result of touching a set of pages during request execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TouchOutcome {
+    /// Pages whose Access bit was set (resident or faulted-in).
+    pub touched: u32,
+    /// Pages that were remote and had to be faulted back from the pool.
+    pub faulted: u32,
+}
+
+impl TouchOutcome {
+    /// Accumulates another outcome into this one.
+    pub fn merge(&mut self, other: TouchOutcome) {
+        self.touched += other.touched;
+        self.faulted += other.faulted;
+    }
+}
+
+/// Per-container page table with MGLRU generations and residency tracking.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_mem::{PageTable, Segment, PageState, PAGE_SIZE_4K};
+///
+/// let mut t = PageTable::new(PAGE_SIZE_4K);
+/// let runtime = t.alloc(Segment::Runtime, 100);
+/// let barrier = t.create_generation(); // Runtime-Init time barrier
+/// let init = t.alloc(Segment::Init, 50);
+/// assert!(t.meta(runtime.start()).generation() < barrier.0);
+/// assert_eq!(t.meta(init.start()).generation(), barrier.0);
+/// let n = t.offload_range(runtime);
+/// assert_eq!(n, 100);
+/// assert_eq!(t.meta(runtime.start()).state(), PageState::Remote);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    page_size: u64,
+    pages: Vec<PageMeta>,
+    current_gen: u32,
+    /// Freed execution ranges available for reuse, newest last.
+    free_exec: Vec<PageRange>,
+    local_pages: u64,
+    remote_pages: u64,
+    freed_pages: u64,
+    local_by_segment: [u64; 3],
+    /// Lifetime counters for bandwidth accounting.
+    total_offloaded: u64,
+    total_faulted: u64,
+}
+
+impl PageTable {
+    /// Creates an empty table with the given page size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is zero.
+    pub fn new(page_size: u64) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        PageTable {
+            page_size,
+            pages: Vec::new(),
+            current_gen: 0,
+            free_exec: Vec::new(),
+            local_pages: 0,
+            remote_pages: 0,
+            freed_pages: 0,
+            local_by_segment: [0; 3],
+            total_offloaded: 0,
+            total_faulted: 0,
+        }
+    }
+
+    /// Bytes per page.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Total pages ever allocated (including freed slots awaiting reuse).
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// `true` when no pages have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// The generation newly allocated pages are tagged with.
+    pub fn current_generation(&self) -> Generation {
+        Generation(self.current_gen)
+    }
+
+    /// Starts a new MGLRU generation and returns it. This is the
+    /// time-barrier insertion primitive: pages allocated from now on carry
+    /// the returned generation.
+    pub fn create_generation(&mut self) -> Generation {
+        self.current_gen += 1;
+        Generation(self.current_gen)
+    }
+
+    /// Allocates `count` local pages in `segment`, tagged with the current
+    /// generation. Execution pages are recycled from previously freed
+    /// ranges when an exact-fit or larger range is available.
+    pub fn alloc(&mut self, segment: Segment, count: u32) -> PageRange {
+        if count == 0 {
+            return PageRange::EMPTY;
+        }
+        if segment == Segment::Execution {
+            if let Some(range) = self.take_free_exec(count) {
+                for id in range.iter() {
+                    let gen = self.current_gen;
+                    let meta = &mut self.pages[id.index()];
+                    debug_assert_eq!(meta.state(), PageState::Freed);
+                    *meta = PageMeta::new(Segment::Execution, gen);
+                }
+                self.freed_pages -= u64::from(range.len());
+                self.local_pages += u64::from(range.len());
+                self.local_by_segment[Segment::Execution.index()] += u64::from(range.len());
+                return range;
+            }
+        }
+        let start = PageId(self.pages.len() as u32);
+        self.pages
+            .extend(std::iter::repeat_n(PageMeta::new(segment, self.current_gen), count as usize));
+        self.local_pages += u64::from(count);
+        self.local_by_segment[segment.index()] += u64::from(count);
+        PageRange::new(start, count)
+    }
+
+    fn take_free_exec(&mut self, count: u32) -> Option<PageRange> {
+        let pos = self.free_exec.iter().rposition(|r| r.len() >= count)?;
+        let range = self.free_exec[pos];
+        let taken = range.take(count);
+        let rest = range.skip(count);
+        if rest.is_empty() {
+            self.free_exec.swap_remove(pos);
+        } else {
+            self.free_exec[pos] = rest;
+        }
+        Some(taken)
+    }
+
+    /// Metadata for one page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never allocated.
+    pub fn meta(&self, id: PageId) -> PageMeta {
+        self.pages[id.index()]
+    }
+
+    /// Touches one page: sets its Access bit and bumps its access counter.
+    /// Returns `true` if the page was remote and got faulted back in.
+    ///
+    /// Freed pages are ignored (returns `false`).
+    pub fn touch(&mut self, id: PageId) -> bool {
+        let meta = &mut self.pages[id.index()];
+        match meta.state() {
+            PageState::Freed => false,
+            PageState::Local => {
+                meta.set_accessed(true);
+                meta.bump_access_count();
+                false
+            }
+            PageState::Remote => {
+                meta.set_accessed(true);
+                meta.bump_access_count();
+                meta.set_state(PageState::Local);
+                meta.set_recently_faulted(true);
+                let seg = meta.segment();
+                self.remote_pages -= 1;
+                self.local_pages += 1;
+                self.local_by_segment[seg.index()] += 1;
+                self.total_faulted += 1;
+                true
+            }
+        }
+    }
+
+    /// Touches every page of a range.
+    pub fn touch_range(&mut self, range: PageRange) -> TouchOutcome {
+        let mut out = TouchOutcome::default();
+        for id in range.iter() {
+            if self.pages[id.index()].state() == PageState::Freed {
+                continue;
+            }
+            out.touched += 1;
+            if self.touch(id) {
+                out.faulted += 1;
+            }
+        }
+        out
+    }
+
+    /// Touches an arbitrary set of pages.
+    pub fn touch_pages<I: IntoIterator<Item = PageId>>(&mut self, ids: I) -> TouchOutcome {
+        let mut out = TouchOutcome::default();
+        for id in ids {
+            if self.pages[id.index()].state() == PageState::Freed {
+                continue;
+            }
+            out.touched += 1;
+            if self.touch(id) {
+                out.faulted += 1;
+            }
+        }
+        out
+    }
+
+    /// Brings one remote page back to local DRAM *without* marking it
+    /// accessed — the prefetch path (Leap-style prefetchers pull pages
+    /// ahead of demand, so no Access bit flips and no fault is counted).
+    /// Returns `true` if the page was remote.
+    pub fn prefetch(&mut self, id: PageId) -> bool {
+        let meta = &mut self.pages[id.index()];
+        if meta.state() != PageState::Remote {
+            return false;
+        }
+        meta.set_state(PageState::Local);
+        let seg = meta.segment();
+        self.remote_pages -= 1;
+        self.local_pages += 1;
+        self.local_by_segment[seg.index()] += 1;
+        true
+    }
+
+    /// Prefetches the given pages; returns how many moved.
+    pub fn prefetch_pages<I: IntoIterator<Item = PageId>>(&mut self, ids: I) -> u32 {
+        ids.into_iter().filter(|&id| self.prefetch(id)).count() as u32
+    }
+
+    /// Moves one local page to the remote pool. Returns `true` if the page
+    /// was local (and is now remote); remote and freed pages are no-ops.
+    pub fn offload(&mut self, id: PageId) -> bool {
+        let meta = &mut self.pages[id.index()];
+        if meta.state() != PageState::Local {
+            return false;
+        }
+        meta.set_state(PageState::Remote);
+        let seg = meta.segment();
+        self.local_pages -= 1;
+        self.local_by_segment[seg.index()] -= 1;
+        self.remote_pages += 1;
+        self.total_offloaded += 1;
+        true
+    }
+
+    /// Offloads every local page in `range`; returns how many moved.
+    pub fn offload_range(&mut self, range: PageRange) -> u32 {
+        range.iter().filter(|&id| self.offload(id)).count() as u32
+    }
+
+    /// Offloads the given pages; returns how many moved.
+    pub fn offload_pages<I: IntoIterator<Item = PageId>>(&mut self, ids: I) -> u32 {
+        ids.into_iter().filter(|&id| self.offload(id)).count() as u32
+    }
+
+    /// Frees a range (execution pages after a request). Local and remote
+    /// pages both transition to [`PageState::Freed`]; the range becomes
+    /// available for execution-segment reuse.
+    pub fn free_range(&mut self, range: PageRange) {
+        if range.is_empty() {
+            return;
+        }
+        for id in range.iter() {
+            let meta = &mut self.pages[id.index()];
+            match meta.state() {
+                PageState::Local => {
+                    self.local_pages -= 1;
+                    self.local_by_segment[meta.segment().index()] -= 1;
+                }
+                PageState::Remote => {
+                    self.remote_pages -= 1;
+                }
+                PageState::Freed => continue,
+            }
+            meta.set_state(PageState::Freed);
+            meta.set_accessed(false);
+            meta.set_in_hot_pool(false);
+            self.freed_pages += 1;
+        }
+        self.free_exec.push(range);
+    }
+
+    /// Scans the Access bits over all live pages, clears them, and returns
+    /// the ids of pages that were accessed since the previous scan.
+    ///
+    /// This is the MGLRU aging walk the paper's mechanisms (and the DAMON
+    /// baseline) sample from. The per-page "recently faulted" flag is
+    /// consumed (cleared) by the scan as well.
+    pub fn scan_accessed(&mut self) -> Vec<PageId> {
+        self.scan_accessed_with_faults().into_iter().map(|(id, _)| id).collect()
+    }
+
+    /// Like [`PageTable::scan_accessed`], but also reports per page
+    /// whether the access faulted it back from remote memory since the
+    /// previous scan — the signal recall accounting (Fig 8) needs.
+    pub fn scan_accessed_with_faults(&mut self) -> Vec<(PageId, bool)> {
+        let mut hits = Vec::new();
+        for (i, meta) in self.pages.iter_mut().enumerate() {
+            if meta.state() == PageState::Freed {
+                continue;
+            }
+            if meta.accessed() {
+                hits.push((PageId(i as u32), meta.recently_faulted()));
+                meta.set_accessed(false);
+            }
+            meta.set_recently_faulted(false);
+        }
+        hits
+    }
+
+    /// Performs one DAMON-style aging scan: pages accessed since the last
+    /// scan get their idle counter reset (and Access bit cleared); pages
+    /// untouched get it incremented. Returns the ids of *local* pages
+    /// whose idle count has reached `idle_threshold` — the cold-region
+    /// candidates a sampling policy would offload.
+    pub fn age_and_collect_idle(&mut self, idle_threshold: u8) -> Vec<PageId> {
+        let mut cold = Vec::new();
+        for (i, meta) in self.pages.iter_mut().enumerate() {
+            if meta.state() == PageState::Freed {
+                continue;
+            }
+            if meta.accessed() {
+                meta.set_accessed(false);
+                meta.reset_idle_scans();
+            } else {
+                meta.bump_idle_scans();
+                if meta.idle_scans() >= idle_threshold && meta.state() == PageState::Local {
+                    cold.push(PageId(i as u32));
+                }
+            }
+        }
+        cold
+    }
+
+    /// A hardware-sampled variant of [`PageTable::age_and_collect_idle`]
+    /// (paper §9: PEBS-style samplers reduce cold-page identification
+    /// overhead). Instead of reading every Access bit, each accessed page
+    /// is *observed* only with probability `sample_prob`; unobserved
+    /// accesses are invisible, so hot pages can be misclassified as cold
+    /// — the accuracy/overhead trade-off hardware sampling makes.
+    ///
+    /// `coin` supplies the per-page sampling randomness (a closure so the
+    /// table stays RNG-agnostic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_prob` is not in `(0, 1]`.
+    pub fn age_and_collect_idle_sampled<F: FnMut() -> f64>(
+        &mut self,
+        idle_threshold: u8,
+        sample_prob: f64,
+        mut coin: F,
+    ) -> Vec<PageId> {
+        assert!(
+            sample_prob > 0.0 && sample_prob <= 1.0,
+            "sample probability {sample_prob} out of range"
+        );
+        let mut cold = Vec::new();
+        for (i, meta) in self.pages.iter_mut().enumerate() {
+            if meta.state() == PageState::Freed {
+                continue;
+            }
+            let observed_access = meta.accessed() && coin() < sample_prob;
+            if meta.accessed() {
+                meta.set_accessed(false);
+            }
+            if observed_access {
+                meta.reset_idle_scans();
+            } else {
+                meta.bump_idle_scans();
+                if meta.idle_scans() >= idle_threshold && meta.state() == PageState::Local {
+                    cold.push(PageId(i as u32));
+                }
+            }
+        }
+        cold
+    }
+
+    /// Collects ids of live pages matching a predicate over their metadata.
+    pub fn collect_ids<F: Fn(PageId, PageMeta) -> bool>(&self, pred: F) -> Vec<PageId> {
+        self.pages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| {
+                let id = PageId(i as u32);
+                (m.state() != PageState::Freed && pred(id, m)).then_some(id)
+            })
+            .collect()
+    }
+
+    /// Iterates over `(id, meta)` for every live (non-freed) page.
+    pub fn iter_live(&self) -> impl Iterator<Item = (PageId, PageMeta)> + '_ {
+        self.pages
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.state() != PageState::Freed)
+            .map(|(i, &m)| (PageId(i as u32), m))
+    }
+
+    /// Marks hot-page-pool membership for one page.
+    pub fn set_in_hot_pool(&mut self, id: PageId, on: bool) {
+        self.pages[id.index()].set_in_hot_pool(on);
+    }
+
+    /// Reassigns a page's generation (used when rolling hot pages back to
+    /// their original Pucket).
+    pub fn set_generation(&mut self, id: PageId, generation: Generation) {
+        self.pages[id.index()].set_generation(generation.0);
+    }
+
+    /// Clears the lifetime access counter of a page.
+    pub fn reset_access_count(&mut self, id: PageId) {
+        self.pages[id.index()].reset_access_count();
+    }
+
+    /// Pages currently resident in local DRAM.
+    pub fn local_pages(&self) -> u64 {
+        self.local_pages
+    }
+
+    /// Pages currently swapped out to the remote pool.
+    pub fn remote_pages(&self) -> u64 {
+        self.remote_pages
+    }
+
+    /// Pages in the freed state awaiting execution-segment reuse.
+    pub fn freed_pages(&self) -> u64 {
+        self.freed_pages
+    }
+
+    /// Local pages belonging to `segment`.
+    pub fn local_pages_in(&self, segment: Segment) -> u64 {
+        self.local_by_segment[segment.index()]
+    }
+
+    /// Local memory footprint in bytes.
+    pub fn local_bytes(&self) -> u64 {
+        self.local_pages * self.page_size
+    }
+
+    /// Remote memory footprint in bytes.
+    pub fn remote_bytes(&self) -> u64 {
+        self.remote_pages * self.page_size
+    }
+
+    /// Lifetime count of pages offloaded to the pool.
+    pub fn total_offloaded(&self) -> u64 {
+        self.total_offloaded
+    }
+
+    /// Lifetime count of remote pages faulted back in.
+    pub fn total_faulted(&self) -> u64 {
+        self.total_faulted
+    }
+
+    /// A cgroup-style accounting snapshot.
+    pub fn stats(&self) -> MemStats {
+        MemStats {
+            local_bytes: self.local_bytes(),
+            remote_bytes: self.remote_bytes(),
+            local_pages: self.local_pages,
+            remote_pages: self.remote_pages,
+            total_offloaded: self.total_offloaded,
+            total_faulted: self.total_faulted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAGE_SIZE_4K;
+
+    fn table() -> PageTable {
+        PageTable::new(PAGE_SIZE_4K)
+    }
+
+    #[test]
+    fn alloc_tags_segment_and_generation() {
+        let mut t = table();
+        let r = t.alloc(Segment::Runtime, 10);
+        assert_eq!(r.len(), 10);
+        for id in r.iter() {
+            let m = t.meta(id);
+            assert_eq!(m.segment(), Segment::Runtime);
+            assert_eq!(m.generation(), 0);
+            assert_eq!(m.state(), PageState::Local);
+        }
+        let g = t.create_generation();
+        assert_eq!(g, Generation(1));
+        let r2 = t.alloc(Segment::Init, 5);
+        assert_eq!(t.meta(r2.start()).generation(), 1);
+    }
+
+    #[test]
+    fn alloc_zero_is_empty() {
+        let mut t = table();
+        assert!(t.alloc(Segment::Init, 0).is_empty());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn touch_sets_access_bit_and_faults_remote() {
+        let mut t = table();
+        let r = t.alloc(Segment::Init, 4);
+        assert_eq!(t.offload_range(r), 4);
+        assert_eq!(t.remote_pages(), 4);
+        let out = t.touch_range(r);
+        assert_eq!(out, TouchOutcome { touched: 4, faulted: 4 });
+        assert_eq!(t.remote_pages(), 0);
+        assert_eq!(t.local_pages(), 4);
+        // Second touch: no faults.
+        let out = t.touch_range(r);
+        assert_eq!(out, TouchOutcome { touched: 4, faulted: 0 });
+        assert_eq!(t.total_faulted(), 4);
+    }
+
+    #[test]
+    fn scan_accessed_clears_bits() {
+        let mut t = table();
+        let r = t.alloc(Segment::Runtime, 8);
+        t.touch_range(r.take(3));
+        let hits = t.scan_accessed();
+        assert_eq!(hits.len(), 3);
+        assert!(t.scan_accessed().is_empty());
+    }
+
+    #[test]
+    fn prefetch_restores_without_access_or_fault() {
+        let mut t = table();
+        let r = t.alloc(Segment::Init, 4);
+        t.offload_range(r);
+        t.scan_accessed(); // clear allocation bits
+        assert_eq!(t.prefetch_pages(r.iter()), 4);
+        assert_eq!(t.remote_pages(), 0);
+        assert_eq!(t.local_pages(), 4);
+        assert_eq!(t.total_faulted(), 0, "prefetch is not a fault");
+        for id in r.iter() {
+            assert!(!t.meta(id).accessed(), "prefetch leaves Access bits clear");
+            assert!(!t.meta(id).recently_faulted());
+        }
+        // Prefetching local pages is a no-op.
+        assert_eq!(t.prefetch_pages(r.iter()), 0);
+    }
+
+    #[test]
+    fn offload_is_idempotent() {
+        let mut t = table();
+        let r = t.alloc(Segment::Runtime, 2);
+        assert!(t.offload(r.start()));
+        assert!(!t.offload(r.start()));
+        assert_eq!(t.total_offloaded(), 1);
+        assert_eq!(t.local_pages(), 1);
+        assert_eq!(t.remote_pages(), 1);
+    }
+
+    #[test]
+    fn free_releases_local_and_remote() {
+        let mut t = table();
+        let r = t.alloc(Segment::Execution, 6);
+        t.offload_range(r.take(2));
+        t.free_range(r);
+        assert_eq!(t.local_pages(), 0);
+        assert_eq!(t.remote_pages(), 0);
+        assert_eq!(t.freed_pages(), 6);
+        assert_eq!(t.local_bytes(), 0);
+    }
+
+    #[test]
+    fn freed_exec_pages_are_recycled() {
+        let mut t = table();
+        let r1 = t.alloc(Segment::Execution, 100);
+        t.free_range(r1);
+        let r2 = t.alloc(Segment::Execution, 100);
+        assert_eq!(r1, r2, "exact-fit reuse");
+        assert_eq!(t.len(), 100, "no new slots created");
+        assert_eq!(t.freed_pages(), 0);
+        assert_eq!(t.local_pages(), 100);
+    }
+
+    #[test]
+    fn partial_reuse_splits_range() {
+        let mut t = table();
+        let r1 = t.alloc(Segment::Execution, 10);
+        t.free_range(r1);
+        let r2 = t.alloc(Segment::Execution, 4);
+        assert_eq!(r2.len(), 4);
+        let r3 = t.alloc(Segment::Execution, 6);
+        assert_eq!(r3.len(), 6);
+        assert_eq!(t.len(), 10);
+        assert!(!r2.contains(r3.start()));
+    }
+
+    #[test]
+    fn recycled_pages_get_fresh_metadata() {
+        let mut t = table();
+        let r1 = t.alloc(Segment::Execution, 3);
+        t.touch_range(r1);
+        t.free_range(r1);
+        t.create_generation();
+        let r2 = t.alloc(Segment::Execution, 3);
+        for id in r2.iter() {
+            let m = t.meta(id);
+            assert!(!m.accessed());
+            assert_eq!(m.generation(), 1);
+            assert_eq!(m.state(), PageState::Local);
+        }
+    }
+
+    #[test]
+    fn touch_freed_page_is_ignored() {
+        let mut t = table();
+        let r = t.alloc(Segment::Execution, 2);
+        t.free_range(r);
+        assert!(!t.touch(r.start()));
+        let out = t.touch_range(r);
+        assert_eq!(out, TouchOutcome::default());
+    }
+
+    #[test]
+    fn per_segment_accounting() {
+        let mut t = table();
+        t.alloc(Segment::Runtime, 10);
+        t.alloc(Segment::Init, 20);
+        let e = t.alloc(Segment::Execution, 5);
+        assert_eq!(t.local_pages_in(Segment::Runtime), 10);
+        assert_eq!(t.local_pages_in(Segment::Init), 20);
+        assert_eq!(t.local_pages_in(Segment::Execution), 5);
+        t.free_range(e);
+        assert_eq!(t.local_pages_in(Segment::Execution), 0);
+        t.offload_range(PageRange::new(PageId(0), 4));
+        assert_eq!(t.local_pages_in(Segment::Runtime), 6);
+    }
+
+    #[test]
+    fn collect_ids_filters_live_pages() {
+        let mut t = table();
+        let run = t.alloc(Segment::Runtime, 3);
+        t.create_generation();
+        let init = t.alloc(Segment::Init, 3);
+        t.touch(init.start());
+        let runtime_ids = t.collect_ids(|_, m| m.segment() == Segment::Runtime);
+        assert_eq!(runtime_ids.len(), 3);
+        let accessed = t.collect_ids(|_, m| m.accessed());
+        assert_eq!(accessed, vec![init.start()]);
+        t.free_range(run);
+        assert!(t.collect_ids(|_, m| m.segment() == Segment::Runtime).is_empty());
+    }
+
+    #[test]
+    fn aging_scan_accumulates_idleness() {
+        let mut t = table();
+        let r = t.alloc(Segment::Init, 4);
+        t.touch_range(r.take(1)); // page 0 hot, pages 1-3 idle
+        assert!(t.age_and_collect_idle(2).is_empty(), "first scan: idle=1 < 2");
+        let cold = t.age_and_collect_idle(2);
+        assert_eq!(cold.len(), 3, "second scan: pages 1-3 reach idle=2");
+        assert!(!cold.contains(&r.start()));
+        // Touching a cold page resets its idle counter; page 0 (untouched
+        // since the first scan) now crosses the threshold too.
+        t.touch(PageId(1));
+        let cold = t.age_and_collect_idle(2);
+        assert_eq!(cold.len(), 3);
+        assert!(!cold.contains(&PageId(1)));
+    }
+
+    #[test]
+    fn aging_scan_skips_remote_and_freed() {
+        let mut t = table();
+        let r = t.alloc(Segment::Execution, 3);
+        t.offload(r.start());
+        let cold = t.age_and_collect_idle(1);
+        assert_eq!(cold.len(), 2, "remote page excluded");
+        t.free_range(r);
+        assert!(t.age_and_collect_idle(1).is_empty());
+    }
+
+    #[test]
+    fn sampled_aging_with_full_probability_matches_exact() {
+        let mk = || {
+            let mut t = table();
+            let r = t.alloc(Segment::Init, 8);
+            t.touch_range(r.take(3));
+            t
+        };
+        let mut exact = mk();
+        let mut sampled = mk();
+        let a = exact.age_and_collect_idle(1);
+        let b = sampled.age_and_collect_idle_sampled(1, 1.0, || 0.5);
+        assert_eq!(a, b, "p=1.0 sampling is exact");
+    }
+
+    #[test]
+    fn sampled_aging_misses_accesses_at_low_probability() {
+        let mut t = table();
+        let r = t.alloc(Segment::Init, 100);
+        t.touch_range(r); // everything hot
+        // Probability ~0: every access goes unobserved, so the whole hot
+        // set looks idle — the misclassification hazard of sampling.
+        let cold = t.age_and_collect_idle_sampled(1, 1e-9, || 0.5);
+        assert_eq!(cold.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sampled_aging_rejects_bad_probability() {
+        let mut t = table();
+        t.alloc(Segment::Init, 1);
+        let _ = t.age_and_collect_idle_sampled(1, 0.0, || 0.5);
+    }
+
+    #[test]
+    fn stats_snapshot_consistent() {
+        let mut t = table();
+        let r = t.alloc(Segment::Init, 8);
+        t.offload_range(r.take(3));
+        let s = t.stats();
+        assert_eq!(s.local_pages, 5);
+        assert_eq!(s.remote_pages, 3);
+        assert_eq!(s.local_bytes, 5 * PAGE_SIZE_4K);
+        assert_eq!(s.remote_bytes, 3 * PAGE_SIZE_4K);
+        assert_eq!(s.total_offloaded, 3);
+        assert_eq!(s.resident_bytes(), 8 * PAGE_SIZE_4K);
+    }
+
+    #[test]
+    fn generation_rollback_reassignment() {
+        let mut t = table();
+        let r = t.alloc(Segment::Runtime, 1);
+        let barrier = t.create_generation();
+        t.set_generation(r.start(), barrier);
+        assert_eq!(t.meta(r.start()).generation(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn meta_of_unallocated_page_panics() {
+        let t = table();
+        let _ = t.meta(PageId(0));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_counters_match_state(ops in proptest::collection::vec(0u8..4, 1..120)) {
+            let mut t = table();
+            let mut ranges: Vec<PageRange> = Vec::new();
+            for (i, op) in ops.iter().enumerate() {
+                match op {
+                    0 => ranges.push(t.alloc(Segment::ALL[i % 3], (i as u32 % 7) + 1)),
+                    1 => {
+                        if let Some(&r) = ranges.get(i % ranges.len().max(1)) {
+                            t.offload_range(r);
+                        }
+                    }
+                    2 => {
+                        if let Some(&r) = ranges.get(i % ranges.len().max(1)) {
+                            t.touch_range(r);
+                        }
+                    }
+                    _ => {
+                        if !ranges.is_empty() {
+                            let r = ranges.swap_remove(i % ranges.len());
+                            t.free_range(r);
+                        }
+                    }
+                }
+            }
+            // Recount from raw metadata and compare with the counters.
+            let mut local = 0u64;
+            let mut remote = 0u64;
+            let mut freed = 0u64;
+            let mut by_seg = [0u64; 3];
+            for i in 0..t.len() {
+                let m = t.meta(PageId(i as u32));
+                match m.state() {
+                    PageState::Local => { local += 1; by_seg[m.segment().index()] += 1; }
+                    PageState::Remote => remote += 1,
+                    PageState::Freed => freed += 1,
+                }
+            }
+            proptest::prop_assert_eq!(local, t.local_pages());
+            proptest::prop_assert_eq!(remote, t.remote_pages());
+            proptest::prop_assert_eq!(freed, t.freed_pages());
+            for seg in Segment::ALL {
+                proptest::prop_assert_eq!(by_seg[seg.index()], t.local_pages_in(seg));
+            }
+        }
+    }
+}

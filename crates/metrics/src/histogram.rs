@@ -1,0 +1,168 @@
+//! Fixed-width histograms for access-count heat maps.
+//!
+//! Figures 6 and 9 of the paper are Access-bit scans: page address on the
+//! y-axis, time on the x-axis, colour = access count. [`Histogram`] is the
+//! binning primitive the scan experiments use to aggregate page accesses
+//! into plottable cells.
+
+/// A histogram over `[0, max)` with `bins` equal-width buckets.
+///
+/// Values at or above `max` land in the last bucket (saturating), so the
+/// histogram never drops samples.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_metrics::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.add(1.0);
+/// h.add(9.5);
+/// h.add(100.0); // clamped into the last bucket
+/// assert_eq!(h.count(0), 1);
+/// assert_eq!(h.count(4), 2);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "empty histogram range {lo}..{hi}");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram { lo, hi, counts: vec![0; bins] }
+    }
+
+    /// Number of buckets.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The bucket index a value falls into (clamped to the valid range).
+    pub fn bin_of(&self, value: f64) -> usize {
+        let frac = (value - self.lo) / (self.hi - self.lo);
+        let idx = (frac * self.counts.len() as f64).floor();
+        (idx.max(0.0) as usize).min(self.counts.len() - 1)
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, value: f64) {
+        let bin = self.bin_of(value);
+        self.counts[bin] += 1;
+    }
+
+    /// Adds `weight` samples at `value`.
+    pub fn add_weighted(&mut self, value: f64, weight: u64) {
+        let bin = self.bin_of(value);
+        self.counts[bin] += weight;
+    }
+
+    /// Count in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bins()`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Total samples across all buckets.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The inclusive lower edge of bucket `i`.
+    pub fn bin_lower_edge(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / self.counts.len() as f64
+    }
+
+    /// Iterates over `(lower_edge, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts.iter().enumerate().map(|(i, &c)| (self.bin_lower_edge(i), c))
+    }
+
+    /// Resets all buckets to zero.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_expected_bins() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        h.add(0.0);
+        h.add(9.99);
+        h.add(10.0);
+        h.add(99.0);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(9), 1);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.add(-5.0);
+        h.add(15.0);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 1);
+    }
+
+    #[test]
+    fn weighted_adds() {
+        let mut h = Histogram::new(0.0, 1.0, 1);
+        h.add_weighted(0.5, 42);
+        assert_eq!(h.total(), 42);
+    }
+
+    #[test]
+    fn edges_are_linear() {
+        let h = Histogram::new(10.0, 20.0, 5);
+        assert_eq!(h.bin_lower_edge(0), 10.0);
+        assert_eq!(h.bin_lower_edge(4), 18.0);
+    }
+
+    #[test]
+    fn clear_zeroes() {
+        let mut h = Histogram::new(0.0, 1.0, 3);
+        h.add(0.1);
+        h.clear();
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram range")]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(2.0, 1.0, 4);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_total_equals_samples(vals in proptest::collection::vec(-50.0f64..150.0, 0..500)) {
+            let mut h = Histogram::new(0.0, 100.0, 13);
+            for &v in &vals {
+                h.add(v);
+            }
+            proptest::prop_assert_eq!(h.total(), vals.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Measurement utilities shared by the FaaSMem experiments.
+//!
+//! The paper reports three families of numbers: latency percentiles
+//! (P50/P95/P99 end-to-end latency), distribution shapes (CDFs of reuse
+//! intervals, requests per container, semi-warm share) and time-weighted
+//! memory footprints ("average local memory usage"). This crate provides
+//! exact, allocation-friendly implementations of all three:
+//!
+//! * [`LatencyRecorder`] — collects samples and answers percentile queries.
+//! * [`Cdf`] — an empirical CDF with quantile and fraction-below queries.
+//! * [`TimeSeries`] — a step function of a value over simulated time with
+//!   time-weighted averaging, used for memory-usage timelines.
+//! * [`Histogram`] — fixed-width binning for access-count heat maps.
+//!
+//! # Examples
+//!
+//! ```
+//! use faasmem_metrics::LatencyRecorder;
+//! use faasmem_sim::SimDuration;
+//!
+//! let mut rec = LatencyRecorder::new();
+//! for ms in 1..=100 {
+//!     rec.record(SimDuration::from_millis(ms));
+//! }
+//! assert_eq!(rec.percentile(0.95).unwrap(), SimDuration::from_millis(95));
+//! ```
+
+pub mod cdf;
+pub mod histogram;
+pub mod latency;
+pub mod timeseries;
+
+pub use cdf::Cdf;
+pub use histogram::Histogram;
+pub use latency::{LatencyRecorder, LatencySummary};
+pub use timeseries::TimeSeries;

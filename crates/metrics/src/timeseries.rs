@@ -1,0 +1,267 @@
+//! Step-function time series with time-weighted statistics.
+//!
+//! The paper's "average local memory usage" (Fig 12, Table 1) is a
+//! *time-weighted* mean of the memory footprint: a container that holds
+//! 1 GB for nine minutes and 100 MB for one minute averages 910 MB, not
+//! 550 MB. [`TimeSeries`] records value changes as they happen and
+//! integrates exactly over simulated time.
+
+use faasmem_sim::{SimDuration, SimTime};
+
+/// A right-continuous step function of a `f64` value over simulated time.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_metrics::TimeSeries;
+/// use faasmem_sim::SimTime;
+///
+/// let mut ts = TimeSeries::new();
+/// ts.record(SimTime::ZERO, 100.0);
+/// ts.record(SimTime::from_secs(9), 0.0);
+/// // 100.0 for 9s then 0.0 for 1s = 90.0 time-weighted average.
+/// assert_eq!(ts.time_weighted_mean(SimTime::from_secs(10)), Some(90.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that the value became `value` at instant `at`.
+    ///
+    /// Repeated records at the same instant overwrite (the last write
+    /// wins); consecutive identical values are coalesced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the last recorded instant.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        if let Some(&mut (last_t, ref mut last_v)) = self.points.last_mut() {
+            assert!(at >= last_t, "time series must be recorded in order");
+            if at == last_t {
+                *last_v = value;
+                return;
+            }
+            if *last_v == value {
+                return; // coalesce
+            }
+        }
+        self.points.push((at, value));
+    }
+
+    /// Number of recorded change points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The value at instant `at` (the most recent change at or before
+    /// `at`), or `None` if `at` precedes the first record.
+    pub fn value_at(&self, at: SimTime) -> Option<f64> {
+        let idx = self.points.partition_point(|&(t, _)| t <= at);
+        if idx == 0 {
+            None
+        } else {
+            Some(self.points[idx - 1].1)
+        }
+    }
+
+    /// The most recently recorded value.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Integral of the series from the first record to `until`
+    /// (value × seconds). `None` if the series is empty or `until`
+    /// precedes the first record.
+    pub fn integral(&self, until: SimTime) -> Option<f64> {
+        let first = self.points.first()?.0;
+        if until < first {
+            return None;
+        }
+        let mut total = 0.0;
+        for w in self.points.windows(2) {
+            let (t0, v0) = w[0];
+            let (t1, _) = w[1];
+            if t0 >= until {
+                break;
+            }
+            let end = t1.min(until);
+            total += v0 * end.saturating_since(t0).as_secs_f64();
+        }
+        let (t_last, v_last) = *self.points.last().expect("non-empty");
+        if until > t_last {
+            total += v_last * until.saturating_since(t_last).as_secs_f64();
+        }
+        Some(total)
+    }
+
+    /// Time-weighted mean from the first record to `until`. `None` if the
+    /// series is empty or the window has zero width.
+    pub fn time_weighted_mean(&self, until: SimTime) -> Option<f64> {
+        let first = self.points.first()?.0;
+        let span = until.checked_since(first)?;
+        if span.is_zero() {
+            return None;
+        }
+        Some(self.integral(until)? / span.as_secs_f64())
+    }
+
+    /// Maximum recorded value; `None` when empty.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, v)| v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(m) => m.max(v),
+            })
+        })
+    }
+
+    /// Samples the series at a fixed `interval` from the first record to
+    /// `until`, producing `(time, value)` pairs for plotting.
+    pub fn sample(&self, interval: SimDuration, until: SimTime) -> Vec<(SimTime, f64)> {
+        let Some(&(first, _)) = self.points.first() else {
+            return Vec::new();
+        };
+        assert!(!interval.is_zero(), "sampling interval must be positive");
+        let mut out = Vec::new();
+        let mut t = first;
+        while t <= until {
+            if let Some(v) = self.value_at(t) {
+                out.push((t, v));
+            }
+            t += interval;
+        }
+        out
+    }
+
+    /// Iterates over the recorded change points.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.points.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: u64) -> SimTime {
+        SimTime::from_secs(v)
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        assert_eq!(ts.value_at(s(5)), None);
+        assert_eq!(ts.integral(s(5)), None);
+        assert_eq!(ts.time_weighted_mean(s(5)), None);
+        assert!(ts.sample(SimDuration::from_secs(1), s(3)).is_empty());
+    }
+
+    #[test]
+    fn step_lookup() {
+        let mut ts = TimeSeries::new();
+        ts.record(s(1), 10.0);
+        ts.record(s(3), 20.0);
+        assert_eq!(ts.value_at(SimTime::ZERO), None);
+        assert_eq!(ts.value_at(s(1)), Some(10.0));
+        assert_eq!(ts.value_at(s(2)), Some(10.0));
+        assert_eq!(ts.value_at(s(3)), Some(20.0));
+        assert_eq!(ts.value_at(s(100)), Some(20.0));
+    }
+
+    #[test]
+    fn weighted_mean_matches_hand_calc() {
+        let mut ts = TimeSeries::new();
+        ts.record(s(0), 1000.0);
+        ts.record(s(9), 100.0);
+        let avg = ts.time_weighted_mean(s(10)).unwrap();
+        assert!((avg - 910.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integral_cuts_at_until() {
+        let mut ts = TimeSeries::new();
+        ts.record(s(0), 5.0);
+        ts.record(s(10), 0.0);
+        assert_eq!(ts.integral(s(4)), Some(20.0));
+        assert_eq!(ts.integral(s(10)), Some(50.0));
+        assert_eq!(ts.integral(s(20)), Some(50.0));
+    }
+
+    #[test]
+    fn same_instant_overwrites() {
+        let mut ts = TimeSeries::new();
+        ts.record(s(1), 1.0);
+        ts.record(s(1), 2.0);
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.value_at(s(1)), Some(2.0));
+    }
+
+    #[test]
+    fn identical_values_coalesce() {
+        let mut ts = TimeSeries::new();
+        ts.record(s(1), 7.0);
+        ts.record(s(2), 7.0);
+        ts.record(s(3), 8.0);
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded in order")]
+    fn out_of_order_panics() {
+        let mut ts = TimeSeries::new();
+        ts.record(s(5), 1.0);
+        ts.record(s(4), 2.0);
+    }
+
+    #[test]
+    fn max_value_tracks_peak() {
+        let mut ts = TimeSeries::new();
+        ts.record(s(0), 3.0);
+        ts.record(s(1), 9.0);
+        ts.record(s(2), 4.0);
+        assert_eq!(ts.max_value(), Some(9.0));
+    }
+
+    #[test]
+    fn sampling_is_regular() {
+        let mut ts = TimeSeries::new();
+        ts.record(s(0), 1.0);
+        ts.record(s(5), 2.0);
+        let samples = ts.sample(SimDuration::from_secs(2), s(8));
+        assert_eq!(
+            samples,
+            vec![(s(0), 1.0), (s(2), 1.0), (s(4), 1.0), (s(6), 2.0), (s(8), 2.0)]
+        );
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_mean_bounded_by_extremes(
+            vals in proptest::collection::vec(0.0f64..1e6, 1..50),
+        ) {
+            let mut ts = TimeSeries::new();
+            for (i, &v) in vals.iter().enumerate() {
+                ts.record(SimTime::from_secs(i as u64), v);
+            }
+            let until = SimTime::from_secs(vals.len() as u64);
+            if let Some(mean) = ts.time_weighted_mean(until) {
+                let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                proptest::prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+            }
+        }
+    }
+}

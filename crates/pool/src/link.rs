@@ -1,0 +1,189 @@
+//! A FIFO queueing model of one RDMA link direction.
+
+use faasmem_sim::{SimDuration, SimTime};
+
+/// One direction of an RDMA link, modelled as a FIFO server with a fixed
+/// service rate (bytes/second) plus a constant per-operation base latency.
+///
+/// Transfers queue behind each other: a transfer submitted while the link
+/// is still draining earlier traffic starts when the link frees up. This
+/// reproduces the paper's observation that "there is little communication
+/// latency increase until the bandwidth is saturated" (§9) — below
+/// saturation the queue is empty and each transfer sees only its own
+/// service time.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_pool::RdmaLink;
+/// use faasmem_sim::SimTime;
+///
+/// // 1 MiB/s link for easy arithmetic.
+/// let mut link = RdmaLink::new(1024 * 1024, 0);
+/// let d1 = link.transfer(SimTime::ZERO, 512 * 1024); // half a second
+/// assert_eq!(d1.as_secs_f64(), 0.5);
+/// // Submitted at the same instant: queues behind the first transfer.
+/// let d2 = link.transfer(SimTime::ZERO, 512 * 1024);
+/// assert_eq!(d2.as_secs_f64(), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RdmaLink {
+    bytes_per_sec: u64,
+    base_latency: SimDuration,
+    busy_until: SimTime,
+    total_bytes: u64,
+    total_ops: u64,
+}
+
+impl RdmaLink {
+    /// Creates a link with the given service rate (bytes per second) and
+    /// per-operation base latency in microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is zero.
+    pub fn new(bytes_per_sec: u64, base_latency_micros: u64) -> Self {
+        assert!(bytes_per_sec > 0, "link rate must be positive");
+        RdmaLink {
+            bytes_per_sec,
+            base_latency: SimDuration::from_micros(base_latency_micros),
+            busy_until: SimTime::ZERO,
+            total_bytes: 0,
+            total_ops: 0,
+        }
+    }
+
+    /// The configured service rate in bytes/second.
+    pub fn bytes_per_sec(&self) -> u64 {
+        self.bytes_per_sec
+    }
+
+    /// Submits a transfer of `bytes` at instant `now`; returns the
+    /// latency until the transfer completes (queueing + service + base).
+    pub fn transfer(&mut self, now: SimTime, bytes: u64) -> SimDuration {
+        let service_micros = (bytes as u128 * 1_000_000).div_ceil(self.bytes_per_sec as u128);
+        let service = SimDuration::from_micros(service_micros as u64);
+        let start = self.busy_until.max(now);
+        let done = start + service;
+        self.busy_until = done;
+        self.total_bytes += bytes;
+        self.total_ops += 1;
+        done.saturating_since(now) + self.base_latency
+    }
+
+    /// When the link becomes idle given no further traffic.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// `true` if a transfer submitted at `now` would start immediately.
+    pub fn is_idle_at(&self, now: SimTime) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Queueing delay a transfer submitted at `now` would see before its
+    /// own service time begins.
+    pub fn backlog_at(&self, now: SimTime) -> SimDuration {
+        self.busy_until.saturating_since(now)
+    }
+
+    /// Lifetime bytes carried.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Lifetime transfer operations.
+    pub fn total_ops(&self) -> u64 {
+        self.total_ops
+    }
+
+    /// Average utilisation over `[SimTime::ZERO, now]`: fraction of wall
+    /// time the link spent transferring. Zero for a zero-width window.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
+        let busy_secs = self.total_bytes as f64 / self.bytes_per_sec as f64;
+        (busy_secs / now.as_secs_f64()).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_link_gives_service_time_only() {
+        let mut link = RdmaLink::new(1_000_000, 0); // 1 MB/s
+        let d = link.transfer(SimTime::from_secs(10), 250_000);
+        assert_eq!(d, SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn base_latency_is_added() {
+        let mut link = RdmaLink::new(1_000_000_000, 5);
+        let d = link.transfer(SimTime::ZERO, 1_000); // 1 µs service
+        assert_eq!(d, SimDuration::from_micros(6));
+    }
+
+    #[test]
+    fn back_to_back_transfers_queue() {
+        let mut link = RdmaLink::new(1_000_000, 0);
+        let t = SimTime::from_secs(1);
+        let d1 = link.transfer(t, 1_000_000);
+        let d2 = link.transfer(t, 1_000_000);
+        assert_eq!(d1, SimDuration::from_secs(1));
+        assert_eq!(d2, SimDuration::from_secs(2));
+        assert_eq!(link.busy_until(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let mut link = RdmaLink::new(1_000_000, 0);
+        link.transfer(SimTime::ZERO, 1_000_000); // busy until t=1s
+        assert!(!link.is_idle_at(SimTime::from_millis(500)));
+        assert_eq!(
+            link.backlog_at(SimTime::from_millis(500)),
+            SimDuration::from_millis(500)
+        );
+        // Submitted after the queue has drained: no queueing delay.
+        let d = link.transfer(SimTime::from_secs(5), 1_000_000);
+        assert_eq!(d, SimDuration::from_secs(1));
+        assert!(link.is_idle_at(SimTime::from_secs(6)));
+    }
+
+    #[test]
+    fn accounting_accumulates() {
+        let mut link = RdmaLink::new(1_000, 0);
+        link.transfer(SimTime::ZERO, 100);
+        link.transfer(SimTime::ZERO, 200);
+        assert_eq!(link.total_bytes(), 300);
+        assert_eq!(link.total_ops(), 2);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut link = RdmaLink::new(1_000_000, 0);
+        assert_eq!(link.utilization(SimTime::ZERO), 0.0);
+        link.transfer(SimTime::ZERO, 500_000);
+        let u = link.utilization(SimTime::from_secs(1));
+        assert!((u - 0.5).abs() < 1e-9);
+        // Cannot exceed 1 even with over-submitted traffic.
+        link.transfer(SimTime::ZERO, 10_000_000);
+        assert_eq!(link.utilization(SimTime::from_secs(1)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = RdmaLink::new(0, 0);
+    }
+
+    #[test]
+    fn tiny_transfer_rounds_up() {
+        let mut link = RdmaLink::new(1_000_000_000, 0);
+        // 1 byte over a 1 GB/s link still takes at least 1 µs (ceiling).
+        let d = link.transfer(SimTime::ZERO, 1);
+        assert_eq!(d, SimDuration::from_micros(1));
+    }
+}

@@ -1,0 +1,436 @@
+//! The remote memory pool: capacity, link, traffic accounting.
+
+use std::error::Error;
+use std::fmt;
+
+use faasmem_sim::{SimDuration, SimTime};
+
+use crate::link::RdmaLink;
+
+/// Configuration of the remote memory pool and its interconnect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolConfig {
+    /// Remote node capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Page-in (read) bandwidth in bytes/second.
+    pub link_bytes_per_sec: u64,
+    /// Page-out (write) bandwidth in bytes/second when it differs from
+    /// the read direction — SSD backends are write-durability-limited
+    /// (§9: Meta caps offload writes below 1 MB/s). `None` = symmetric.
+    pub out_bytes_per_sec: Option<u64>,
+    /// Base one-way latency added to every page-out batch, microseconds.
+    pub page_out_base_micros: u64,
+    /// Base round-trip latency of a demand page-in fault, microseconds.
+    /// Fastswap reports single-digit-microsecond 4 KiB fetches over FDR
+    /// InfiniBand; the fault path (trap + RDMA read + map) lands ~8 µs.
+    pub page_in_base_micros: u64,
+}
+
+impl PoolConfig {
+    /// The paper's testbed: 56 Gbps FDR InfiniBand (Mellanox CX3) and a
+    /// 64 GB memory node (§8.1).
+    pub fn infiniband_56g() -> Self {
+        PoolConfig {
+            capacity_bytes: 64 * 1024 * 1024 * 1024,
+            // 56 Gbps signalling → ~6.8 GB/s effective payload.
+            link_bytes_per_sec: 6_800_000_000,
+            out_bytes_per_sec: None,
+            page_out_base_micros: 3,
+            page_in_base_micros: 8,
+        }
+    }
+
+    /// A CXL-attached memory pool (§9): load/store latency in the
+    /// hundreds of nanoseconds, tens of GB/s of bandwidth, no page-fault
+    /// software path on reads worth speaking of. FaaSMem's mechanism is
+    /// transport-agnostic; this preset lets experiments quantify how much
+    /// of the recall penalty is interconnect-bound.
+    pub fn cxl() -> Self {
+        PoolConfig {
+            capacity_bytes: 256 * 1024 * 1024 * 1024,
+            link_bytes_per_sec: 30_000_000_000,
+            out_bytes_per_sec: None,
+            page_out_base_micros: 1,
+            page_in_base_micros: 1,
+        }
+    }
+
+    /// An NVMe-SSD backend (§9): fine read latency for cold data, but the
+    /// paper rejects it because write durability caps sustained offload
+    /// bandwidth near 1 MB/s — far below FaaSMem's offload demand.
+    pub fn ssd() -> Self {
+        PoolConfig {
+            capacity_bytes: 1024 * 1024 * 1024 * 1024,
+            link_bytes_per_sec: 2_000_000_000,
+            out_bytes_per_sec: Some(1_000_000), // durability-limited writes
+            page_out_base_micros: 20,
+            page_in_base_micros: 80,
+        }
+    }
+
+    /// A deliberately slow pool for tests that need visible penalties.
+    pub fn slow_test_pool() -> Self {
+        PoolConfig {
+            capacity_bytes: 1024 * 1024 * 1024,
+            link_bytes_per_sec: 100 * 1024 * 1024, // 100 MiB/s
+            out_bytes_per_sec: None,
+            page_out_base_micros: 10,
+            page_in_base_micros: 50,
+        }
+    }
+
+    /// Effective page-out bandwidth (bytes/second).
+    pub fn effective_out_bytes_per_sec(&self) -> u64 {
+        self.out_bytes_per_sec.unwrap_or(self.link_bytes_per_sec)
+    }
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig::infiniband_56g()
+    }
+}
+
+/// Errors returned by pool operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// The page-out would exceed the remote node's capacity.
+    Exhausted {
+        /// Bytes requested by the failed page-out.
+        requested: u64,
+        /// Bytes still available on the remote node.
+        available: u64,
+    },
+    /// A page-in asked for more bytes than the pool currently holds;
+    /// indicates an accounting bug in the caller.
+    Underflow {
+        /// Bytes requested by the failed page-in.
+        requested: u64,
+        /// Bytes actually held by the pool.
+        held: u64,
+    },
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::Exhausted { requested, available } => write!(
+                f,
+                "remote pool exhausted: requested {requested} bytes, {available} available"
+            ),
+            PoolError::Underflow { requested, held } => write!(
+                f,
+                "remote pool underflow: requested {requested} bytes back, only {held} held"
+            ),
+        }
+    }
+}
+
+impl Error for PoolError {}
+
+/// A point-in-time traffic summary of the pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Bytes currently held remotely.
+    pub used_bytes: u64,
+    /// Lifetime bytes paged out to the pool.
+    pub bytes_out: u64,
+    /// Lifetime bytes faulted back in.
+    pub bytes_in: u64,
+    /// Lifetime page-out operations (batches).
+    pub out_ops: u64,
+    /// Lifetime page-in operations (faults or prefetch batches).
+    pub in_ops: u64,
+}
+
+/// The remote memory pool: a capacity-limited node behind an RDMA link.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_pool::{PoolConfig, RemotePool};
+/// use faasmem_sim::SimTime;
+///
+/// let mut pool = RemotePool::new(PoolConfig::slow_test_pool());
+/// pool.page_out(SimTime::ZERO, 16, 4096).unwrap();
+/// let fault = pool.page_in(SimTime::from_secs(1), 1, 4096).unwrap();
+/// assert!(fault.as_micros() >= 50); // at least the base fault latency
+/// ```
+#[derive(Debug, Clone)]
+pub struct RemotePool {
+    config: PoolConfig,
+    out_link: RdmaLink,
+    in_link: RdmaLink,
+    used_bytes: u64,
+    bytes_out: u64,
+    bytes_in: u64,
+    out_ops: u64,
+    in_ops: u64,
+}
+
+impl RemotePool {
+    /// Creates a pool from its configuration.
+    pub fn new(config: PoolConfig) -> Self {
+        let out_link =
+            RdmaLink::new(config.effective_out_bytes_per_sec(), config.page_out_base_micros);
+        let in_link = RdmaLink::new(config.link_bytes_per_sec, config.page_in_base_micros);
+        RemotePool {
+            config,
+            out_link,
+            in_link,
+            used_bytes: 0,
+            bytes_out: 0,
+            bytes_in: 0,
+            out_ops: 0,
+            in_ops: 0,
+        }
+    }
+
+    /// The pool's configuration.
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// Bytes currently held remotely.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Bytes of remote capacity still free.
+    pub fn available_bytes(&self) -> u64 {
+        self.config.capacity_bytes - self.used_bytes
+    }
+
+    /// Pages out a batch of `pages` pages of `page_size` bytes at `now`.
+    /// Returns the time until the batch is durably remote.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::Exhausted`] if the batch does not fit; no state
+    /// changes in that case.
+    pub fn page_out(
+        &mut self,
+        now: SimTime,
+        pages: u64,
+        page_size: u64,
+    ) -> Result<SimDuration, PoolError> {
+        let bytes = pages * page_size;
+        if bytes > self.available_bytes() {
+            return Err(PoolError::Exhausted {
+                requested: bytes,
+                available: self.available_bytes(),
+            });
+        }
+        if bytes == 0 {
+            return Ok(SimDuration::ZERO);
+        }
+        self.used_bytes += bytes;
+        self.bytes_out += bytes;
+        self.out_ops += 1;
+        Ok(self.out_link.transfer(now, bytes))
+    }
+
+    /// Faults `pages` pages back in at `now`. Returns the stall the
+    /// faulting request experiences.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::Underflow`] if the pool holds fewer bytes than
+    /// requested; no state changes in that case.
+    pub fn page_in(
+        &mut self,
+        now: SimTime,
+        pages: u64,
+        page_size: u64,
+    ) -> Result<SimDuration, PoolError> {
+        let bytes = pages * page_size;
+        if bytes > self.used_bytes {
+            return Err(PoolError::Underflow { requested: bytes, held: self.used_bytes });
+        }
+        if bytes == 0 {
+            return Ok(SimDuration::ZERO);
+        }
+        self.used_bytes -= bytes;
+        self.bytes_in += bytes;
+        self.in_ops += 1;
+        // Demand faults are serial per page in the kernel's swap-in path,
+        // but Fastswap batches reads; model the batch as one transfer plus
+        // one base fault latency (already folded into the link).
+        Ok(self.in_link.transfer(now, bytes))
+    }
+
+    /// Releases bytes held remotely without transferring them back
+    /// (container recycled while pages were offloaded).
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::Underflow`] if the pool holds fewer bytes than
+    /// requested.
+    pub fn discard(&mut self, pages: u64, page_size: u64) -> Result<(), PoolError> {
+        let bytes = pages * page_size;
+        if bytes > self.used_bytes {
+            return Err(PoolError::Underflow { requested: bytes, held: self.used_bytes });
+        }
+        self.used_bytes -= bytes;
+        Ok(())
+    }
+
+    /// Aggregate link utilisation (both directions averaged) over
+    /// `[0, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        (self.out_link.utilization(now) + self.in_link.utilization(now)) / 2.0
+    }
+
+    /// Average offload bandwidth in bytes/second over `[0, now]`.
+    pub fn mean_out_bandwidth(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            0.0
+        } else {
+            self.bytes_out as f64 / now.as_secs_f64()
+        }
+    }
+
+    /// Average page-in bandwidth in bytes/second over `[0, now]`.
+    pub fn mean_in_bandwidth(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            0.0
+        } else {
+            self.bytes_in as f64 / now.as_secs_f64()
+        }
+    }
+
+    /// A traffic snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            used_bytes: self.used_bytes,
+            bytes_out: self.bytes_out,
+            bytes_in: self.bytes_in,
+            out_ops: self.out_ops,
+            in_ops: self.in_ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> RemotePool {
+        RemotePool::new(PoolConfig::slow_test_pool())
+    }
+
+    #[test]
+    fn page_out_accounts_bytes() {
+        let mut p = pool();
+        p.page_out(SimTime::ZERO, 10, 4096).unwrap();
+        assert_eq!(p.used_bytes(), 40_960);
+        assert_eq!(p.stats().bytes_out, 40_960);
+        assert_eq!(p.stats().out_ops, 1);
+    }
+
+    #[test]
+    fn page_in_returns_bytes() {
+        let mut p = pool();
+        p.page_out(SimTime::ZERO, 10, 4096).unwrap();
+        p.page_in(SimTime::from_secs(1), 4, 4096).unwrap();
+        assert_eq!(p.used_bytes(), 6 * 4096);
+        assert_eq!(p.stats().bytes_in, 4 * 4096);
+    }
+
+    #[test]
+    fn zero_page_ops_are_free() {
+        let mut p = pool();
+        assert_eq!(p.page_out(SimTime::ZERO, 0, 4096).unwrap(), SimDuration::ZERO);
+        assert_eq!(p.page_in(SimTime::ZERO, 0, 4096).unwrap(), SimDuration::ZERO);
+        assert_eq!(p.stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn exhaustion_is_detected_and_harmless() {
+        let mut p = RemotePool::new(PoolConfig {
+            capacity_bytes: 8192,
+            ..PoolConfig::slow_test_pool()
+        });
+        p.page_out(SimTime::ZERO, 1, 4096).unwrap();
+        let err = p.page_out(SimTime::ZERO, 2, 4096).unwrap_err();
+        assert_eq!(err, PoolError::Exhausted { requested: 8192, available: 4096 });
+        assert_eq!(p.used_bytes(), 4096, "failed op must not change state");
+    }
+
+    #[test]
+    fn underflow_is_detected() {
+        let mut p = pool();
+        let err = p.page_in(SimTime::ZERO, 1, 4096).unwrap_err();
+        assert_eq!(err, PoolError::Underflow { requested: 4096, held: 0 });
+    }
+
+    #[test]
+    fn discard_releases_without_traffic() {
+        let mut p = pool();
+        p.page_out(SimTime::ZERO, 10, 4096).unwrap();
+        let in_before = p.stats().bytes_in;
+        p.discard(10, 4096).unwrap();
+        assert_eq!(p.used_bytes(), 0);
+        assert_eq!(p.stats().bytes_in, in_before);
+        assert!(p.discard(1, 4096).is_err());
+    }
+
+    #[test]
+    fn fault_latency_includes_base() {
+        let mut p = pool();
+        p.page_out(SimTime::ZERO, 1, 4096).unwrap();
+        let d = p.page_in(SimTime::from_secs(10), 1, 4096).unwrap();
+        assert!(d >= SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn saturation_queues_transfers() {
+        let mut p = pool();
+        // 100 MiB/s link; 200 MiB out at the same instant: second batch
+        // sees ~1s of queueing.
+        let d1 = p.page_out(SimTime::ZERO, 25_600, 4096).unwrap();
+        let d2 = p.page_out(SimTime::ZERO, 25_600, 4096).unwrap();
+        assert!(d2 > d1);
+        assert!(d2.as_secs_f64() > 1.5);
+    }
+
+    #[test]
+    fn bandwidth_means() {
+        let mut p = pool();
+        p.page_out(SimTime::ZERO, 25_600, 4096).unwrap(); // 100 MiB
+        let bw = p.mean_out_bandwidth(SimTime::from_secs(10));
+        assert!((bw - 10.0 * 1024.0 * 1024.0).abs() < 1.0);
+        assert_eq!(p.mean_out_bandwidth(SimTime::ZERO), 0.0);
+        assert_eq!(p.mean_in_bandwidth(SimTime::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    fn presets_match_section_9() {
+        let cxl = PoolConfig::cxl();
+        let ib = PoolConfig::infiniband_56g();
+        let ssd = PoolConfig::ssd();
+        assert!(cxl.page_in_base_micros < ib.page_in_base_micros);
+        assert!(cxl.link_bytes_per_sec > ib.link_bytes_per_sec);
+        assert_eq!(ssd.effective_out_bytes_per_sec(), 1_000_000);
+        assert_eq!(ib.effective_out_bytes_per_sec(), ib.link_bytes_per_sec);
+    }
+
+    #[test]
+    fn ssd_writes_are_durability_limited() {
+        let mut p = RemotePool::new(PoolConfig::ssd());
+        // 10 MiB out over a 1 MB/s write path: ~10 s.
+        let d = p.page_out(SimTime::ZERO, 2_560, 4_096).unwrap();
+        assert!(d.as_secs_f64() > 8.0, "got {d}");
+        // Reads stay fast.
+        let d = p.page_in(SimTime::from_secs(100), 1, 4_096).unwrap();
+        assert!(d.as_secs_f64() < 0.001, "got {d}");
+    }
+
+    #[test]
+    fn error_display_mentions_numbers() {
+        let e = PoolError::Exhausted { requested: 10, available: 5 };
+        assert!(e.to_string().contains("10"));
+        let e = PoolError::Underflow { requested: 3, held: 1 };
+        assert!(e.to_string().contains("3"));
+    }
+}

@@ -1,0 +1,111 @@
+//! A monotone simulated clock.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically advancing simulated clock.
+///
+/// The clock refuses to move backwards: drivers advance it to each event's
+/// firing time, and an attempt to rewind is a logic error that would break
+/// causality, so it panics loudly instead of corrupting the run.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_sim::{Clock, SimTime, SimDuration};
+///
+/// let mut clock = Clock::new();
+/// clock.advance_to(SimTime::from_secs(3));
+/// clock.advance_by(SimDuration::from_secs(2));
+/// assert_eq!(clock.now(), SimTime::from_secs(5));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Clock {
+    now: SimTime,
+}
+
+impl Clock {
+    /// Creates a clock at `SimTime::ZERO`.
+    pub fn new() -> Self {
+        Clock { now: SimTime::ZERO }
+    }
+
+    /// Creates a clock already advanced to `start`.
+    pub fn starting_at(start: SimTime) -> Self {
+        Clock { now: start }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is earlier than the current time.
+    pub fn advance_to(&mut self, to: SimTime) {
+        assert!(
+            to >= self.now,
+            "clock moved backwards: {} -> {}",
+            self.now,
+            to
+        );
+        self.now = to;
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance_by(&mut self, d: SimDuration) {
+        self.now += d;
+    }
+
+    /// Time elapsed since `earlier` (zero if `earlier` is in the future).
+    pub fn since(&self, earlier: SimTime) -> SimDuration {
+        self.now.saturating_since(earlier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(Clock::new().now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn starting_at_offsets() {
+        let c = Clock::starting_at(SimTime::from_secs(42));
+        assert_eq!(c.now(), SimTime::from_secs(42));
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = Clock::new();
+        c.advance_by(SimDuration::from_millis(1));
+        c.advance_by(SimDuration::from_millis(2));
+        assert_eq!(c.now(), SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn advance_to_same_instant_is_ok() {
+        let mut c = Clock::starting_at(SimTime::from_secs(1));
+        c.advance_to(SimTime::from_secs(1));
+        assert_eq!(c.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "clock moved backwards")]
+    fn rewind_panics() {
+        let mut c = Clock::starting_at(SimTime::from_secs(10));
+        c.advance_to(SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let c = Clock::starting_at(SimTime::from_secs(5));
+        assert_eq!(c.since(SimTime::from_secs(2)), SimDuration::from_secs(3));
+        assert_eq!(c.since(SimTime::from_secs(9)), SimDuration::ZERO);
+    }
+}

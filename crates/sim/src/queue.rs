@@ -1,0 +1,229 @@
+//! The deterministic event queue at the heart of the simulator.
+//!
+//! Events scheduled for the same instant are popped in the order they were
+//! pushed (FIFO tie-breaking via a monotone sequence number), which is what
+//! makes whole-system runs reproducible across platforms.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event with its scheduled firing time and insertion sequence.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotone insertion counter used for FIFO tie-breaking.
+    pub seq: u64,
+    /// The caller-defined payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then
+        // lowest-sequence) event surfaces first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(1), 'b');
+/// q.push(SimTime::from_secs(1), 'c'); // same instant: FIFO order
+/// q.push(SimTime::ZERO, 'a');
+/// let drained: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(drained, ['a', 'b', 'c']);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Creates an empty queue with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
+    }
+
+    /// Schedules `event` to fire at `at`. Events at the same instant fire
+    /// in insertion order.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// A reference to the earliest pending event.
+    pub fn peek(&self) -> Option<&ScheduledEvent<E>> {
+        self.heap.peek()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Extend<(SimTime, E)> for EventQueue<E> {
+    fn extend<I: IntoIterator<Item = (SimTime, E)>>(&mut self, iter: I) {
+        for (at, event) in iter {
+            self.push(at, event);
+        }
+    }
+}
+
+impl<E> FromIterator<(SimTime, E)> for EventQueue<E> {
+    fn from_iter<I: IntoIterator<Item = (SimTime, E)>>(iter: I) -> Self {
+        let mut q = EventQueue::new();
+        q.extend(iter);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), 3);
+        q.push(SimTime::from_secs(1), 1);
+        q.push(SimTime::from_secs(2), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(3), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(7), "x");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn collect_and_clear() {
+        let mut q: EventQueue<u32> =
+            vec![(SimTime::from_secs(1), 10), (SimTime::ZERO, 20)].into_iter().collect();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((SimTime::ZERO, 20)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(10), 'z');
+        q.push(SimTime::from_secs(1), 'a');
+        assert_eq!(q.pop().unwrap().1, 'a');
+        q.push(SimTime::from_secs(5), 'm');
+        assert_eq!(q.pop().unwrap().1, 'm');
+        assert_eq!(q.pop().unwrap().1, 'z');
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_pop_order_is_sorted(times in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_micros(t), i);
+            }
+            let mut last = SimTime::ZERO;
+            let mut count = 0;
+            while let Some((t, _)) = q.pop() {
+                proptest::prop_assert!(t >= last);
+                last = t;
+                count += 1;
+            }
+            proptest::prop_assert_eq!(count, times.len());
+        }
+
+        #[test]
+        fn prop_equal_times_fifo(n in 1usize..100) {
+            let mut q = EventQueue::new();
+            let t = SimTime::from_secs(1);
+            for i in 0..n {
+                q.push(t, i);
+            }
+            for i in 0..n {
+                proptest::prop_assert_eq!(q.pop().unwrap().1, i);
+            }
+        }
+    }
+}

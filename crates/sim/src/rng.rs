@@ -1,0 +1,282 @@
+//! Seedable randomness for deterministic experiments.
+//!
+//! Every stochastic decision in the reproduction flows through [`SimRng`],
+//! a thin wrapper over a counter-seeded [`rand::rngs::StdRng`] that adds the
+//! distributions the paper's workloads need: exponential inter-arrival
+//! times, Pareto-distributed request indices (the paper drives Graph/Web
+//! inputs with a Pareto distribution, §8.1) and log-normal service jitter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A deterministic random-number generator for simulation components.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_sim::SimRng;
+///
+/// let mut a = SimRng::seed_from(7);
+/// let mut b = SimRng::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child generator; the `stream` tag keeps
+    /// different subsystems (arrivals, page access, jitter, ...) decoupled
+    /// so adding draws to one does not perturb another.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let base = self.inner.gen::<u64>();
+        SimRng::seed_from(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "invalid mean {mean}");
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// Exponentially distributed duration with the given mean.
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        SimDuration::from_micros(self.exponential(mean.as_micros() as f64) as u64)
+    }
+
+    /// Pareto-distributed value with scale `x_min` and shape `alpha`.
+    ///
+    /// The paper drives the start node of Graph and the requested HTML page
+    /// of Web with a Pareto distribution (§8.1); `alpha` near 1–2 yields the
+    /// heavy skew that makes a small set of pages hot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_min <= 0` or `alpha <= 0`.
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        assert!(x_min > 0.0 && alpha > 0.0, "invalid pareto({x_min},{alpha})");
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        x_min / u.powf(1.0 / alpha)
+    }
+
+    /// Pareto-distributed index in `[0, n)`: index 0 is the most popular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn pareto_index(&mut self, n: usize, alpha: f64) -> usize {
+        assert!(n > 0, "empty index space");
+        let raw = self.pareto(1.0, alpha) - 1.0; // >= 0, heavy-tailed
+        (raw.floor() as usize).min(n - 1)
+    }
+
+    /// Log-normal multiplicative jitter with median 1 and the given sigma
+    /// (of the underlying normal). Used for service-time variation.
+    pub fn lognormal_jitter(&mut self, sigma: f64) -> f64 {
+        // Box-Muller on two uniforms.
+        let u1: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.inner.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (sigma * z).exp()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element, or `None` when the slice is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            let i = self.inner.gen_range(0..slice.len());
+            Some(&slice[i])
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(123);
+        let mut b = SimRng::seed_from(123);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn fork_streams_are_decoupled() {
+        let mut parent1 = SimRng::seed_from(9);
+        let mut parent2 = SimRng::seed_from(9);
+        let mut c1 = parent1.fork(1);
+        let mut c2 = parent2.fork(1);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        let mut d = parent1.fork(2);
+        assert_ne!(c1.next_u64(), d.next_u64());
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seed_from(5);
+        let n = 20_000;
+        let mean = 250.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let observed = sum / n as f64;
+        assert!((observed - mean).abs() / mean < 0.05, "observed {observed}");
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed_and_bounded_below() {
+        let mut rng = SimRng::seed_from(6);
+        let mut max = 0.0f64;
+        for _ in 0..10_000 {
+            let v = rng.pareto(1.0, 1.2);
+            assert!(v >= 1.0);
+            max = max.max(v);
+        }
+        assert!(max > 50.0, "expected a heavy tail, max {max}");
+    }
+
+    #[test]
+    fn pareto_index_prefers_low_indices() {
+        let mut rng = SimRng::seed_from(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.pareto_index(10, 1.0)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[0] > 3_000);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(8);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn below_and_range_bounds() {
+        let mut rng = SimRng::seed_from(10);
+        for _ in 0..1_000 {
+            assert!(rng.below(7) < 7);
+            let v = rng.range(5, 9);
+            assert!((5..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed_from(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = SimRng::seed_from(12);
+        let empty: &[u8] = &[];
+        assert_eq!(rng.choose(empty), None);
+        assert!(rng.choose(&[1, 2, 3]).is_some());
+    }
+
+    #[test]
+    fn lognormal_jitter_median_near_one() {
+        let mut rng = SimRng::seed_from(13);
+        let mut v: Vec<f64> = (0..9_999).map(|_| rng.lognormal_jitter(0.3)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[v.len() / 2];
+        assert!((median - 1.0).abs() < 0.07, "median {median}");
+    }
+
+    #[test]
+    fn exp_duration_is_positive_scale() {
+        let mut rng = SimRng::seed_from(14);
+        let mean = SimDuration::from_millis(100);
+        let sum: u64 = (0..5_000).map(|_| rng.exp_duration(mean).as_micros()).sum();
+        let observed = sum as f64 / 5_000.0;
+        assert!((observed - 100_000.0).abs() / 100_000.0 < 0.1);
+    }
+}

@@ -1,0 +1,464 @@
+//! Statistical re-synthesis of the Azure Functions 2021 invocation trace.
+//!
+//! The paper's evaluation replays the *Azure Functions Invocation Trace
+//! 2021* (424 functions, 1,980,951 invocations, §2.1). That dataset is not
+//! redistributable inside this reproduction, so [`TraceSynthesizer`]
+//! regenerates its statistical shape instead:
+//!
+//! * **Load classes** (§8.4): functions are categorised by average daily
+//!   invocations — high (> 512/day), middle, and low (< 64/day).
+//! * **Arrival processes**: Poisson for steady functions, Markov-modulated
+//!   (bursty) arrivals for the surge-prone ones the paper calls out in
+//!   §8.2.1, and heavy-tailed Pareto gaps that produce the skewed
+//!   requests-per-container CDF of Fig 5.
+//! * **Cluster traces**: a 424-function mix with log-uniform daily rates,
+//!   used by the Fig 1 keep-alive sweep and the Fig 14 semi-warm
+//!   applicability study.
+
+use faasmem_sim::{SimDuration, SimRng, SimTime};
+
+use crate::trace::{FunctionId, Invocation, InvocationTrace};
+
+/// Load category by average daily invocations (paper §8.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadClass {
+    /// More than 512 invocations per day.
+    High,
+    /// Between 64 and 512 invocations per day.
+    Middle,
+    /// Fewer than 64 invocations per day.
+    Low,
+}
+
+impl LoadClass {
+    /// Classifies a daily invocation rate per §8.4's thresholds.
+    pub fn classify(invocations_per_day: f64) -> LoadClass {
+        if invocations_per_day > 512.0 {
+            LoadClass::High
+        } else if invocations_per_day < 64.0 {
+            LoadClass::Low
+        } else {
+            LoadClass::Middle
+        }
+    }
+
+    /// A representative mean inter-arrival gap for the class, used when a
+    /// synthesized function has no explicit rate.
+    pub fn typical_mean_gap(self) -> SimDuration {
+        match self {
+            LoadClass::High => SimDuration::from_secs(12),
+            LoadClass::Middle => SimDuration::from_secs(150),
+            LoadClass::Low => SimDuration::from_secs(900),
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoadClass::High => "high",
+            LoadClass::Middle => "middle",
+            LoadClass::Low => "low",
+        }
+    }
+}
+
+/// The inter-arrival process of one function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalModel {
+    /// Memoryless arrivals with the given mean gap.
+    Poisson {
+        /// Mean inter-arrival gap.
+        mean_gap: SimDuration,
+    },
+    /// Markov-modulated Poisson: the function alternates between an idle
+    /// state (sparse arrivals) and a burst state (dense arrivals). This is
+    /// the "sudden increase and decrease" pattern of high-load traces the
+    /// paper highlights (§8.2.1).
+    Bursty {
+        /// Mean gap while idle.
+        idle_gap: SimDuration,
+        /// Mean gap while bursting.
+        burst_gap: SimDuration,
+        /// Mean duration of an idle period.
+        idle_period: SimDuration,
+        /// Mean duration of a burst period.
+        burst_period: SimDuration,
+    },
+    /// Heavy-tailed Pareto gaps: most arrivals cluster, some gaps are very
+    /// long — yielding many containers that serve only one or two requests
+    /// before their keep-alive expires (Fig 5).
+    ParetoGaps {
+        /// Minimum gap (Pareto scale).
+        min_gap: SimDuration,
+        /// Pareto shape; smaller = heavier tail.
+        alpha: f64,
+    },
+}
+
+impl ArrivalModel {
+    /// Draws the next inter-arrival gap.
+    fn next_gap(&self, rng: &mut SimRng, state: &mut BurstState) -> SimDuration {
+        match *self {
+            ArrivalModel::Poisson { mean_gap } => rng.exp_duration(mean_gap),
+            ArrivalModel::ParetoGaps { min_gap, alpha } => {
+                let factor = rng.pareto(1.0, alpha);
+                SimDuration::from_micros((min_gap.as_micros() as f64 * factor) as u64)
+            }
+            ArrivalModel::Bursty { idle_gap, burst_gap, idle_period, burst_period } => {
+                // Advance the two-state Markov chain lazily: when the
+                // current state's remaining budget runs out, flip state.
+                loop {
+                    let gap = if state.bursting {
+                        rng.exp_duration(burst_gap)
+                    } else {
+                        rng.exp_duration(idle_gap)
+                    };
+                    if gap <= state.remaining {
+                        state.remaining -= gap;
+                        return gap;
+                    }
+                    let leftover = state.remaining;
+                    state.bursting = !state.bursting;
+                    state.remaining = if state.bursting {
+                        rng.exp_duration(burst_period)
+                    } else {
+                        rng.exp_duration(idle_period)
+                    };
+                    // Skip to the state boundary and draw in the new state;
+                    // credit the time already waited.
+                    if !leftover.is_zero() {
+                        let gap = if state.bursting {
+                            rng.exp_duration(burst_gap)
+                        } else {
+                            rng.exp_duration(idle_gap)
+                        };
+                        let total = leftover + gap;
+                        state.remaining = state.remaining.saturating_sub(gap);
+                        return total;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BurstState {
+    bursting: bool,
+    remaining: SimDuration,
+}
+
+impl BurstState {
+    fn new() -> Self {
+        BurstState { bursting: false, remaining: SimDuration::from_secs(1) }
+    }
+}
+
+/// Builder-style synthesizer of Azure-like invocation traces.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_workload::{FunctionId, LoadClass, TraceSynthesizer};
+/// use faasmem_sim::SimTime;
+///
+/// let trace = TraceSynthesizer::new(1)
+///     .load_class(LoadClass::High)
+///     .bursty(true)
+///     .duration(SimTime::from_mins(60))
+///     .synthesize_for(FunctionId(3));
+/// assert!(!trace.is_empty());
+/// assert_eq!(trace.functions(), vec![FunctionId(3)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceSynthesizer {
+    seed: u64,
+    duration: SimTime,
+    load_class: LoadClass,
+    bursty: bool,
+    explicit_model: Option<ArrivalModel>,
+}
+
+impl TraceSynthesizer {
+    /// Creates a synthesizer with the given seed. Defaults: one-hour
+    /// horizon, high load, steady (non-bursty) arrivals.
+    pub fn new(seed: u64) -> Self {
+        TraceSynthesizer {
+            seed,
+            duration: SimTime::from_mins(60),
+            load_class: LoadClass::High,
+            bursty: false,
+            explicit_model: None,
+        }
+    }
+
+    /// Sets the trace horizon.
+    pub fn duration(mut self, duration: SimTime) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets the load class (ignored if an explicit model is set).
+    pub fn load_class(mut self, class: LoadClass) -> Self {
+        self.load_class = class;
+        self
+    }
+
+    /// Toggles bursty (Markov-modulated) arrivals.
+    pub fn bursty(mut self, bursty: bool) -> Self {
+        self.bursty = bursty;
+        self
+    }
+
+    /// Overrides the arrival model entirely.
+    pub fn arrival_model(mut self, model: ArrivalModel) -> Self {
+        self.explicit_model = Some(model);
+        self
+    }
+
+    fn model_for(&self, rng: &mut SimRng) -> ArrivalModel {
+        if let Some(m) = self.explicit_model {
+            return m;
+        }
+        let mean = self.load_class.typical_mean_gap();
+        // Jitter the per-function rate ±50% so a cluster isn't uniform.
+        let jitter = 0.5 + rng.next_f64();
+        let mean = mean.mul_f64(jitter);
+        if self.bursty {
+            ArrivalModel::Bursty {
+                idle_gap: mean * 4,
+                burst_gap: (mean / 12).max(SimDuration::from_millis(200)),
+                idle_period: SimDuration::from_mins(6),
+                burst_period: SimDuration::from_mins(1),
+            }
+        } else {
+            ArrivalModel::ParetoGaps { min_gap: mean.mul_f64(0.35), alpha: 1.5 }
+        }
+    }
+
+    /// Synthesizes a trace for one function.
+    pub fn synthesize_for(&self, function: FunctionId) -> InvocationTrace {
+        let mut rng = SimRng::seed_from(
+            self.seed ^ (u64::from(function.0)).wrapping_mul(0xD1B5_4A32_D192_ED03),
+        );
+        let model = self.model_for(&mut rng);
+        self.generate(function, model, &mut rng)
+    }
+
+    fn generate(
+        &self,
+        function: FunctionId,
+        model: ArrivalModel,
+        rng: &mut SimRng,
+    ) -> InvocationTrace {
+        let mut invocations = Vec::new();
+        let mut state = BurstState::new();
+        // Random phase so clustered functions don't all fire at t=0.
+        let mut t = SimTime::ZERO + model.next_gap(rng, &mut state);
+        while t <= self.duration {
+            invocations.push(Invocation { at: t, function });
+            t += model.next_gap(rng, &mut state);
+        }
+        InvocationTrace::from_invocations(invocations, self.duration)
+    }
+
+    /// Synthesizes a whole cluster: `functions` functions with log-uniform
+    /// daily rates between 2 and 8192 invocations/day, steady or bursty
+    /// per-function at random. Returns the merged trace plus each
+    /// function's load class.
+    pub fn synthesize_cluster(
+        &self,
+        functions: u32,
+    ) -> (InvocationTrace, Vec<(FunctionId, LoadClass)>) {
+        let mut merged: Vec<Invocation> = Vec::new();
+        let mut classes = Vec::with_capacity(functions as usize);
+        let mut seed_rng = SimRng::seed_from(self.seed);
+        for f in 0..functions {
+            let function = FunctionId(f);
+            let mut rng = seed_rng.fork(u64::from(f) + 1);
+            // Log-uniform daily rate in [2, 8192].
+            let log_rate = rng.next_f64() * (8192.0f64 / 2.0).ln() + 2.0f64.ln();
+            let per_day = log_rate.exp();
+            let class = LoadClass::classify(per_day);
+            let mean_gap = SimDuration::from_secs_f64(86_400.0 / per_day);
+            // Burstiness correlates with load in the Azure trace: §8.4
+            // attributes the semi-warm benefit of high-load functions to
+            // short-term surges that strand containers, while middle-load
+            // functions "tend to have a stable invocation pattern".
+            let bursty_prob = match class {
+                LoadClass::High => 0.75,
+                LoadClass::Middle => 0.15,
+                LoadClass::Low => 0.35,
+            };
+            let model = if rng.chance(bursty_prob) {
+                if class == LoadClass::High {
+                    // High-load surges: dense in-burst arrivals (so the
+                    // observed reuse intervals — and hence the semi-warm
+                    // start timing — stay short), separated by silences
+                    // longer than any keep-alive, which strand the
+                    // scale-out containers (§8.4).
+                    ArrivalModel::Bursty {
+                        idle_gap: (mean_gap * 6).max(SimDuration::from_mins(20)),
+                        burst_gap: (mean_gap / 15).max(SimDuration::from_millis(100)),
+                        idle_period: SimDuration::from_mins(15),
+                        burst_period: SimDuration::from_secs(45),
+                    }
+                } else {
+                    ArrivalModel::Bursty {
+                        idle_gap: mean_gap * 4,
+                        burst_gap: (mean_gap / 12).max(SimDuration::from_millis(200)),
+                        idle_period: SimDuration::from_mins(8),
+                        burst_period: SimDuration::from_mins(1),
+                    }
+                }
+            } else {
+                ArrivalModel::ParetoGaps { min_gap: mean_gap.mul_f64(0.35), alpha: 1.5 }
+            };
+            let trace = self.generate(function, model, &mut rng);
+            merged.extend(trace.iter().copied());
+            classes.push((function, class));
+        }
+        (InvocationTrace::from_invocations(merged, self.duration), classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_thresholds() {
+        assert_eq!(LoadClass::classify(1000.0), LoadClass::High);
+        assert_eq!(LoadClass::classify(512.0), LoadClass::Middle);
+        assert_eq!(LoadClass::classify(100.0), LoadClass::Middle);
+        assert_eq!(LoadClass::classify(10.0), LoadClass::Low);
+        assert_eq!(LoadClass::classify(64.0), LoadClass::Middle);
+    }
+
+    #[test]
+    fn same_seed_reproduces_trace() {
+        let a = TraceSynthesizer::new(5).synthesize_for(FunctionId(0));
+        let b = TraceSynthesizer::new(5).synthesize_for(FunctionId(0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_functions_differ() {
+        let synth = TraceSynthesizer::new(5);
+        let a = synth.synthesize_for(FunctionId(0));
+        let b = synth.synthesize_for(FunctionId(1));
+        assert_ne!(a.for_function(FunctionId(0)).len(), 0);
+        assert_ne!(b.for_function(FunctionId(1)).len(), 0);
+        // They must not be time-shifted copies of each other.
+        let ta: Vec<_> = a.iter().map(|i| i.at).take(5).collect();
+        let tb: Vec<_> = b.iter().map(|i| i.at).take(5).collect();
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn load_classes_order_by_volume() {
+        let mk = |class| {
+            TraceSynthesizer::new(9)
+                .load_class(class)
+                .duration(SimTime::from_mins(240))
+                .synthesize_for(FunctionId(0))
+                .len()
+        };
+        let high = mk(LoadClass::High);
+        let mid = mk(LoadClass::Middle);
+        let low = mk(LoadClass::Low);
+        assert!(high > mid, "high {high} vs mid {mid}");
+        assert!(mid > low, "mid {mid} vs low {low}");
+    }
+
+    #[test]
+    fn all_invocations_inside_horizon() {
+        let t = TraceSynthesizer::new(3)
+            .duration(SimTime::from_mins(10))
+            .synthesize_for(FunctionId(0));
+        for inv in t.iter() {
+            assert!(inv.at <= t.duration());
+        }
+    }
+
+    #[test]
+    fn bursty_traces_have_higher_interval_variance() {
+        let steady = TraceSynthesizer::new(11)
+            .arrival_model(ArrivalModel::Poisson { mean_gap: SimDuration::from_secs(10) })
+            .duration(SimTime::from_mins(120))
+            .synthesize_for(FunctionId(0));
+        let bursty = TraceSynthesizer::new(11)
+            .arrival_model(ArrivalModel::Bursty {
+                idle_gap: SimDuration::from_secs(40),
+                burst_gap: SimDuration::from_secs(1),
+                idle_period: SimDuration::from_mins(5),
+                burst_period: SimDuration::from_mins(1),
+            })
+            .duration(SimTime::from_mins(120))
+            .synthesize_for(FunctionId(0));
+        let cv = |t: &InvocationTrace| {
+            let s = t.stats();
+            s.interval_std_secs / s.mean_interval_secs.max(1e-9)
+        };
+        assert!(
+            cv(&bursty) > cv(&steady),
+            "bursty CV {} vs steady CV {}",
+            cv(&bursty),
+            cv(&steady)
+        );
+    }
+
+    #[test]
+    fn pareto_gaps_are_heavy_tailed() {
+        let t = TraceSynthesizer::new(13)
+            .arrival_model(ArrivalModel::ParetoGaps {
+                min_gap: SimDuration::from_secs(5),
+                alpha: 1.2,
+            })
+            .duration(SimTime::from_mins(600))
+            .synthesize_for(FunctionId(0));
+        let s = t.stats();
+        // Heavy tail: std well above the mean would hold for alpha<2.
+        assert!(s.interval_std_secs > s.mean_interval_secs * 0.8, "{s:?}");
+        // Gaps never shorter than the scale.
+        let mut prev = None;
+        for inv in t.iter() {
+            if let Some(p) = prev {
+                assert!(inv.at.saturating_since(p) >= SimDuration::from_secs(5));
+            }
+            prev = Some(inv.at);
+        }
+    }
+
+    #[test]
+    fn poisson_rate_is_close() {
+        let t = TraceSynthesizer::new(17)
+            .arrival_model(ArrivalModel::Poisson { mean_gap: SimDuration::from_secs(6) })
+            .duration(SimTime::from_mins(600))
+            .synthesize_for(FunctionId(0));
+        let expected = 600.0 * 60.0 / 6.0;
+        let got = t.len() as f64;
+        assert!((got - expected).abs() / expected < 0.1, "expected ~{expected}, got {got}");
+    }
+
+    #[test]
+    fn cluster_has_all_classes_and_functions() {
+        let (trace, classes) = TraceSynthesizer::new(21)
+            .duration(SimTime::from_mins(120))
+            .synthesize_cluster(60);
+        assert_eq!(classes.len(), 60);
+        let highs = classes.iter().filter(|(_, c)| *c == LoadClass::High).count();
+        let mids = classes.iter().filter(|(_, c)| *c == LoadClass::Middle).count();
+        let lows = classes.iter().filter(|(_, c)| *c == LoadClass::Low).count();
+        assert!(highs > 0 && mids > 0 && lows > 0, "high {highs} mid {mids} low {lows}");
+        assert!(!trace.is_empty());
+        assert!(trace.functions().len() > 30, "most functions fire at least once");
+    }
+
+    #[test]
+    fn cluster_is_deterministic() {
+        let (a, _) = TraceSynthesizer::new(33).synthesize_cluster(20);
+        let (b, _) = TraceSynthesizer::new(33).synthesize_cluster(20);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,414 @@
+//! The paper's benchmark suite as parameterised memory/timing models.
+//!
+//! Calibration sources, all from the paper:
+//!
+//! * Fig 4 — inactive runtime-segment memory per language runtime
+//!   (OpenWhisk Python ≈ 24 MB, Java ≈ 57 MB; Azure ≥ 100 MB).
+//! * Fig 6 — BERT allocates ~1000 MB during a ~5 s init, ~610 MB accessed
+//!   per request of which ~400 MB are init-segment hot pages.
+//! * Fig 9 — Web's requests touch Pareto-popular cached HTML pages.
+//! * §8.1 — CPU shares (0.1-core micro-benchmarks; 1 / 0.5 / 0.2 cores
+//!   for Bert / Graph / Web) and ~200 ms user-facing latency targets.
+//! * §8.2.1 — micro-benchmarks have "very little memory in the init
+//!   segment" while the three applications are init-heavy; Graph performs
+//!   a full traversal per request; Web's accesses follow a Pareto
+//!   distribution.
+//! * §8.6 — memory quotas: Bert 1280 MB, Graph 256 MB, Web 384 MB.
+
+use faasmem_sim::SimDuration;
+
+use crate::access::InitAccess;
+
+/// The language runtime a serverless container embeds (Fig 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuntimeKind {
+    /// Node.js runtime.
+    NodeJs,
+    /// CPython runtime (OpenWhisk's Flask-based action proxy).
+    Python,
+    /// JVM runtime — the largest inactive footprint in Fig 4.
+    Java,
+}
+
+impl RuntimeKind {
+    /// All runtimes measured in Fig 4.
+    pub const ALL: [RuntimeKind; 3] = [RuntimeKind::NodeJs, RuntimeKind::Python, RuntimeKind::Java];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuntimeKind::NodeJs => "Node.js",
+            RuntimeKind::Python => "Python",
+            RuntimeKind::Java => "Java",
+        }
+    }
+}
+
+/// The serverless platform whose official runtime image is modelled
+/// (Fig 4 compares OpenWhisk and Azure Functions builds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServerlessPlatform {
+    /// Apache OpenWhisk official images.
+    OpenWhisk,
+    /// Azure Functions official images.
+    Azure,
+}
+
+impl ServerlessPlatform {
+    /// Both platforms measured in Fig 4.
+    pub const ALL: [ServerlessPlatform; 2] =
+        [ServerlessPlatform::OpenWhisk, ServerlessPlatform::Azure];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerlessPlatform::OpenWhisk => "OpenWhisk",
+            ServerlessPlatform::Azure => "Azure",
+        }
+    }
+}
+
+/// A container-runtime memory model: how much a hello-world container of
+/// this runtime occupies, and how much of that is never accessed again
+/// after the first request (Fig 4's "inactive memory").
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeSpec {
+    /// Platform whose official image this models.
+    pub platform: ServerlessPlatform,
+    /// Embedded language runtime.
+    pub kind: RuntimeKind,
+    /// Total runtime-segment footprint in MiB.
+    pub total_mib: u64,
+    /// MiB of the runtime segment left inactive after a request — the
+    /// offloading opportunity FaaSMem's Runtime Pucket harvests.
+    pub inactive_mib: u64,
+}
+
+impl RuntimeSpec {
+    /// The six platform × runtime combinations of Fig 4.
+    ///
+    /// Inactive sizes are read off the figure: OpenWhisk Python ≈ 24 MB,
+    /// Java ≈ 57 MB, Node.js ≈ 35 MB; all three Azure runtimes exceed
+    /// 100 MB.
+    pub fn catalog() -> Vec<RuntimeSpec> {
+        use RuntimeKind::*;
+        use ServerlessPlatform::*;
+        vec![
+            RuntimeSpec { platform: OpenWhisk, kind: NodeJs, total_mib: 44, inactive_mib: 35 },
+            RuntimeSpec { platform: OpenWhisk, kind: Python, total_mib: 30, inactive_mib: 24 },
+            RuntimeSpec { platform: OpenWhisk, kind: Java, total_mib: 68, inactive_mib: 57 },
+            RuntimeSpec { platform: Azure, kind: NodeJs, total_mib: 126, inactive_mib: 105 },
+            RuntimeSpec { platform: Azure, kind: Python, total_mib: 132, inactive_mib: 112 },
+            RuntimeSpec { platform: Azure, kind: Java, total_mib: 178, inactive_mib: 151 },
+        ]
+    }
+
+    /// The runtime the evaluation containers embed: the OpenWhisk Python
+    /// action proxy (§5.1: "we use the runtime of OpenWhisk, which
+    /// consists a Flask-based action proxy").
+    pub fn openwhisk_python() -> RuntimeSpec {
+        Self::catalog()
+            .into_iter()
+            .find(|r| r.platform == ServerlessPlatform::OpenWhisk && r.kind == RuntimeKind::Python)
+            .expect("catalog contains OpenWhisk/Python")
+    }
+
+    /// MiB of runtime memory that stays hot across requests (the proxy's
+    /// working set).
+    pub fn hot_mib(&self) -> u64 {
+        self.total_mib - self.inactive_mib
+    }
+}
+
+/// A full benchmark model: footprints, access patterns, timing.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_workload::BenchmarkSpec;
+///
+/// let web = BenchmarkSpec::by_name("web").unwrap();
+/// assert_eq!(web.quota_mib, 384); // §8.6 deployment quota
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkSpec {
+    /// Benchmark name as used throughout the paper's figures.
+    pub name: &'static str,
+    /// `true` for the three real-world applications (Bert, Graph, Web).
+    pub is_application: bool,
+    /// Runtime-segment footprint in MiB (Segment-1).
+    pub runtime_mib: u64,
+    /// MiB of the runtime segment touched by every request (action-proxy
+    /// working set); the remainder is the Runtime Pucket's cold harvest.
+    pub runtime_hot_mib: u64,
+    /// Init-segment footprint in MiB that stays resident after
+    /// initialization (Segment-2).
+    pub init_mib: u64,
+    /// How requests touch the init segment.
+    pub init_access: InitAccess,
+    /// Execution-segment allocation per request in MiB, freed at request
+    /// completion (Segment-3).
+    pub exec_mib: u64,
+    /// Pure compute time of one request, excluding memory penalties.
+    pub exec_time: SimDuration,
+    /// Container-launch (runtime load) time at cold start.
+    pub launch_time: SimDuration,
+    /// Function initialization time at cold start.
+    pub init_time: SimDuration,
+    /// Probability that a request touches one random *cold* runtime page
+    /// (Fig 8: Runtime-Pucket recalls are rare but nonzero).
+    pub runtime_rare_touch_prob: f64,
+    /// CPU share assigned (§8.1): 0.1 for micro-benchmarks; 1.0 / 0.5 /
+    /// 0.2 for Bert / Graph / Web.
+    pub cpu_share: f64,
+    /// Deployment memory quota in MiB (§8.6) used by the density model.
+    pub quota_mib: u64,
+}
+
+impl BenchmarkSpec {
+    /// The 11 benchmarks of the evaluation (§8.1): eight FunctionBench
+    /// micro-benchmarks plus Bert, Graph and Web.
+    pub fn catalog() -> Vec<BenchmarkSpec> {
+        let rt = RuntimeSpec::openwhisk_python();
+        let micro = |name: &'static str,
+                     init_mib: u64,
+                     exec_mib: u64,
+                     exec_ms: u64,
+                     quota_mib: u64| BenchmarkSpec {
+            name,
+            is_application: false,
+            runtime_mib: rt.total_mib,
+            runtime_hot_mib: rt.hot_mib(),
+            init_mib,
+            // Micro-benchmarks keep a tiny but fully hot init segment
+            // (imports touched on every call).
+            init_access: InitAccess::FixedHot { hot_fraction: 1.0 },
+            exec_mib,
+            exec_time: SimDuration::from_millis(exec_ms),
+            launch_time: SimDuration::from_millis(480),
+            init_time: SimDuration::from_millis(150),
+            runtime_rare_touch_prob: 0.004,
+            cpu_share: 0.1,
+            quota_mib,
+        };
+        vec![
+            // name        init  exec  time  quota
+            micro("json", 2, 6, 35, 128),
+            micro("gzip", 4, 60, 220, 128),
+            micro("pyaes", 3, 8, 160, 128),
+            micro("chameleon", 6, 12, 110, 128),
+            micro("image", 8, 50, 260, 128),
+            micro("linpack", 10, 40, 150, 128),
+            micro("matmul", 12, 60, 190, 128),
+            micro("float", 2, 4, 60, 128),
+            BenchmarkSpec {
+                name: "bert",
+                is_application: true,
+                runtime_mib: rt.total_mib,
+                runtime_hot_mib: rt.hot_mib(),
+                // Fig 6: ~1000 MB allocated during init, ~900 resident.
+                init_mib: 900,
+                // ~400 MB of init pages hot in every request plus a small
+                // input-dependent slice ("different requests may access
+                // different nodes in the neural network", §8.1).
+                init_access: InitAccess::HotPlusRandom {
+                    hot_fraction: 0.44,
+                    random_fraction: 0.03,
+                },
+                exec_mib: 200,
+                exec_time: SimDuration::from_millis(130),
+                launch_time: SimDuration::from_millis(900),
+                init_time: SimDuration::from_secs(5),
+                runtime_rare_touch_prob: 0.010,
+                cpu_share: 1.0,
+                quota_mib: 1280,
+            },
+            BenchmarkSpec {
+                name: "graph",
+                is_application: true,
+                runtime_mib: rt.total_mib,
+                runtime_hot_mib: rt.hot_mib(),
+                init_mib: 180,
+                // §8.2.1: "each request performs a complete traversal of
+                // the entire graph" — no cold init pages to harvest.
+                init_access: InitAccess::FullTraversal,
+                exec_mib: 30,
+                exec_time: SimDuration::from_millis(230),
+                launch_time: SimDuration::from_millis(600),
+                init_time: SimDuration::from_millis(1_200),
+                runtime_rare_touch_prob: 0.006,
+                cpu_share: 0.5,
+                quota_mib: 256,
+            },
+            BenchmarkSpec {
+                name: "web",
+                is_application: true,
+                runtime_mib: rt.total_mib,
+                runtime_hot_mib: rt.hot_mib(),
+                // A large cache of rendered HTML pages; each request
+                // touches the Pareto-popular subset (Fig 9).
+                init_mib: 300,
+                init_access: InitAccess::ParetoObjects {
+                    alpha: 0.9,
+                    objects: 100,
+                    per_request: 3,
+                },
+                exec_mib: 8,
+                exec_time: SimDuration::from_millis(110),
+                launch_time: SimDuration::from_millis(550),
+                init_time: SimDuration::from_millis(800),
+                runtime_rare_touch_prob: 0.008,
+                cpu_share: 0.2,
+                quota_mib: 384,
+            },
+        ]
+    }
+
+    /// Looks up a catalog benchmark by its paper name.
+    pub fn by_name(name: &str) -> Option<BenchmarkSpec> {
+        Self::catalog().into_iter().find(|b| b.name == name)
+    }
+
+    /// The three real-world applications (Table 1, Fig 16).
+    pub fn applications() -> Vec<BenchmarkSpec> {
+        Self::catalog().into_iter().filter(|b| b.is_application).collect()
+    }
+
+    /// The eight FunctionBench micro-benchmarks.
+    pub fn micro_benchmarks() -> Vec<BenchmarkSpec> {
+        Self::catalog().into_iter().filter(|b| !b.is_application).collect()
+    }
+
+    /// A hello-world function on the given runtime, used by the Fig 4
+    /// experiment: negligible init and exec segments, so the measured
+    /// inactive memory is the runtime's.
+    pub fn hello_world(runtime: &RuntimeSpec) -> BenchmarkSpec {
+        BenchmarkSpec {
+            name: "hello-world",
+            is_application: false,
+            runtime_mib: runtime.total_mib,
+            runtime_hot_mib: runtime.hot_mib(),
+            init_mib: 1,
+            init_access: InitAccess::FixedHot { hot_fraction: 1.0 },
+            exec_mib: 1,
+            exec_time: SimDuration::from_millis(5),
+            launch_time: SimDuration::from_millis(400),
+            init_time: SimDuration::from_millis(50),
+            runtime_rare_touch_prob: 0.0,
+            cpu_share: 0.1,
+            quota_mib: 128,
+        }
+    }
+
+    /// Total base (keep-alive resident) footprint: runtime + init, MiB.
+    pub fn base_mib(&self) -> u64 {
+        self.runtime_mib + self.init_mib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_the_papers_eleven() {
+        let names: Vec<&str> = BenchmarkSpec::catalog().iter().map(|b| b.name).collect();
+        for expected in [
+            "json", "gzip", "pyaes", "chameleon", "image", "linpack", "matmul", "float",
+            "bert", "graph", "web",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn applications_are_init_heavy_micros_are_not() {
+        for app in BenchmarkSpec::applications() {
+            assert!(app.init_mib > app.runtime_mib, "{} should be init-heavy", app.name);
+        }
+        for micro in BenchmarkSpec::micro_benchmarks() {
+            assert!(micro.init_mib < micro.runtime_mib, "{} init should be tiny", micro.name);
+        }
+    }
+
+    #[test]
+    fn cpu_shares_match_paper() {
+        assert_eq!(BenchmarkSpec::by_name("bert").unwrap().cpu_share, 1.0);
+        assert_eq!(BenchmarkSpec::by_name("graph").unwrap().cpu_share, 0.5);
+        assert_eq!(BenchmarkSpec::by_name("web").unwrap().cpu_share, 0.2);
+        for micro in BenchmarkSpec::micro_benchmarks() {
+            assert_eq!(micro.cpu_share, 0.1);
+        }
+    }
+
+    #[test]
+    fn quotas_match_section_8_6() {
+        assert_eq!(BenchmarkSpec::by_name("bert").unwrap().quota_mib, 1280);
+        assert_eq!(BenchmarkSpec::by_name("graph").unwrap().quota_mib, 256);
+        assert_eq!(BenchmarkSpec::by_name("web").unwrap().quota_mib, 384);
+    }
+
+    #[test]
+    fn runtime_catalog_matches_fig4_shape() {
+        let cat = RuntimeSpec::catalog();
+        assert_eq!(cat.len(), 6);
+        // Azure runtimes all exceed 100 MB inactive.
+        for r in cat.iter().filter(|r| r.platform == ServerlessPlatform::Azure) {
+            assert!(r.inactive_mib >= 100, "{} {}", r.platform.name(), r.kind.name());
+        }
+        // Java has the largest inactive footprint on each platform.
+        for platform in ServerlessPlatform::ALL {
+            let of = |k: RuntimeKind| {
+                cat.iter().find(|r| r.platform == platform && r.kind == k).unwrap().inactive_mib
+            };
+            assert!(of(RuntimeKind::Java) > of(RuntimeKind::Python));
+            assert!(of(RuntimeKind::Java) > of(RuntimeKind::NodeJs));
+        }
+        // OpenWhisk Python ≈ 24 MB, Java ≈ 57 MB (Fig 4).
+        let ow_py = RuntimeSpec::openwhisk_python();
+        assert_eq!(ow_py.inactive_mib, 24);
+    }
+
+    #[test]
+    fn hot_plus_inactive_is_total() {
+        for r in RuntimeSpec::catalog() {
+            assert_eq!(r.hot_mib() + r.inactive_mib, r.total_mib);
+        }
+    }
+
+    #[test]
+    fn bert_matches_fig6_shape() {
+        let bert = BenchmarkSpec::by_name("bert").unwrap();
+        // ~900 MiB resident init; ~400 MiB of it hot per request.
+        let hot = match bert.init_access {
+            InitAccess::HotPlusRandom { hot_fraction, .. } => {
+                (bert.init_mib as f64 * hot_fraction) as u64
+            }
+            _ => panic!("bert should be hot-plus-random"),
+        };
+        assert!((350..=450).contains(&hot), "hot init ≈ 400 MiB, got {hot}");
+        assert_eq!(bert.init_time, SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn hello_world_is_runtime_dominated() {
+        let hw = BenchmarkSpec::hello_world(&RuntimeSpec::openwhisk_python());
+        assert!(hw.runtime_mib > 10 * hw.init_mib);
+        assert!(hw.runtime_mib > 10 * hw.exec_mib);
+    }
+
+    #[test]
+    fn by_name_misses_gracefully() {
+        assert!(BenchmarkSpec::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn exec_times_near_user_facing_targets() {
+        // §8.1: applications tuned to ~200 ms user-facing latency.
+        for app in BenchmarkSpec::applications() {
+            let ms = app.exec_time.as_millis_f64();
+            assert!((100.0..=300.0).contains(&ms), "{}: {ms} ms", app.name);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! End-to-end integration tests across the whole workspace: the platform,
+//! the FaaSMem policy, the baselines and the workload models together.
+
+use faasmem::prelude::*;
+use std::collections::HashMap;
+
+fn trace_for(seed: u64, class: LoadClass, mins: u64) -> InvocationTrace {
+    TraceSynthesizer::new(seed)
+        .load_class(class)
+        .duration(SimTime::from_mins(mins))
+        .synthesize_for(FunctionId(0))
+}
+
+fn run_policy_on(
+    spec: &BenchmarkSpec,
+    trace: &InvocationTrace,
+    policy_name: &str,
+) -> RunReport {
+    let builder = PlatformSim::builder().register_function(spec.clone()).seed(17);
+    let mut sim = match policy_name {
+        "Baseline" => builder.policy(NoOffloadPolicy).build(),
+        "TMO" => builder.policy(TmoPolicy::default()).build(),
+        "DAMON" => builder.policy(DamonPolicy::default()).build(),
+        "FaaSMem" => builder.policy(FaasMemPolicy::builder().build()).build(),
+        other => panic!("unknown policy {other}"),
+    };
+    sim.run(trace)
+}
+
+#[test]
+fn every_benchmark_completes_under_faasmem() {
+    let trace = trace_for(1, LoadClass::High, 10);
+    for spec in BenchmarkSpec::catalog() {
+        let report = run_policy_on(&spec, &trace, "FaaSMem");
+        assert_eq!(
+            report.requests_completed,
+            trace.len(),
+            "{}: all requests must complete",
+            spec.name
+        );
+        assert!(report.cold_starts >= 1, "{}: first request cold-starts", spec.name);
+        assert!(report.pool_stats.bytes_out > 0, "{}: FaaSMem must offload", spec.name);
+    }
+}
+
+#[test]
+fn memory_accounting_is_conserved() {
+    // At every recorded instant, local + remote must never exceed what
+    // the live containers could possibly hold, and the run must end with
+    // everything released.
+    let spec = BenchmarkSpec::by_name("web").unwrap();
+    let trace = trace_for(2, LoadClass::High, 20);
+    let report = run_policy_on(&spec, &trace, "FaaSMem");
+    assert_eq!(report.local_mem.last_value(), Some(0.0), "all local memory released");
+    assert_eq!(report.remote_mem.last_value(), Some(0.0), "all remote memory released");
+    assert_eq!(report.live_containers.last_value(), Some(0.0));
+    // The pool's lifetime traffic must cover what was ever held remotely.
+    assert!(report.pool_stats.bytes_out >= report.pool_stats.bytes_in);
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let spec = BenchmarkSpec::by_name("bert").unwrap();
+    let trace = trace_for(3, LoadClass::High, 15);
+    let a = run_policy_on(&spec, &trace, "FaaSMem");
+    let b = run_policy_on(&spec, &trace, "FaaSMem");
+    assert_eq!(a.requests_completed, b.requests_completed);
+    assert_eq!(a.pool_stats, b.pool_stats);
+    assert_eq!(a.cold_starts, b.cold_starts);
+    let lat_a: Vec<_> = a.requests.iter().map(|r| r.latency).collect();
+    let lat_b: Vec<_> = b.requests.iter().map(|r| r.latency).collect();
+    assert_eq!(lat_a, lat_b, "identical seeds must give identical latencies");
+}
+
+#[test]
+fn reuse_intervals_feed_semiwarm() {
+    let spec = BenchmarkSpec::by_name("json").unwrap();
+    let trace = trace_for(4, LoadClass::High, 30);
+    let report = run_policy_on(&spec, &trace, "FaaSMem");
+    let gaps = report.reuse_intervals.get(&FunctionId(0)).expect("warm reuses happened");
+    assert!(!gaps.is_empty());
+    // Every recorded interval is below the keep-alive timeout, otherwise
+    // the container would have been recycled instead of reused.
+    for &gap in gaps {
+        assert!(gap <= SimDuration::from_mins(10), "gap {gap} exceeds keep-alive");
+    }
+}
+
+#[test]
+fn per_request_records_are_complete_and_ordered() {
+    let spec = BenchmarkSpec::by_name("graph").unwrap();
+    let trace = trace_for(5, LoadClass::High, 10);
+    let report = run_policy_on(&spec, &trace, "FaaSMem");
+    assert_eq!(report.requests.len(), report.requests_completed);
+    let arrivals: Vec<_> = trace.iter().map(|i| i.at).collect();
+    let mut recorded: Vec<_> = report.requests.iter().map(|r| r.arrived).collect();
+    recorded.sort();
+    assert_eq!(arrivals, recorded, "every arrival accounted for exactly once");
+    // Cold-start count consistent with the flags.
+    assert_eq!(report.requests.iter().filter(|r| r.cold).count(), report.cold_starts);
+}
+
+#[test]
+fn container_records_cover_all_containers() {
+    let spec = BenchmarkSpec::by_name("float").unwrap();
+    let trace = trace_for(6, LoadClass::Middle, 60);
+    let report = run_policy_on(&spec, &trace, "Baseline");
+    let served: u64 = report.containers.iter().map(|c| c.requests_served).sum();
+    assert_eq!(served as usize, report.requests_completed);
+    for c in &report.containers {
+        assert!(c.retired_at > c.created_at);
+        assert!(c.busy_time <= c.lifetime());
+        // With a 10-minute keep-alive every container lives at least
+        // that long after its last request.
+        assert!(c.lifetime() >= SimDuration::from_mins(10));
+    }
+}
+
+#[test]
+fn multi_function_node_isolates_state() {
+    let specs: Vec<BenchmarkSpec> = BenchmarkSpec::catalog().into_iter().take(4).collect();
+    let horizon = SimTime::from_mins(20);
+    let mut merged = InvocationTrace::empty(horizon);
+    for (i, _) in specs.iter().enumerate() {
+        let t = TraceSynthesizer::new(40 + i as u64)
+            .load_class(LoadClass::High)
+            .duration(horizon)
+            .synthesize_for(FunctionId(i as u32));
+        merged = merged.merge(&t);
+    }
+    let mut sim = PlatformSim::builder()
+        .register_functions(specs)
+        .policy(FaasMemPolicy::builder().build())
+        .seed(8)
+        .build();
+    let report = sim.run(&merged);
+    assert_eq!(report.requests_completed, merged.len());
+    // Each function's containers only ever served that function.
+    let mut by_function: HashMap<FunctionId, u64> = HashMap::new();
+    for c in &report.containers {
+        *by_function.entry(c.function).or_default() += c.requests_served;
+    }
+    for f in merged.functions() {
+        assert_eq!(
+            by_function.get(&f).copied().unwrap_or(0) as usize,
+            merged.for_function(f).len(),
+            "{f}: requests served by its own containers"
+        );
+    }
+}
+
+#[test]
+fn damon_offloads_but_hurts_warm_latency_on_sparse_traffic() {
+    let spec = BenchmarkSpec::by_name("bert").unwrap();
+    // Sparse: requests a minute apart, well past DAMON's idle threshold.
+    let invs: Vec<Invocation> = (0..30)
+        .map(|i| Invocation { at: SimTime::from_secs(10 + i * 60), function: FunctionId(0) })
+        .collect();
+    let trace = InvocationTrace::from_invocations(invs, SimTime::from_mins(60));
+    let damon = run_policy_on(&spec, &trace, "DAMON");
+    let base = run_policy_on(&spec, &trace, "Baseline");
+    let damon_warm_faults: u32 =
+        damon.requests.iter().filter(|r| !r.cold).map(|r| r.faults).sum();
+    assert!(damon_warm_faults > 100, "DAMON must thrash the hot set");
+    let base_warm_faults: u32 = base.requests.iter().filter(|r| !r.cold).map(|r| r.faults).sum();
+    assert_eq!(base_warm_faults, 0);
+}
+
+use faasmem::workload::Invocation;

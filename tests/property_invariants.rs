@@ -1,0 +1,171 @@
+//! Property-based integration tests: platform invariants must hold for
+//! arbitrary traces, benchmark choices and policies.
+
+use faasmem::prelude::*;
+use proptest::prelude::*;
+
+fn arbitrary_trace() -> impl Strategy<Value = InvocationTrace> {
+    (
+        proptest::collection::vec(0u64..1_800, 1..40),
+        Just(SimTime::from_mins(60)),
+    )
+        .prop_map(|(secs, horizon)| {
+            let invs = secs
+                .into_iter()
+                .map(|s| faasmem::workload::Invocation {
+                    at: SimTime::from_secs(s),
+                    function: FunctionId(0),
+                })
+                .collect();
+            InvocationTrace::from_invocations(invs, horizon)
+        })
+}
+
+fn policy_for(idx: u8) -> Box<dyn MemoryPolicy> {
+    match idx % 4 {
+        0 => Box::new(NoOffloadPolicy),
+        1 => Box::new(TmoPolicy::default()),
+        2 => Box::new(DamonPolicy::default()),
+        _ => Box::new(FaasMemPolicy::new()),
+    }
+}
+
+fn run_boxed(
+    spec: BenchmarkSpec,
+    policy: Box<dyn MemoryPolicy>,
+    trace: &InvocationTrace,
+    seed: u64,
+) -> RunReport {
+    // PlatformBuilder::policy takes a concrete type; route through a
+    // forwarding adapter so the property can sample policies dynamically.
+    struct Forward(Box<dyn MemoryPolicy>);
+    impl MemoryPolicy for Forward {
+        fn name(&self) -> &'static str {
+            self.0.name()
+        }
+        fn tick_interval(&self) -> Option<SimDuration> {
+            self.0.tick_interval()
+        }
+        fn on_runtime_loaded(&mut self, ctx: &mut faasmem::faas::PolicyCtx<'_>) {
+            self.0.on_runtime_loaded(ctx)
+        }
+        fn on_init_done(&mut self, ctx: &mut faasmem::faas::PolicyCtx<'_>) {
+            self.0.on_init_done(ctx)
+        }
+        fn on_request_start(
+            &mut self,
+            ctx: &mut faasmem::faas::PolicyCtx<'_>,
+            idle: Option<SimDuration>,
+        ) {
+            self.0.on_request_start(ctx, idle)
+        }
+        fn on_request_end(&mut self, ctx: &mut faasmem::faas::PolicyCtx<'_>) {
+            self.0.on_request_end(ctx)
+        }
+        fn on_tick(&mut self, ctx: &mut faasmem::faas::PolicyCtx<'_>) {
+            self.0.on_tick(ctx)
+        }
+        fn on_container_recycled(&mut self, ctx: &mut faasmem::faas::PolicyCtx<'_>) {
+            self.0.on_container_recycled(ctx)
+        }
+    }
+    let mut sim = PlatformSim::builder()
+        .register_function(spec)
+        .policy(Forward(policy))
+        .seed(seed)
+        .build();
+    sim.run(trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_all_requests_complete_and_memory_drains(
+        trace in arbitrary_trace(),
+        policy_idx in 0u8..4,
+        spec_idx in 0usize..11,
+        seed in 0u64..100,
+    ) {
+        let spec = BenchmarkSpec::catalog()[spec_idx].clone();
+        let report = run_boxed(spec, policy_for(policy_idx), &trace, seed);
+        prop_assert_eq!(report.requests_completed, trace.len());
+        prop_assert_eq!(report.local_mem.last_value(), Some(0.0));
+        prop_assert_eq!(report.remote_mem.last_value(), Some(0.0));
+        prop_assert_eq!(report.live_containers.last_value(), Some(0.0));
+        // Pool conservation: what went out either came back or was
+        // discarded at recycle; never negative.
+        prop_assert!(report.pool_stats.bytes_out >= report.pool_stats.bytes_in);
+        // Container accounting.
+        let served: u64 = report.containers.iter().map(|c| c.requests_served).sum();
+        prop_assert_eq!(served as usize, report.requests_completed);
+    }
+
+    #[test]
+    fn prop_latency_never_below_pure_exec(
+        trace in arbitrary_trace(),
+        policy_idx in 0u8..4,
+        seed in 0u64..100,
+    ) {
+        let spec = BenchmarkSpec::by_name("json").unwrap();
+        let exec = spec.exec_time;
+        let report = run_boxed(spec, policy_for(policy_idx), &trace, seed);
+        for r in &report.requests {
+            // Latency at least ~the jittered compute time (jitter sigma
+            // 0.05 means > 0.7x is astronomically safe).
+            prop_assert!(r.latency >= exec.mul_f64(0.7), "latency {} < exec", r.latency);
+            if r.cold {
+                prop_assert!(r.latency >= exec.mul_f64(0.7) + SimDuration::from_millis(400));
+            }
+        }
+    }
+
+    #[test]
+    fn prop_cold_policies_never_evict_the_hot_set(
+        gaps in proptest::collection::vec(5u64..400, 2..25),
+        seed in 0u64..50,
+    ) {
+        // §5's guarantee: the Pucket policies (reactive + window +
+        // rollback) only offload *inactive* pages. A fully-hot workload
+        // (json touches its whole init segment and a fixed runtime set
+        // every request) must therefore run essentially fault-free when
+        // semi-warm is disabled — recalls can only come from the rare
+        // cold-runtime touch (~0.4% per request).
+        let spec = BenchmarkSpec::by_name("json").unwrap();
+        let mut t = 10u64;
+        let mut invs = Vec::new();
+        for g in gaps {
+            invs.push(faasmem::workload::Invocation {
+                at: SimTime::from_secs(t),
+                function: FunctionId(0),
+            });
+            t += g;
+        }
+        let trace = InvocationTrace::from_invocations(invs, SimTime::from_secs(t + 1_000));
+        let policy = FaasMemPolicy::builder().without_semiwarm().build();
+        let report = run_boxed(spec, Box::new(policy), &trace, seed);
+        for r in report.requests.iter().filter(|r| !r.cold) {
+            prop_assert!(
+                r.faults <= 3,
+                "warm request took {} faults — hot set was evicted",
+                r.faults
+            );
+        }
+    }
+
+    #[test]
+    fn prop_offload_never_exceeds_allocated(
+        trace in arbitrary_trace(),
+        seed in 0u64..100,
+    ) {
+        let spec = BenchmarkSpec::by_name("web").unwrap();
+        let report = run_boxed(spec.clone(), Box::new(FaasMemPolicy::new()), &trace, seed);
+        // Remote footprint can never exceed what the containers hold:
+        // base footprint per container times the container peak.
+        let peak_remote = report.remote_mem.max_value().unwrap_or(0.0);
+        let peak_containers = report.live_containers.max_value().unwrap_or(0.0);
+        let bound =
+            (spec.base_mib() + spec.exec_mib) as f64 * 1024.0 * 1024.0 * peak_containers.max(1.0);
+        prop_assert!(peak_remote <= bound, "remote {peak_remote} > bound {bound}");
+    }
+}
