@@ -55,12 +55,18 @@ impl Default for DamonConfig {
 impl DamonConfig {
     /// Convenience: PEBS-sampling mode with the given probability.
     pub fn with_pebs(sample_prob: f64) -> Self {
-        DamonConfig { mode: DamonMode::PebsSampling(sample_prob), ..Self::default() }
+        DamonConfig {
+            mode: DamonMode::PebsSampling(sample_prob),
+            ..Self::default()
+        }
     }
 
     /// Convenience: full region-monitoring mode with default regions.
     pub fn with_regions() -> Self {
-        DamonConfig { mode: DamonMode::RegionMonitor(RegionConfig::default()), ..Self::default() }
+        DamonConfig {
+            mode: DamonMode::RegionMonitor(RegionConfig::default()),
+            ..Self::default()
+        }
     }
 }
 
@@ -82,7 +88,11 @@ impl Default for DamonPolicy {
 impl DamonPolicy {
     /// Creates the policy.
     pub fn new(config: DamonConfig) -> Self {
-        DamonPolicy { config, rng: SimRng::seed_from(0xDA30), monitors: HashMap::new() }
+        DamonPolicy {
+            config,
+            rng: SimRng::seed_from(0xDA30),
+            monitors: HashMap::new(),
+        }
     }
 
     /// The active configuration.
@@ -104,9 +114,10 @@ impl MemoryPolicy for DamonPolicy {
         // Sampling is container-stage agnostic: it runs during execution
         // and keep-alive alike — the design flaw the paper calls out.
         let cold = match self.config.mode {
-            DamonMode::ExactScan => {
-                ctx.container.table_mut().age_and_collect_idle(self.config.idle_threshold)
-            }
+            DamonMode::ExactScan => ctx
+                .container
+                .table_mut()
+                .age_and_collect_idle(self.config.idle_threshold),
             DamonMode::PebsSampling(p) => {
                 let rng = &mut self.rng;
                 ctx.container.table_mut().age_and_collect_idle_sampled(
@@ -145,7 +156,10 @@ mod tests {
     fn trace(times_secs: &[u64]) -> InvocationTrace {
         let invs = times_secs
             .iter()
-            .map(|&s| Invocation { at: SimTime::from_secs(s), function: FunctionId(0) })
+            .map(|&s| Invocation {
+                at: SimTime::from_secs(s),
+                function: FunctionId(0),
+            })
             .collect();
         InvocationTrace::from_invocations(invs, SimTime::from_secs(3_000))
     }
@@ -165,7 +179,10 @@ mod tests {
         // Within the 10-minute keep-alive, nearly the whole container
         // goes remote.
         let offloaded_mib = report.pool_stats.bytes_out as f64 / (1024.0 * 1024.0);
-        assert!(offloaded_mib > 500.0, "DAMON offloaded only {offloaded_mib} MiB");
+        assert!(
+            offloaded_mib > 500.0,
+            "DAMON offloaded only {offloaded_mib} MiB"
+        );
     }
 
     #[test]
@@ -187,7 +204,12 @@ mod tests {
             "DAMON P95 {p95_d} should blow up vs baseline {p95_b} (Fig 2)"
         );
         // Warm requests carry heavy fault counts.
-        let warm_faults: u32 = damon.requests.iter().filter(|r| !r.cold).map(|r| r.faults).sum();
+        let warm_faults: u32 = damon
+            .requests
+            .iter()
+            .filter(|r| !r.cold)
+            .map(|r| r.faults)
+            .sum();
         assert!(warm_faults > 1_000, "warm faults {warm_faults}");
     }
 
@@ -201,7 +223,10 @@ mod tests {
         let per_request = warm.iter().map(|r| r.faults as f64).sum::<f64>() / warm.len() as f64;
         // Bert's random slice still faults cold init pages occasionally,
         // but the ~6000-page fixed hot core must stay local.
-        assert!(per_request < 1_500.0, "avg faults per warm request {per_request}");
+        assert!(
+            per_request < 1_500.0,
+            "avg faults per warm request {per_request}"
+        );
     }
 
     #[test]
@@ -219,9 +244,16 @@ mod tests {
         let times: Vec<u64> = (0..20).map(|i| 10 + i * 60).collect();
         let report = run_policy(DamonPolicy::new(DamonConfig::with_regions()), &times);
         let offloaded_mib = report.pool_stats.bytes_out as f64 / (1024.0 * 1024.0);
-        assert!(offloaded_mib > 200.0, "regions offloaded only {offloaded_mib} MiB");
-        let warm_faults: u32 =
-            report.requests.iter().filter(|r| !r.cold).map(|r| r.faults).sum();
+        assert!(
+            offloaded_mib > 200.0,
+            "regions offloaded only {offloaded_mib} MiB"
+        );
+        let warm_faults: u32 = report
+            .requests
+            .iter()
+            .filter(|r| !r.cold)
+            .map(|r| r.faults)
+            .sum();
         assert!(warm_faults > 500, "warm faults {warm_faults}");
     }
 
@@ -233,7 +265,11 @@ mod tests {
         let exact = run_policy(DamonPolicy::default(), &times);
         let sampled = run_policy(DamonPolicy::new(DamonConfig::with_pebs(0.02)), &times);
         let faults = |r: &RunReport| -> u64 {
-            r.requests.iter().filter(|q| !q.cold).map(|q| u64::from(q.faults)).sum()
+            r.requests
+                .iter()
+                .filter(|q| !q.cold)
+                .map(|q| u64::from(q.faults))
+                .sum()
         };
         assert!(
             faults(&sampled) > faults(&exact) * 2,

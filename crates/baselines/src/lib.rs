@@ -59,6 +59,9 @@ mod tests {
             let p = baseline_by_name(name).expect(name);
             assert_eq!(p.name(), name);
         }
-        assert!(baseline_by_name("FaaSMem").is_none(), "FaaSMem lives in faasmem-core");
+        assert!(
+            baseline_by_name("FaaSMem").is_none(),
+            "FaaSMem lives in faasmem-core"
+        );
     }
 }

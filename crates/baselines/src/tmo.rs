@@ -59,7 +59,10 @@ struct TmoState {
 impl TmoPolicy {
     /// Creates the policy with the paper's constants.
     pub fn new(config: TmoConfig) -> Self {
-        TmoPolicy { config, state: HashMap::new() }
+        TmoPolicy {
+            config,
+            state: HashMap::new(),
+        }
     }
 
     /// The active configuration.
@@ -84,7 +87,10 @@ impl MemoryPolicy for TmoPolicy {
         let stall = ctx.container.last_request_stall().as_secs_f64();
         if spec_time > 0.0 && stall / spec_time > self.config.pressure_threshold {
             let until = ctx.now + self.config.backoff;
-            self.state.entry(ctx.container.id()).or_default().paused_until = Some(until);
+            self.state
+                .entry(ctx.container.id())
+                .or_default()
+                .paused_until = Some(until);
         }
     }
 
@@ -103,7 +109,10 @@ impl MemoryPolicy for TmoPolicy {
         let budget_pages = (budget_bytes / page_size as f64).floor();
         entry.carry = budget_bytes - budget_pages * page_size as f64;
         // Age first so idleness accumulates even when the budget is zero.
-        let mut cold = ctx.container.table_mut().age_and_collect_idle(self.config.idle_threshold);
+        let mut cold = ctx
+            .container
+            .table_mut()
+            .age_and_collect_idle(self.config.idle_threshold);
         if budget_pages < 1.0 || cold.is_empty() {
             return;
         }
@@ -125,7 +134,10 @@ mod tests {
     fn trace(times_secs: &[u64]) -> InvocationTrace {
         let invs = times_secs
             .iter()
-            .map(|&s| Invocation { at: SimTime::from_secs(s), function: FunctionId(0) })
+            .map(|&s| Invocation {
+                at: SimTime::from_secs(s),
+                function: FunctionId(0),
+            })
             .collect();
         InvocationTrace::from_invocations(invs, SimTime::from_secs(3_000))
     }
@@ -142,7 +154,10 @@ mod tests {
     #[test]
     fn offloads_slowly() {
         let report = run(TmoPolicy::default(), &[10]);
-        assert!(report.pool_stats.bytes_out > 0, "TMO must offload something");
+        assert!(
+            report.pool_stats.bytes_out > 0,
+            "TMO must offload something"
+        );
         // 0.05%/6s over ~10 min keep-alive caps around 5% of resident.
         let resident = 1_200.0; // bert ≈ 1.1 GiB resident in MiB
         let offloaded_mib = report.pool_stats.bytes_out as f64 / (1024.0 * 1024.0);

@@ -1,15 +1,47 @@
-//! Criterion micro-benchmarks for the Fig 15 overhead analysis.
+//! Micro-benchmarks for the Fig 15 overhead analysis.
 //!
 //! Measures the cost of the FaaSMem primitives on 4 KiB-page tables sized
 //! like the paper's benchmarks: time-barrier insertion, hot-pool
 //! promotion scans, rollback, and the inactive-list collection behind the
 //! reactive/window offloads. The paper's bounds: barrier insertion
 //! ≤ 2.5 ms (micro) / ≤ 10 ms (apps), rollback ≤ 7.5 ms.
+//!
+//! Self-timed (`harness = false`): the workspace vendors no external
+//! benchmarking framework, so each case reports min/mean over a fixed
+//! iteration count, which is plenty to check the paper's millisecond
+//! bounds.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use faasmem_core::{PucketKind, Puckets};
 use faasmem_mem::{mib_to_pages, PageTable, Segment, PAGE_SIZE_4K};
 use faasmem_workload::BenchmarkSpec;
+
+/// Runs `f` `iters` times (after one warm-up), rebuilding its input with
+/// `setup` outside the timed window, and prints min/mean microseconds.
+fn bench<S, T>(
+    group: &str,
+    case: &str,
+    iters: u32,
+    mut setup: impl FnMut() -> S,
+    mut f: impl FnMut(S) -> T,
+) {
+    let mut min = f64::INFINITY;
+    let mut total = 0.0;
+    std::hint::black_box(f(setup()));
+    for _ in 0..iters {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(f(input));
+        let micros = start.elapsed().as_secs_f64() * 1e6;
+        min = min.min(micros);
+        total += micros;
+    }
+    println!(
+        "{group:<28} {case:<8} min {min:>10.2} us   mean {:>10.2} us   ({iters} iters)",
+        total / f64::from(iters)
+    );
+}
 
 /// Builds a fully segregated table for a benchmark, with the working set
 /// promoted to the hot pool.
@@ -30,100 +62,83 @@ fn build_table(spec: &BenchmarkSpec) -> (PageTable, Puckets) {
     (table, puckets)
 }
 
-fn bench_time_barrier(c: &mut Criterion) {
-    let mut group = c.benchmark_group("time_barrier_insertion");
+fn main() {
     for name in ["json", "web", "bert"] {
         let spec = BenchmarkSpec::by_name(name).expect("catalog");
         let runtime_pages = mib_to_pages(spec.runtime_mib, PAGE_SIZE_4K) as u32;
-        group.bench_with_input(BenchmarkId::from_parameter(name), &runtime_pages, |b, &pages| {
-            b.iter_with_setup(
-                || {
-                    let mut table = PageTable::new(PAGE_SIZE_4K);
-                    table.alloc(Segment::Runtime, pages);
-                    (table, Puckets::new())
-                },
-                |(mut table, mut puckets)| {
-                    puckets.insert_runtime_init_barrier(&mut table);
-                    std::hint::black_box(table.current_generation());
-                },
-            );
-        });
+        bench(
+            "time_barrier_insertion",
+            name,
+            20,
+            || {
+                let mut table = PageTable::new(PAGE_SIZE_4K);
+                table.alloc(Segment::Runtime, runtime_pages);
+                (table, Puckets::new())
+            },
+            |(mut table, mut puckets)| {
+                puckets.insert_runtime_init_barrier(&mut table);
+                std::hint::black_box(table.current_generation());
+            },
+        );
     }
-    group.finish();
-}
 
-fn bench_rollback(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hot_pool_rollback");
     for name in ["json", "web", "bert"] {
         let spec = BenchmarkSpec::by_name(name).expect("catalog");
         let (table, puckets) = build_table(&spec);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
-            b.iter_with_setup(
-                || table.clone(),
-                |mut t| {
-                    std::hint::black_box(puckets.rollback_hot_pool(&mut t));
-                },
-            );
-        });
+        bench(
+            "hot_pool_rollback",
+            name,
+            20,
+            || table.clone(),
+            |mut t| {
+                std::hint::black_box(puckets.rollback_hot_pool(&mut t));
+            },
+        );
     }
-    group.finish();
-}
 
-fn bench_promotion_scan(c: &mut Criterion) {
-    let mut group = c.benchmark_group("promotion_scan");
     for name in ["json", "web", "bert"] {
         let spec = BenchmarkSpec::by_name(name).expect("catalog");
         let (mut table, puckets) = build_table(&spec);
         // Leave fresh Access bits for the scan to consume.
         let r = faasmem_mem::PageRange::new(faasmem_mem::PageId(0), 256.min(table.len() as u32));
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
-            b.iter(|| {
+        bench(
+            "promotion_scan",
+            name,
+            50,
+            || (),
+            |()| {
                 table.touch_range(r);
                 std::hint::black_box(puckets.promote_accessed(&mut table));
-            });
-        });
+            },
+        );
     }
-    group.finish();
-}
 
-fn bench_inactive_collection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("inactive_list_collection");
     for name in ["json", "web", "bert"] {
         let spec = BenchmarkSpec::by_name(name).expect("catalog");
         let (table, puckets) = build_table(&spec);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
-            b.iter(|| {
+        bench(
+            "inactive_list_collection",
+            name,
+            50,
+            || (),
+            |()| {
                 std::hint::black_box(puckets.inactive_pages(&table, PucketKind::Runtime));
                 std::hint::black_box(puckets.inactive_pages(&table, PucketKind::Init));
-            });
-        });
+            },
+        );
     }
-    group.finish();
-}
 
-fn bench_aging_scan(c: &mut Criterion) {
-    let mut group = c.benchmark_group("damon_aging_scan");
     for name in ["json", "bert"] {
         let spec = BenchmarkSpec::by_name(name).expect("catalog");
         let (table, _) = build_table(&spec);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
-            b.iter_with_setup(
-                || table.clone(),
-                |mut t| {
-                    std::hint::black_box(t.age_and_collect_idle(4));
-                },
-            );
-        });
+        bench(
+            "damon_aging_scan",
+            name,
+            20,
+            || table.clone(),
+            |mut t| {
+                std::hint::black_box(t.age_and_collect_idle(4));
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_time_barrier,
-    bench_rollback,
-    bench_promotion_scan,
-    bench_inactive_collection,
-    bench_aging_scan
-);
-criterion_main!(benches);

@@ -1,36 +1,39 @@
-//! Criterion benchmarks of the simulation substrate itself: event-queue
-//! throughput, request execution, and whole-run throughput per policy.
+//! Benchmarks of the simulation substrate itself: event-queue
+//! throughput, and whole-run throughput per policy.
 //!
 //! These guard the simulator's performance budget (hour-long Azure-style
 //! traces must stay in the low seconds) and double as an ablation bench:
 //! the per-policy group shows what each offloading mechanism costs in
 //! simulation time relative to the no-offload baseline.
+//!
+//! Self-timed (`harness = false`): the workspace vendors no external
+//! benchmarking framework; min/mean over fixed iterations is enough to
+//! watch the budget.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use faasmem_baselines::{DamonPolicy, NoOffloadPolicy, TmoPolicy};
 use faasmem_core::FaasMemPolicy;
 use faasmem_faas::{MemoryPolicy, PlatformSim};
 use faasmem_sim::{EventQueue, SimTime};
 use faasmem_workload::{BenchmarkSpec, FunctionId, LoadClass, TraceSynthesizer};
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut group = c.benchmark_group("event_queue");
-    for n in [1_000u64, 100_000] {
-        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut q = EventQueue::with_capacity(n as usize);
-                for i in 0..n {
-                    q.push(SimTime::from_micros(i.wrapping_mul(2_654_435_761) % 1_000_000), i);
-                }
-                let mut sum = 0u64;
-                while let Some((_, v)) = q.pop() {
-                    sum = sum.wrapping_add(v);
-                }
-                std::hint::black_box(sum)
-            });
-        });
+/// Runs `f` `iters` times (after one warm-up) and prints min/mean.
+fn bench<T>(group: &str, case: &str, iters: u32, mut f: impl FnMut() -> T) {
+    let mut min = f64::INFINITY;
+    let mut total = 0.0;
+    std::hint::black_box(f());
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let millis = start.elapsed().as_secs_f64() * 1e3;
+        min = min.min(millis);
+        total += millis;
     }
-    group.finish();
+    println!(
+        "{group:<24} {case:<20} min {min:>9.2} ms   mean {:>9.2} ms   ({iters} iters)",
+        total / f64::from(iters)
+    );
 }
 
 fn run_trace<P: MemoryPolicy + 'static>(policy: P) -> usize {
@@ -46,21 +49,40 @@ fn run_trace<P: MemoryPolicy + 'static>(policy: P) -> usize {
     sim.run(&trace).requests_completed
 }
 
-fn bench_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ten_minute_web_trace");
-    group.sample_size(10);
-    group.bench_function("baseline", |b| b.iter(|| run_trace(NoOffloadPolicy)));
-    group.bench_function("tmo", |b| b.iter(|| run_trace(TmoPolicy::default())));
-    group.bench_function("damon", |b| b.iter(|| run_trace(DamonPolicy::default())));
-    group.bench_function("faasmem", |b| b.iter(|| run_trace(FaasMemPolicy::new())));
-    group.bench_function("faasmem_no_pucket", |b| {
-        b.iter(|| run_trace(FaasMemPolicy::builder().without_pucket().build()))
-    });
-    group.bench_function("faasmem_no_semiwarm", |b| {
-        b.iter(|| run_trace(FaasMemPolicy::builder().without_semiwarm().build()))
-    });
-    group.finish();
-}
+fn main() {
+    for n in [1_000u64, 100_000] {
+        bench("event_queue", &format!("push_pop_{n}"), 10, || {
+            let mut q = EventQueue::with_capacity(n as usize);
+            for i in 0..n {
+                q.push(
+                    SimTime::from_micros(i.wrapping_mul(2_654_435_761) % 1_000_000),
+                    i,
+                );
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            sum
+        });
+    }
 
-criterion_group!(benches, bench_event_queue, bench_policies);
-criterion_main!(benches);
+    bench("ten_minute_web_trace", "baseline", 10, || {
+        run_trace(NoOffloadPolicy)
+    });
+    bench("ten_minute_web_trace", "tmo", 10, || {
+        run_trace(TmoPolicy::default())
+    });
+    bench("ten_minute_web_trace", "damon", 10, || {
+        run_trace(DamonPolicy::default())
+    });
+    bench("ten_minute_web_trace", "faasmem", 10, || {
+        run_trace(FaasMemPolicy::new())
+    });
+    bench("ten_minute_web_trace", "faasmem_no_pucket", 10, || {
+        run_trace(FaasMemPolicy::builder().without_pucket().build())
+    });
+    bench("ten_minute_web_trace", "faasmem_no_semiwarm", 10, || {
+        run_trace(FaasMemPolicy::builder().without_semiwarm().build())
+    });
+}

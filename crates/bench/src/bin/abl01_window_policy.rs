@@ -6,53 +6,86 @@
 //! workloads the paper uses to motivate adaptivity: Bert (stable hot set
 //! — a small window suffices) and Web (scattered Pareto objects — an
 //! eager window causes recalls).
+//!
+//! Runs on the parallel harness (`--jobs`, `--quick`); the merged result
+//! is exported to `results/abl01_window_policy.json`.
 
+use faasmem_bench::harness::{
+    self, BenchCase, ConfigCase, ExperimentGrid, HarnessOptions, PolicySpec, TraceSpec,
+};
 use faasmem_bench::{fmt_mib, fmt_secs, render_table};
 use faasmem_core::{FaasMemConfigBuilder, FaasMemPolicy};
-use faasmem_faas::PlatformSim;
-use faasmem_sim::SimTime;
-use faasmem_workload::{BenchmarkSpec, FunctionId, LoadClass, TraceSynthesizer};
+use faasmem_faas::PlatformConfig;
+use faasmem_workload::{BenchmarkSpec, LoadClass};
+
+fn window_policies() -> Vec<(&'static str, Option<u32>)> {
+    vec![
+        ("adaptive (gradient)", None),
+        ("fixed w=1", Some(1)),
+        ("fixed w=5", Some(5)),
+        ("fixed w=20", Some(20)),
+    ]
+}
 
 fn main() {
+    let opts = HarnessOptions::from_env();
+    let grid = ExperimentGrid::new("abl01_window_policy")
+        .trace(TraceSpec::synth("high-60min", 905, LoadClass::High))
+        .benches(
+            ["bert", "web"]
+                .map(|app| BenchCase::single(BenchmarkSpec::by_name(app).expect("catalog"))),
+        )
+        .config(ConfigCase::new(
+            "s41",
+            PlatformConfig {
+                seed: 41,
+                ..PlatformConfig::default()
+            },
+        ))
+        .policies(window_policies().into_iter().map(|(label, fixed)| {
+            PolicySpec::faasmem(label, move || {
+                let mut cfg = FaasMemConfigBuilder::new();
+                if let Some(w) = fixed {
+                    // A huge stability requirement disables the gradient;
+                    // only the cap closes the window, i.e. fixed size w.
+                    cfg = cfg.window_stable_rounds(u32::MAX).window_cap(w);
+                }
+                FaasMemPolicy::builder().config(cfg.build()).build()
+            })
+        }));
+    let run = harness::run_and_export(&grid, &opts);
+
     for app in ["bert", "web"] {
-        let spec = BenchmarkSpec::by_name(app).expect("catalog");
-        let trace = TraceSynthesizer::new(905)
-            .load_class(LoadClass::High)
-            .duration(SimTime::from_mins(60))
-            .synthesize_for(FunctionId(0));
-        println!("=== {app}: {} invocations ===", trace.len());
+        let invocations = run
+            .outcome("high-60min", app, "s41", "adaptive (gradient)")
+            .trace_len;
+        println!("=== {app}: {invocations} invocations ===");
         let mut rows = Vec::new();
-        for (label, fixed) in
-            [("adaptive (gradient)", None), ("fixed w=1", Some(1)), ("fixed w=5", Some(5)), ("fixed w=20", Some(20))]
-        {
-            let mut cfg = FaasMemConfigBuilder::new();
-            if let Some(w) = fixed {
-                // A huge stability requirement disables the gradient;
-                // only the cap closes the window, i.e. fixed size w.
-                cfg = cfg.window_stable_rounds(u32::MAX).window_cap(w);
-            }
-            let policy = FaasMemPolicy::builder().config(cfg.build()).build();
-            let stats = policy.stats();
-            let mut sim = PlatformSim::builder()
-                .register_function(spec.clone())
-                .policy(policy)
-                .seed(41)
-                .build();
-            let mut report = sim.run(&trace);
-            let recalled = report.pool_stats.bytes_in as f64 / (1024.0 * 1024.0);
-            let windows: Vec<u32> =
-                stats.borrow().windows_chosen.iter().map(|&(_, w)| w).collect();
+        for (label, _) in window_policies() {
+            let outcome = run.outcome("high-60min", app, "s41", label);
+            let recalled = outcome.summary.pool_stats.bytes_in as f64 / (1024.0 * 1024.0);
+            let stats = outcome.faasmem.as_ref().expect("FaaSMem exposes stats");
+            let windows: Vec<u32> = stats.windows_chosen.iter().map(|&(_, w)| w).collect();
             rows.push(vec![
                 label.to_string(),
-                fmt_mib(report.avg_local_mib()),
-                fmt_secs(report.p95_latency().as_secs_f64()),
+                fmt_mib(outcome.summary.avg_local_mib),
+                fmt_secs(outcome.summary.latency.p95.as_secs_f64()),
                 format!("{recalled:.0} MiB"),
                 format!("{windows:?}"),
             ]);
         }
         println!(
             "{}",
-            render_table(&["window policy", "avg mem", "P95", "recalled", "windows chosen"], &rows)
+            render_table(
+                &[
+                    "window policy",
+                    "avg mem",
+                    "P95",
+                    "recalled",
+                    "windows chosen"
+                ],
+                &rows
+            )
         );
         println!();
     }

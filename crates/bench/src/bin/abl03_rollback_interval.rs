@@ -1,53 +1,76 @@
-//! Ablation: the minimum rollback interval `t` (paper §5.3 / §8.5).
+//! Ablation: rollback minimum interval (§5.3).
 //!
-//! Rollbacks re-validate the hot page pool; more frequent rollbacks catch
-//! stale hot pages sooner (less memory) but cost more re-observation
-//! faults and maintenance work. The paper recommends `t ≥ 10 s` to keep
-//! overhead under 0.1%.
+//! When a request recalls pages out of the Init Pucket, FaaSMem rolls the
+//! window decision back — but no more often than `rollback_min_interval`,
+//! to keep a noisy function from thrashing between offload and recall.
+//! This sweeps that interval on Web, whose Pareto object accesses trigger
+//! rollbacks regularly.
+//!
+//! Runs on the parallel harness (`--jobs`, `--quick`); the merged result
+//! is exported to `results/abl03_rollback_interval.json`.
 
+use faasmem_bench::harness::{
+    self, BenchCase, ConfigCase, ExperimentGrid, HarnessOptions, PolicySpec, TraceSpec,
+};
 use faasmem_bench::{fmt_mib, fmt_secs, render_table};
 use faasmem_core::{FaasMemConfigBuilder, FaasMemPolicy};
-use faasmem_faas::PlatformSim;
-use faasmem_sim::{SimDuration, SimTime};
-use faasmem_workload::{BenchmarkSpec, FunctionId, LoadClass, TraceSynthesizer};
+use faasmem_faas::PlatformConfig;
+use faasmem_sim::SimDuration;
+use faasmem_workload::{BenchmarkSpec, LoadClass};
+
+const INTERVALS_SECS: [u64; 4] = [1, 10, 60, 300];
+
+fn label(t: u64) -> String {
+    format!("t = {t}s")
+}
 
 fn main() {
-    let spec = BenchmarkSpec::by_name("web").expect("catalog");
-    let trace = TraceSynthesizer::new(907)
-        .load_class(LoadClass::High)
-        .duration(SimTime::from_mins(60))
-        .synthesize_for(FunctionId(0));
-    println!("web, steady high-load, {} invocations\n", trace.len());
+    let opts = HarnessOptions::from_env();
+    let grid = ExperimentGrid::new("abl03_rollback_interval")
+        .trace(TraceSpec::synth("high-60min", 907, LoadClass::High))
+        .bench(BenchCase::single(
+            BenchmarkSpec::by_name("web").expect("catalog"),
+        ))
+        .config(ConfigCase::new(
+            "s61",
+            PlatformConfig {
+                seed: 61,
+                ..PlatformConfig::default()
+            },
+        ))
+        .policies(INTERVALS_SECS.map(|t| {
+            PolicySpec::faasmem(&label(t), move || {
+                let cfg = FaasMemConfigBuilder::new()
+                    .rollback_min_interval(SimDuration::from_secs(t))
+                    .build();
+                FaasMemPolicy::builder().config(cfg).build()
+            })
+        }));
+    let run = harness::run_and_export(&grid, &opts);
 
+    let invocations = run.outcome("high-60min", "web", "s61", &label(1)).trace_len;
+    println!("=== web, {invocations} invocations ===");
     let mut rows = Vec::new();
-    for t_secs in [1u64, 10, 60, 300] {
-        let policy = FaasMemPolicy::builder()
-            .config(
-                FaasMemConfigBuilder::new()
-                    .rollback_min_interval(SimDuration::from_secs(t_secs))
-                    .build(),
-            )
-            .build();
-        let stats = policy.stats();
-        let mut sim = PlatformSim::builder()
-            .register_function(spec.clone())
-            .policy(policy)
-            .seed(61)
-            .build();
-        let mut report = sim.run(&trace);
+    for t in INTERVALS_SECS {
+        let outcome = run.outcome("high-60min", "web", "s61", &label(t));
+        let s = &outcome.summary;
+        let stats = outcome.faasmem.as_ref().expect("FaaSMem exposes stats");
+        let recalled = s.pool_stats.bytes_in as f64 / (1024.0 * 1024.0);
         rows.push(vec![
-            format!("t = {t_secs}s"),
-            stats.borrow().rollbacks.to_string(),
-            fmt_mib(report.avg_local_mib()),
-            fmt_secs(report.p95_latency().as_secs_f64()),
-            format!("{:.0} MiB", report.pool_stats.bytes_in as f64 / (1024.0 * 1024.0)),
+            label(t),
+            stats.rollbacks.to_string(),
+            fmt_mib(s.avg_local_mib),
+            fmt_secs(s.latency.p95.as_secs_f64()),
+            format!("{recalled:.0} MiB"),
         ]);
     }
     println!(
         "{}",
-        render_table(&["min interval", "rollbacks", "avg mem", "P95", "recalled"], &rows)
+        render_table(
+            &["min interval", "rollbacks", "avg mem", "P95", "recalled"],
+            &rows
+        )
     );
-    println!();
-    println!("Paper reference (§8.5): each rollback costs < 7.5 ms; at t >= 10 s the total");
-    println!("overhead stays < 0.1%, so more frequent cycles buy little and risk churn.");
+    println!("Shape: a tiny interval rolls back often (higher memory, fewer recalls);");
+    println!("a long one sticks with eager windows and pays recalls instead.");
 }

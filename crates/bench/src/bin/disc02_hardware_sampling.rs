@@ -21,7 +21,10 @@ fn main() {
     // Requests every 10 s: frequent enough that an exact scanner keeps
     // the hot set resident.
     let invs: Vec<Invocation> = (0..120)
-        .map(|i| Invocation { at: SimTime::from_secs(10 + i * 10), function: FunctionId(0) })
+        .map(|i| Invocation {
+            at: SimTime::from_secs(10 + i * 10),
+            function: FunctionId(0),
+        })
         .collect();
     let trace = InvocationTrace::from_invocations(invs, SimTime::from_mins(40));
 
@@ -41,8 +44,7 @@ fn main() {
             .build();
         let mut report = sim.run(&trace);
         let warm: Vec<_> = report.requests.iter().filter(|r| !r.cold).collect();
-        let faults_per_req =
-            warm.iter().map(|r| r.faults as f64).sum::<f64>() / warm.len() as f64;
+        let faults_per_req = warm.iter().map(|r| r.faults as f64).sum::<f64>() / warm.len() as f64;
         rows.push(vec![
             label.to_string(),
             format!("{faults_per_req:.0}"),
@@ -53,7 +55,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["identification method", "faults / warm request", "P95", "avg local mem"],
+            &[
+                "identification method",
+                "faults / warm request",
+                "P95",
+                "avg local mem"
+            ],
             &rows
         )
     );

@@ -46,8 +46,11 @@ fn main() {
         ("FaaSMem only", true, false),
         ("FaaSMem + sharing", true, true),
     ] {
-        let mut report =
-            if (faasmem, share) == (false, false) { base.clone_shallow() } else { run(faasmem, share) };
+        let mut report = if (faasmem, share) == (false, false) {
+            base.clone_shallow()
+        } else {
+            run(faasmem, share)
+        };
         let mem = report.avg_local_mib();
         rows.push(vec![
             label.to_string(),
@@ -58,7 +61,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["configuration", "avg local mem", "vs baseline", "P95"], &rows)
+        render_table(
+            &["configuration", "avg local mem", "vs baseline", "P95"],
+            &rows
+        )
     );
     println!();
     println!("Shape: sharing removes duplicate runtimes, FaaSMem removes cold + keep-alive");

@@ -21,7 +21,10 @@ fn main() {
     let analyze = |label: &str, node: NodeProfile, rows: &mut Vec<Vec<String>>| {
         let plan = RackPlan::default();
         let r = RackReport::analyze(node, plan);
-        let cost_plan = RackPlan { pool_memory_cost_factor: 0.0, ..plan };
+        let cost_plan = RackPlan {
+            pool_memory_cost_factor: 0.0,
+            ..plan
+        };
         let best_cost = RackReport::analyze(node, cost_plan);
         rows.push(vec![
             label.to_string(),
@@ -34,7 +37,11 @@ fn main() {
         ]);
     };
 
-    analyze("paper §9 constants", NodeProfile::paper_production(), &mut rows);
+    analyze(
+        "paper §9 constants",
+        NodeProfile::paper_production(),
+        &mut rows,
+    );
 
     // Measured profiles: one per application, from a bursty hour.
     for app in ["bert", "graph", "web"] {
@@ -48,7 +55,11 @@ fn main() {
         // Scale the measured per-container behaviour to a 5000-container
         // production node.
         let node = NodeProfile::from_report(&outcome.report, 384.0, 5_000.0);
-        let node = NodeProfile { containers: 5_000.0, local_dram_gib: 384.0, ..node };
+        let node = NodeProfile {
+            containers: 5_000.0,
+            local_dram_gib: 384.0,
+            ..node
+        };
         analyze(&format!("measured: {app}"), node, &mut rows);
     }
 

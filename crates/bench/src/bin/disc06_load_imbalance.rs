@@ -9,39 +9,57 @@
 //! Expected shape: without offloading, the hot node blows its DRAM budget
 //! while cold nodes strand capacity; with FaaSMem, every node fits and
 //! the pool absorbs exactly the imbalance.
+//!
+//! Runs on the parallel harness — the four nodes × two policies fan
+//! across `--jobs` workers; the merged result is exported to
+//! `results/disc06_load_imbalance.json`.
 
-use faasmem_bench::{render_table, Experiment, PolicyKind};
-use faasmem_sim::SimTime;
-use faasmem_workload::{BenchmarkSpec, FunctionId, LoadClass, TraceSynthesizer};
+use faasmem_bench::harness::{
+    self, BenchCase, ExperimentGrid, HarnessOptions, TraceSpec, DEFAULT_CONFIG,
+};
+use faasmem_bench::{render_table, PolicyKind};
+use faasmem_workload::{BenchmarkSpec, LoadClass};
 
 const NODE_DRAM_MIB: f64 = 700.0;
 
+const NODES: [(&str, LoadClass, bool); 4] = [
+    ("node-0 (surge)", LoadClass::High, true),
+    ("node-1 (busy)", LoadClass::High, false),
+    ("node-2 (steady)", LoadClass::Middle, false),
+    ("node-3 (quiet)", LoadClass::Low, false),
+];
+
 fn main() {
-    let spec = BenchmarkSpec::by_name("web").expect("catalog");
-    let loads = [
-        ("node-0 (surge)", LoadClass::High, true),
-        ("node-1 (busy)", LoadClass::High, false),
-        ("node-2 (steady)", LoadClass::Middle, false),
-        ("node-3 (quiet)", LoadClass::Low, false),
-    ];
+    let opts = HarnessOptions::from_env();
+    let grid = ExperimentGrid::new("disc06_load_imbalance")
+        .traces(
+            NODES
+                .iter()
+                .enumerate()
+                .map(|(i, &(label, class, bursty))| {
+                    TraceSpec::synth(label, 960 + i as u64, class).bursty(bursty)
+                }),
+        )
+        .bench(BenchCase::single(
+            BenchmarkSpec::by_name("web").expect("catalog"),
+        ))
+        .policy_kinds([PolicyKind::Baseline, PolicyKind::FaasMem]);
+    let run = harness::run_and_export(&grid, &opts);
 
     for kind in [PolicyKind::Baseline, PolicyKind::FaasMem] {
-        println!("=== {} (DRAM budget {NODE_DRAM_MIB:.0} MiB per node) ===", kind.name());
+        println!(
+            "=== {} (DRAM budget {NODE_DRAM_MIB:.0} MiB per node) ===",
+            kind.name()
+        );
         let mut rows = Vec::new();
         let mut over_budget = 0;
         let mut stranded_total = 0.0;
         let mut pool_total = 0.0;
-        for (i, &(label, class, bursty)) in loads.iter().enumerate() {
-            let trace = TraceSynthesizer::new(960 + i as u64)
-                .load_class(class)
-                .bursty(bursty)
-                .duration(SimTime::from_mins(60))
-                .synthesize_for(FunctionId(0));
-            let outcome = Experiment::new(spec.clone(), kind).run(&trace);
-            let report = outcome.report;
-            let peak = report.local_mem.max_value().unwrap_or(0.0) / (1024.0 * 1024.0);
-            let avg = report.avg_local_mib();
-            let remote = report.avg_remote_mib();
+        for &(label, _, _) in &NODES {
+            let outcome = run.outcome(label, "web", DEFAULT_CONFIG, kind.name());
+            let peak = outcome.report.local_mem.max_value().unwrap_or(0.0) / (1024.0 * 1024.0);
+            let avg = outcome.summary.avg_local_mib;
+            let remote = outcome.summary.avg_remote_mib;
             // Scheduling is quota-based (§8.6): a node is over-committed
             // when its steady-state (average) footprint exceeds the DRAM
             // budget. Cold-start allocation transients still peak above
@@ -55,17 +73,28 @@ fn main() {
             pool_total += remote;
             rows.push(vec![
                 label.to_string(),
-                trace.len().to_string(),
+                outcome.trace_len.to_string(),
                 format!("{avg:.0} MiB"),
                 format!("{peak:.0} MiB"),
-                if fits { "fits".to_string() } else { "OVER BUDGET".to_string() },
+                if fits {
+                    "fits".to_string()
+                } else {
+                    "OVER BUDGET".to_string()
+                },
                 format!("{remote:.0} MiB"),
             ]);
         }
         println!(
             "{}",
             render_table(
-                &["node", "reqs/h", "avg local", "peak local", "vs budget", "avg pooled"],
+                &[
+                    "node",
+                    "reqs/h",
+                    "avg local",
+                    "peak local",
+                    "vs budget",
+                    "avg pooled"
+                ],
                 &rows
             )
         );

@@ -14,12 +14,18 @@
 //! less drain traffic and more resident memory. (The paper's P99-latency
 //! side of this story needs cold-start *congestion*, which shows up in
 //! the Fig 13 bursty case.)
+//!
+//! Runs on the parallel harness (`--jobs`, `--quick`); the merged result
+//! is exported to `results/ext01_coldstart_aware.json`.
 
+use faasmem_bench::harness::{
+    self, BenchCase, ConfigCase, ExperimentGrid, HarnessOptions, PolicySpec, TraceSpec,
+};
 use faasmem_bench::{fmt_mib, fmt_secs, render_table};
 use faasmem_core::{FaasMemConfigBuilder, FaasMemPolicy};
-use faasmem_faas::PlatformSim;
+use faasmem_faas::PlatformConfig;
 use faasmem_sim::SimTime;
-use faasmem_workload::{BenchmarkSpec, FunctionId, Invocation, InvocationTrace, LoadClass, TraceSynthesizer};
+use faasmem_workload::{BenchmarkSpec, FunctionId, Invocation, InvocationTrace, LoadClass};
 
 /// Clustered arrivals: bursts of `cluster_size` requests 5 s apart, with
 /// `gap_secs` of silence between bursts. When the gap exceeds the
@@ -38,46 +44,63 @@ fn clustered_trace(clusters: u64, cluster_size: u64, gap_secs: u64) -> Invocatio
     InvocationTrace::from_invocations(invs, horizon)
 }
 
+const CASES: [&str; 2] = ["steady (common)", "clustered bursts, 11-minute silences"];
+const VARIANTS: [(&str, bool); 2] = [
+    ("FaaSMem (paper)", false),
+    ("FaaSMem + cold-start-aware", true),
+];
+
 fn main() {
-    let spec = BenchmarkSpec::by_name("bert").expect("catalog");
-    for (case, trace) in [
-        (
-            "steady (common)",
-            TraceSynthesizer::new(904)
-                .load_class(LoadClass::High)
-                .duration(SimTime::from_mins(60))
-                .synthesize_for(FunctionId(0)),
-        ),
-        ("clustered bursts, 11-minute silences", clustered_trace(6, 8, 660)),
-    ] {
-        println!("=== {case}: {} invocations ===", trace.len());
+    let opts = HarnessOptions::from_env();
+    let grid = ExperimentGrid::new("ext01_coldstart_aware")
+        .traces([
+            TraceSpec::synth(CASES[0], 904, LoadClass::High),
+            TraceSpec::explicit(CASES[1], clustered_trace(6, 8, 660)),
+        ])
+        .bench(BenchCase::single(
+            BenchmarkSpec::by_name("bert").expect("catalog"),
+        ))
+        .config(ConfigCase::new(
+            "s31",
+            PlatformConfig {
+                seed: 31,
+                ..PlatformConfig::default()
+            },
+        ))
+        .policies(VARIANTS.map(|(label, aware)| {
+            PolicySpec::faasmem(label, move || {
+                FaasMemPolicy::builder()
+                    .config(FaasMemConfigBuilder::new().cold_start_aware(aware).build())
+                    .build()
+            })
+        }));
+    let run = harness::run_and_export(&grid, &opts);
+
+    for case in CASES {
+        let invocations = run.outcome(case, "bert", "s31", VARIANTS[0].0).trace_len;
+        println!("=== {case}: {invocations} invocations ===");
         let mut rows = Vec::new();
-        for (label, aware) in [("FaaSMem (paper)", false), ("FaaSMem + cold-start-aware", true)] {
-            let policy = FaasMemPolicy::builder()
-                .config(FaasMemConfigBuilder::new().cold_start_aware(aware).build())
-                .build();
-            let stats = policy.stats();
-            let mut sim = PlatformSim::builder()
-                .register_function(spec.clone())
-                .policy(policy)
-                .seed(31)
-                .build();
-            let mut report = sim.run(&trace);
-            let s = report.latency.summary();
+        for (label, _) in VARIANTS {
+            let outcome = run.outcome(case, "bert", "s31", label);
+            let s = &outcome.summary;
+            let stats = outcome.faasmem.as_ref().expect("FaaSMem exposes stats");
             rows.push(vec![
                 label.to_string(),
-                fmt_mib(report.avg_local_mib()),
-                fmt_secs(s.p95.as_secs_f64()),
-                fmt_secs(s.p99.as_secs_f64()),
+                fmt_mib(s.avg_local_mib),
+                fmt_secs(s.latency.p95.as_secs_f64()),
+                fmt_secs(s.latency.p99.as_secs_f64()),
                 format!(
                     "{:.0} MiB",
-                    stats.borrow().semi_warm_bytes as f64 / (1024.0 * 1024.0)
+                    stats.semi_warm_bytes as f64 / (1024.0 * 1024.0)
                 ),
             ]);
         }
         println!(
             "{}",
-            render_table(&["variant", "avg mem", "P95", "P99", "semi-warm drained"], &rows)
+            render_table(
+                &["variant", "avg mem", "P95", "P99", "semi-warm drained"],
+                &rows
+            )
         );
         println!();
     }

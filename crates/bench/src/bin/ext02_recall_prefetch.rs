@@ -10,37 +10,70 @@
 //!
 //! Expected shape: identical memory savings, visibly lower semi-warm-hit
 //! latency — strongest at small CPU shares and fine page sizes.
+//!
+//! Runs on the parallel harness (`--jobs`); the merged result is
+//! exported to `results/ext02_recall_prefetch.json`.
 
+use faasmem_bench::harness::{
+    self, BenchCase, ConfigCase, ExperimentGrid, HarnessOptions, PolicySpec, TraceSpec,
+};
 use faasmem_bench::{fmt_mib, fmt_secs, render_table};
 use faasmem_core::{FaasMemConfigBuilder, FaasMemPolicy};
-use faasmem_faas::PlatformSim;
+use faasmem_faas::PlatformConfig;
 use faasmem_sim::SimTime;
 use faasmem_workload::{BenchmarkSpec, FunctionId, Invocation, InvocationTrace};
 
+const VARIANTS: [(&str, bool); 2] = [
+    ("demand faults (paper)", false),
+    ("batch prefetch (ext)", true),
+];
+
 fn main() {
+    let opts = HarnessOptions::from_env();
+    // Requests every ~7 minutes: past the semi-warm start (240 s
+    // default / learned p99), inside the 10-minute keep-alive — every
+    // warm request is a semi-warm hit.
+    let invs: Vec<Invocation> = (0..12)
+        .map(|i| Invocation {
+            at: SimTime::from_secs(10 + i * 420),
+            function: FunctionId(0),
+        })
+        .collect();
+    let trace = InvocationTrace::from_invocations(invs, SimTime::from_secs(7_000));
+
+    let grid = ExperimentGrid::new("ext02_recall_prefetch")
+        .trace(TraceSpec::explicit("7-minute gaps", trace))
+        .benches(
+            ["bert", "web"]
+                .map(|app| BenchCase::single(BenchmarkSpec::by_name(app).expect("catalog"))),
+        )
+        .config(ConfigCase::new(
+            "16k-s8",
+            PlatformConfig {
+                page_size: 16 * 1024,
+                seed: 8,
+                ..PlatformConfig::default()
+            },
+        ))
+        .policies(VARIANTS.map(|(label, prefetch)| {
+            PolicySpec::faasmem(label, move || {
+                FaasMemPolicy::builder()
+                    .config(
+                        FaasMemConfigBuilder::new()
+                            .recall_prefetch(prefetch)
+                            .build(),
+                    )
+                    .build()
+            })
+        }));
+    let run = harness::run_and_export(&grid, &opts);
+
     for app in ["bert", "web"] {
-        let spec = BenchmarkSpec::by_name(app).expect("catalog");
-        // Requests every ~7 minutes: past the semi-warm start (240 s
-        // default / learned p99), inside the 10-minute keep-alive — every
-        // warm request is a semi-warm hit.
-        let invs: Vec<Invocation> = (0..12)
-            .map(|i| Invocation { at: SimTime::from_secs(10 + i * 420), function: FunctionId(0) })
-            .collect();
-        let trace = InvocationTrace::from_invocations(invs, SimTime::from_secs(7_000));
         println!("=== {app}: 12 requests, 7-minute gaps (all semi-warm hits) ===");
         let mut rows = Vec::new();
-        for (label, prefetch) in [("demand faults (paper)", false), ("batch prefetch (ext)", true)] {
-            let policy = FaasMemPolicy::builder()
-                .config(FaasMemConfigBuilder::new().recall_prefetch(prefetch).build())
-                .build();
-            let mut sim = PlatformSim::builder()
-                .register_function(spec.clone())
-                .policy(policy)
-                .page_size(16 * 1024)
-                .seed(8)
-                .build();
-            let report = sim.run(&trace);
-            let warm: Vec<_> = report.requests.iter().filter(|r| !r.cold).collect();
+        for (label, _) in VARIANTS {
+            let outcome = run.outcome("7-minute gaps", app, "16k-s8", label);
+            let warm: Vec<_> = outcome.report.requests.iter().filter(|r| !r.cold).collect();
             let warm_p95 = {
                 let mut lat: Vec<f64> = warm.iter().map(|r| r.latency.as_secs_f64()).collect();
                 lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -49,16 +82,25 @@ fn main() {
             let faults: u32 = warm.iter().map(|r| r.faults).sum();
             rows.push(vec![
                 label.to_string(),
-                fmt_mib(report.avg_local_mib()),
+                fmt_mib(outcome.summary.avg_local_mib),
                 fmt_secs(warm_p95),
                 faults.to_string(),
-                format!("{:.0} MiB", report.pool_stats.bytes_in as f64 / (1024.0 * 1024.0)),
+                format!(
+                    "{:.0} MiB",
+                    outcome.summary.pool_stats.bytes_in as f64 / (1024.0 * 1024.0)
+                ),
             ]);
         }
         println!(
             "{}",
             render_table(
-                &["recall path", "avg mem", "warm P95", "demand faults", "recalled"],
+                &[
+                    "recall path",
+                    "avg mem",
+                    "warm P95",
+                    "demand faults",
+                    "recalled"
+                ],
                 &rows
             )
         );

@@ -6,34 +6,57 @@
 //! pages as cold. Expected shape here: large multipliers for the
 //! 0.1-core micro-benchmarks and visible (smaller) ones for the
 //! applications.
+//!
+//! Runs on the parallel harness (`--jobs`, `--quick`); the merged result
+//! is exported to `results/fig02_damon_p95.json`.
 
-use faasmem_bench::{fmt_secs, render_table, Experiment, PolicyKind};
-use faasmem_sim::SimTime;
-use faasmem_workload::{BenchmarkSpec, FunctionId, TraceSynthesizer};
+use faasmem_bench::harness::{
+    self, BenchCase, ConfigCase, ExperimentGrid, HarnessOptions, SeedMix, TraceSpec,
+};
+use faasmem_bench::{fmt_secs, render_table, PolicyKind};
+use faasmem_faas::PlatformConfig;
+use faasmem_sim::SimDuration;
+use faasmem_workload::{ArrivalModel, BenchmarkSpec, LoadClass};
 
 fn main() {
+    let opts = HarnessOptions::from_env();
+    // Requests ~45 s apart: far enough that DAMON's idle threshold
+    // (20 s) fires between them, and enough requests over two hours
+    // that P95 reflects warm requests, not the one cold start.
+    let trace = TraceSpec::synth("poisson-45s", 7, LoadClass::High)
+        .arrival(ArrivalModel::Poisson {
+            mean_gap: SimDuration::from_secs(45),
+        })
+        .duration(faasmem_sim::SimTime::from_mins(120))
+        .seed_mix(SeedMix::AddNameLen);
+    // Kernel-fidelity 4 KiB pages: demand-fault counts (and hence the
+    // per-fault CPU penalty on 0.1-core containers) match the paper's
+    // testbed.
+    let config = ConfigCase::new(
+        "4k-pages",
+        PlatformConfig {
+            page_size: 4096,
+            ..PlatformConfig::default()
+        },
+    );
+    let grid = ExperimentGrid::new("fig02_damon_p95")
+        .trace(trace)
+        .benches(BenchmarkSpec::catalog().into_iter().map(BenchCase::single))
+        .config(config)
+        .policy_kinds([PolicyKind::Baseline, PolicyKind::Damon]);
+    let run = harness::run_and_export(&grid, &opts);
+
     let mut rows = Vec::new();
     for spec in BenchmarkSpec::catalog() {
-        // Requests ~45 s apart: far enough that DAMON's idle threshold
-        // (20 s) fires between them, and enough requests over two hours
-        // that P95 reflects warm requests, not the one cold start.
-        let trace = TraceSynthesizer::new(7 + spec.name.len() as u64)
-            .arrival_model(faasmem_workload::ArrivalModel::Poisson {
-                mean_gap: faasmem_sim::SimDuration::from_secs(45),
-            })
-            .duration(SimTime::from_mins(120))
-            .synthesize_for(FunctionId(0));
-        let run = |kind: PolicyKind| {
-            let mut e = Experiment::new(spec.clone(), kind);
-            // Kernel-fidelity 4 KiB pages: demand-fault counts (and hence
-            // the per-fault CPU penalty on 0.1-core containers) match the
-            // paper's testbed.
-            e.platform.page_size = 4096;
-            let mut outcome = e.run(&trace);
-            outcome.report.p95_latency().as_secs_f64()
+        let p95 = |kind: PolicyKind| {
+            run.outcome("poisson-45s", spec.name, "4k-pages", kind.name())
+                .summary
+                .latency
+                .p95
+                .as_secs_f64()
         };
-        let base = run(PolicyKind::Baseline);
-        let damon = run(PolicyKind::Damon);
+        let base = p95(PolicyKind::Baseline);
+        let damon = p95(PolicyKind::Damon);
         rows.push(vec![
             spec.name.to_string(),
             fmt_secs(base),
@@ -41,6 +64,12 @@ fn main() {
             format!("{:.1}x", damon / base.max(1e-9)),
         ]);
     }
-    println!("{}", render_table(&["benchmark", "no-offload P95", "DAMON P95", "blow-up"], &rows));
+    println!(
+        "{}",
+        render_table(
+            &["benchmark", "no-offload P95", "DAMON P95", "blow-up"],
+            &rows
+        )
+    );
     println!("Paper reference (Fig 2): DAMON inflates P95 by up to 14x; worst on 0.1-core micro-benchmarks.");
 }

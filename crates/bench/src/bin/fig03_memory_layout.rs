@@ -19,8 +19,14 @@ fn main() {
     // Two requests with a keep-alive stretch between them (Fig 3's
     // Launch | Init | Req1 | Keep-alive | Req2 | Keep-alive shape).
     let invs = vec![
-        Invocation { at: SimTime::from_secs(1), function: FunctionId(0) },
-        Invocation { at: SimTime::from_secs(120), function: FunctionId(0) },
+        Invocation {
+            at: SimTime::from_secs(1),
+            function: FunctionId(0),
+        },
+        Invocation {
+            at: SimTime::from_secs(120),
+            function: FunctionId(0),
+        },
     ];
     let trace = InvocationTrace::from_invocations(invs, SimTime::from_mins(15));
     let mut sim = PlatformSim::builder()
@@ -56,7 +62,10 @@ fn main() {
             119..=121 => "req 2",
             _ => "keep-alive",
         };
-        println!("  {t0:>6.1}s |{:<56}| {max:>6.0} MiB  {stage}", "#".repeat(width.min(56)));
+        println!(
+            "  {t0:>6.1}s |{:<56}| {max:>6.0} MiB  {stage}",
+            "#".repeat(width.min(56))
+        );
     }
 
     // Segment accounting at the quiet points.
@@ -89,7 +98,10 @@ fn main() {
         ],
     ];
     println!();
-    println!("{}", render_table(&["lifecycle point", "measured", "model"], &rows));
+    println!(
+        "{}",
+        render_table(&["lifecycle point", "measured", "model"], &rows)
+    );
     println!("Paper reference (Fig 3): execution-segment memory exists only while a request");
     println!("runs; the runtime + init base footprint persists through keep-alive.");
 }

@@ -8,7 +8,7 @@
 //! 100 MB; Java is always the largest (JVM).
 
 use faasmem_bench::render_table;
-use faasmem_mem::{pages_to_mib, mib_to_pages, PageTable, Segment, PAGE_SIZE_4K};
+use faasmem_mem::{mib_to_pages, pages_to_mib, PageTable, Segment, PAGE_SIZE_4K};
 use faasmem_workload::RuntimeSpec;
 
 /// Simulates the paper's measurement: load a hello-world container of the
@@ -22,7 +22,7 @@ fn measure_inactive_mib(runtime: &RuntimeSpec) -> f64 {
     // Runtime load touches everything once...
     table.touch_range(range);
     table.scan_accessed(); // ...but load-time accesses are not requests.
-    // One hello-world request: only the action proxy's working set.
+                           // One hello-world request: only the action proxy's working set.
     table.touch_range(range.take(hot_pages));
     let accessed = table.scan_accessed().len() as u64;
     pages_to_mib(u64::from(total_pages) - accessed, PAGE_SIZE_4K)
@@ -42,7 +42,18 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["platform", "runtime", "total", "inactive (measured)", "inactive share"], &rows)
+        render_table(
+            &[
+                "platform",
+                "runtime",
+                "total",
+                "inactive (measured)",
+                "inactive share"
+            ],
+            &rows
+        )
     );
-    println!("Paper reference (Fig 4): OpenWhisk py=24MB java=57MB; Azure all >100MB; Java largest.");
+    println!(
+        "Paper reference (Fig 4): OpenWhisk py=24MB java=57MB; Azure all >100MB; Java largest."
+    );
 }

@@ -14,7 +14,9 @@ use faasmem_workload::{BenchmarkSpec, RuntimeSpec, TraceSynthesizer};
 fn main() {
     const FUNCTIONS: u32 = 424;
     let horizon = SimTime::from_mins(240);
-    let (trace, _) = TraceSynthesizer::new(5).duration(horizon).synthesize_cluster(FUNCTIONS);
+    let (trace, _) = TraceSynthesizer::new(5)
+        .duration(horizon)
+        .synthesize_cluster(FUNCTIONS);
 
     let spec = BenchmarkSpec::hello_world(&RuntimeSpec::openwhisk_python());
     let mut builder = PlatformSim::builder();
@@ -33,6 +35,9 @@ fn main() {
         ]);
     }
     println!("containers observed: {}", cdf.len());
-    println!("{}", render_table(&["requests per container", "fraction of containers"], &rows));
+    println!(
+        "{}",
+        render_table(&["requests per container", "fraction of containers"], &rows)
+    );
     println!("Paper reference (Fig 5): ~60% of containers handle at most two requests.");
 }

@@ -20,8 +20,13 @@ const SECONDS: usize = 18;
 
 fn main() {
     let spec = BenchmarkSpec::by_name("bert").expect("catalog");
-    let mut container =
-        Container::new(ContainerId(0), FunctionId(0), spec.clone(), PAGE_SIZE, SimTime::ZERO);
+    let mut container = Container::new(
+        ContainerId(0),
+        FunctionId(0),
+        spec.clone(),
+        PAGE_SIZE,
+        SimTime::ZERO,
+    );
     let mut rng = SimRng::seed_from(6);
 
     // heat[region][second] = pages touched.
@@ -67,7 +72,9 @@ fn main() {
         let mut touched = table
             .touch_pages(plan.runtime.iter().map(|i| PageId(runtime_base + i)))
             .touched;
-        touched += table.touch_pages(plan.init.iter().map(|i| PageId(init_base + i))).touched;
+        touched += table
+            .touch_pages(plan.init.iter().map(|i| PageId(init_base + i)))
+            .touched;
         let exec = table.alloc(faasmem_mem::Segment::Execution, plan.exec_pages);
         touched += table.touch_range(exec).touched;
         container.set_exec_range(exec);
@@ -98,13 +105,19 @@ fn main() {
     println!("  0s{}17s", " ".repeat(SECONDS - 5));
     println!();
 
-    let every_request_hot = init_hits.values().filter(|&&c| c == request_times.len() as u32).count();
+    let every_request_hot = init_hits
+        .values()
+        .filter(|&&c| c == request_times.len() as u32)
+        .count();
     let mean_touched =
         per_request_touched.iter().sum::<u64>() as f64 / per_request_touched.len() as f64;
     let rows = vec![
         vec![
             "init segment allocated".to_string(),
-            format!("{:.0} MiB", pages_to_mib(u64::from(container.init_range().len()), PAGE_SIZE)),
+            format!(
+                "{:.0} MiB",
+                pages_to_mib(u64::from(container.init_range().len()), PAGE_SIZE)
+            ),
             "~900-1000 MB".to_string(),
         ],
         vec![
@@ -114,9 +127,15 @@ fn main() {
         ],
         vec![
             "init pages hot in EVERY request".to_string(),
-            format!("{:.0} MiB", pages_to_mib(every_request_hot as u64, PAGE_SIZE)),
+            format!(
+                "{:.0} MiB",
+                pages_to_mib(every_request_hot as u64, PAGE_SIZE)
+            ),
             "~400 MB".to_string(),
         ],
     ];
-    println!("{}", render_table(&["metric", "measured", "paper (Fig 6)"], &rows));
+    println!(
+        "{}",
+        render_table(&["metric", "measured", "paper (Fig 6)"], &rows)
+    );
 }

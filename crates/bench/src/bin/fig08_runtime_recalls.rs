@@ -5,28 +5,49 @@
 //! Runtime Pucket after request #1 and counting how many pages later
 //! requests recall. Expected: at most a handful of pages (≤ 3 in Fig 8)
 //! per benchmark.
+//!
+//! Runs on the parallel harness (`--jobs`, `--quick`); the merged result
+//! is exported to `results/fig08_runtime_recalls.json`.
 
-use faasmem_bench::{render_table, Experiment, PolicyKind};
+use faasmem_bench::harness::{
+    self, BenchCase, ExperimentGrid, HarnessOptions, SeedMix, TraceSpec, DEFAULT_CONFIG,
+};
+use faasmem_bench::{render_table, PolicyKind};
 use faasmem_sim::SimTime;
-use faasmem_workload::{BenchmarkSpec, FunctionId, LoadClass, TraceSynthesizer};
+use faasmem_workload::{BenchmarkSpec, FunctionId, LoadClass};
 
 fn main() {
-    let mut rows = Vec::new();
-    for spec in BenchmarkSpec::catalog() {
-        let trace = TraceSynthesizer::new(8 + spec.name.len() as u64)
-            .load_class(LoadClass::High)
-            .duration(SimTime::from_mins(30))
-            .synthesize_for(FunctionId(0));
+    let opts = HarnessOptions::from_env();
+    let grid = ExperimentGrid::new("fig08_runtime_recalls")
+        .trace(
+            TraceSpec::synth("high-30min", 8, LoadClass::High)
+                .duration(SimTime::from_mins(30))
+                .seed_mix(SeedMix::AddNameLen),
+        )
+        .benches(BenchmarkSpec::catalog().into_iter().map(BenchCase::single))
         // Semi-warm deliberately recalls hot pages (§6); Fig 8 measures
         // the §5 cold-page mechanisms alone, so it is disabled here.
-        let outcome = Experiment::new(spec.clone(), PolicyKind::FaasMemNoSemiWarm).run(&trace);
-        let stats = outcome.faasmem_stats.expect("FaaSMem exposes stats");
-        let stats = stats.borrow();
+        .policy_kinds([PolicyKind::FaasMemNoSemiWarm]);
+    let run = harness::run_and_export(&grid, &opts);
+
+    let mut rows = Vec::new();
+    for spec in BenchmarkSpec::catalog() {
+        let outcome = run.outcome(
+            "high-30min",
+            spec.name,
+            DEFAULT_CONFIG,
+            PolicyKind::FaasMemNoSemiWarm.name(),
+        );
+        let stats = outcome.faasmem.as_ref().expect("FaaSMem exposes stats");
         let mean = stats.mean_runtime_recalls(FunctionId(0)).unwrap_or(0.0);
-        let containers = stats.runtime_offloads.get(&FunctionId(0)).copied().unwrap_or(0);
+        let containers = stats
+            .runtime_offloads
+            .get(&FunctionId(0))
+            .copied()
+            .unwrap_or(0);
         rows.push(vec![
             spec.name.to_string(),
-            outcome.report.requests_completed.to_string(),
+            outcome.summary.requests_completed.to_string(),
             containers.to_string(),
             format!("{mean:.2}"),
         ]);
@@ -34,7 +55,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["benchmark", "requests", "containers offloaded", "mean recall pages / container"],
+            &[
+                "benchmark",
+                "requests",
+                "containers offloaded",
+                "mean recall pages / container"
+            ],
             &rows
         )
     );

@@ -43,16 +43,16 @@ fn main() {
     println!("Access scan (init-segment region x request; '|' = touched):");
     println!();
     for region in (0..REGIONS).rev() {
-        let line: String =
-            (0..REQUESTS).map(|r| if heat[region][r] { '|' } else { ' ' }).collect();
+        let line: String = (0..REQUESTS)
+            .map(|r| if heat[region][r] { '|' } else { ' ' })
+            .collect();
         println!("  {line}");
     }
     println!("  {}", "-".repeat(REQUESTS));
     println!("  req 1 .. {REQUESTS}");
     println!();
 
-    let mean_bars =
-        bars_per_request.iter().sum::<usize>() as f64 / bars_per_request.len() as f64;
+    let mean_bars = bars_per_request.iter().sum::<usize>() as f64 / bars_per_request.len() as f64;
     let rows = vec![
         vec![
             "mean regions (bars) per request".to_string(),
@@ -61,16 +61,25 @@ fn main() {
         ],
         vec![
             "unique pages after 1 request".to_string(),
-            format!("{:.0} MiB", pages_to_mib(cumulative_curve[0] as u64, PAGE_SIZE)),
+            format!(
+                "{:.0} MiB",
+                pages_to_mib(cumulative_curve[0] as u64, PAGE_SIZE)
+            ),
             "small".to_string(),
         ],
         vec![
             "unique pages after 20 requests".to_string(),
-            format!("{:.0} MiB", pages_to_mib(cumulative_curve[19] as u64, PAGE_SIZE)),
+            format!(
+                "{:.0} MiB",
+                pages_to_mib(cumulative_curve[19] as u64, PAGE_SIZE)
+            ),
             "keeps growing => window ~ 20".to_string(),
         ],
     ];
-    println!("{}", render_table(&["metric", "measured", "paper (Fig 9)"], &rows));
+    println!(
+        "{}",
+        render_table(&["metric", "measured", "paper (Fig 9)"], &rows)
+    );
     println!();
     println!("cumulative unique init pages touched, per request:");
     let curve: Vec<String> = cumulative_curve.iter().map(|c| c.to_string()).collect();

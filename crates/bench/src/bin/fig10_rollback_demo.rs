@@ -51,7 +51,11 @@ fn main() {
         );
         let runtime_base = runtime.start().0;
         let init_base = init.start().0;
-        table.touch_pages(plan.runtime.iter().map(|i| faasmem_mem::PageId(runtime_base + i)));
+        table.touch_pages(
+            plan.runtime
+                .iter()
+                .map(|i| faasmem_mem::PageId(runtime_base + i)),
+        );
         table.touch_pages(plan.init.iter().map(|i| faasmem_mem::PageId(init_base + i)));
         puckets.promote_accessed(table);
     };
@@ -76,7 +80,11 @@ fn main() {
     snapshot("ROLLBACK: hot pool -> puckets", &table, &puckets);
     for i in 1..=2 {
         run_request(&mut table, &puckets, &mut rng);
-        snapshot(&format!("observe request {i} (re-promote)"), &table, &puckets);
+        snapshot(
+            &format!("observe request {i} (re-promote)"),
+            &table,
+            &puckets,
+        );
     }
     let leftovers: Vec<_> = puckets
         .inactive_pages(&table, PucketKind::Runtime)

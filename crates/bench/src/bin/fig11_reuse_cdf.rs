@@ -37,8 +37,7 @@ fn main() {
 
     // ASCII CDF on a log-ish time axis (as in the paper's 10ms/1s/1min).
     println!("CDF of container reused intervals:");
-    let marks =
-        [0.5f64, 1.0, 2.0, 5.0, 10.0, 20.0, 60.0, 120.0, 300.0, 600.0];
+    let marks = [0.5f64, 1.0, 2.0, 5.0, 10.0, 20.0, 60.0, 120.0, 300.0, 600.0];
     for &t in &marks {
         let frac = cdf.fraction_at_most(t);
         let bar = "#".repeat((frac * 50.0).round() as usize);

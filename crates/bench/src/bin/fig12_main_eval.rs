@@ -7,44 +7,58 @@
 //! percents; P95 latency stays within ~10% of Baseline for both; the
 //! micro-benchmarks all save ≥ 50% (runtime segment dominates); among
 //! the applications Web saves the most and Graph the least.
+//!
+//! Runs on the parallel harness: `--jobs N` fans the 66 cells out,
+//! `--quick` truncates the traces for a smoke run; the merged result is
+//! exported to `results/fig12_main_eval.json`.
 
-use faasmem_bench::{fmt_mib, fmt_secs, pct_change, render_table, svg, Experiment, PolicyKind};
-use faasmem_sim::SimTime;
-use faasmem_workload::{BenchmarkSpec, FunctionId, LoadClass, TraceSynthesizer};
+use faasmem_bench::harness::{
+    self, BenchCase, ExperimentGrid, HarnessOptions, SeedMix, TraceSpec, DEFAULT_CONFIG,
+};
+use faasmem_bench::{fmt_mib, fmt_secs, pct_change, render_table, svg, PolicyKind};
+use faasmem_workload::{BenchmarkSpec, LoadClass};
 
 /// Per-request (offload, recall) MB volumes of one system.
 type ReqVolumes = (f64, f64);
 
 fn main() {
-    for (label, class, bursty, seed) in
-        [("HIGH LOAD", LoadClass::High, true, 12_001u64), ("LOW LOAD", LoadClass::Low, false, 12_002)]
-    {
-        println!("=== Fig 12 ({label}) ===");
+    let opts = HarnessOptions::from_env();
+    let grid = ExperimentGrid::new("fig12_main_eval")
+        .traces([
+            TraceSpec::synth("high", 12_001, LoadClass::High)
+                .bursty(true)
+                .seed_mix(SeedMix::XorNameLen),
+            TraceSpec::synth("low", 12_002, LoadClass::Low).seed_mix(SeedMix::XorNameLen),
+        ])
+        .benches(BenchmarkSpec::catalog().into_iter().map(BenchCase::single))
+        .policy_kinds(PolicyKind::HEAD_TO_HEAD);
+    let run = harness::run_and_export(&grid, &opts);
+
+    for (trace_label, heading) in [("high", "HIGH LOAD"), ("low", "LOW LOAD")] {
+        println!("=== Fig 12 ({heading}) ===");
         let mut rows = Vec::new();
         let mut per_request_volumes: Vec<(&str, ReqVolumes, ReqVolumes)> = Vec::new();
         let mut chart_categories: Vec<String> = Vec::new();
         let mut chart_mem: Vec<Vec<f64>> = vec![Vec::new(); 3];
         for spec in BenchmarkSpec::catalog() {
-            let trace = TraceSynthesizer::new(seed ^ spec.name.len() as u64)
-                .load_class(class)
-                .bursty(bursty)
-                .duration(SimTime::from_mins(60))
-                .synthesize_for(FunctionId(0));
-            if trace.is_empty() {
-                continue;
-            }
             let mut mem = Vec::new();
             let mut p95 = Vec::new();
             let mut volumes = Vec::new();
+            let mut trace_len = 0;
             for kind in PolicyKind::HEAD_TO_HEAD {
-                let mut outcome = Experiment::new(spec.clone(), kind).run(&trace);
-                mem.push(outcome.report.avg_local_mib());
-                p95.push(outcome.report.p95_latency().as_secs_f64());
-                let reqs = outcome.report.requests_completed.max(1) as f64;
+                let cell = run.outcome(trace_label, spec.name, DEFAULT_CONFIG, kind.name());
+                trace_len = cell.trace_len;
+                let s = &cell.summary;
+                mem.push(s.avg_local_mib);
+                p95.push(s.latency.p95.as_secs_f64());
+                let reqs = s.requests_completed.max(1) as f64;
                 volumes.push((
-                    outcome.report.pool_stats.bytes_out as f64 / reqs / 1e6,
-                    outcome.report.pool_stats.bytes_in as f64 / reqs / 1e6,
+                    s.pool_stats.bytes_out as f64 / reqs / 1e6,
+                    s.pool_stats.bytes_in as f64 / reqs / 1e6,
                 ));
+            }
+            if trace_len == 0 {
+                continue;
             }
             per_request_volumes.push((spec.name, volumes[1], volumes[2]));
             chart_categories.push(spec.name.to_string());
@@ -53,7 +67,7 @@ fn main() {
             }
             rows.push(vec![
                 spec.name.to_string(),
-                trace.len().to_string(),
+                trace_len.to_string(),
                 fmt_mib(mem[0]),
                 pct_change(mem[1], mem[0]),
                 pct_change(mem[2], mem[0]),
@@ -109,7 +123,7 @@ fn main() {
         );
         let cats: Vec<&str> = chart_categories.iter().map(String::as_str).collect();
         let chart = svg::grouped_bars(
-            &format!("Fig 12 ({label}): average local memory"),
+            &format!("Fig 12 ({heading}): average local memory"),
             "MiB",
             &cats,
             &[
@@ -118,9 +132,14 @@ fn main() {
                 ("FaaSMem", chart_mem[2].clone()),
             ],
         );
-        svg::write_chart(&format!("fig12_{}.svg", label.to_lowercase().replace(' ', "_")), &chart);
+        svg::write_chart(
+            &format!("fig12_{}.svg", heading.to_lowercase().replace(' ', "_")),
+            &chart,
+        );
         println!();
     }
-    println!("Paper reference (Fig 12): FaaSMem -27.1%..-71.0% memory (high), -9.9%..-72.0% (low);");
+    println!(
+        "Paper reference (Fig 12): FaaSMem -27.1%..-71.0% memory (high), -9.9%..-72.0% (low);"
+    );
     println!("micro-benchmarks >= -50%; Web best / Graph worst among apps; P95 within ~+10%.");
 }

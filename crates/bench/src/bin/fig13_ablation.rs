@@ -9,67 +9,85 @@
 //! * Bursty case: semi-warm partly overtakes Pucket (stranded burst
 //!   containers drain anyway), and tail latency grows because observed
 //!   reuse intervals underestimate the ideal semi-warm timing.
+//!
+//! Runs on the parallel harness (`--jobs`, `--quick`); the merged result
+//! is exported to `results/fig13_ablation.json`.
 
-use faasmem_bench::{fmt_mib, fmt_secs, render_table, Experiment, PolicyKind};
-use faasmem_sim::{SimDuration, SimTime};
-use faasmem_workload::{BenchmarkSpec, FunctionId, InvocationTrace, LoadClass, TraceSynthesizer};
+use faasmem_bench::harness::{
+    self, BenchCase, ExperimentGrid, HarnessOptions, TraceSpec, DEFAULT_CONFIG,
+};
+use faasmem_bench::{fmt_mib, fmt_secs, render_table, PolicyKind};
+use faasmem_sim::SimDuration;
+use faasmem_workload::{BenchmarkSpec, LoadClass};
 
-fn run_case(label: &str, trace: &InvocationTrace) {
-    println!("=== Fig 13 ({label}): bert, {} requests ===", trace.len());
-    let spec = BenchmarkSpec::by_name("bert").expect("catalog");
-    let variants = [
-        PolicyKind::Baseline,
-        PolicyKind::FaasMem,
-        PolicyKind::FaasMemNoPucket,
-        PolicyKind::FaasMemNoSemiWarm,
-    ];
-    let mut rows = Vec::new();
-    let mut timelines = Vec::new();
-    for kind in variants {
-        let outcome = Experiment::new(spec.clone(), kind).run(trace);
-        let mut report = outcome.report;
-        let s = report.latency.summary();
-        rows.push(vec![
-            kind.name().to_string(),
-            fmt_mib(report.avg_local_mib()),
-            fmt_secs(s.avg.as_secs_f64()),
-            fmt_secs(s.p50.as_secs_f64()),
-            fmt_secs(s.p95.as_secs_f64()),
-            fmt_secs(s.p99.as_secs_f64()),
-        ]);
-        timelines.push((kind.name(), report.local_mem.clone(), report.finished_at));
-    }
-    println!(
-        "{}",
-        render_table(&["variant", "avg mem", "AVG", "P50", "P95", "P99"], &rows)
-    );
-    println!();
-    println!("local-memory timeline (GiB at 5-minute samples):");
-    for (name, series, finished) in timelines {
-        let samples = series.sample(SimDuration::from_mins(5), finished);
-        let line: Vec<String> = samples
-            .iter()
-            .map(|(_, v)| format!("{:.2}", v / (1024.0 * 1024.0 * 1024.0)))
-            .collect();
-        println!("  {name:<24} {}", line.join(" "));
-    }
-    println!();
-}
+const VARIANTS: [PolicyKind; 4] = [
+    PolicyKind::Baseline,
+    PolicyKind::FaasMem,
+    PolicyKind::FaasMemNoPucket,
+    PolicyKind::FaasMemNoSemiWarm,
+];
 
 fn main() {
-    let common = TraceSynthesizer::new(131)
-        .load_class(LoadClass::High)
-        .duration(SimTime::from_mins(60))
-        .synthesize_for(FunctionId(0));
-    run_case("common case", &common);
+    let opts = HarnessOptions::from_env();
+    let grid = ExperimentGrid::new("fig13_ablation")
+        .traces([
+            TraceSpec::synth("common case", 131, LoadClass::High),
+            TraceSpec::synth("bursty case", 132, LoadClass::High).bursty(true),
+        ])
+        .bench(BenchCase::single(
+            BenchmarkSpec::by_name("bert").expect("catalog"),
+        ))
+        .policy_kinds(VARIANTS);
+    let run = harness::run_and_export(&grid, &opts);
 
-    let bursty = TraceSynthesizer::new(132)
-        .load_class(LoadClass::High)
-        .bursty(true)
-        .duration(SimTime::from_mins(60))
-        .synthesize_for(FunctionId(0));
-    run_case("bursty case", &bursty);
+    for trace_label in ["common case", "bursty case"] {
+        let reqs = run
+            .outcome(
+                trace_label,
+                "bert",
+                DEFAULT_CONFIG,
+                PolicyKind::Baseline.name(),
+            )
+            .trace_len;
+        println!("=== Fig 13 ({trace_label}): bert, {reqs} requests ===");
+        let mut rows = Vec::new();
+        let mut timelines = Vec::new();
+        for kind in VARIANTS {
+            let outcome = run.outcome(trace_label, "bert", DEFAULT_CONFIG, kind.name());
+            let s = &outcome.summary;
+            rows.push(vec![
+                kind.name().to_string(),
+                fmt_mib(s.avg_local_mib),
+                fmt_secs(s.latency.avg.as_secs_f64()),
+                fmt_secs(s.latency.p50.as_secs_f64()),
+                fmt_secs(s.latency.p95.as_secs_f64()),
+                fmt_secs(s.latency.p99.as_secs_f64()),
+            ]);
+            timelines.push((
+                kind.name(),
+                outcome.report.local_mem.clone(),
+                outcome.report.finished_at,
+            ));
+        }
+        println!(
+            "{}",
+            render_table(&["variant", "avg mem", "AVG", "P50", "P95", "P99"], &rows)
+        );
+        println!();
+        println!("local-memory timeline (GiB at 5-minute samples):");
+        for (name, series, finished) in timelines {
+            let samples = series.sample(SimDuration::from_mins(5), finished);
+            let line: Vec<String> = samples
+                .iter()
+                .map(|(_, v)| format!("{:.2}", v / (1024.0 * 1024.0 * 1024.0)))
+                .collect();
+            println!("  {name:<24} {}", line.join(" "));
+        }
+        println!();
+    }
 
     println!("Paper reference (Fig 13): Pucket -19.3% mem (its absence also -9.2% P95);");
-    println!("semi-warm -28.6% mem; under burst, semi-warm partly overtakes Pucket and P99 rises ~25%.");
+    println!(
+        "semi-warm -28.6% mem; under burst, semi-warm partly overtakes Pucket and P99 rises ~25%."
+    );
 }

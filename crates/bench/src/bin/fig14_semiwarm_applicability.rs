@@ -20,8 +20,9 @@ use faasmem_workload::{BenchmarkSpec, LoadClass, TraceSynthesizer};
 fn main() {
     const FUNCTIONS: u32 = 424;
     let horizon = SimTime::from_mins(240);
-    let (trace, classes) =
-        TraceSynthesizer::new(14).duration(horizon).synthesize_cluster(FUNCTIONS);
+    let (trace, classes) = TraceSynthesizer::new(14)
+        .duration(horizon)
+        .synthesize_cluster(FUNCTIONS);
     let class_of: HashMap<FunctionId, LoadClass> = classes.into_iter().collect();
 
     // The metric concerns invocation patterns, not footprint size; a
@@ -84,12 +85,20 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["load class", "containers", "median share", "containers with share > 50%"],
+            &[
+                "load class",
+                "containers",
+                "median share",
+                "containers with share > 50%"
+            ],
             &share_rows
         )
     );
     println!("container lifetime:");
-    println!("{}", render_table(&["load class", "median", "P90"], &life_rows));
+    println!(
+        "{}",
+        render_table(&["load class", "median", "P90"], &life_rows)
+    );
     // SVG: semi-warm-share CDFs per load class (the paper's left panel).
     let mut chart_series: Vec<(&str, Vec<(f64, f64)>)> = Vec::new();
     let stats_ref = stats.borrow();

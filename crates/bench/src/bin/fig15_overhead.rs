@@ -91,10 +91,17 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["benchmark", "runtime-init barrier", "init-exec barrier", "rollback"],
+            &[
+                "benchmark",
+                "runtime-init barrier",
+                "init-exec barrier",
+                "rollback"
+            ],
             &rows
         )
     );
-    println!("Paper reference (Fig 15): barriers < 2.5 ms (micro) / <= 10 ms (apps); rollback < 7.5 ms;");
+    println!(
+        "Paper reference (Fig 15): barriers < 2.5 ms (micro) / <= 10 ms (apps); rollback < 7.5 ms;"
+    );
     println!("with rollback rounds >= 10 s apart the total overhead stays < 0.1%.");
 }

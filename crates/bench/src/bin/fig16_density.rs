@@ -6,41 +6,61 @@
 //! earlier); density improvement is positively correlated with request
 //! load and negatively with the standard deviation of request intervals;
 //! maxima ≈ 1.4× (Bert), 1.4× (Graph), 2.2× (Web).
+//!
+//! Runs on the parallel harness — 3 apps × 20 traces fan across
+//! `--jobs` workers; the merged result is exported to
+//! `results/fig16_density.json`.
 
-use faasmem_bench::{render_table, Experiment, PolicyKind};
+use faasmem_bench::harness::{
+    self, BenchCase, ExperimentGrid, HarnessOptions, TraceSpec, DEFAULT_CONFIG,
+};
+use faasmem_bench::{render_table, PolicyKind};
 use faasmem_faas::estimate_density;
-use faasmem_sim::SimTime;
-use faasmem_workload::{BenchmarkSpec, FunctionId, LoadClass, TraceSynthesizer};
+use faasmem_workload::{BenchmarkSpec, LoadClass};
 
 fn main() {
-    for app in ["bert", "graph", "web"] {
-        let spec = BenchmarkSpec::by_name(app).expect("catalog");
-        println!("=== Fig 16 ({app}, quota {} MiB) ===", spec.quota_mib);
-        let mut rows = Vec::new();
-        let mut max_density: f64 = 1.0;
-        for trace_id in 0u64..20 {
+    let opts = HarnessOptions::from_env();
+    let apps = ["bert", "graph", "web"];
+    let grid = ExperimentGrid::new("fig16_density")
+        .traces((0u64..20).map(|trace_id| {
             let class = match trace_id % 3 {
                 0 => LoadClass::High,
                 1 => LoadClass::Middle,
                 _ => LoadClass::Low,
             };
-            let trace = TraceSynthesizer::new(1600 + trace_id)
-                .load_class(class)
+            TraceSpec::synth(&trace_id.to_string(), 1600 + trace_id, class)
                 .bursty(trace_id % 2 == 0)
-                .duration(SimTime::from_mins(60))
-                .synthesize_for(FunctionId(0));
-            if trace.is_empty() {
+        }))
+        .benches(
+            apps.iter()
+                .map(|app| BenchCase::single(BenchmarkSpec::by_name(app).expect("catalog"))),
+        )
+        .policy_kinds([PolicyKind::FaasMem]);
+    let run = harness::run_and_export(&grid, &opts);
+
+    for app in apps {
+        let spec = BenchmarkSpec::by_name(app).expect("catalog");
+        println!("=== Fig 16 ({app}, quota {} MiB) ===", spec.quota_mib);
+        let mut rows = Vec::new();
+        let mut max_density: f64 = 1.0;
+        for trace_id in 0u64..20 {
+            let outcome = run.outcome(
+                &trace_id.to_string(),
+                app,
+                DEFAULT_CONFIG,
+                PolicyKind::FaasMem.name(),
+            );
+            if outcome.trace_len == 0 {
                 continue;
             }
-            let stats = trace.stats();
-            let outcome = Experiment::new(spec.clone(), PolicyKind::FaasMem).run(&trace);
+            let stats = outcome.trace_stats;
             let density = estimate_density(&outcome.report, &spec);
             max_density = max_density.max(density.improvement);
             rows.push(vec![
                 format!("{trace_id}"),
                 format!("{:.1}", stats.req_per_min),
                 format!("{:.0}s", stats.interval_std_secs),
-                format!("{:.2} MB/s", outcome.report.mean_offload_bandwidth_mbps()),
+                format!("{:.2} MB/s", outcome.summary.mean_offload_bandwidth_mbps),
                 format!("{:.0} MiB", density.offloaded_per_container_mib),
                 format!("{:.2}x", density.improvement),
             ]);
@@ -48,7 +68,14 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["trace", "req/min", "σ(intervals)", "offload bw", "offload/ctr", "density"],
+                &[
+                    "trace",
+                    "req/min",
+                    "σ(intervals)",
+                    "offload bw",
+                    "offload/ctr",
+                    "density"
+                ],
                 &rows
             )
         );

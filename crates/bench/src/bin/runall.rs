@@ -2,8 +2,12 @@
 //! each one's output under `results/` — the equivalent of the paper
 //! artifact's `test.py` workflow.
 //!
+//! Flag arguments (anything starting with `-`) are forwarded verbatim to
+//! every experiment, so `--quick` and `--jobs N` propagate to the
+//! harness-based binaries:
+//!
 //! ```text
-//! cargo run --release -p faasmem-bench --bin runall [output-dir]
+//! cargo run --release -p faasmem-bench --bin runall [output-dir] [--quick] [--jobs N]
 //! ```
 
 use std::fs;
@@ -45,23 +49,48 @@ const EXPERIMENTS: &[&str] = &[
 ];
 
 fn main() {
-    let out_dir = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"));
+    let mut out_dir = PathBuf::from("results");
+    let mut forwarded: Vec<String> = Vec::new();
+    // A bare value after `--jobs`/`-j`/`--out` belongs to that flag, not
+    // to the positional output-dir slot.
+    let mut flag_value_pending = false;
+    for arg in std::env::args().skip(1) {
+        if flag_value_pending {
+            flag_value_pending = false;
+            forwarded.push(arg);
+        } else if arg.starts_with('-') {
+            flag_value_pending = matches!(arg.as_str(), "--jobs" | "-j" | "--out");
+            forwarded.push(arg);
+        } else {
+            out_dir = PathBuf::from(arg);
+        }
+    }
     fs::create_dir_all(&out_dir).expect("create output dir");
+    // Point the harness binaries' JSON exports at the same directory as
+    // the captured stdout, unless the caller overrode it explicitly.
+    if !forwarded
+        .iter()
+        .any(|a| a == "--out" || a.starts_with("--out="))
+    {
+        forwarded.push(format!("--out={}", out_dir.display()));
+    }
+
     let self_exe = std::env::current_exe().expect("current exe path");
     let bin_dir = self_exe.parent().expect("bin dir");
 
     let mut failures = 0;
     for name in EXPERIMENTS {
         let start = Instant::now();
-        let output = Command::new(bin_dir.join(name)).output();
+        let output = Command::new(bin_dir.join(name)).args(&forwarded).output();
         match output {
             Ok(out) if out.status.success() => {
                 let path = out_dir.join(format!("{name}.txt"));
                 fs::write(&path, &out.stdout).expect("write result");
-                println!("{name:<32} ok  ({:>5} ms)  -> {}", start.elapsed().as_millis(), path.display());
+                println!(
+                    "{name:<32} ok  ({:>5} ms)  -> {}",
+                    start.elapsed().as_millis(),
+                    path.display()
+                );
             }
             Ok(out) => {
                 failures += 1;
@@ -80,5 +109,9 @@ fn main() {
         eprintln!("{failures} experiment(s) failed");
         std::process::exit(1);
     }
-    println!("\nall {} experiments written to {}", EXPERIMENTS.len(), out_dir.display());
+    println!(
+        "\nall {} experiments written to {}",
+        EXPERIMENTS.len(),
+        out_dir.display()
+    );
 }

@@ -7,43 +7,64 @@
 //! one trace (ID-5, an extreme surge) inflates everyone's tail latency
 //! through cold-start congestion, yet FaaSMem still saves 14.4%–68.0% of
 //! memory at baseline-level latency.
+//!
+//! Runs on the parallel harness (`--jobs`, `--quick`); the merged result
+//! is exported to `results/tab01_diverse_traces.json`.
 
-use faasmem_bench::{fmt_mib, fmt_secs, render_table, Experiment, PolicyKind};
-use faasmem_sim::SimTime;
-use faasmem_workload::{BenchmarkSpec, FunctionId, LoadClass, TraceSynthesizer};
+use faasmem_bench::harness::{
+    self, BenchCase, ExperimentGrid, HarnessOptions, TraceSpec, DEFAULT_CONFIG,
+};
+use faasmem_bench::{fmt_mib, fmt_secs, render_table, PolicyKind};
+use faasmem_workload::{BenchmarkSpec, LoadClass};
 
 fn main() {
+    let opts = HarnessOptions::from_env();
     let apps = ["bert", "graph", "web"];
-    for app in apps {
-        let spec = BenchmarkSpec::by_name(app).expect("catalog");
-        println!("=== Table 1 ({app}) ===");
-        let mut rows = Vec::new();
-        for trace_id in 1u64..=6 {
+    let grid = ExperimentGrid::new("tab01_diverse_traces")
+        .traces((1u64..=6).map(|trace_id| {
             // Trace ID-5 models the paper's anomaly: an extreme
             // short-term surge that congests cold starts.
             let bursty = trace_id == 5 || trace_id % 2 == 0;
-            let synth = TraceSynthesizer::new(100 + trace_id)
-                .load_class(LoadClass::High)
-                .bursty(bursty)
-                .duration(SimTime::from_mins(60));
-            let trace = synth.synthesize_for(FunctionId(0));
+            TraceSpec::synth(&trace_id.to_string(), 100 + trace_id, LoadClass::High).bursty(bursty)
+        }))
+        .benches(
+            apps.iter()
+                .map(|app| BenchCase::single(BenchmarkSpec::by_name(app).expect("catalog"))),
+        )
+        .policy_kinds(PolicyKind::HEAD_TO_HEAD);
+    let run = harness::run_and_export(&grid, &opts);
+
+    for app in apps {
+        println!("=== Table 1 ({app}) ===");
+        let mut rows = Vec::new();
+        for trace_id in 1u64..=6 {
             let mut cells = vec![format!("{trace_id}")];
             for kind in PolicyKind::HEAD_TO_HEAD {
-                let mut outcome = Experiment::new(spec.clone(), kind).run(&trace);
-                cells.push(fmt_secs(outcome.report.p95_latency().as_secs_f64()));
-                cells.push(fmt_mib(outcome.report.avg_local_mib()));
+                let outcome = run.outcome(&trace_id.to_string(), app, DEFAULT_CONFIG, kind.name());
+                cells.push(fmt_secs(outcome.summary.latency.p95.as_secs_f64()));
+                cells.push(fmt_mib(outcome.summary.avg_local_mib));
             }
             rows.push(cells);
         }
         println!(
             "{}",
             render_table(
-                &["ID", "Base Lat", "Base Mem", "TMO Lat", "TMO Mem", "FaaSMem Lat", "FaaSMem Mem"],
+                &[
+                    "ID",
+                    "Base Lat",
+                    "Base Mem",
+                    "TMO Lat",
+                    "TMO Mem",
+                    "FaaSMem Lat",
+                    "FaaSMem Mem"
+                ],
                 &rows
             )
         );
         println!();
     }
-    println!("Paper reference (Tab 1): FaaSMem's memory column is far below TMO's under every trace;");
+    println!(
+        "Paper reference (Tab 1): FaaSMem's memory column is far below TMO's under every trace;"
+    );
     println!("Web gets the largest relative cut; latency stays at the baseline level.");
 }

@@ -1,0 +1,951 @@
+//! The parallel experiment harness.
+//!
+//! Every figure/table of the evaluation is a grid: benchmarks × traces ×
+//! platform configurations × policies. [`ExperimentGrid`] expresses that
+//! grid declaratively; [`run_grid`] fans its cells across worker threads
+//! (each cell owns a private [`PlatformSim`], so cells never share
+//! state), and merges the results in grid order — the merged output is a
+//! pure function of the grid, byte-identical for any `--jobs` value.
+//!
+//! [`GridRun::write_results`] exports a versioned JSON summary plus a
+//! separate wall-clock timing file under `results/`; wall-clock never
+//! enters the main JSON so it stays reproducible.
+//!
+//! ```text
+//! cargo run --release -p faasmem-bench --bin fig12_main_eval -- --jobs 8
+//! cargo run --release -p faasmem-bench --bin fig12_main_eval -- --quick
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use faasmem_baselines::{DamonPolicy, NoOffloadPolicy, TmoPolicy};
+use faasmem_core::{FaasMemPolicy, FaasMemStats, StatsHandle};
+use faasmem_faas::{MemoryPolicy, PlatformConfig, PlatformSim, RunReport, RunSummary};
+use faasmem_metrics::agg;
+use faasmem_sim::SimTime;
+use faasmem_workload::{
+    ArrivalModel, BenchmarkSpec, FunctionId, InvocationTrace, LoadClass, TraceStats,
+    TraceSynthesizer,
+};
+
+use crate::json::JsonValue;
+use crate::PolicyKind;
+
+/// Schema version stamped into every exported JSON document.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Label of the implicit configuration when a grid declares none.
+pub const DEFAULT_CONFIG: &str = "default";
+
+/// Trace horizon used by `--quick` smoke runs in place of the grid's
+/// synthesized-trace durations.
+pub const QUICK_DURATION: SimTime = SimTime::from_mins(5);
+
+// ---------------------------------------------------------------------
+// Grid axes
+// ---------------------------------------------------------------------
+
+/// The benchmark axis: one label plus the functions registered on the
+/// simulated node (one spec for the single-function experiments, many
+/// for cluster workloads like Fig 1).
+#[derive(Debug, Clone)]
+pub struct BenchCase {
+    /// Row label, unique within the grid.
+    pub label: String,
+    /// Functions registered on the node, in [`FunctionId`] order.
+    pub specs: Vec<BenchmarkSpec>,
+}
+
+impl BenchCase {
+    /// A single-function case labeled with the benchmark's name.
+    pub fn single(spec: BenchmarkSpec) -> Self {
+        BenchCase {
+            label: spec.name.to_string(),
+            specs: vec![spec],
+        }
+    }
+
+    /// A multi-function case.
+    pub fn cluster(label: &str, specs: Vec<BenchmarkSpec>) -> Self {
+        BenchCase {
+            label: label.to_string(),
+            specs,
+        }
+    }
+}
+
+/// The configuration axis: a labeled [`PlatformConfig`] override.
+#[derive(Debug, Clone)]
+pub struct ConfigCase {
+    /// Column label, unique within the grid.
+    pub label: String,
+    /// The platform configuration (page size, keep-alive, pool, seed...).
+    pub config: PlatformConfig,
+}
+
+impl ConfigCase {
+    /// A labeled configuration.
+    pub fn new(label: &str, config: PlatformConfig) -> Self {
+        ConfigCase {
+            label: label.to_string(),
+            config,
+        }
+    }
+
+    /// The implicit default configuration.
+    pub fn default_case() -> Self {
+        ConfigCase::new(DEFAULT_CONFIG, PlatformConfig::default())
+    }
+}
+
+/// Builds a fresh policy instance for one cell. Returns the boxed policy
+/// plus FaaSMem's mechanism-stats handle when the policy publishes one.
+/// Runs on a worker thread, so the factory must be `Send + Sync`; the
+/// policy it builds stays on that thread.
+pub type PolicyFactory =
+    Arc<dyn Fn() -> (Box<dyn MemoryPolicy>, Option<StatsHandle>) + Send + Sync>;
+
+/// The policy axis.
+#[derive(Clone)]
+pub enum PolicySpec {
+    /// One of the standard systems.
+    Kind(PolicyKind),
+    /// A custom-built policy (ablation configs, extensions).
+    Custom {
+        /// Column label, unique within the grid.
+        label: String,
+        /// Per-cell policy constructor.
+        make: PolicyFactory,
+    },
+}
+
+impl PolicySpec {
+    /// A custom policy from a constructor closure.
+    pub fn custom<F>(label: &str, make: F) -> Self
+    where
+        F: Fn() -> (Box<dyn MemoryPolicy>, Option<StatsHandle>) + Send + Sync + 'static,
+    {
+        PolicySpec::Custom {
+            label: label.to_string(),
+            make: Arc::new(make),
+        }
+    }
+
+    /// A custom FaaSMem variant; the stats handle is wired automatically.
+    pub fn faasmem<F>(label: &str, build: F) -> Self
+    where
+        F: Fn() -> FaasMemPolicy + Send + Sync + 'static,
+    {
+        Self::custom(label, move || {
+            let policy = build();
+            let stats = policy.stats();
+            (Box::new(policy), Some(stats))
+        })
+    }
+
+    /// The column label.
+    pub fn label(&self) -> &str {
+        match self {
+            PolicySpec::Kind(kind) => kind.name(),
+            PolicySpec::Custom { label, .. } => label,
+        }
+    }
+}
+
+impl std::fmt::Debug for PolicySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicySpec")
+            .field("label", &self.label())
+            .finish()
+    }
+}
+
+/// How a [`TraceSpec`] seed combines with the benchmark under test.
+/// The seed-per-benchmark conventions of the original drivers are kept
+/// so the ported binaries reproduce the same traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedMix {
+    /// Same seed for every benchmark.
+    Fixed,
+    /// `seed ^ first_spec_name.len()` (Fig 12's convention).
+    XorNameLen,
+    /// `seed + first_spec_name.len()` (Fig 2 / Fig 8's convention).
+    AddNameLen,
+}
+
+/// How the trace is produced.
+#[derive(Debug, Clone)]
+pub enum TraceKind {
+    /// Synthesized single-function trace for [`FunctionId`]`(0)`.
+    Synth {
+        /// Azure load class.
+        load: LoadClass,
+        /// Markov-modulated bursts.
+        bursty: bool,
+        /// Explicit arrival model overriding the load class's default.
+        arrival: Option<ArrivalModel>,
+    },
+    /// Synthesized multi-function cluster trace (Fig 1).
+    Cluster {
+        /// Number of functions; must match the bench case's spec count.
+        functions: u32,
+    },
+    /// A pre-built trace used verbatim (hand-crafted arrival patterns).
+    Explicit(InvocationTrace),
+}
+
+/// The trace axis: a labeled, seeded trace recipe.
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    /// Row label, unique within the grid.
+    pub label: String,
+    /// Synthesizer seed (ignored for explicit traces).
+    pub seed: u64,
+    /// Per-benchmark seed derivation.
+    pub seed_mix: SeedMix,
+    /// Trace horizon (ignored for explicit traces).
+    pub duration: SimTime,
+    /// The recipe.
+    pub kind: TraceKind,
+}
+
+impl TraceSpec {
+    /// A synthesized single-function trace; one hour, steady, not bursty.
+    pub fn synth(label: &str, seed: u64, load: LoadClass) -> Self {
+        TraceSpec {
+            label: label.to_string(),
+            seed,
+            seed_mix: SeedMix::Fixed,
+            duration: SimTime::from_mins(60),
+            kind: TraceKind::Synth {
+                load,
+                bursty: false,
+                arrival: None,
+            },
+        }
+    }
+
+    /// A synthesized cluster trace over `functions` functions.
+    pub fn cluster(label: &str, seed: u64, functions: u32) -> Self {
+        TraceSpec {
+            label: label.to_string(),
+            seed,
+            seed_mix: SeedMix::Fixed,
+            duration: SimTime::from_mins(60),
+            kind: TraceKind::Cluster { functions },
+        }
+    }
+
+    /// A pre-built trace used verbatim.
+    pub fn explicit(label: &str, trace: InvocationTrace) -> Self {
+        TraceSpec {
+            label: label.to_string(),
+            seed: 0,
+            seed_mix: SeedMix::Fixed,
+            duration: SimTime::ZERO,
+            kind: TraceKind::Explicit(trace),
+        }
+    }
+
+    /// Enables bursty arrivals (synthesized traces only).
+    pub fn bursty(mut self, bursty: bool) -> Self {
+        if let TraceKind::Synth { bursty: b, .. } = &mut self.kind {
+            *b = bursty;
+        }
+        self
+    }
+
+    /// Overrides the arrival model (synthesized traces only).
+    pub fn arrival(mut self, model: ArrivalModel) -> Self {
+        if let TraceKind::Synth { arrival, .. } = &mut self.kind {
+            *arrival = Some(model);
+        }
+        self
+    }
+
+    /// Overrides the trace horizon.
+    pub fn duration(mut self, duration: SimTime) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets the per-benchmark seed derivation.
+    pub fn seed_mix(mut self, mix: SeedMix) -> Self {
+        self.seed_mix = mix;
+        self
+    }
+
+    /// Materializes the trace for one bench case.
+    fn build(&self, bench: &BenchCase, quick: bool) -> InvocationTrace {
+        let name_len = bench.specs.first().map_or(0, |s| s.name.len() as u64);
+        let seed = match self.seed_mix {
+            SeedMix::Fixed => self.seed,
+            SeedMix::XorNameLen => self.seed ^ name_len,
+            SeedMix::AddNameLen => self.seed + name_len,
+        };
+        let duration = if quick {
+            self.duration.min(QUICK_DURATION)
+        } else {
+            self.duration
+        };
+        match &self.kind {
+            TraceKind::Synth {
+                load,
+                bursty,
+                arrival,
+            } => {
+                let mut synth = TraceSynthesizer::new(seed)
+                    .load_class(*load)
+                    .bursty(*bursty)
+                    .duration(duration);
+                if let Some(model) = arrival {
+                    synth = synth.arrival_model(*model);
+                }
+                synth.synthesize_for(FunctionId(0))
+            }
+            TraceKind::Cluster { functions } => {
+                let (trace, _classes) = TraceSynthesizer::new(seed)
+                    .duration(duration)
+                    .synthesize_cluster(*functions);
+                trace
+            }
+            TraceKind::Explicit(trace) => trace.clone(),
+        }
+    }
+}
+
+/// A declarative experiment grid. Cells are the cartesian product
+/// traces × benches × configs × policies, enumerated in that nesting
+/// order; an empty `configs` axis means "the default configuration".
+#[derive(Debug, Default)]
+pub struct ExperimentGrid {
+    /// Grid name; also the stem of the exported JSON files.
+    pub name: String,
+    /// The benchmark axis.
+    pub benches: Vec<BenchCase>,
+    /// The trace axis.
+    pub traces: Vec<TraceSpec>,
+    /// The configuration axis (empty ⇒ one default configuration).
+    pub configs: Vec<ConfigCase>,
+    /// The policy axis.
+    pub policies: Vec<PolicySpec>,
+}
+
+impl ExperimentGrid {
+    /// An empty grid.
+    pub fn new(name: &str) -> Self {
+        ExperimentGrid {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds one bench case.
+    pub fn bench(mut self, case: BenchCase) -> Self {
+        self.benches.push(case);
+        self
+    }
+
+    /// Adds bench cases.
+    pub fn benches<I: IntoIterator<Item = BenchCase>>(mut self, cases: I) -> Self {
+        self.benches.extend(cases);
+        self
+    }
+
+    /// Adds one trace.
+    pub fn trace(mut self, spec: TraceSpec) -> Self {
+        self.traces.push(spec);
+        self
+    }
+
+    /// Adds traces.
+    pub fn traces<I: IntoIterator<Item = TraceSpec>>(mut self, specs: I) -> Self {
+        self.traces.extend(specs);
+        self
+    }
+
+    /// Adds one configuration.
+    pub fn config(mut self, case: ConfigCase) -> Self {
+        self.configs.push(case);
+        self
+    }
+
+    /// Adds configurations.
+    pub fn configs<I: IntoIterator<Item = ConfigCase>>(mut self, cases: I) -> Self {
+        self.configs.extend(cases);
+        self
+    }
+
+    /// Adds one policy.
+    pub fn policy(mut self, spec: PolicySpec) -> Self {
+        self.policies.push(spec);
+        self
+    }
+
+    /// Adds policies.
+    pub fn policies<I: IntoIterator<Item = PolicySpec>>(mut self, specs: I) -> Self {
+        self.policies.extend(specs);
+        self
+    }
+
+    /// Adds standard policies by kind.
+    pub fn policy_kinds<I: IntoIterator<Item = PolicyKind>>(self, kinds: I) -> Self {
+        self.policies(kinds.into_iter().map(PolicySpec::Kind))
+    }
+
+    /// Number of cells the grid expands to.
+    pub fn len(&self) -> usize {
+        self.traces.len() * self.benches.len() * self.configs.len().max(1) * self.policies.len()
+    }
+
+    /// `true` when the grid expands to no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------
+
+/// Runtime options shared by every harness binary.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Worker threads fanning out grid cells.
+    pub jobs: usize,
+    /// Smoke mode: truncate synthesized traces to [`QUICK_DURATION`].
+    pub quick: bool,
+    /// Directory for the exported JSON files.
+    pub out_dir: PathBuf,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+        HarnessOptions {
+            jobs,
+            quick: false,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// Parses `--jobs N` / `-j N` / `--jobs=N`, `--quick` and
+    /// `--out DIR` / `--out=DIR` from the process arguments. Unknown
+    /// arguments are ignored so binaries can add their own flags.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Testable argument parser behind [`HarnessOptions::from_env`].
+    pub fn parse<I, S>(args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut opts = HarnessOptions::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let arg = arg.as_ref();
+            if arg == "--quick" {
+                opts.quick = true;
+            } else if arg == "--jobs" || arg == "-j" {
+                if let Some(n) = args.next().and_then(|v| v.as_ref().parse().ok()) {
+                    opts.jobs = n;
+                }
+            } else if let Some(n) = arg.strip_prefix("--jobs=") {
+                if let Ok(n) = n.parse() {
+                    opts.jobs = n;
+                }
+            } else if arg == "--out" {
+                if let Some(dir) = args.next() {
+                    opts.out_dir = PathBuf::from(dir.as_ref());
+                }
+            } else if let Some(dir) = arg.strip_prefix("--out=") {
+                opts.out_dir = PathBuf::from(dir);
+            }
+        }
+        opts.jobs = opts.jobs.max(1);
+        opts
+    }
+}
+
+// ---------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------
+
+/// Coordinates of one cell within its grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellLabels {
+    /// Trace-axis label.
+    pub trace: String,
+    /// Bench-axis label.
+    pub bench: String,
+    /// Config-axis label.
+    pub config: String,
+    /// Policy-axis label.
+    pub policy: String,
+}
+
+/// Everything one successful cell produced.
+#[derive(Debug)]
+pub struct CellOutcome {
+    /// Invocations in the cell's trace.
+    pub trace_len: usize,
+    /// Arrival statistics of the cell's trace.
+    pub trace_stats: TraceStats,
+    /// The flat metric digest (serialized to JSON).
+    pub summary: RunSummary,
+    /// FaaSMem mechanism stats, for FaaSMem-family policies.
+    pub faasmem: Option<FaasMemStats>,
+    /// The full platform report, for detailed per-binary rendering.
+    pub report: RunReport,
+}
+
+/// One cell's result: its coordinates, outcome (or captured panic) and
+/// wall-clock cost.
+#[derive(Debug)]
+pub struct CellResult {
+    /// Coordinates within the grid.
+    pub labels: CellLabels,
+    /// The outcome, or the panic message if the cell died.
+    pub outcome: Result<CellOutcome, String>,
+    /// Wall-clock seconds this cell took on its worker.
+    pub wall_secs: f64,
+}
+
+/// A completed grid run: all cells in deterministic grid order.
+#[derive(Debug)]
+pub struct GridRun {
+    /// Grid name.
+    pub name: String,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Whether `--quick` truncated the traces.
+    pub quick: bool,
+    /// Cell results in grid order (traces → benches → configs → policies).
+    pub cells: Vec<CellResult>,
+    /// Wall-clock seconds for the whole fan-out.
+    pub wall_total_secs: f64,
+}
+
+impl GridRun {
+    /// Looks up a cell by its four labels; panics on a label typo.
+    pub fn cell(&self, trace: &str, bench: &str, config: &str, policy: &str) -> &CellResult {
+        self.cells
+            .iter()
+            .find(|c| {
+                c.labels.trace == trace
+                    && c.labels.bench == bench
+                    && c.labels.config == config
+                    && c.labels.policy == policy
+            })
+            .unwrap_or_else(|| {
+                panic!("no cell [trace={trace}, bench={bench}, config={config}, policy={policy}] in grid {}", self.name)
+            })
+    }
+
+    /// Looks up a successful cell's outcome; panics if the cell is
+    /// missing or panicked.
+    pub fn outcome(&self, trace: &str, bench: &str, config: &str, policy: &str) -> &CellOutcome {
+        let cell = self.cell(trace, bench, config, policy);
+        match &cell.outcome {
+            Ok(outcome) => outcome,
+            Err(msg) => panic!(
+                "cell [trace={trace}, bench={bench}, config={config}, policy={policy}] panicked: {msg}"
+            ),
+        }
+    }
+
+    /// Number of cells that panicked.
+    pub fn failures(&self) -> usize {
+        self.cells.iter().filter(|c| c.outcome.is_err()).count()
+    }
+
+    /// Total simulated seconds across successful cells.
+    pub fn sim_secs_total(&self) -> f64 {
+        self.cells
+            .iter()
+            .filter_map(|c| c.outcome.as_ref().ok())
+            .map(|o| o.summary.sim_secs)
+            .sum()
+    }
+
+    /// The deterministic result document: a pure function of the grid
+    /// definition, byte-identical for any thread count. Wall-clock data
+    /// deliberately lives in [`GridRun::timing_json`] instead.
+    pub fn to_json(&self) -> JsonValue {
+        let mut doc = JsonValue::obj();
+        doc.push("schema_version", JsonValue::Num(SCHEMA_VERSION as f64));
+        doc.push("grid", JsonValue::Str(self.name.clone()));
+        doc.push("quick", JsonValue::Bool(self.quick));
+        let cells: Vec<JsonValue> = self.cells.iter().map(cell_json).collect();
+        doc.push("cells", JsonValue::Arr(cells));
+        doc
+    }
+
+    /// The wall-clock side channel: jobs, per-cell and aggregate timing.
+    pub fn timing_json(&self) -> JsonValue {
+        let walls: Vec<f64> = self.cells.iter().map(|c| c.wall_secs).collect();
+        let mut doc = JsonValue::obj();
+        doc.push("schema_version", JsonValue::Num(SCHEMA_VERSION as f64));
+        doc.push("grid", JsonValue::Str(self.name.clone()));
+        doc.push("jobs", JsonValue::Num(self.jobs as f64));
+        doc.push("wall_total_secs", JsonValue::Num(self.wall_total_secs));
+        doc.push("cell_wall_sum_secs", JsonValue::Num(agg::total(&walls)));
+        if let Some((min, max)) = agg::min_max(&walls) {
+            doc.push("cell_wall_min_secs", JsonValue::Num(min));
+            doc.push("cell_wall_max_secs", JsonValue::Num(max));
+        }
+        if let Some(mean) = agg::mean(&walls) {
+            doc.push("cell_wall_mean_secs", JsonValue::Num(mean));
+        }
+        doc.push("sim_secs_total", JsonValue::Num(self.sim_secs_total()));
+        if self.wall_total_secs > 0.0 {
+            doc.push(
+                "sim_secs_per_wall_sec",
+                JsonValue::Num(self.sim_secs_total() / self.wall_total_secs),
+            );
+        }
+        let cells: Vec<JsonValue> = self
+            .cells
+            .iter()
+            .map(|c| {
+                let mut cell = JsonValue::obj();
+                push_labels(&mut cell, &c.labels);
+                cell.push("wall_secs", JsonValue::Num(c.wall_secs));
+                cell
+            })
+            .collect();
+        doc.push("cells", JsonValue::Arr(cells));
+        doc
+    }
+
+    /// Writes `<name>.json` (deterministic) and `<name>.timing.json`
+    /// (wall-clock) under `dir`, returning the main file's path.
+    pub fn write_results(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let main = dir.join(format!("{}.json", self.name));
+        std::fs::write(&main, self.to_json().to_pretty())?;
+        let timing = dir.join(format!("{}.timing.json", self.name));
+        std::fs::write(&timing, self.timing_json().to_pretty())?;
+        Ok(main)
+    }
+
+    /// Prints the fan-out's throughput to stderr (stderr so the tables on
+    /// stdout stay byte-comparable across runs).
+    pub fn print_timing(&self) {
+        let sum: f64 = self.cells.iter().map(|c| c.wall_secs).sum();
+        let speedup = if self.wall_total_secs > 0.0 {
+            sum / self.wall_total_secs
+        } else {
+            1.0
+        };
+        eprintln!(
+            "[harness] grid {}: {} cells, jobs={}, wall {:.2}s, cell-wall sum {:.2}s ({speedup:.2}x), {:.0} sim-secs ({:.0}x real time)",
+            self.name,
+            self.cells.len(),
+            self.jobs,
+            self.wall_total_secs,
+            sum,
+            self.sim_secs_total(),
+            if self.wall_total_secs > 0.0 {
+                self.sim_secs_total() / self.wall_total_secs
+            } else {
+                0.0
+            },
+        );
+        if self.failures() > 0 {
+            eprintln!(
+                "[harness] grid {}: {} cell(s) PANICKED",
+                self.name,
+                self.failures()
+            );
+        }
+    }
+}
+
+fn push_labels(cell: &mut JsonValue, labels: &CellLabels) {
+    cell.push("trace", JsonValue::Str(labels.trace.clone()));
+    cell.push("bench", JsonValue::Str(labels.bench.clone()));
+    cell.push("config", JsonValue::Str(labels.config.clone()));
+    cell.push("policy", JsonValue::Str(labels.policy.clone()));
+}
+
+fn cell_json(cell: &CellResult) -> JsonValue {
+    let mut doc = JsonValue::obj();
+    push_labels(&mut doc, &cell.labels);
+    match &cell.outcome {
+        Err(msg) => {
+            doc.push("status", JsonValue::Str("panicked".into()));
+            doc.push("error", JsonValue::Str(msg.clone()));
+        }
+        Ok(outcome) => {
+            doc.push("status", JsonValue::Str("ok".into()));
+            doc.push(
+                "trace_invocations",
+                JsonValue::Num(outcome.trace_len as f64),
+            );
+            doc.push("metrics", summary_json(&outcome.summary));
+            match &outcome.faasmem {
+                Some(stats) => doc.push("faasmem", faasmem_json(stats)),
+                None => doc.push("faasmem", JsonValue::Null),
+            };
+        }
+    }
+    doc
+}
+
+fn summary_json(s: &RunSummary) -> JsonValue {
+    let mut doc = JsonValue::obj();
+    doc.push(
+        "requests_completed",
+        JsonValue::Num(s.requests_completed as f64),
+    );
+    doc.push("cold_starts", JsonValue::Num(s.cold_starts as f64));
+    doc.push("cold_start_ratio", JsonValue::Num(s.cold_start_ratio));
+    doc.push(
+        "avg_latency_secs",
+        JsonValue::Num(s.latency.avg.as_secs_f64()),
+    );
+    doc.push(
+        "p50_latency_secs",
+        JsonValue::Num(s.latency.p50.as_secs_f64()),
+    );
+    doc.push(
+        "p95_latency_secs",
+        JsonValue::Num(s.latency.p95.as_secs_f64()),
+    );
+    doc.push(
+        "p99_latency_secs",
+        JsonValue::Num(s.latency.p99.as_secs_f64()),
+    );
+    doc.push(
+        "max_latency_secs",
+        JsonValue::Num(s.max_latency.as_secs_f64()),
+    );
+    doc.push("avg_local_mib", JsonValue::Num(s.avg_local_mib));
+    doc.push("avg_remote_mib", JsonValue::Num(s.avg_remote_mib));
+    doc.push("avg_live_containers", JsonValue::Num(s.avg_live_containers));
+    doc.push(
+        "memory_inactive_fraction",
+        JsonValue::Num(s.memory_inactive_fraction),
+    );
+    doc.push(
+        "pool_bytes_out",
+        JsonValue::Num(s.pool_stats.bytes_out as f64),
+    );
+    doc.push(
+        "pool_bytes_in",
+        JsonValue::Num(s.pool_stats.bytes_in as f64),
+    );
+    doc.push("pool_out_ops", JsonValue::Num(s.pool_stats.out_ops as f64));
+    doc.push("pool_in_ops", JsonValue::Num(s.pool_stats.in_ops as f64));
+    doc.push(
+        "mean_offload_bandwidth_mbps",
+        JsonValue::Num(s.mean_offload_bandwidth_mbps),
+    );
+    doc.push("containers", JsonValue::Num(s.containers as f64));
+    doc.push("sim_secs", JsonValue::Num(s.sim_secs));
+    doc
+}
+
+fn faasmem_json(stats: &FaasMemStats) -> JsonValue {
+    let mut doc = JsonValue::obj();
+    let recalls: u64 = stats.runtime_recalls.values().sum();
+    let offloads: u64 = stats.runtime_offloads.values().sum();
+    doc.push("runtime_recalls_total", JsonValue::Num(recalls as f64));
+    doc.push("runtime_offloads_total", JsonValue::Num(offloads as f64));
+    let windows: Vec<JsonValue> = stats
+        .windows_chosen
+        .iter()
+        .map(|&(_, w)| JsonValue::Num(f64::from(w)))
+        .collect();
+    doc.push("windows_chosen", JsonValue::Arr(windows));
+    doc.push("rollbacks", JsonValue::Num(stats.rollbacks as f64));
+    doc.push(
+        "semi_warm_bytes",
+        JsonValue::Num(stats.semi_warm_bytes as f64),
+    );
+    doc.push(
+        "semi_warm_records",
+        JsonValue::Num(stats.semi_warm_records.len() as f64),
+    );
+    doc
+}
+
+// ---------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------
+
+struct Cell<'a> {
+    labels: CellLabels,
+    bench: &'a BenchCase,
+    trace: &'a TraceSpec,
+    config: &'a ConfigCase,
+    policy: &'a PolicySpec,
+}
+
+/// Runs every cell of `grid`, fanning across `opts.jobs` worker threads,
+/// and merges the results in grid order. A panicking cell is captured as
+/// that cell's error; the remaining cells still complete.
+pub fn run_grid(grid: &ExperimentGrid, opts: &HarnessOptions) -> GridRun {
+    let default_config = [ConfigCase::default_case()];
+    let configs: &[ConfigCase] = if grid.configs.is_empty() {
+        &default_config
+    } else {
+        &grid.configs
+    };
+
+    let mut cells: Vec<Cell<'_>> = Vec::with_capacity(grid.len());
+    for trace in &grid.traces {
+        for bench in &grid.benches {
+            for config in configs {
+                for policy in &grid.policies {
+                    cells.push(Cell {
+                        labels: CellLabels {
+                            trace: trace.label.clone(),
+                            bench: bench.label.clone(),
+                            config: config.label.clone(),
+                            policy: policy.label().to_string(),
+                        },
+                        bench,
+                        trace,
+                        config,
+                        policy,
+                    });
+                }
+            }
+        }
+    }
+
+    let started = Instant::now();
+    let n = cells.len();
+    let jobs = opts.jobs.clamp(1, n.max(1));
+    let next = AtomicUsize::new(0);
+    let quick = opts.quick;
+
+    let mut results: Vec<Option<CellResult>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(jobs);
+        for _ in 0..jobs {
+            let cells = &cells;
+            let next = &next;
+            handles.push(scope.spawn(move || {
+                let mut mine = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let cell = &cells[i];
+                    let cell_started = Instant::now();
+                    let outcome = run_cell(cell, quick);
+                    mine.push((
+                        i,
+                        CellResult {
+                            labels: cell.labels.clone(),
+                            outcome,
+                            wall_secs: cell_started.elapsed().as_secs_f64(),
+                        },
+                    ));
+                }
+                mine
+            }));
+        }
+        for handle in handles {
+            for (i, result) in handle.join().expect("worker thread") {
+                results[i] = Some(result);
+            }
+        }
+    });
+
+    GridRun {
+        name: grid.name.clone(),
+        jobs,
+        quick: opts.quick,
+        cells: results
+            .into_iter()
+            .map(|r| r.expect("every cell ran"))
+            .collect(),
+        wall_total_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Convenience wrapper: run, export JSON under `opts.out_dir`, print the
+/// timing line. IO errors only warn — experiment output on stdout is
+/// more important than the export.
+pub fn run_and_export(grid: &ExperimentGrid, opts: &HarnessOptions) -> GridRun {
+    let run = run_grid(grid, opts);
+    match run.write_results(&opts.out_dir) {
+        Ok(path) => eprintln!("[harness] wrote {}", path.display()),
+        Err(e) => eprintln!(
+            "[harness] could not write results under {}: {e}",
+            opts.out_dir.display()
+        ),
+    }
+    run.print_timing();
+    run
+}
+
+fn run_cell(cell: &Cell<'_>, quick: bool) -> Result<CellOutcome, String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        let trace = cell.trace.build(cell.bench, quick);
+        let builder = PlatformSim::builder()
+            .register_functions(cell.bench.specs.iter().cloned())
+            .config(cell.config.config.clone());
+        let (mut sim, stats) = match cell.policy {
+            PolicySpec::Kind(kind) => match kind {
+                PolicyKind::Baseline => (builder.policy(NoOffloadPolicy).build(), None),
+                PolicyKind::Tmo => (builder.policy(TmoPolicy::default()).build(), None),
+                PolicyKind::Damon => (builder.policy(DamonPolicy::default()).build(), None),
+                PolicyKind::FaasMem => {
+                    let p = FaasMemPolicy::builder().build();
+                    let s = p.stats();
+                    (builder.policy(p).build(), Some(s))
+                }
+                PolicyKind::FaasMemNoPucket => {
+                    let p = FaasMemPolicy::builder().without_pucket().build();
+                    let s = p.stats();
+                    (builder.policy(p).build(), Some(s))
+                }
+                PolicyKind::FaasMemNoSemiWarm => {
+                    let p = FaasMemPolicy::builder().without_semiwarm().build();
+                    let s = p.stats();
+                    (builder.policy(p).build(), Some(s))
+                }
+            },
+            PolicySpec::Custom { make, .. } => {
+                let (policy, stats) = make();
+                (builder.policy(policy).build(), stats)
+            }
+        };
+        let mut report = sim.run(&trace);
+        let summary = report.summarize();
+        CellOutcome {
+            trace_len: trace.len(),
+            trace_stats: trace.stats(),
+            summary,
+            // Snapshot: the Rc-based handle must not cross threads, the
+            // cloned stats may.
+            faasmem: stats.map(|s| s.borrow().clone()),
+            report,
+        }
+    }))
+    .map_err(|payload| {
+        if let Some(msg) = payload.downcast_ref::<&'static str>() {
+            (*msg).to_string()
+        } else if let Some(msg) = payload.downcast_ref::<String>() {
+            msg.clone()
+        } else {
+            "cell panicked with a non-string payload".to_string()
+        }
+    })
+}

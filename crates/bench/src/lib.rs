@@ -14,6 +14,8 @@
 //! cargo run --release -p faasmem-bench --bin fig12_main_eval
 //! ```
 
+pub mod harness;
+pub mod json;
 pub mod svg;
 
 use faasmem_baselines::{DamonPolicy, NoOffloadPolicy, TmoPolicy};
@@ -78,7 +80,11 @@ pub struct ExperimentOutcome {
 impl Experiment {
     /// A single-function experiment with the default platform config.
     pub fn new(spec: BenchmarkSpec, policy: PolicyKind) -> Self {
-        Experiment { spec, policy, platform: PlatformConfig::default() }
+        Experiment {
+            spec,
+            policy,
+            platform: PlatformConfig::default(),
+        }
     }
 
     /// Overrides the platform configuration.
@@ -112,7 +118,10 @@ impl Experiment {
                 (builder.policy(p).build(), Some(s))
             }
         };
-        ExperimentOutcome { report: sim.run(trace), faasmem_stats: stats }
+        ExperimentOutcome {
+            report: sim.run(trace),
+            faasmem_stats: stats,
+        }
     }
 }
 
@@ -194,8 +203,14 @@ mod tests {
     fn tiny_trace() -> InvocationTrace {
         InvocationTrace::from_invocations(
             vec![
-                Invocation { at: SimTime::from_secs(1), function: FunctionId(0) },
-                Invocation { at: SimTime::from_secs(30), function: FunctionId(0) },
+                Invocation {
+                    at: SimTime::from_secs(1),
+                    function: FunctionId(0),
+                },
+                Invocation {
+                    at: SimTime::from_secs(30),
+                    function: FunctionId(0),
+                },
             ],
             SimTime::from_mins(2),
         )

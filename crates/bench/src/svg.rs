@@ -13,7 +13,9 @@ const MARGIN_L: f64 = 70.0;
 const MARGIN_R: f64 = 20.0;
 const MARGIN_T: f64 = 40.0;
 const MARGIN_B: f64 = 80.0;
-const PALETTE: [&str; 6] = ["#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c"];
+const PALETTE: [&str; 6] = [
+    "#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c",
+];
 
 fn plot_w() -> f64 {
     WIDTH - MARGIN_L - MARGIN_R
@@ -39,7 +41,9 @@ fn header(title: &str) -> String {
 }
 
 fn escape(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn y_axis(s: &mut String, y_max: f64, y_label: &str) {
@@ -256,17 +260,16 @@ mod tests {
         for needle in ["s1", "s2", "a", "b", "c", "<svg", "</svg>"] {
             assert!(svg.contains(needle), "missing {needle}");
         }
-        assert_eq!(svg.matches("<rect").count(), 1 + 6 + 2, "bg + bars + legend swatches");
+        assert_eq!(
+            svg.matches("<rect").count(),
+            1 + 6 + 2,
+            "bg + bars + legend swatches"
+        );
     }
 
     #[test]
     fn lines_scale_to_bounds() {
-        let svg = lines(
-            "t",
-            "x",
-            "y",
-            &[("one", vec![(0.0, 0.0), (100.0, 1.0)])],
-        );
+        let svg = lines("t", "x", "y", &[("one", vec![(0.0, 0.0), (100.0, 1.0)])]);
         assert!(svg.contains("polyline"));
         // The first point sits at the left margin, the last at the right.
         assert!(svg.contains(&format!("{MARGIN_L:.1},")));

@@ -1,0 +1,248 @@
+//! Integration tests for the parallel experiment harness: deterministic
+//! fan-out (the merged document is a pure function of the grid, for any
+//! `--jobs`), grid edge cases, panic isolation, and option parsing.
+
+use faasmem_bench::harness::{
+    run_grid, BenchCase, ExperimentGrid, HarnessOptions, PolicySpec, SeedMix, TraceSpec,
+    DEFAULT_CONFIG,
+};
+use faasmem_bench::{json, PolicyKind};
+use faasmem_core::FaasMemPolicy;
+use faasmem_sim::SimTime;
+use faasmem_workload::{BenchmarkSpec, FunctionId, Invocation, InvocationTrace, LoadClass};
+
+fn quick_opts(jobs: usize) -> HarnessOptions {
+    HarnessOptions {
+        jobs,
+        quick: true,
+        ..HarnessOptions::default()
+    }
+}
+
+/// A small but non-trivial grid: 2 traces × 2 benches × 3 policies.
+fn sample_grid() -> ExperimentGrid {
+    ExperimentGrid::new("harness_test_grid")
+        .traces([
+            TraceSpec::synth("high", 4242, LoadClass::High).seed_mix(SeedMix::XorNameLen),
+            TraceSpec::synth("low", 4243, LoadClass::Low).bursty(true),
+        ])
+        .benches(
+            ["json", "web"]
+                .map(|app| BenchCase::single(BenchmarkSpec::by_name(app).expect("catalog"))),
+        )
+        .policy_kinds(PolicyKind::HEAD_TO_HEAD)
+}
+
+#[test]
+fn merged_json_is_byte_identical_across_thread_counts() {
+    let grid = sample_grid();
+    let serial = run_grid(&grid, &quick_opts(1));
+    let expected = serial.to_json().to_pretty();
+    for jobs in [2, 4, 7] {
+        let parallel = run_grid(&grid, &quick_opts(jobs));
+        assert_eq!(
+            parallel.to_json().to_pretty(),
+            expected,
+            "merged document diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn cells_are_enumerated_in_grid_order() {
+    let run = run_grid(&sample_grid(), &quick_opts(3));
+    assert_eq!(run.cells.len(), 12);
+    let labels: Vec<String> = run
+        .cells
+        .iter()
+        .map(|c| {
+            format!(
+                "{}/{}/{}/{}",
+                c.labels.trace, c.labels.bench, c.labels.config, c.labels.policy
+            )
+        })
+        .collect();
+    // Nesting order: traces → benches → configs → policies.
+    assert_eq!(labels[0], "high/json/default/Baseline");
+    assert_eq!(labels[1], "high/json/default/TMO");
+    assert_eq!(labels[2], "high/json/default/FaaSMem");
+    assert_eq!(labels[3], "high/web/default/Baseline");
+    assert_eq!(labels[6], "low/json/default/Baseline");
+    assert_eq!(labels[11], "low/web/default/FaaSMem");
+}
+
+#[test]
+fn empty_grid_runs_and_exports() {
+    let grid = ExperimentGrid::new("empty");
+    assert!(grid.is_empty());
+    let run = run_grid(&grid, &quick_opts(4));
+    assert_eq!(run.cells.len(), 0);
+    assert_eq!(run.failures(), 0);
+    let doc = run.to_json().to_pretty();
+    let parsed = json::parse(&doc).expect("empty-grid document parses");
+    assert_eq!(parsed.get("grid").and_then(|v| v.as_str()), Some("empty"));
+    assert_eq!(
+        parsed
+            .get("cells")
+            .and_then(|v| v.as_arr())
+            .map(|a| a.len()),
+        Some(0)
+    );
+}
+
+#[test]
+fn single_cell_grid() {
+    let trace = InvocationTrace::from_invocations(
+        vec![Invocation {
+            at: SimTime::from_secs(5),
+            function: FunctionId(0),
+        }],
+        SimTime::from_secs(60),
+    );
+    let grid = ExperimentGrid::new("single")
+        .trace(TraceSpec::explicit("one-shot", trace))
+        .bench(BenchCase::single(
+            BenchmarkSpec::by_name("json").expect("catalog"),
+        ))
+        .policy_kinds([PolicyKind::Baseline]);
+    assert_eq!(grid.len(), 1);
+    // More workers than cells: jobs is clamped to the cell count.
+    let run = run_grid(&grid, &quick_opts(8));
+    assert_eq!(run.jobs, 1);
+    let outcome = run.outcome(
+        "one-shot",
+        "json",
+        DEFAULT_CONFIG,
+        PolicyKind::Baseline.name(),
+    );
+    assert_eq!(outcome.trace_len, 1);
+    assert_eq!(outcome.summary.requests_completed, 1);
+    assert_eq!(outcome.summary.cold_starts, 1);
+    assert!(
+        outcome.faasmem.is_none(),
+        "baseline publishes no FaaSMem stats"
+    );
+}
+
+#[test]
+fn panicking_cell_is_captured_while_others_complete() {
+    let grid = ExperimentGrid::new("panics")
+        .trace(TraceSpec::synth("high", 77, LoadClass::High))
+        .bench(BenchCase::single(
+            BenchmarkSpec::by_name("json").expect("catalog"),
+        ))
+        .policies([
+            PolicySpec::Kind(PolicyKind::Baseline),
+            PolicySpec::custom("exploding", || panic!("boom in policy factory")),
+            PolicySpec::faasmem("faasmem-ok", || FaasMemPolicy::builder().build()),
+        ]);
+    let run = run_grid(&grid, &quick_opts(2));
+    assert_eq!(run.cells.len(), 3);
+    assert_eq!(run.failures(), 1);
+
+    let failed = run.cell("high", "json", DEFAULT_CONFIG, "exploding");
+    let msg = failed
+        .outcome
+        .as_ref()
+        .expect_err("cell must have panicked");
+    assert!(
+        msg.contains("boom in policy factory"),
+        "panic message lost: {msg}"
+    );
+
+    // Neighbours on the same workers still ran to completion.
+    assert!(
+        run.outcome("high", "json", DEFAULT_CONFIG, PolicyKind::Baseline.name())
+            .summary
+            .requests_completed
+            > 0
+    );
+    assert!(run
+        .outcome("high", "json", DEFAULT_CONFIG, "faasmem-ok")
+        .faasmem
+        .is_some());
+
+    // The failure is visible in the exported document.
+    let doc = run.to_json();
+    let cells = doc
+        .get("cells")
+        .and_then(|v| v.as_arr())
+        .expect("cells array");
+    let statuses: Vec<&str> = cells
+        .iter()
+        .filter_map(|c| c.get("status").and_then(|s| s.as_str()))
+        .collect();
+    assert_eq!(statuses, ["ok", "panicked", "ok"]);
+}
+
+#[test]
+fn exported_files_roundtrip_through_the_parser() {
+    let run = run_grid(&sample_grid(), &quick_opts(4));
+    let dir = std::env::temp_dir().join(format!("faasmem-harness-test-{}", std::process::id()));
+    let main = run.write_results(&dir).expect("write results");
+    let text = std::fs::read_to_string(&main).expect("read main document");
+    let parsed = json::parse(&text).expect("main document parses");
+    assert_eq!(
+        parsed.get("grid").and_then(|v| v.as_str()),
+        Some("harness_test_grid")
+    );
+    assert_eq!(parsed.get("quick"), Some(&json::JsonValue::Bool(true)));
+
+    let timing = std::fs::read_to_string(dir.join("harness_test_grid.timing.json"))
+        .expect("read timing document");
+    let timing = json::parse(&timing).expect("timing document parses");
+    assert_eq!(timing.get("jobs").and_then(|v| v.as_num()), Some(4.0));
+    // Wall-clock lives only in the timing file, never in the main one.
+    assert!(
+        text.find("wall").is_none(),
+        "main document must not contain wall-clock data"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quick_mode_truncates_synthesized_traces() {
+    let grid = ExperimentGrid::new("quick_check")
+        .trace(TraceSpec::synth("high", 4242, LoadClass::High))
+        .bench(BenchCase::single(
+            BenchmarkSpec::by_name("json").expect("catalog"),
+        ))
+        .policy_kinds([PolicyKind::Baseline]);
+    let quick = run_grid(&grid, &quick_opts(1));
+    let full = run_grid(
+        &grid,
+        &HarnessOptions {
+            jobs: 1,
+            quick: false,
+            ..HarnessOptions::default()
+        },
+    );
+    let quick_len = quick
+        .outcome("high", "json", DEFAULT_CONFIG, PolicyKind::Baseline.name())
+        .trace_len;
+    let full_len = full
+        .outcome("high", "json", DEFAULT_CONFIG, PolicyKind::Baseline.name())
+        .trace_len;
+    assert!(quick.quick && !full.quick);
+    assert!(
+        quick_len < full_len,
+        "quick trace ({quick_len}) must be shorter than the full one ({full_len})"
+    );
+}
+
+#[test]
+fn options_parser() {
+    let opts = HarnessOptions::parse(["--jobs", "3", "--quick", "--out", "exports"]);
+    assert_eq!(opts.jobs, 3);
+    assert!(opts.quick);
+    assert_eq!(opts.out_dir, std::path::PathBuf::from("exports"));
+
+    let opts = HarnessOptions::parse(["--jobs=5", "--out=x", "ignored", "--unknown-flag"]);
+    assert_eq!(opts.jobs, 5);
+    assert_eq!(opts.out_dir, std::path::PathBuf::from("x"));
+    assert!(!opts.quick);
+
+    // jobs is clamped to at least one worker.
+    let opts = HarnessOptions::parse(["--jobs", "0"]);
+    assert_eq!(opts.jobs, 1);
+}

@@ -35,7 +35,11 @@ impl OffloadRate {
         match *self {
             OffloadRate::PercentPerSec(frac) => resident_bytes as f64 * frac,
             OffloadRate::MibPerSec(mib) => mib * MIB,
-            OffloadRate::Auto { large_threshold_mib, percent_per_sec, mib_per_sec } => {
+            OffloadRate::Auto {
+                large_threshold_mib,
+                percent_per_sec,
+                mib_per_sec,
+            } => {
                 if resident_bytes > large_threshold_mib * 1024 * 1024 {
                     resident_bytes as f64 * percent_per_sec
                 } else {
@@ -275,8 +279,16 @@ mod tests {
         };
         let small = 50 * 1024 * 1024;
         let large = 200 * 1024 * 1024;
-        assert_eq!(r.bytes_per_sec(small), 1024.0 * 1024.0, "small → amount-based");
-        assert_eq!(r.bytes_per_sec(large), large as f64 * 0.01, "large → percentile-based");
+        assert_eq!(
+            r.bytes_per_sec(small),
+            1024.0 * 1024.0,
+            "small → amount-based"
+        );
+        assert_eq!(
+            r.bytes_per_sec(large),
+            large as f64 * 0.01,
+            "large → percentile-based"
+        );
     }
 
     #[test]
@@ -303,7 +315,10 @@ mod tests {
     #[should_panic(expected = "percentile out of range")]
     fn bad_percentile_panics() {
         let _ = FaasMemConfigBuilder::new()
-            .semiwarm(SemiWarmConfig { start_percentile: 1.5, ..SemiWarmConfig::default() })
+            .semiwarm(SemiWarmConfig {
+                start_percentile: 1.5,
+                ..SemiWarmConfig::default()
+            })
             .build();
     }
 

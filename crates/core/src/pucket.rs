@@ -77,7 +77,10 @@ impl Puckets {
     ///
     /// Panics if the barrier was already inserted.
     pub fn insert_runtime_init_barrier(&mut self, table: &mut PageTable) -> Generation {
-        assert!(self.runtime_init.is_none(), "runtime-init barrier already inserted");
+        assert!(
+            self.runtime_init.is_none(),
+            "runtime-init barrier already inserted"
+        );
         let gen = table.create_generation();
         self.runtime_init = Some(gen);
         gen
@@ -90,8 +93,14 @@ impl Puckets {
     ///
     /// Panics if called before the Runtime-Init barrier, or twice.
     pub fn insert_init_exec_barrier(&mut self, table: &mut PageTable) -> Generation {
-        assert!(self.runtime_init.is_some(), "init-exec barrier before runtime-init");
-        assert!(self.init_exec.is_none(), "init-exec barrier already inserted");
+        assert!(
+            self.runtime_init.is_some(),
+            "init-exec barrier before runtime-init"
+        );
+        assert!(
+            self.init_exec.is_none(),
+            "init-exec barrier already inserted"
+        );
         let gen = table.create_generation();
         self.init_exec = Some(gen);
         gen
@@ -252,8 +261,14 @@ mod tests {
     #[test]
     fn inactive_lists_start_full() {
         let (table, puckets, runtime, init, _) = segregated();
-        assert_eq!(puckets.inactive_count(&table, PucketKind::Runtime), u64::from(runtime.len()));
-        assert_eq!(puckets.inactive_count(&table, PucketKind::Init), u64::from(init.len()));
+        assert_eq!(
+            puckets.inactive_count(&table, PucketKind::Runtime),
+            u64::from(runtime.len())
+        );
+        assert_eq!(
+            puckets.inactive_count(&table, PucketKind::Init),
+            u64::from(init.len())
+        );
         assert!(puckets.hot_pool_pages(&table).is_empty());
     }
 

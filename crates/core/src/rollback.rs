@@ -117,17 +117,24 @@ impl RollbackCycle {
                     self.requests_since_cycle = 0;
                     RollbackAction::OffloadLeftovers
                 } else {
-                    self.phase = RollbackPhase::Observing { requests_left: left };
+                    self.phase = RollbackPhase::Observing {
+                        requests_left: left,
+                    };
                     RollbackAction::None
                 }
             }
             RollbackPhase::Waiting => {
                 self.requests_since_cycle += 1;
                 let window_met = self.requests_since_cycle >= window;
-                let reference = self.last_rollback.or(self.armed_at).unwrap_or(SimTime::ZERO);
+                let reference = self
+                    .last_rollback
+                    .or(self.armed_at)
+                    .unwrap_or(SimTime::ZERO);
                 let time_met = now.saturating_since(reference) >= self.min_interval;
                 if window_met && time_met {
-                    self.phase = RollbackPhase::Observing { requests_left: window };
+                    self.phase = RollbackPhase::Observing {
+                        requests_left: window,
+                    };
                     self.last_rollback = Some(now);
                     self.rollbacks_performed += 1;
                     RollbackAction::RollBack
@@ -174,7 +181,11 @@ mod tests {
     fn time_gate_blocks_frequent_rollbacks() {
         let mut c = RollbackCycle::new(SimDuration::from_secs(10));
         c.arm(1, t(0));
-        assert_eq!(c.on_request_end(t(1)), RollbackAction::None, "too soon after arming");
+        assert_eq!(
+            c.on_request_end(t(1)),
+            RollbackAction::None,
+            "too soon after arming"
+        );
         assert_eq!(c.on_request_end(t(10)), RollbackAction::RollBack);
         assert_eq!(c.on_request_end(t(10)), RollbackAction::OffloadLeftovers);
         // Window met immediately, but < 10 s since the last rollback.

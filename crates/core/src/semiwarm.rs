@@ -10,9 +10,9 @@
 
 use std::collections::HashMap;
 
+use faasmem_faas::FunctionId;
 use faasmem_metrics::Cdf;
 use faasmem_sim::{SimDuration, SimTime};
-use faasmem_faas::FunctionId;
 
 use crate::config::SemiWarmConfig;
 
@@ -43,7 +43,10 @@ pub struct SemiWarm {
 impl SemiWarm {
     /// Creates the tracker.
     pub fn new(config: SemiWarmConfig) -> Self {
-        SemiWarm { config, intervals: HashMap::new() }
+        SemiWarm {
+            config,
+            intervals: HashMap::new(),
+        }
     }
 
     /// The active configuration.
@@ -53,7 +56,10 @@ impl SemiWarm {
 
     /// Records one observed container-reused interval for `function`.
     pub fn record_reuse_interval(&mut self, function: FunctionId, interval: SimDuration) {
-        self.intervals.entry(function).or_default().push(interval.as_secs_f64());
+        self.intervals
+            .entry(function)
+            .or_default()
+            .push(interval.as_secs_f64());
     }
 
     /// Number of reuse samples gathered for `function`.
@@ -160,7 +166,11 @@ mod tests {
             sw.record_reuse_interval(f, SimDuration::from_secs(5));
         }
         assert_eq!(sw.samples_for(f), 4);
-        assert_eq!(sw.start_timing(f), config().default_start, "4 < min_samples");
+        assert_eq!(
+            sw.start_timing(f),
+            config().default_start,
+            "4 < min_samples"
+        );
         sw.record_reuse_interval(f, SimDuration::from_secs(5));
         assert_eq!(sw.start_timing(f), SimDuration::from_secs(5));
     }
@@ -209,7 +219,13 @@ mod tests {
         });
         let mut carry = 0.0;
         // 1 MiB/s on 64 KiB pages over 1 s = 16 pages.
-        let pages = sw.pages_this_tick(1 << 30, 64 * 1024, SimDuration::from_secs(1), 1.0, &mut carry);
+        let pages = sw.pages_this_tick(
+            1 << 30,
+            64 * 1024,
+            SimDuration::from_secs(1),
+            1.0,
+            &mut carry,
+        );
         assert_eq!(pages, 16);
         assert_eq!(carry, 0.0);
     }
@@ -221,7 +237,13 @@ mod tests {
             ..config()
         });
         let mut carry = 0.0;
-        let pages = sw.pages_this_tick(1 << 30, 64 * 1024, SimDuration::from_secs(1), 0.5, &mut carry);
+        let pages = sw.pages_this_tick(
+            1 << 30,
+            64 * 1024,
+            SimDuration::from_secs(1),
+            0.5,
+            &mut carry,
+        );
         assert_eq!(pages, 8);
     }
 
@@ -234,7 +256,13 @@ mod tests {
         let mut carry = 0.0;
         let mut total = 0;
         for _ in 0..10 {
-            total += sw.pages_this_tick(1 << 30, 64 * 1024, SimDuration::from_secs(1), 1.0, &mut carry);
+            total += sw.pages_this_tick(
+                1 << 30,
+                64 * 1024,
+                SimDuration::from_secs(1),
+                1.0,
+                &mut carry,
+            );
         }
         // 0.03 MiB/s × 10 s = 0.3 MiB = 4.8 pages → 4 whole pages.
         assert_eq!(total, 4);
@@ -248,9 +276,21 @@ mod tests {
             ..config()
         });
         let mut carry = 0.0;
-        let big = sw.pages_this_tick(1 << 30, 64 * 1024, SimDuration::from_secs(1), 1.0, &mut carry);
+        let big = sw.pages_this_tick(
+            1 << 30,
+            64 * 1024,
+            SimDuration::from_secs(1),
+            1.0,
+            &mut carry,
+        );
         carry = 0.0;
-        let small = sw.pages_this_tick(1 << 24, 64 * 1024, SimDuration::from_secs(1), 1.0, &mut carry);
+        let small = sw.pages_this_tick(
+            1 << 24,
+            64 * 1024,
+            SimDuration::from_secs(1),
+            1.0,
+            &mut carry,
+        );
         assert!(big > small);
     }
 

@@ -10,8 +10,8 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use faasmem_sim::SimDuration;
 use faasmem_faas::FunctionId;
+use faasmem_sim::SimDuration;
 
 /// One container's semi-warm activity over its lifetime (Fig 14 input).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,7 +70,10 @@ impl FaasMemStats {
     /// Semi-warm lifetime fractions across all containers (Fig 14 CDF
     /// input).
     pub fn semi_warm_fractions(&self) -> Vec<f64> {
-        self.semi_warm_records.iter().map(SemiWarmRecord::semi_warm_fraction).collect()
+        self.semi_warm_records
+            .iter()
+            .map(SemiWarmRecord::semi_warm_fraction)
+            .collect()
     }
 }
 

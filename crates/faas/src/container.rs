@@ -201,7 +201,11 @@ impl Container {
     ///
     /// Panics if the container is not in the initializing stage.
     pub fn finish_init(&mut self) {
-        assert_eq!(self.stage, ContainerStage::Initializing, "init out of order");
+        assert_eq!(
+            self.stage,
+            ContainerStage::Initializing,
+            "init out of order"
+        );
         let pages = mib_to_pages(self.spec.init_mib, self.table.page_size()) as u32;
         self.init_range = self.table.alloc(Segment::Init, pages);
         self.table.touch_range(self.init_range);
@@ -257,7 +261,13 @@ mod tests {
 
     fn container() -> Container {
         let spec = BenchmarkSpec::by_name("json").unwrap();
-        Container::new(ContainerId(1), FunctionId(0), spec, PAGE_SIZE_4K, SimTime::from_secs(1))
+        Container::new(
+            ContainerId(1),
+            FunctionId(0),
+            spec,
+            PAGE_SIZE_4K,
+            SimTime::from_secs(1),
+        )
     }
 
     #[test]
@@ -283,7 +293,11 @@ mod tests {
         assert_eq!(c.stage(), ContainerStage::KeepAlive);
         assert_eq!(c.requests_served(), 1);
         assert_eq!(c.busy_time(), SimDuration::from_millis(35));
-        assert_eq!(c.table().local_pages(), runtime_pages + init_pages, "exec pages freed");
+        assert_eq!(
+            c.table().local_pages(),
+            runtime_pages + init_pages,
+            "exec pages freed"
+        );
         assert!(c.exec_range().is_none());
     }
 
@@ -307,7 +321,10 @@ mod tests {
         c.finish_launch();
         c.finish_init();
         c.finish_execution(SimTime::from_secs(5), SimDuration::ZERO);
-        assert_eq!(c.idle_since(SimTime::from_secs(65)), SimDuration::from_secs(60));
+        assert_eq!(
+            c.idle_since(SimTime::from_secs(65)),
+            SimDuration::from_secs(60)
+        );
     }
 
     #[test]

@@ -64,7 +64,9 @@ impl AdaptiveKeepAlive {
             return self.default;
         }
         let cdf = Cdf::from_samples(gaps_secs.iter().copied());
-        let q = cdf.quantile(self.percentile).unwrap_or(self.default.as_secs_f64());
+        let q = cdf
+            .quantile(self.percentile)
+            .unwrap_or(self.default.as_secs_f64());
         let padded = SimDuration::from_secs_f64(q * self.margin);
         padded.max(self.min).min(self.max)
     }

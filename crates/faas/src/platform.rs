@@ -226,7 +226,10 @@ impl PlatformSim {
     /// Panics if called twice on the same simulator, or if the trace
     /// invokes an unregistered function.
     pub fn run(&mut self, trace: &InvocationTrace) -> RunReport {
-        assert!(!self.ran, "PlatformSim::run consumes the simulator; build a fresh one");
+        assert!(
+            !self.ran,
+            "PlatformSim::run consumes the simulator; build a fresh one"
+        );
         self.ran = true;
 
         let invocations: Vec<_> = trace.iter().copied().collect();
@@ -277,9 +280,7 @@ impl PlatformSim {
                 Event::RuntimeLoaded(id) => self.handle_runtime_loaded(now, id, &mut queue),
                 Event::InitDone(id) => self.handle_init_done(now, id, &mut queue),
                 Event::FinishExec(id) => self.handle_finish(now, id, &mut queue, &mut report),
-                Event::RecycleCheck(id) => {
-                    self.handle_recycle(now, id, &mut queue, &mut report)
-                }
+                Event::RecycleCheck(id) => self.handle_recycle(now, id, &mut queue, &mut report),
                 Event::Tick => {
                     let ids: Vec<ContainerId> = self.containers.keys().copied().collect();
                     for id in ids {
@@ -319,7 +320,11 @@ impl PlatformSim {
     fn timeout_for(&self, function: FunctionId) -> SimDuration {
         match self.config.adaptive_keep_alive {
             Some(policy) => {
-                let gaps = self.reuse_gaps.get(&function).map(Vec::as_slice).unwrap_or(&[]);
+                let gaps = self
+                    .reuse_gaps
+                    .get(&function)
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]);
                 policy.timeout_from_samples(gaps)
             }
             None => self.config.keep_alive,
@@ -327,15 +332,19 @@ impl PlatformSim {
     }
 
     fn record_memory(&self, now: SimTime, report: &mut RunReport) {
-        let mut local: u64 = self.containers.values().map(|c| c.table().local_bytes()).sum();
+        let mut local: u64 = self
+            .containers
+            .values()
+            .map(|c| c.table().local_bytes())
+            .sum();
         if self.config.share_runtime {
             // Runtime sharing: per function, all containers but one map
             // the same physical runtime pages — deduct the duplicates.
             let mut max_runtime: HashMap<FunctionId, u64> = HashMap::new();
             let mut sum_runtime: HashMap<FunctionId, u64> = HashMap::new();
             for c in self.containers.values() {
-                let rt = c.table().local_pages_in(faasmem_mem::Segment::Runtime)
-                    * self.config.page_size;
+                let rt =
+                    c.table().local_pages_in(faasmem_mem::Segment::Runtime) * self.config.page_size;
                 let max = max_runtime.entry(c.function()).or_default();
                 *max = (*max).max(rt);
                 *sum_runtime.entry(c.function()).or_default() += rt;
@@ -344,10 +353,16 @@ impl PlatformSim {
                 local -= sum - max_runtime[&f];
             }
         }
-        let remote: u64 = self.containers.values().map(|c| c.table().remote_bytes()).sum();
+        let remote: u64 = self
+            .containers
+            .values()
+            .map(|c| c.table().remote_bytes())
+            .sum();
         report.local_mem.record(now, local as f64);
         report.remote_mem.record(now, remote as f64);
-        report.live_containers.record(now, self.containers.len() as f64);
+        report
+            .live_containers
+            .record(now, self.containers.len() as f64);
     }
 
     fn handle_invoke(
@@ -370,8 +385,15 @@ impl PlatformSim {
                 let c = self.containers.get(&id).expect("warm container");
                 c.idle_since(now)
             };
-            report.reuse_intervals.entry(function).or_default().push(idle);
-            self.reuse_gaps.entry(function).or_default().push(idle.as_secs_f64());
+            report
+                .reuse_intervals
+                .entry(function)
+                .or_default()
+                .push(idle);
+            self.reuse_gaps
+                .entry(function)
+                .or_default()
+                .push(idle.as_secs_f64());
             {
                 let container = self.containers.get_mut(&id).expect("warm container");
                 let mut ctx = PolicyCtx {
@@ -382,7 +404,10 @@ impl PlatformSim {
                 };
                 self.policy.on_request_start(&mut ctx, Some(idle));
             }
-            self.containers.get_mut(&id).expect("warm container").begin_execution(now);
+            self.containers
+                .get_mut(&id)
+                .expect("warm container")
+                .begin_execution(now);
             self.start_execution(now, id, now, false, queue);
         } else {
             // Cold start.
@@ -394,7 +419,12 @@ impl PlatformSim {
             self.containers.insert(id, container);
             self.in_flight.insert(
                 id,
-                InFlight { arrived: now, exec_started: now, cold: true, faults: 0 },
+                InFlight {
+                    arrived: now,
+                    exec_started: now,
+                    cold: true,
+                    faults: 0,
+                },
             );
             let jitter = self.rng.lognormal_jitter(0.03);
             queue.push(now + launch.mul_f64(jitter), Event::RuntimeLoaded(id));
@@ -428,11 +458,17 @@ impl PlatformSim {
 
     fn handle_init_done(&mut self, now: SimTime, id: ContainerId, queue: &mut EventQueue<Event>) {
         {
-            let container = self.containers.get_mut(&id).expect("initializing container");
+            let container = self
+                .containers
+                .get_mut(&id)
+                .expect("initializing container");
             container.finish_init();
         }
         {
-            let container = self.containers.get_mut(&id).expect("initializing container");
+            let container = self
+                .containers
+                .get_mut(&id)
+                .expect("initializing container");
             let mut ctx = PolicyCtx {
                 now,
                 container,
@@ -498,7 +534,12 @@ impl PlatformSim {
         let exec_time = spec.exec_time.mul_f64(jitter) + stall;
         self.in_flight.insert(
             id,
-            InFlight { arrived, exec_started: now, cold, faults: outcome.faulted },
+            InFlight {
+                arrived,
+                exec_started: now,
+                cold,
+                faults: outcome.faulted,
+            },
         );
         queue.push(now + exec_time, Event::FinishExec(id));
     }
@@ -610,13 +651,19 @@ mod tests {
     fn one_function_trace(times_secs: &[u64]) -> InvocationTrace {
         let invs = times_secs
             .iter()
-            .map(|&s| Invocation { at: SimTime::from_secs(s), function: FunctionId(0) })
+            .map(|&s| Invocation {
+                at: SimTime::from_secs(s),
+                function: FunctionId(0),
+            })
             .collect();
         InvocationTrace::from_invocations(invs, SimTime::from_secs(2_000))
     }
 
     fn sim() -> PlatformSim {
-        PlatformSim::builder().register_function(spec()).seed(1).build()
+        PlatformSim::builder()
+            .register_function(spec())
+            .seed(1)
+            .build()
     }
 
     #[test]
@@ -644,7 +691,10 @@ mod tests {
         assert_eq!(report.containers.len(), 1, "same container reused");
         let warm = &report.requests[1];
         assert!(!warm.cold);
-        assert!(warm.latency < spec().launch_time, "warm latency is just exec");
+        assert!(
+            warm.latency < spec().launch_time,
+            "warm latency is just exec"
+        );
         // Reuse interval was observed.
         let gaps = &report.reuse_intervals[&FunctionId(0)];
         assert_eq!(gaps.len(), 1);
@@ -698,9 +748,17 @@ mod tests {
             .duration(SimTime::from_mins(10))
             .synthesize_for(FunctionId(0));
         let run = |seed| {
-            let mut s = PlatformSim::builder().register_function(spec()).seed(seed).build();
+            let mut s = PlatformSim::builder()
+                .register_function(spec())
+                .seed(seed)
+                .build();
             let mut r = s.run(&trace);
-            (r.requests_completed, r.cold_starts, r.p95_latency(), r.avg_local_mib())
+            (
+                r.requests_completed,
+                r.cold_starts,
+                r.p95_latency(),
+                r.avg_local_mib(),
+            )
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7).2, run(8).2, "different seeds should jitter latency");
@@ -720,7 +778,10 @@ mod tests {
     fn unknown_function_panics() {
         let mut s = sim();
         let t = InvocationTrace::from_invocations(
-            vec![Invocation { at: SimTime::ZERO, function: FunctionId(5) }],
+            vec![Invocation {
+                at: SimTime::ZERO,
+                function: FunctionId(5),
+            }],
             SimTime::from_secs(1),
         );
         let _ = s.run(&t);
@@ -740,9 +801,18 @@ mod tests {
             .seed(2)
             .build();
         let invs = vec![
-            Invocation { at: SimTime::from_secs(1), function: FunctionId(0) },
-            Invocation { at: SimTime::from_secs(30), function: FunctionId(1) },
-            Invocation { at: SimTime::from_secs(60), function: FunctionId(0) },
+            Invocation {
+                at: SimTime::from_secs(1),
+                function: FunctionId(0),
+            },
+            Invocation {
+                at: SimTime::from_secs(30),
+                function: FunctionId(1),
+            },
+            Invocation {
+                at: SimTime::from_secs(60),
+                function: FunctionId(0),
+            },
         ];
         let trace = InvocationTrace::from_invocations(invs, SimTime::from_secs(100));
         let report = s.run(&trace);

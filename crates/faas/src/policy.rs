@@ -43,9 +43,7 @@ impl<'a> PolicyCtx<'a> {
         let movable: Vec<PageId> = ids
             .iter()
             .copied()
-            .filter(|&id| {
-                self.container.table().meta(id).state() == faasmem_mem::PageState::Local
-            })
+            .filter(|&id| self.container.table().meta(id).state() == faasmem_mem::PageState::Local)
             .collect();
         if movable.is_empty() {
             return 0;
@@ -56,7 +54,10 @@ impl<'a> PolicyCtx<'a> {
             return 0;
         }
         let batch = &movable[..fit];
-        let moved = self.container.table_mut().offload_pages(batch.iter().copied());
+        let moved = self
+            .container
+            .table_mut()
+            .offload_pages(batch.iter().copied());
         debug_assert_eq!(moved as usize, batch.len());
         let bytes = u64::from(moved) * page_size;
         self.pool
@@ -73,7 +74,10 @@ impl<'a> PolicyCtx<'a> {
     /// the link, so any demand faults issued right after queue behind it.
     pub fn prefetch_pages(&mut self, ids: &[PageId]) -> u32 {
         let page_size = self.container.table().page_size();
-        let moved = self.container.table_mut().prefetch_pages(ids.iter().copied());
+        let moved = self
+            .container
+            .table_mut()
+            .prefetch_pages(ids.iter().copied());
         if moved > 0 {
             self.pool
                 .page_in(self.now, u64::from(moved), page_size)
@@ -130,6 +134,43 @@ pub trait MemoryPolicy {
     fn on_container_recycled(&mut self, _ctx: &mut PolicyCtx<'_>) {}
 }
 
+/// Boxed policies forward every hook, so policies chosen at run time
+/// (e.g. by an experiment grid's policy axis) plug into
+/// [`PlatformBuilder::policy`](crate::PlatformBuilder::policy) directly.
+impl MemoryPolicy for Box<dyn MemoryPolicy> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn tick_interval(&self) -> Option<SimDuration> {
+        (**self).tick_interval()
+    }
+
+    fn on_runtime_loaded(&mut self, ctx: &mut PolicyCtx<'_>) {
+        (**self).on_runtime_loaded(ctx);
+    }
+
+    fn on_init_done(&mut self, ctx: &mut PolicyCtx<'_>) {
+        (**self).on_init_done(ctx);
+    }
+
+    fn on_request_start(&mut self, ctx: &mut PolicyCtx<'_>, idle: Option<SimDuration>) {
+        (**self).on_request_start(ctx, idle);
+    }
+
+    fn on_request_end(&mut self, ctx: &mut PolicyCtx<'_>) {
+        (**self).on_request_end(ctx);
+    }
+
+    fn on_tick(&mut self, ctx: &mut PolicyCtx<'_>) {
+        (**self).on_tick(ctx);
+    }
+
+    fn on_container_recycled(&mut self, ctx: &mut PolicyCtx<'_>) {
+        (**self).on_container_recycled(ctx);
+    }
+}
+
 /// A policy that never offloads anything: the paper's "Baseline"
 /// (a FaaSMem variant without memory offloading, §8.1).
 #[derive(Debug, Clone, Copy, Default)]
@@ -151,8 +192,13 @@ mod tests {
 
     fn harness() -> (Container, RemotePool, BandwidthGovernor) {
         let spec = BenchmarkSpec::by_name("json").unwrap();
-        let mut c =
-            Container::new(ContainerId(0), FunctionId(0), spec, PAGE_SIZE_4K, SimTime::ZERO);
+        let mut c = Container::new(
+            ContainerId(0),
+            FunctionId(0),
+            spec,
+            PAGE_SIZE_4K,
+            SimTime::ZERO,
+        );
         c.finish_launch();
         c.finish_init();
         let pool = RemotePool::new(PoolConfig::slow_test_pool());
@@ -164,23 +210,36 @@ mod tests {
     fn offload_pages_moves_and_accounts() {
         let (mut c, mut pool, mut gov) = harness();
         let ids: Vec<_> = c.runtime_range().take(10).iter().collect();
-        let mut ctx =
-            PolicyCtx { now: SimTime::from_secs(1), container: &mut c, pool: &mut pool, governor: &mut gov };
+        let mut ctx = PolicyCtx {
+            now: SimTime::from_secs(1),
+            container: &mut c,
+            pool: &mut pool,
+            governor: &mut gov,
+        };
         let moved = ctx.offload_pages(&ids);
         assert_eq!(moved, 10);
         assert_eq!(pool.used_bytes(), 10 * PAGE_SIZE_4K);
         assert_eq!(c.table().remote_pages(), 10);
         // Offloading the same pages again is a no-op.
-        let mut ctx =
-            PolicyCtx { now: SimTime::from_secs(2), container: &mut c, pool: &mut pool, governor: &mut gov };
+        let mut ctx = PolicyCtx {
+            now: SimTime::from_secs(2),
+            container: &mut c,
+            pool: &mut pool,
+            governor: &mut gov,
+        };
         assert_eq!(ctx.offload_pages(&ids), 0);
     }
 
     #[test]
     fn offload_truncates_at_pool_capacity() {
         let spec = BenchmarkSpec::by_name("json").unwrap();
-        let mut c =
-            Container::new(ContainerId(0), FunctionId(0), spec, PAGE_SIZE_4K, SimTime::ZERO);
+        let mut c = Container::new(
+            ContainerId(0),
+            FunctionId(0),
+            spec,
+            PAGE_SIZE_4K,
+            SimTime::ZERO,
+        );
         c.finish_launch();
         let mut pool = RemotePool::new(PoolConfig {
             capacity_bytes: 3 * PAGE_SIZE_4K,
@@ -188,12 +247,20 @@ mod tests {
         });
         let mut gov = BandwidthGovernor::new(1_000_000, SimDuration::from_secs(1));
         let ids: Vec<_> = c.runtime_range().take(10).iter().collect();
-        let mut ctx =
-            PolicyCtx { now: SimTime::ZERO, container: &mut c, pool: &mut pool, governor: &mut gov };
+        let mut ctx = PolicyCtx {
+            now: SimTime::ZERO,
+            container: &mut c,
+            pool: &mut pool,
+            governor: &mut gov,
+        };
         assert_eq!(ctx.offload_pages(&ids), 3, "only what fits moves");
         assert_eq!(c.table().remote_pages(), 3);
-        let mut ctx =
-            PolicyCtx { now: SimTime::ZERO, container: &mut c, pool: &mut pool, governor: &mut gov };
+        let mut ctx = PolicyCtx {
+            now: SimTime::ZERO,
+            container: &mut c,
+            pool: &mut pool,
+            governor: &mut gov,
+        };
         assert_eq!(ctx.offload_pages(&ids), 0, "pool now full");
     }
 
@@ -223,8 +290,12 @@ mod tests {
     #[test]
     fn offload_where_uses_metadata() {
         let (mut c, mut pool, mut gov) = harness();
-        let mut ctx =
-            PolicyCtx { now: SimTime::ZERO, container: &mut c, pool: &mut pool, governor: &mut gov };
+        let mut ctx = PolicyCtx {
+            now: SimTime::ZERO,
+            container: &mut c,
+            pool: &mut pool,
+            governor: &mut gov,
+        };
         let moved = ctx.offload_where(|_, m| m.segment() == Segment::Init);
         assert!(moved > 0);
         for id in c.init_range().iter() {
@@ -239,8 +310,12 @@ mod tests {
     fn null_policy_is_inert() {
         let (mut c, mut pool, mut gov) = harness();
         let mut policy = NullPolicy;
-        let mut ctx =
-            PolicyCtx { now: SimTime::ZERO, container: &mut c, pool: &mut pool, governor: &mut gov };
+        let mut ctx = PolicyCtx {
+            now: SimTime::ZERO,
+            container: &mut c,
+            pool: &mut pool,
+            governor: &mut gov,
+        };
         policy.on_runtime_loaded(&mut ctx);
         policy.on_init_done(&mut ctx);
         policy.on_request_start(&mut ctx, None);

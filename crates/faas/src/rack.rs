@@ -49,13 +49,18 @@ impl NodeProfile {
     pub fn from_report(report: &RunReport, local_dram_gib: f64, containers: f64) -> Self {
         let avg_containers = report.avg_live_containers().max(1e-9);
         let secs = report.finished_at.as_secs_f64().max(1e-9);
-        let per_container_mbps =
-            (report.pool_stats.bytes_out + report.pool_stats.bytes_in) as f64
-                / secs
-                / 1e6
-                / avg_containers;
-        let local = report.local_mem.time_weighted_mean(report.finished_at).unwrap_or(0.0);
-        let remote = report.remote_mem.time_weighted_mean(report.finished_at).unwrap_or(0.0);
+        let per_container_mbps = (report.pool_stats.bytes_out + report.pool_stats.bytes_in) as f64
+            / secs
+            / 1e6
+            / avg_containers;
+        let local = report
+            .local_mem
+            .time_weighted_mean(report.finished_at)
+            .unwrap_or(0.0);
+        let remote = report
+            .remote_mem
+            .time_weighted_mean(report.finished_at)
+            .unwrap_or(0.0);
         NodeProfile {
             local_dram_gib,
             containers,
@@ -80,7 +85,11 @@ pub struct RackPlan {
 
 impl Default for RackPlan {
     fn default() -> Self {
-        RackPlan { nodes: 10, fabric_gbps: 400.0, pool_memory_cost_factor: 0.3 }
+        RackPlan {
+            nodes: 10,
+            fabric_gbps: 400.0,
+            pool_memory_cost_factor: 0.3,
+        }
     }
 }
 
@@ -103,8 +112,7 @@ impl RackReport {
     pub fn analyze(node: NodeProfile, plan: RackPlan) -> RackReport {
         let per_node_mbps = node.containers * node.bandwidth_per_container_mbps;
         let demand_gbps = per_node_mbps * 8.0 / 1_000.0 * f64::from(plan.nodes);
-        let pool_gib =
-            node.local_dram_gib * node.remote_to_local_ratio * f64::from(plan.nodes);
+        let pool_gib = node.local_dram_gib * node.remote_to_local_ratio * f64::from(plan.nodes);
         // Cost comparison per §9: serving (local + remote) worth of
         // memory either as all-new node DRAM, or as node DRAM + cheap
         // (reused) pool memory.
@@ -134,7 +142,11 @@ mod tests {
         // §9: 5000 containers × 0.82 MB/s ≈ 32.8 Gbps per node,
         // ≈ 328 Gbps per 10-node rack — inside a 400 Gbps NIC.
         let r = RackReport::analyze(NodeProfile::paper_production(), RackPlan::default());
-        assert!((r.demand_gbps - 328.0).abs() < 1.0, "demand {}", r.demand_gbps);
+        assert!(
+            (r.demand_gbps - 328.0).abs() < 1.0,
+            "demand {}",
+            r.demand_gbps
+        );
         assert!(r.bandwidth_fits());
         assert!(r.fabric_utilization > 0.75 && r.fabric_utilization < 0.9);
         // §9: 10 × 384 GB × 0.8 ≈ 3 TB pool.
@@ -148,7 +160,10 @@ mod tests {
         // cheap reused memory: 1 - (1 + 0.8·c)/(1.8). c = 0 gives the
         // upper bound 44.4%.
         let node = NodeProfile::paper_production();
-        let plan = RackPlan { pool_memory_cost_factor: 0.0, ..RackPlan::default() };
+        let plan = RackPlan {
+            pool_memory_cost_factor: 0.0,
+            ..RackPlan::default()
+        };
         let r = RackReport::analyze(node, plan);
         let saving = 1.0 - r.relative_dram_cost;
         assert!((saving - 0.444).abs() < 0.01, "saving {saving}");
@@ -169,7 +184,13 @@ mod tests {
     fn scaling_nodes_scales_demand_and_pool() {
         let node = NodeProfile::paper_production();
         let r10 = RackReport::analyze(node, RackPlan::default());
-        let r5 = RackReport::analyze(node, RackPlan { nodes: 5, ..RackPlan::default() });
+        let r5 = RackReport::analyze(
+            node,
+            RackPlan {
+                nodes: 5,
+                ..RackPlan::default()
+            },
+        );
         assert!((r10.demand_gbps / r5.demand_gbps - 2.0).abs() < 1e-9);
         assert!((r10.pool_gib / r5.pool_gib - 2.0).abs() < 1e-9);
         // Relative cost is scale-free.

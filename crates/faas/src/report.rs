@@ -105,7 +105,9 @@ impl RunReport {
 
     /// Time-weighted mean number of live containers.
     pub fn avg_live_containers(&self) -> f64 {
-        self.live_containers.time_weighted_mean(self.finished_at).unwrap_or(0.0)
+        self.live_containers
+            .time_weighted_mean(self.finished_at)
+            .unwrap_or(0.0)
     }
 
     /// P95 end-to-end latency, the paper's headline QoS metric.
@@ -125,11 +127,19 @@ impl RunReport {
     /// Aggregate inactive-time fraction over all containers, weighted by
     /// lifetime (Fig 1's "memory inactive time").
     pub fn memory_inactive_fraction(&self) -> f64 {
-        let total_life: f64 = self.containers.iter().map(|c| c.lifetime().as_secs_f64()).sum();
+        let total_life: f64 = self
+            .containers
+            .iter()
+            .map(|c| c.lifetime().as_secs_f64())
+            .sum();
         if total_life <= 0.0 {
             return 0.0;
         }
-        let total_busy: f64 = self.containers.iter().map(|c| c.busy_time.as_secs_f64()).sum();
+        let total_busy: f64 = self
+            .containers
+            .iter()
+            .map(|c| c.busy_time.as_secs_f64())
+            .sum();
         (1.0 - total_busy / total_life).max(0.0)
     }
 
@@ -155,13 +165,15 @@ impl RunReport {
         }
         let mut out: Vec<FunctionSummary> = by_function
             .into_iter()
-            .map(|(function, (mut lat, requests, cold_starts, faults))| FunctionSummary {
-                function,
-                latency: lat.summary(),
-                requests,
-                cold_starts,
-                faults,
-            })
+            .map(
+                |(function, (mut lat, requests, cold_starts, faults))| FunctionSummary {
+                    function,
+                    latency: lat.summary(),
+                    requests,
+                    cold_starts,
+                    faults,
+                },
+            )
             .collect();
         out.sort_by_key(|s| s.function);
         out
@@ -176,6 +188,65 @@ impl RunReport {
             self.pool_stats.bytes_out as f64 / secs / 1e6
         }
     }
+
+    /// Digests the report into the flat, plain-data [`RunSummary`] the
+    /// experiment harness serializes. Needs `&mut self` because the
+    /// latency percentiles sort the recorder in place.
+    pub fn summarize(&mut self) -> RunSummary {
+        let latency = self.latency.summary();
+        let max_latency = self.latency.max().unwrap_or(SimDuration::ZERO);
+        RunSummary {
+            policy: self.policy,
+            requests_completed: self.requests_completed,
+            cold_starts: self.cold_starts,
+            cold_start_ratio: self.cold_start_ratio(),
+            latency,
+            max_latency,
+            avg_local_mib: self.avg_local_mib(),
+            avg_remote_mib: self.avg_remote_mib(),
+            avg_live_containers: self.avg_live_containers(),
+            memory_inactive_fraction: self.memory_inactive_fraction(),
+            pool_stats: self.pool_stats,
+            mean_offload_bandwidth_mbps: self.mean_offload_bandwidth_mbps(),
+            containers: self.containers.len(),
+            sim_secs: self.finished_at.as_secs_f64(),
+        }
+    }
+}
+
+/// The flat digest of a [`RunReport`]: every headline metric of the
+/// paper's evaluation as plain data, cheap to clone and to move across
+/// threads — the unit the experiment harness aggregates and serializes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSummary {
+    /// Policy under test.
+    pub policy: &'static str,
+    /// Requests completed.
+    pub requests_completed: usize,
+    /// Requests that triggered a cold start.
+    pub cold_starts: usize,
+    /// Fraction of requests that cold-started.
+    pub cold_start_ratio: f64,
+    /// Latency digest (avg, P50, P95, P99) over all requests.
+    pub latency: LatencySummary,
+    /// Worst-case end-to-end latency.
+    pub max_latency: SimDuration,
+    /// Time-weighted mean local memory, MiB.
+    pub avg_local_mib: f64,
+    /// Time-weighted mean offloaded memory, MiB.
+    pub avg_remote_mib: f64,
+    /// Time-weighted mean live containers.
+    pub avg_live_containers: f64,
+    /// Lifetime-weighted inactive-memory fraction (Fig 1).
+    pub memory_inactive_fraction: f64,
+    /// Remote-pool traffic counters at run end.
+    pub pool_stats: PoolStats,
+    /// Mean offload bandwidth, MB/s (Fig 16).
+    pub mean_offload_bandwidth_mbps: f64,
+    /// Containers created over the run.
+    pub containers: usize,
+    /// Simulated seconds covered by the run.
+    pub sim_secs: f64,
 }
 
 /// One function's view of a run (see
@@ -276,9 +347,11 @@ mod tests {
     #[test]
     fn per_function_summaries_split_and_sort() {
         let mut r = empty_report();
-        for (f, ms, cold, faults) in
-            [(1u32, 10u64, true, 5u32), (0, 20, false, 0), (1, 30, false, 2)]
-        {
+        for (f, ms, cold, faults) in [
+            (1u32, 10u64, true, 5u32),
+            (0, 20, false, 0),
+            (1, 30, false, 2),
+        ] {
             r.requests.push(RequestRecord {
                 function: FunctionId(f),
                 arrived: SimTime::ZERO,

@@ -48,7 +48,10 @@ impl PageRange {
 
     /// Creates a range of `len` pages starting at `start`.
     pub const fn new(start: PageId, len: u32) -> Self {
-        PageRange { start: start.0, len }
+        PageRange {
+            start: start.0,
+            len,
+        }
     }
 
     /// First page of the range.
@@ -83,13 +86,19 @@ impl PageRange {
 
     /// The sub-range formed by the first `n` pages (clamped).
     pub fn take(self, n: u32) -> PageRange {
-        PageRange { start: self.start, len: self.len.min(n) }
+        PageRange {
+            start: self.start,
+            len: self.len.min(n),
+        }
     }
 
     /// The sub-range formed by skipping the first `n` pages (clamped).
     pub fn skip(self, n: u32) -> PageRange {
         let n = n.min(self.len);
-        PageRange { start: self.start + n, len: self.len - n }
+        PageRange {
+            start: self.start + n,
+            len: self.len - n,
+        }
     }
 }
 

@@ -89,7 +89,11 @@ impl RegionMonitor {
     pub fn new(config: RegionConfig) -> Self {
         assert!(config.min_regions >= 1, "need at least one region");
         assert!(config.max_regions >= config.min_regions, "max < min");
-        RegionMonitor { config, regions: Vec::new(), monitored_pages: 0 }
+        RegionMonitor {
+            config,
+            regions: Vec::new(),
+            monitored_pages: 0,
+        }
     }
 
     /// Current regions.
@@ -104,9 +108,18 @@ impl RegionMonitor {
         let base = total_pages / n;
         let mut start = 0;
         for i in 0..n {
-            let len = if i == n - 1 { total_pages - start } else { base };
+            let len = if i == n - 1 {
+                total_pages - start
+            } else {
+                base
+            };
             if len > 0 {
-                self.regions.push(Region { start, len, nr_accesses: 0, age_idle: 0 });
+                self.regions.push(Region {
+                    start,
+                    len,
+                    nr_accesses: 0,
+                    age_idle: 0,
+                });
             }
             start += len;
         }
@@ -162,8 +175,16 @@ impl RegionMonitor {
             }
             let cut = 1 + (coin() * f64::from(r.len - 1)) as u32;
             let cut = cut.min(r.len - 1);
-            out.push(Region { start: r.start, len: cut, ..*r });
-            out.push(Region { start: r.start + cut, len: r.len - cut, ..*r });
+            out.push(Region {
+                start: r.start,
+                len: cut,
+                ..*r
+            });
+            out.push(Region {
+                start: r.start + cut,
+                len: r.len - cut,
+                ..*r
+            });
         }
         self.regions = out;
     }
@@ -171,14 +192,16 @@ impl RegionMonitor {
     /// Merges adjacent regions with similar access estimates, keeping at
     /// least `min_regions`.
     fn merge(&mut self) {
-        let mut budget = self.regions.len().saturating_sub(self.config.min_regions as usize);
+        let mut budget = self
+            .regions
+            .len()
+            .saturating_sub(self.config.min_regions as usize);
         let mut merged: Vec<Region> = Vec::with_capacity(self.regions.len());
         for r in self.regions.iter().copied() {
             let mergeable = budget > 0
                 && merged.last().is_some_and(|prev| {
                     prev.end() == r.start
-                        && prev.nr_accesses.abs_diff(r.nr_accesses)
-                            <= self.config.merge_threshold
+                        && prev.nr_accesses.abs_diff(r.nr_accesses) <= self.config.merge_threshold
                 });
             if mergeable {
                 let prev = merged.last_mut().expect("checked non-empty");
@@ -295,8 +318,7 @@ mod tests {
         assert!(!cold.is_empty(), "tail must age out");
         // Sampling noise may cool a head region occasionally, but the
         // bulk of the cold set must be tail pages.
-        let tail_share =
-            cold.iter().filter(|id| id.0 >= 100).count() as f64 / cold.len() as f64;
+        let tail_share = cold.iter().filter(|id| id.0 >= 100).count() as f64 / cold.len() as f64;
         assert!(tail_share > 0.8, "tail share {tail_share}");
     }
 

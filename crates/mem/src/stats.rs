@@ -121,9 +121,22 @@ mod tests {
     #[test]
     fn sum_over_containers() {
         let parts = vec![
-            MemStats { local_bytes: 1, local_pages: 1, ..MemStats::default() },
-            MemStats { local_bytes: 2, remote_bytes: 5, remote_pages: 2, ..MemStats::default() },
-            MemStats { total_offloaded: 7, total_faulted: 3, ..MemStats::default() },
+            MemStats {
+                local_bytes: 1,
+                local_pages: 1,
+                ..MemStats::default()
+            },
+            MemStats {
+                local_bytes: 2,
+                remote_bytes: 5,
+                remote_pages: 2,
+                ..MemStats::default()
+            },
+            MemStats {
+                total_offloaded: 7,
+                total_faulted: 3,
+                ..MemStats::default()
+            },
         ];
         let node: MemStats = parts.into_iter().sum();
         assert_eq!(node.local_bytes, 3);

@@ -141,8 +141,10 @@ impl PageTable {
             }
         }
         let start = PageId(self.pages.len() as u32);
-        self.pages
-            .extend(std::iter::repeat_n(PageMeta::new(segment, self.current_gen), count as usize));
+        self.pages.extend(std::iter::repeat_n(
+            PageMeta::new(segment, self.current_gen),
+            count as usize,
+        ));
         self.local_pages += u64::from(count);
         self.local_by_segment[segment.index()] += u64::from(count);
         PageRange::new(start, count)
@@ -310,7 +312,10 @@ impl PageTable {
     /// baseline) sample from. The per-page "recently faulted" flag is
     /// consumed (cleared) by the scan as well.
     pub fn scan_accessed(&mut self) -> Vec<PageId> {
-        self.scan_accessed_with_faults().into_iter().map(|(id, _)| id).collect()
+        self.scan_accessed_with_faults()
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// Like [`PageTable::scan_accessed`], but also reports per page
@@ -529,12 +534,24 @@ mod tests {
         assert_eq!(t.offload_range(r), 4);
         assert_eq!(t.remote_pages(), 4);
         let out = t.touch_range(r);
-        assert_eq!(out, TouchOutcome { touched: 4, faulted: 4 });
+        assert_eq!(
+            out,
+            TouchOutcome {
+                touched: 4,
+                faulted: 4
+            }
+        );
         assert_eq!(t.remote_pages(), 0);
         assert_eq!(t.local_pages(), 4);
         // Second touch: no faults.
         let out = t.touch_range(r);
-        assert_eq!(out, TouchOutcome { touched: 4, faulted: 0 });
+        assert_eq!(
+            out,
+            TouchOutcome {
+                touched: 4,
+                faulted: 0
+            }
+        );
         assert_eq!(t.total_faulted(), 4);
     }
 
@@ -667,7 +684,9 @@ mod tests {
         let accessed = t.collect_ids(|_, m| m.accessed());
         assert_eq!(accessed, vec![init.start()]);
         t.free_range(run);
-        assert!(t.collect_ids(|_, m| m.segment() == Segment::Runtime).is_empty());
+        assert!(t
+            .collect_ids(|_, m| m.segment() == Segment::Runtime)
+            .is_empty());
     }
 
     #[test]
@@ -675,7 +694,10 @@ mod tests {
         let mut t = table();
         let r = t.alloc(Segment::Init, 4);
         t.touch_range(r.take(1)); // page 0 hot, pages 1-3 idle
-        assert!(t.age_and_collect_idle(2).is_empty(), "first scan: idle=1 < 2");
+        assert!(
+            t.age_and_collect_idle(2).is_empty(),
+            "first scan: idle=1 < 2"
+        );
         let cold = t.age_and_collect_idle(2);
         assert_eq!(cold.len(), 3, "second scan: pages 1-3 reach idle=2");
         assert!(!cold.contains(&r.start()));
@@ -718,8 +740,8 @@ mod tests {
         let mut t = table();
         let r = t.alloc(Segment::Init, 100);
         t.touch_range(r); // everything hot
-        // Probability ~0: every access goes unobserved, so the whole hot
-        // set looks idle — the misclassification hazard of sampling.
+                          // Probability ~0: every access goes unobserved, so the whole hot
+                          // set looks idle — the misclassification hazard of sampling.
         let cold = t.age_and_collect_idle_sampled(1, 1e-9, || 0.5);
         assert_eq!(cold.len(), 100);
     }

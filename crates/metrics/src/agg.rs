@@ -1,0 +1,79 @@
+//! Scalar aggregation helpers shared by the experiment harness.
+//!
+//! The harness summarizes per-cell wall-clock and throughput numbers and
+//! the binaries average metrics across benchmarks; these free functions
+//! keep that arithmetic in one tested place.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Geometric mean of strictly positive values; `None` for an empty slice
+/// or any non-positive value. The right average for ratios such as
+/// "FaaSMem memory relative to Baseline" across benchmarks.
+pub fn geo_mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    Some((log_sum / xs.len() as f64).exp())
+}
+
+/// Smallest and largest value; `None` for an empty slice. NaNs are
+/// ignored; a slice of only NaNs yields `None`.
+pub fn min_max(xs: &[f64]) -> Option<(f64, f64)> {
+    let mut out: Option<(f64, f64)> = None;
+    for &x in xs {
+        if x.is_nan() {
+            continue;
+        }
+        out = Some(match out {
+            None => (x, x),
+            Some((lo, hi)) => (lo.min(x), hi.max(x)),
+        });
+    }
+    out
+}
+
+/// Sum of all values.
+pub fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+    }
+
+    #[test]
+    fn geo_mean_basic() {
+        assert_eq!(geo_mean(&[]), None);
+        assert_eq!(geo_mean(&[4.0, 0.0]), None);
+        assert_eq!(geo_mean(&[4.0, -1.0]), None);
+        let g = geo_mean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12, "{g}");
+    }
+
+    #[test]
+    fn min_max_skips_nans() {
+        assert_eq!(min_max(&[]), None);
+        assert_eq!(min_max(&[f64::NAN]), None);
+        assert_eq!(min_max(&[3.0, f64::NAN, -1.0, 2.0]), Some((-1.0, 3.0)));
+    }
+
+    #[test]
+    fn total_sums() {
+        assert_eq!(total(&[]), 0.0);
+        assert_eq!(total(&[1.5, 2.5]), 4.0);
+    }
+}

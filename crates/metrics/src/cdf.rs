@@ -89,8 +89,8 @@ impl Cdf {
     /// request intervals, which this computes.
     pub fn std_dev(&self) -> Option<f64> {
         let mean = self.mean()?;
-        let var = self.sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-            / self.sorted.len() as f64;
+        let var =
+            self.sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / self.sorted.len() as f64;
         Some(var.sqrt())
     }
 

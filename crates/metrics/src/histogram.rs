@@ -39,7 +39,11 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(lo < hi, "empty histogram range {lo}..{hi}");
         assert!(bins > 0, "histogram needs at least one bin");
-        Histogram { lo, hi, counts: vec![0; bins] }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
     }
 
     /// Number of buckets.
@@ -87,7 +91,10 @@ impl Histogram {
 
     /// Iterates over `(lower_edge, count)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
-        self.counts.iter().enumerate().map(|(i, &c)| (self.bin_lower_edge(i), c))
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.bin_lower_edge(i), c))
     }
 
     /// Resets all buckets to zero.

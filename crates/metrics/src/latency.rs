@@ -64,7 +64,10 @@ impl LatencyRecorder {
 
     /// Creates a recorder pre-sized for `capacity` samples.
     pub fn with_capacity(capacity: usize) -> Self {
-        LatencyRecorder { samples: Vec::with_capacity(capacity), sorted: true }
+        LatencyRecorder {
+            samples: Vec::with_capacity(capacity),
+            sorted: true,
+        }
     }
 
     /// Records one latency sample.
@@ -113,7 +116,9 @@ impl LatencyRecorder {
             return None;
         }
         let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
-        Some(SimDuration::from_micros((sum / self.samples.len() as u128) as u64))
+        Some(SimDuration::from_micros(
+            (sum / self.samples.len() as u128) as u64,
+        ))
     }
 
     /// Largest sample, or `None` when empty.

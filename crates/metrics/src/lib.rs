@@ -27,6 +27,7 @@
 //! assert_eq!(rec.percentile(0.95).unwrap(), SimDuration::from_millis(95));
 //! ```
 
+pub mod agg;
 pub mod cdf;
 pub mod histogram;
 pub mod latency;

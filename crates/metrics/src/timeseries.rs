@@ -243,7 +243,13 @@ mod tests {
         let samples = ts.sample(SimDuration::from_secs(2), s(8));
         assert_eq!(
             samples,
-            vec![(s(0), 1.0), (s(2), 1.0), (s(4), 1.0), (s(6), 2.0), (s(8), 2.0)]
+            vec![
+                (s(0), 1.0),
+                (s(2), 1.0),
+                (s(4), 1.0),
+                (s(6), 2.0),
+                (s(8), 2.0)
+            ]
         );
     }
 

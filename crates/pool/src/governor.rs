@@ -73,8 +73,7 @@ impl BandwidthGovernor {
     }
 
     fn evict(&mut self, now: SimTime) {
-        let cutoff =
-            SimTime::from_micros(now.as_micros().saturating_sub(self.window.as_micros()));
+        let cutoff = SimTime::from_micros(now.as_micros().saturating_sub(self.window.as_micros()));
         while let Some(&(t, bytes)) = self.records.front() {
             if t < cutoff {
                 self.records.pop_front();
@@ -166,8 +165,8 @@ mod tests {
 
     #[test]
     fn custom_thresholds_respected() {
-        let mut g = BandwidthGovernor::new(1_000_000, SimDuration::from_secs(1))
-            .with_thresholds(0.5, 0.2);
+        let mut g =
+            BandwidthGovernor::new(1_000_000, SimDuration::from_secs(1)).with_thresholds(0.5, 0.2);
         g.record(SimTime::from_secs(1), 600_000);
         let f = g.throttle_factor(SimTime::from_secs(1));
         assert!(f < 1.0);

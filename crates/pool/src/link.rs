@@ -186,4 +186,40 @@ mod tests {
         let d = link.transfer(SimTime::ZERO, 1);
         assert_eq!(d, SimDuration::from_micros(1));
     }
+
+    proptest::proptest! {
+        // FIFO service: for submissions at non-decreasing instants, each
+        // transfer completes no earlier than the one before it, and
+        // `busy_until` never moves backwards.
+        #[test]
+        fn prop_fifo_completion_and_monotone_busy_until(
+            submissions in proptest::collection::vec((0u64..10_000, 1u64..10_000_000), 1..50),
+        ) {
+            let mut link = RdmaLink::new(1_000_000, 0);
+            let mut now = SimTime::ZERO;
+            let mut prev_done = SimTime::ZERO;
+            let mut prev_busy = SimTime::ZERO;
+            for &(gap_micros, bytes) in &submissions {
+                now += SimDuration::from_micros(gap_micros);
+                let latency = link.transfer(now, bytes);
+                let done = now + latency;
+                proptest::prop_assert!(done >= prev_done, "completions out of FIFO order");
+                proptest::prop_assert!(link.busy_until() >= prev_busy, "busy_until rewound");
+                // The link is never idle before the transfer it just accepted.
+                proptest::prop_assert!(link.busy_until() >= now);
+                prev_done = done;
+                prev_busy = link.busy_until();
+            }
+        }
+
+        // Every transfer takes at least its own service time, regardless
+        // of queueing.
+        #[test]
+        fn prop_latency_at_least_service_time(bytes in 1u64..100_000_000) {
+            let rate = 1_000_000u64;
+            let mut link = RdmaLink::new(rate, 0);
+            let d = link.transfer(SimTime::ZERO, bytes);
+            proptest::prop_assert!(d.as_secs_f64() >= bytes as f64 / rate as f64 - 1e-6);
+        }
+    }
 }

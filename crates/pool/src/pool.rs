@@ -114,7 +114,10 @@ pub enum PoolError {
 impl fmt::Display for PoolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PoolError::Exhausted { requested, available } => write!(
+            PoolError::Exhausted {
+                requested,
+                available,
+            } => write!(
                 f,
                 "remote pool exhausted: requested {requested} bytes, {available} available"
             ),
@@ -171,8 +174,10 @@ pub struct RemotePool {
 impl RemotePool {
     /// Creates a pool from its configuration.
     pub fn new(config: PoolConfig) -> Self {
-        let out_link =
-            RdmaLink::new(config.effective_out_bytes_per_sec(), config.page_out_base_micros);
+        let out_link = RdmaLink::new(
+            config.effective_out_bytes_per_sec(),
+            config.page_out_base_micros,
+        );
         let in_link = RdmaLink::new(config.link_bytes_per_sec, config.page_in_base_micros);
         RemotePool {
             config,
@@ -245,7 +250,10 @@ impl RemotePool {
     ) -> Result<SimDuration, PoolError> {
         let bytes = pages * page_size;
         if bytes > self.used_bytes {
-            return Err(PoolError::Underflow { requested: bytes, held: self.used_bytes });
+            return Err(PoolError::Underflow {
+                requested: bytes,
+                held: self.used_bytes,
+            });
         }
         if bytes == 0 {
             return Ok(SimDuration::ZERO);
@@ -269,7 +277,10 @@ impl RemotePool {
     pub fn discard(&mut self, pages: u64, page_size: u64) -> Result<(), PoolError> {
         let bytes = pages * page_size;
         if bytes > self.used_bytes {
-            return Err(PoolError::Underflow { requested: bytes, held: self.used_bytes });
+            return Err(PoolError::Underflow {
+                requested: bytes,
+                held: self.used_bytes,
+            });
         }
         self.used_bytes -= bytes;
         Ok(())
@@ -340,8 +351,14 @@ mod tests {
     #[test]
     fn zero_page_ops_are_free() {
         let mut p = pool();
-        assert_eq!(p.page_out(SimTime::ZERO, 0, 4096).unwrap(), SimDuration::ZERO);
-        assert_eq!(p.page_in(SimTime::ZERO, 0, 4096).unwrap(), SimDuration::ZERO);
+        assert_eq!(
+            p.page_out(SimTime::ZERO, 0, 4096).unwrap(),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            p.page_in(SimTime::ZERO, 0, 4096).unwrap(),
+            SimDuration::ZERO
+        );
         assert_eq!(p.stats(), PoolStats::default());
     }
 
@@ -353,7 +370,13 @@ mod tests {
         });
         p.page_out(SimTime::ZERO, 1, 4096).unwrap();
         let err = p.page_out(SimTime::ZERO, 2, 4096).unwrap_err();
-        assert_eq!(err, PoolError::Exhausted { requested: 8192, available: 4096 });
+        assert_eq!(
+            err,
+            PoolError::Exhausted {
+                requested: 8192,
+                available: 4096
+            }
+        );
         assert_eq!(p.used_bytes(), 4096, "failed op must not change state");
     }
 
@@ -361,7 +384,13 @@ mod tests {
     fn underflow_is_detected() {
         let mut p = pool();
         let err = p.page_in(SimTime::ZERO, 1, 4096).unwrap_err();
-        assert_eq!(err, PoolError::Underflow { requested: 4096, held: 0 });
+        assert_eq!(
+            err,
+            PoolError::Underflow {
+                requested: 4096,
+                held: 0
+            }
+        );
     }
 
     #[test]
@@ -428,9 +457,15 @@ mod tests {
 
     #[test]
     fn error_display_mentions_numbers() {
-        let e = PoolError::Exhausted { requested: 10, available: 5 };
+        let e = PoolError::Exhausted {
+            requested: 10,
+            available: 5,
+        };
         assert!(e.to_string().contains("10"));
-        let e = PoolError::Underflow { requested: 3, held: 1 };
+        let e = PoolError::Underflow {
+            requested: 3,
+            held: 1,
+        };
         assert!(e.to_string().contains("3"));
     }
 }

@@ -1,0 +1,53 @@
+//! Collection strategies: `vec(element, size_range)`.
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates vectors whose elements come from `element` and whose length
+/// is uniform in `size` (half-open, like upstream's `SizeRange`).
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_cover_the_range() {
+        let mut rng = TestRng::from_seed(5);
+        let s = vec(0u64..10, 0..4);
+        let mut seen = [false; 4];
+        for _ in 0..400 {
+            seen[s.generate(&mut rng).len()] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn nested_vec_of_tuples() {
+        let mut rng = TestRng::from_seed(6);
+        let s = vec((0u64..1_000_000, 0u32..50), 0..200);
+        let v = s.generate(&mut rng);
+        assert!(v.len() < 200);
+        assert!(v.iter().all(|&(a, b)| a < 1_000_000 && b < 50));
+    }
+}

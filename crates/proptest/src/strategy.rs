@@ -1,0 +1,177 @@
+//! Value-generation strategies: ranges, tuples, constants and `prop_map`.
+
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike upstream proptest there is no value tree or shrinking;
+/// `generate` draws one concrete value from the deterministic RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! unsigned_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range {:?}", self);
+                    let span = u64::from(self.end as u64 - self.start as u64);
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*
+    };
+}
+
+unsigned_range_strategy!(u8, u16, u32, u64);
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty range {:?}", self);
+        let span = (self.end - self.start) as u64;
+        self.start + rng.below(span) as usize
+    }
+}
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range {:?}", self);
+                    let span = (i128::from(self.end) - i128::from(self.start)) as u64;
+                    (i128::from(self.start) + i128::from(rng.below(span))) as $t
+                }
+            }
+        )*
+    };
+}
+
+signed_range_strategy!(i8, i16, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range {:?}", self);
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        // Floating arithmetic may land exactly on `end`; half-open means
+        // it must not escape.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn just_clones_its_value() {
+        let mut rng = TestRng::from_seed(1);
+        let s = Just(vec![1, 2, 3]);
+        assert_eq!(s.generate(&mut rng), vec![1, 2, 3]);
+        assert_eq!(s.generate(&mut rng), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn u8_range_hits_every_value() {
+        let mut rng = TestRng::from_seed(2);
+        let s = 0u8..4;
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn tuple_of_three_generates_each() {
+        let mut rng = TestRng::from_seed(3);
+        let s = (0u64..10, 0u32..10, Just(1.5f64));
+        let (a, b, c) = s.generate(&mut rng);
+        assert!(a < 10 && b < 10);
+        assert_eq!(c, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = TestRng::from_seed(4);
+        let _ = (5u64..5).generate(&mut rng);
+    }
+}

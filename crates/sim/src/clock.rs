@@ -108,4 +108,34 @@ mod tests {
         assert_eq!(c.since(SimTime::from_secs(2)), SimDuration::from_secs(3));
         assert_eq!(c.since(SimTime::from_secs(9)), SimDuration::ZERO);
     }
+
+    proptest::proptest! {
+        // `advance_to` accepts exactly the targets at or after `now` and
+        // panics on every rewind attempt, for arbitrary instants.
+        #[test]
+        fn prop_advance_to_rejects_rewinds(start in 0u64..1_000_000, target in 0u64..1_000_000) {
+            let result = std::panic::catch_unwind(|| {
+                let mut c = Clock::starting_at(SimTime::from_micros(start));
+                c.advance_to(SimTime::from_micros(target));
+                c.now()
+            });
+            if target >= start {
+                proptest::prop_assert_eq!(result.ok(), Some(SimTime::from_micros(target)));
+            } else {
+                proptest::prop_assert!(result.is_err(), "rewind must panic");
+            }
+        }
+
+        // Advancing in arbitrary increments never moves the clock backwards.
+        #[test]
+        fn prop_advance_by_is_monotone(steps in proptest::collection::vec(0u64..1_000_000, 0..100)) {
+            let mut c = Clock::new();
+            let mut prev = c.now();
+            for &step in &steps {
+                c.advance_by(SimDuration::from_micros(step));
+                proptest::prop_assert!(c.now() >= prev);
+                prev = c.now();
+            }
+        }
+    }
 }

@@ -73,12 +73,18 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Creates an empty queue with room for `capacity` events.
     pub fn with_capacity(capacity: usize) -> Self {
-        EventQueue { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
     }
 
     /// Schedules `event` to fire at `at`. Events at the same instant fire
@@ -178,8 +184,9 @@ mod tests {
 
     #[test]
     fn collect_and_clear() {
-        let mut q: EventQueue<u32> =
-            vec![(SimTime::from_secs(1), 10), (SimTime::ZERO, 20)].into_iter().collect();
+        let mut q: EventQueue<u32> = vec![(SimTime::from_secs(1), 10), (SimTime::ZERO, 20)]
+            .into_iter()
+            .collect();
         assert_eq!(q.len(), 2);
         assert_eq!(q.pop(), Some((SimTime::ZERO, 20)));
         q.clear();
@@ -212,6 +219,26 @@ mod tests {
                 count += 1;
             }
             proptest::prop_assert_eq!(count, times.len());
+        }
+
+        // Draining the queue is a stable sort by time: events pushed at
+        // the same instant keep their relative insertion order even when
+        // interleaved with events at other instants.
+        #[test]
+        fn prop_drain_is_stable_sort(times in proptest::collection::vec(0u64..16, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_millis(t), i);
+            }
+            let drained: Vec<(SimTime, usize)> = std::iter::from_fn(|| q.pop()).collect();
+            let mut expected: Vec<(SimTime, usize)> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (SimTime::from_millis(t), i))
+                .collect();
+            // A stable sort by time alone keeps insertion order within ties.
+            expected.sort_by_key(|&(t, _)| t);
+            proptest::prop_assert_eq!(drained, expected);
         }
 
         #[test]

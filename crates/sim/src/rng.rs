@@ -1,13 +1,16 @@
 //! Seedable randomness for deterministic experiments.
 //!
 //! Every stochastic decision in the reproduction flows through [`SimRng`],
-//! a thin wrapper over a counter-seeded [`rand::rngs::StdRng`] that adds the
-//! distributions the paper's workloads need: exponential inter-arrival
-//! times, Pareto-distributed request indices (the paper drives Graph/Web
-//! inputs with a Pareto distribution, §8.1) and log-normal service jitter.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! a self-contained xoshiro256++ generator (seeded via SplitMix64) that
+//! adds the distributions the paper's workloads need: exponential
+//! inter-arrival times, Pareto-distributed request indices (the paper
+//! drives Graph/Web inputs with a Pareto distribution, §8.1) and
+//! log-normal service jitter.
+//!
+//! The generator is implemented in-repo rather than via the `rand` crate
+//! so the workspace builds with no external dependencies, and so the
+//! byte-identical-output guarantee of the experiment harness rests on
+//! code this repository controls.
 
 use crate::time::SimDuration;
 
@@ -24,31 +27,62 @@ use crate::time::SimDuration;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// One SplitMix64 step; used for seeding and stream derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed) }
+        let mut s = seed;
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        SimRng { state }
     }
 
     /// Derives an independent child generator; the `stream` tag keeps
     /// different subsystems (arrivals, page access, jitter, ...) decoupled
     /// so adding draws to one does not perturb another.
     pub fn fork(&mut self, stream: u64) -> SimRng {
-        let base = self.inner.gen::<u64>();
+        let base = self.next_u64();
         SimRng::seed_from(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut n2 = s2 ^ s0;
+        let n3 = s3 ^ s1;
+        let n1 = s1 ^ n2;
+        let n0 = s0 ^ n3;
+        n2 ^= t;
+        self.state = [n0, n1, n2, n3.rotate_left(45)];
+        result
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn next_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `(0, 1]`; the open-at-zero variant the inverse
+    /// transforms below need so `ln(u)` stays finite.
+    fn next_f64_open0(&mut self) -> f64 {
+        1.0 - self.next_f64()
     }
 
     /// Uniform integer in `[0, bound)`.
@@ -58,7 +92,9 @@ impl SimRng {
     /// Panics if `bound == 0`.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Lemire multiply-shift: unbiased enough for simulation (bias is
+        // < 2^-64 per draw) and branch-free.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -68,7 +104,7 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range {lo}..{hi}");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
@@ -83,7 +119,7 @@ impl SimRng {
     /// Panics if `mean` is not positive and finite.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         assert!(mean.is_finite() && mean > 0.0, "invalid mean {mean}");
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u = self.next_f64_open0();
         -mean * u.ln()
     }
 
@@ -102,8 +138,11 @@ impl SimRng {
     ///
     /// Panics if `x_min <= 0` or `alpha <= 0`.
     pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
-        assert!(x_min > 0.0 && alpha > 0.0, "invalid pareto({x_min},{alpha})");
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        assert!(
+            x_min > 0.0 && alpha > 0.0,
+            "invalid pareto({x_min},{alpha})"
+        );
+        let u = self.next_f64_open0();
         x_min / u.powf(1.0 / alpha)
     }
 
@@ -122,8 +161,8 @@ impl SimRng {
     /// (of the underlying normal). Used for service-time variation.
     pub fn lognormal_jitter(&mut self, sigma: f64) -> f64 {
         // Box-Muller on two uniforms.
-        let u1: f64 = self.inner.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1 = self.next_f64_open0();
+        let u2 = self.next_f64();
         let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         (sigma * z).exp()
     }
@@ -131,7 +170,7 @@ impl SimRng {
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             slice.swap(i, j);
         }
     }
@@ -141,24 +180,9 @@ impl SimRng {
         if slice.is_empty() {
             None
         } else {
-            let i = self.inner.gen_range(0..slice.len());
+            let i = self.below(slice.len() as u64) as usize;
             Some(&slice[i])
         }
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -192,6 +216,24 @@ mod tests {
         assert_eq!(c1.next_u64(), c2.next_u64());
         let mut d = parent1.fork(2);
         assert_ne!(c1.next_u64(), d.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        // SplitMix64 expansion must not hand xoshiro an all-zero state.
+        let mut rng = SimRng::seed_from(0);
+        let draws: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert!(draws.iter().any(|&v| v != 0));
+        assert_ne!(draws[0], draws[1]);
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut rng = SimRng::seed_from(4);
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
     }
 
     #[test]
@@ -242,6 +284,16 @@ mod tests {
             let v = rng.range(5, 9);
             assert!((5..9).contains(&v));
         }
+    }
+
+    #[test]
+    fn below_covers_all_residues() {
+        let mut rng = SimRng::seed_from(15);
+        let mut seen = [false; 7];
+        for _ in 0..2_000 {
+            seen[rng.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

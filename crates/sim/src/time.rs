@@ -168,7 +168,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor.is_finite() && factor >= 0.0, "invalid factor {factor}");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid factor {factor}"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 
@@ -339,6 +342,9 @@ mod tests {
 
     #[test]
     fn saturating_add_clamps() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 }

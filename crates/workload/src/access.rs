@@ -123,7 +123,15 @@ impl RequestAccess {
         exec_pages: u32,
         rng: &mut SimRng,
     ) -> RequestAccess {
-        Self::plan_with_rare_runtime(model, runtime_hot_pages, runtime_hot_pages, 0.0, init_pages, exec_pages, rng)
+        Self::plan_with_rare_runtime(
+            model,
+            runtime_hot_pages,
+            runtime_hot_pages,
+            0.0,
+            init_pages,
+            exec_pages,
+            rng,
+        )
     }
 
     /// Like [`RequestAccess::plan`], but with probability
@@ -142,17 +150,20 @@ impl RequestAccess {
         rng: &mut SimRng,
     ) -> RequestAccess {
         let init = Self::plan_init(model, init_pages, rng);
-        let runtime = if runtime_total_pages > runtime_hot_pages && rng.chance(rare_runtime_prob)
-        {
-            let cold = rng.range(u64::from(runtime_hot_pages), u64::from(runtime_total_pages))
-                as u32;
+        let runtime = if runtime_total_pages > runtime_hot_pages && rng.chance(rare_runtime_prob) {
+            let cold =
+                rng.range(u64::from(runtime_hot_pages), u64::from(runtime_total_pages)) as u32;
             let mut v: Vec<u32> = (0..runtime_hot_pages).collect();
             v.push(cold);
             AccessSet::Sparse(v)
         } else {
             AccessSet::Range(0, runtime_hot_pages)
         };
-        RequestAccess { runtime, init, exec_pages }
+        RequestAccess {
+            runtime,
+            init,
+            exec_pages,
+        }
     }
 
     fn plan_init(model: InitAccess, init_pages: u32, rng: &mut SimRng) -> AccessSet {
@@ -165,7 +176,10 @@ impl RequestAccess {
                 let hot = fraction_of(init_pages, hot_fraction);
                 AccessSet::Range(0, hot)
             }
-            InitAccess::HotPlusRandom { hot_fraction, random_fraction } => {
+            InitAccess::HotPlusRandom {
+                hot_fraction,
+                random_fraction,
+            } => {
                 let hot = fraction_of(init_pages, hot_fraction);
                 let extra = fraction_of(init_pages, random_fraction);
                 if extra == 0 || hot >= init_pages {
@@ -183,7 +197,10 @@ impl RequestAccess {
                 indexes.dedup();
                 AccessSet::Sparse(indexes)
             }
-            InitAccess::ParetoPages { alpha, per_request_fraction } => {
+            InitAccess::ParetoPages {
+                alpha,
+                per_request_fraction,
+            } => {
                 let per_request = fraction_of(init_pages, per_request_fraction).max(1);
                 let mut indexes = Vec::with_capacity(per_request as usize);
                 for _ in 0..per_request {
@@ -193,7 +210,11 @@ impl RequestAccess {
                 indexes.dedup();
                 AccessSet::Sparse(indexes)
             }
-            InitAccess::ParetoObjects { alpha, objects, per_request } => {
+            InitAccess::ParetoObjects {
+                alpha,
+                objects,
+                per_request,
+            } => {
                 let objects = objects.max(1).min(init_pages.max(1));
                 let mut chosen = Vec::with_capacity(per_request as usize);
                 for _ in 0..per_request.max(1) {
@@ -203,7 +224,8 @@ impl RequestAccess {
                 chosen.dedup();
                 let mut indexes = Vec::new();
                 for obj in chosen {
-                    let start = (u64::from(obj) * u64::from(init_pages) / u64::from(objects)) as u32;
+                    let start =
+                        (u64::from(obj) * u64::from(init_pages) / u64::from(objects)) as u32;
                     let end =
                         ((u64::from(obj) + 1) * u64::from(init_pages) / u64::from(objects)) as u32;
                     indexes.extend(start..end.max(start + 1).min(init_pages));
@@ -272,16 +294,31 @@ mod tests {
     #[test]
     fn fixed_hot_is_deterministic_prefix() {
         let mut r = rng();
-        let a = RequestAccess::plan(InitAccess::FixedHot { hot_fraction: 0.25 }, 0, 400, 0, &mut r);
+        let a = RequestAccess::plan(
+            InitAccess::FixedHot { hot_fraction: 0.25 },
+            0,
+            400,
+            0,
+            &mut r,
+        );
         assert_eq!(a.init, AccessSet::Range(0, 100));
         // Same every request regardless of RNG state.
-        let b = RequestAccess::plan(InitAccess::FixedHot { hot_fraction: 0.25 }, 0, 400, 0, &mut r);
+        let b = RequestAccess::plan(
+            InitAccess::FixedHot { hot_fraction: 0.25 },
+            0,
+            400,
+            0,
+            &mut r,
+        );
         assert_eq!(a.init, b.init);
     }
 
     #[test]
     fn hot_plus_random_has_stable_core_and_varying_tail() {
-        let model = InitAccess::HotPlusRandom { hot_fraction: 0.4, random_fraction: 0.1 };
+        let model = InitAccess::HotPlusRandom {
+            hot_fraction: 0.4,
+            random_fraction: 0.1,
+        };
         let mut r = rng();
         let a = RequestAccess::plan(model, 0, 1000, 0, &mut r);
         let b = RequestAccess::plan(model, 0, 1000, 0, &mut r);
@@ -299,7 +336,10 @@ mod tests {
 
     #[test]
     fn pareto_pages_prefer_popular_prefix() {
-        let model = InitAccess::ParetoPages { alpha: 1.1, per_request_fraction: 0.05 };
+        let model = InitAccess::ParetoPages {
+            alpha: 1.1,
+            per_request_fraction: 0.05,
+        };
         let mut r = rng();
         let mut hits = vec![0u32; 1000];
         for _ in 0..200 {
@@ -315,7 +355,10 @@ mod tests {
 
     #[test]
     fn pareto_touches_at_least_one_page() {
-        let model = InitAccess::ParetoPages { alpha: 1.5, per_request_fraction: 0.0001 };
+        let model = InitAccess::ParetoPages {
+            alpha: 1.5,
+            per_request_fraction: 0.0001,
+        };
         let a = RequestAccess::plan(model, 0, 100, 0, &mut rng());
         assert!(!a.init.is_empty());
     }
@@ -325,9 +368,19 @@ mod tests {
         for model in [
             InitAccess::FullTraversal,
             InitAccess::FixedHot { hot_fraction: 0.5 },
-            InitAccess::HotPlusRandom { hot_fraction: 0.5, random_fraction: 0.1 },
-            InitAccess::ParetoPages { alpha: 1.0, per_request_fraction: 0.1 },
-            InitAccess::ParetoObjects { alpha: 1.0, objects: 10, per_request: 2 },
+            InitAccess::HotPlusRandom {
+                hot_fraction: 0.5,
+                random_fraction: 0.1,
+            },
+            InitAccess::ParetoPages {
+                alpha: 1.0,
+                per_request_fraction: 0.1,
+            },
+            InitAccess::ParetoObjects {
+                alpha: 1.0,
+                objects: 10,
+                per_request: 2,
+            },
         ] {
             let a = RequestAccess::plan(model, 4, 0, 2, &mut rng());
             assert!(a.init.is_empty(), "{model:?}");
@@ -336,7 +389,11 @@ mod tests {
 
     #[test]
     fn pareto_objects_touch_whole_contiguous_objects() {
-        let model = InitAccess::ParetoObjects { alpha: 0.9, objects: 10, per_request: 3 };
+        let model = InitAccess::ParetoObjects {
+            alpha: 0.9,
+            objects: 10,
+            per_request: 3,
+        };
         let mut r = rng();
         let a = RequestAccess::plan(model, 0, 1000, 0, &mut r);
         // Each object spans 100 pages; between 1 and 3 distinct objects.
@@ -351,7 +408,11 @@ mod tests {
 
     #[test]
     fn pareto_objects_keep_revealing_new_objects() {
-        let model = InitAccess::ParetoObjects { alpha: 0.9, objects: 100, per_request: 3 };
+        let model = InitAccess::ParetoObjects {
+            alpha: 0.9,
+            objects: 100,
+            per_request: 3,
+        };
         let mut r = rng();
         let mut seen = std::collections::HashSet::new();
         let mut new_at_request = Vec::new();
@@ -368,7 +429,10 @@ mod tests {
         let early: usize = new_at_request[..5].iter().sum();
         let late: usize = new_at_request[25..].iter().sum();
         assert!(early > 0 && late < early, "early {early} late {late}");
-        assert!(new_at_request[5..15].iter().sum::<usize>() > 0, "still growing after 5 reqs");
+        assert!(
+            new_at_request[5..15].iter().sum::<usize>() > 0,
+            "still growing after 5 reqs"
+        );
     }
 
     #[test]

@@ -104,7 +104,12 @@ impl ArrivalModel {
                 let factor = rng.pareto(1.0, alpha);
                 SimDuration::from_micros((min_gap.as_micros() as f64 * factor) as u64)
             }
-            ArrivalModel::Bursty { idle_gap, burst_gap, idle_period, burst_period } => {
+            ArrivalModel::Bursty {
+                idle_gap,
+                burst_gap,
+                idle_period,
+                burst_period,
+            } => {
                 // Advance the two-state Markov chain lazily: when the
                 // current state's remaining budget runs out, flip state.
                 loop {
@@ -150,7 +155,10 @@ struct BurstState {
 
 impl BurstState {
     fn new() -> Self {
-        BurstState { bursting: false, remaining: SimDuration::from_secs(1) }
+        BurstState {
+            bursting: false,
+            remaining: SimDuration::from_secs(1),
+        }
     }
 }
 
@@ -232,7 +240,10 @@ impl TraceSynthesizer {
                 burst_period: SimDuration::from_mins(1),
             }
         } else {
-            ArrivalModel::ParetoGaps { min_gap: mean.mul_f64(0.35), alpha: 1.5 }
+            ArrivalModel::ParetoGaps {
+                min_gap: mean.mul_f64(0.35),
+                alpha: 1.5,
+            }
         }
     }
 
@@ -312,13 +323,19 @@ impl TraceSynthesizer {
                     }
                 }
             } else {
-                ArrivalModel::ParetoGaps { min_gap: mean_gap.mul_f64(0.35), alpha: 1.5 }
+                ArrivalModel::ParetoGaps {
+                    min_gap: mean_gap.mul_f64(0.35),
+                    alpha: 1.5,
+                }
             };
             let trace = self.generate(function, model, &mut rng);
             merged.extend(trace.iter().copied());
             classes.push((function, class));
         }
-        (InvocationTrace::from_invocations(merged, self.duration), classes)
+        (
+            InvocationTrace::from_invocations(merged, self.duration),
+            classes,
+        )
     }
 }
 
@@ -384,7 +401,9 @@ mod tests {
     #[test]
     fn bursty_traces_have_higher_interval_variance() {
         let steady = TraceSynthesizer::new(11)
-            .arrival_model(ArrivalModel::Poisson { mean_gap: SimDuration::from_secs(10) })
+            .arrival_model(ArrivalModel::Poisson {
+                mean_gap: SimDuration::from_secs(10),
+            })
             .duration(SimTime::from_mins(120))
             .synthesize_for(FunctionId(0));
         let bursty = TraceSynthesizer::new(11)
@@ -433,12 +452,17 @@ mod tests {
     #[test]
     fn poisson_rate_is_close() {
         let t = TraceSynthesizer::new(17)
-            .arrival_model(ArrivalModel::Poisson { mean_gap: SimDuration::from_secs(6) })
+            .arrival_model(ArrivalModel::Poisson {
+                mean_gap: SimDuration::from_secs(6),
+            })
             .duration(SimTime::from_mins(600))
             .synthesize_for(FunctionId(0));
         let expected = 600.0 * 60.0 / 6.0;
         let got = t.len() as f64;
-        assert!((got - expected).abs() / expected < 0.1, "expected ~{expected}, got {got}");
+        assert!(
+            (got - expected).abs() / expected < 0.1,
+            "expected ~{expected}, got {got}"
+        );
     }
 
     #[test]
@@ -447,12 +471,24 @@ mod tests {
             .duration(SimTime::from_mins(120))
             .synthesize_cluster(60);
         assert_eq!(classes.len(), 60);
-        let highs = classes.iter().filter(|(_, c)| *c == LoadClass::High).count();
-        let mids = classes.iter().filter(|(_, c)| *c == LoadClass::Middle).count();
+        let highs = classes
+            .iter()
+            .filter(|(_, c)| *c == LoadClass::High)
+            .count();
+        let mids = classes
+            .iter()
+            .filter(|(_, c)| *c == LoadClass::Middle)
+            .count();
         let lows = classes.iter().filter(|(_, c)| *c == LoadClass::Low).count();
-        assert!(highs > 0 && mids > 0 && lows > 0, "high {highs} mid {mids} low {lows}");
+        assert!(
+            highs > 0 && mids > 0 && lows > 0,
+            "high {highs} mid {mids} low {lows}"
+        );
         assert!(!trace.is_empty());
-        assert!(trace.functions().len() > 30, "most functions fire at least once");
+        assert!(
+            trace.functions().len() > 30,
+            "most functions fire at least once"
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ pub struct AzureImport {
 impl AzureImport {
     /// The dense id assigned to a function hash, if it appeared.
     pub fn id_of(&self, func_hash: &str) -> Option<FunctionId> {
-        self.functions.iter().position(|h| h == func_hash).map(|i| FunctionId(i as u32))
+        self.functions
+            .iter()
+            .position(|h| h == func_hash)
+            .map(|i| FunctionId(i as u32))
     }
 }
 
@@ -126,8 +129,7 @@ pub fn parse(csv: &str) -> Result<AzureImport, ParseAzureError> {
             (end.is_finite() && dur.is_finite() && dur >= 0.0 && end.is_sign_positive())
                 .then_some((func, end, dur))
         };
-        let (func, end, dur) =
-            parse_row().ok_or(ParseAzureError::BadRow { line: idx + 1 })?;
+        let (func, end, dur) = parse_row().ok_or(ParseAzureError::BadRow { line: idx + 1 })?;
         let next_id = ids.len() as u32;
         let id = *ids.entry(func).or_insert_with_key(|k| {
             functions.push(k.clone());
@@ -136,7 +138,10 @@ pub fn parse(csv: &str) -> Result<AzureImport, ParseAzureError> {
         let start = (end - dur).max(0.0);
         let at = SimTime::from_secs_f64(start);
         horizon = horizon.max(SimTime::from_secs_f64(end));
-        invocations.push(Invocation { at, function: FunctionId(id) });
+        invocations.push(Invocation {
+            at,
+            function: FunctionId(id),
+        });
     }
     Ok(AzureImport {
         trace: InvocationTrace::from_invocations(invocations, horizon),
@@ -191,7 +196,10 @@ mod tests {
         let csv = "duration,func,app,end_timestamp\n0.5,f,a,10\n";
         let import = parse(csv).unwrap();
         assert_eq!(import.trace.len(), 1);
-        assert_eq!(import.trace.iter().next().unwrap().at, SimTime::from_secs_f64(9.5));
+        assert_eq!(
+            import.trace.iter().next().unwrap().at,
+            SimTime::from_secs_f64(9.5)
+        );
     }
 
     #[test]
@@ -219,10 +227,14 @@ mod tests {
 
     #[test]
     fn error_display_is_meaningful() {
-        assert!(ParseAzureError::MissingHeader.to_string().contains("header"));
-        assert!(
-            ParseAzureError::MissingColumn { column: "func" }.to_string().contains("func")
-        );
-        assert!(ParseAzureError::BadRow { line: 7 }.to_string().contains('7'));
+        assert!(ParseAzureError::MissingHeader
+            .to_string()
+            .contains("header"));
+        assert!(ParseAzureError::MissingColumn { column: "func" }
+            .to_string()
+            .contains("func"));
+        assert!(ParseAzureError::BadRow { line: 7 }
+            .to_string()
+            .contains('7'));
     }
 }

@@ -94,12 +94,42 @@ impl RuntimeSpec {
         use RuntimeKind::*;
         use ServerlessPlatform::*;
         vec![
-            RuntimeSpec { platform: OpenWhisk, kind: NodeJs, total_mib: 44, inactive_mib: 35 },
-            RuntimeSpec { platform: OpenWhisk, kind: Python, total_mib: 30, inactive_mib: 24 },
-            RuntimeSpec { platform: OpenWhisk, kind: Java, total_mib: 68, inactive_mib: 57 },
-            RuntimeSpec { platform: Azure, kind: NodeJs, total_mib: 126, inactive_mib: 105 },
-            RuntimeSpec { platform: Azure, kind: Python, total_mib: 132, inactive_mib: 112 },
-            RuntimeSpec { platform: Azure, kind: Java, total_mib: 178, inactive_mib: 151 },
+            RuntimeSpec {
+                platform: OpenWhisk,
+                kind: NodeJs,
+                total_mib: 44,
+                inactive_mib: 35,
+            },
+            RuntimeSpec {
+                platform: OpenWhisk,
+                kind: Python,
+                total_mib: 30,
+                inactive_mib: 24,
+            },
+            RuntimeSpec {
+                platform: OpenWhisk,
+                kind: Java,
+                total_mib: 68,
+                inactive_mib: 57,
+            },
+            RuntimeSpec {
+                platform: Azure,
+                kind: NodeJs,
+                total_mib: 126,
+                inactive_mib: 105,
+            },
+            RuntimeSpec {
+                platform: Azure,
+                kind: Python,
+                total_mib: 132,
+                inactive_mib: 112,
+            },
+            RuntimeSpec {
+                platform: Azure,
+                kind: Java,
+                total_mib: 178,
+                inactive_mib: 151,
+            },
         ]
     }
 
@@ -170,27 +200,26 @@ impl BenchmarkSpec {
     /// micro-benchmarks plus Bert, Graph and Web.
     pub fn catalog() -> Vec<BenchmarkSpec> {
         let rt = RuntimeSpec::openwhisk_python();
-        let micro = |name: &'static str,
-                     init_mib: u64,
-                     exec_mib: u64,
-                     exec_ms: u64,
-                     quota_mib: u64| BenchmarkSpec {
-            name,
-            is_application: false,
-            runtime_mib: rt.total_mib,
-            runtime_hot_mib: rt.hot_mib(),
-            init_mib,
-            // Micro-benchmarks keep a tiny but fully hot init segment
-            // (imports touched on every call).
-            init_access: InitAccess::FixedHot { hot_fraction: 1.0 },
-            exec_mib,
-            exec_time: SimDuration::from_millis(exec_ms),
-            launch_time: SimDuration::from_millis(480),
-            init_time: SimDuration::from_millis(150),
-            runtime_rare_touch_prob: 0.004,
-            cpu_share: 0.1,
-            quota_mib,
-        };
+        let micro =
+            |name: &'static str, init_mib: u64, exec_mib: u64, exec_ms: u64, quota_mib: u64| {
+                BenchmarkSpec {
+                    name,
+                    is_application: false,
+                    runtime_mib: rt.total_mib,
+                    runtime_hot_mib: rt.hot_mib(),
+                    init_mib,
+                    // Micro-benchmarks keep a tiny but fully hot init segment
+                    // (imports touched on every call).
+                    init_access: InitAccess::FixedHot { hot_fraction: 1.0 },
+                    exec_mib,
+                    exec_time: SimDuration::from_millis(exec_ms),
+                    launch_time: SimDuration::from_millis(480),
+                    init_time: SimDuration::from_millis(150),
+                    runtime_rare_touch_prob: 0.004,
+                    cpu_share: 0.1,
+                    quota_mib,
+                }
+            };
         vec![
             // name        init  exec  time  quota
             micro("json", 2, 6, 35, 128),
@@ -271,12 +300,18 @@ impl BenchmarkSpec {
 
     /// The three real-world applications (Table 1, Fig 16).
     pub fn applications() -> Vec<BenchmarkSpec> {
-        Self::catalog().into_iter().filter(|b| b.is_application).collect()
+        Self::catalog()
+            .into_iter()
+            .filter(|b| b.is_application)
+            .collect()
     }
 
     /// The eight FunctionBench micro-benchmarks.
     pub fn micro_benchmarks() -> Vec<BenchmarkSpec> {
-        Self::catalog().into_iter().filter(|b| !b.is_application).collect()
+        Self::catalog()
+            .into_iter()
+            .filter(|b| !b.is_application)
+            .collect()
     }
 
     /// A hello-world function on the given runtime, used by the Fig 4
@@ -314,8 +349,17 @@ mod tests {
     fn catalog_has_the_papers_eleven() {
         let names: Vec<&str> = BenchmarkSpec::catalog().iter().map(|b| b.name).collect();
         for expected in [
-            "json", "gzip", "pyaes", "chameleon", "image", "linpack", "matmul", "float",
-            "bert", "graph", "web",
+            "json",
+            "gzip",
+            "pyaes",
+            "chameleon",
+            "image",
+            "linpack",
+            "matmul",
+            "float",
+            "bert",
+            "graph",
+            "web",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
@@ -325,10 +369,18 @@ mod tests {
     #[test]
     fn applications_are_init_heavy_micros_are_not() {
         for app in BenchmarkSpec::applications() {
-            assert!(app.init_mib > app.runtime_mib, "{} should be init-heavy", app.name);
+            assert!(
+                app.init_mib > app.runtime_mib,
+                "{} should be init-heavy",
+                app.name
+            );
         }
         for micro in BenchmarkSpec::micro_benchmarks() {
-            assert!(micro.init_mib < micro.runtime_mib, "{} init should be tiny", micro.name);
+            assert!(
+                micro.init_mib < micro.runtime_mib,
+                "{} init should be tiny",
+                micro.name
+            );
         }
     }
 
@@ -354,13 +406,24 @@ mod tests {
         let cat = RuntimeSpec::catalog();
         assert_eq!(cat.len(), 6);
         // Azure runtimes all exceed 100 MB inactive.
-        for r in cat.iter().filter(|r| r.platform == ServerlessPlatform::Azure) {
-            assert!(r.inactive_mib >= 100, "{} {}", r.platform.name(), r.kind.name());
+        for r in cat
+            .iter()
+            .filter(|r| r.platform == ServerlessPlatform::Azure)
+        {
+            assert!(
+                r.inactive_mib >= 100,
+                "{} {}",
+                r.platform.name(),
+                r.kind.name()
+            );
         }
         // Java has the largest inactive footprint on each platform.
         for platform in ServerlessPlatform::ALL {
             let of = |k: RuntimeKind| {
-                cat.iter().find(|r| r.platform == platform && r.kind == k).unwrap().inactive_mib
+                cat.iter()
+                    .find(|r| r.platform == platform && r.kind == k)
+                    .unwrap()
+                    .inactive_mib
             };
             assert!(of(RuntimeKind::Java) > of(RuntimeKind::Python));
             assert!(of(RuntimeKind::Java) > of(RuntimeKind::NodeJs));

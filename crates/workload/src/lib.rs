@@ -42,7 +42,7 @@ pub mod trace_io;
 
 pub use access::{AccessSet, InitAccess, RequestAccess};
 pub use azure::{ArrivalModel, LoadClass, TraceSynthesizer};
+pub use azure_csv::{AzureImport, ParseAzureError};
 pub use benchmark::{BenchmarkSpec, RuntimeKind, RuntimeSpec, ServerlessPlatform};
 pub use trace::{FunctionId, Invocation, InvocationTrace, TraceStats};
-pub use azure_csv::{AzureImport, ParseAzureError};
 pub use trace_io::ParseTraceError;

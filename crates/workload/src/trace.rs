@@ -58,14 +58,24 @@ impl InvocationTrace {
     pub fn from_invocations(mut invocations: Vec<Invocation>, duration: SimTime) -> Self {
         invocations.sort_by_key(|inv| inv.at);
         if let Some(last) = invocations.last() {
-            assert!(last.at <= duration, "invocation at {} beyond horizon {duration}", last.at);
+            assert!(
+                last.at <= duration,
+                "invocation at {} beyond horizon {duration}",
+                last.at
+            );
         }
-        InvocationTrace { invocations, duration }
+        InvocationTrace {
+            invocations,
+            duration,
+        }
     }
 
     /// An empty trace with the given horizon.
     pub fn empty(duration: SimTime) -> Self {
-        InvocationTrace { invocations: Vec::new(), duration }
+        InvocationTrace {
+            invocations: Vec::new(),
+            duration,
+        }
     }
 
     /// Number of invocations.
@@ -90,7 +100,11 @@ impl InvocationTrace {
 
     /// Invocations of one function, in firing order.
     pub fn for_function(&self, function: FunctionId) -> Vec<Invocation> {
-        self.invocations.iter().filter(|i| i.function == function).copied().collect()
+        self.invocations
+            .iter()
+            .filter(|i| i.function == function)
+            .copied()
+            .collect()
     }
 
     /// The distinct functions appearing in the trace, ascending.
@@ -124,7 +138,11 @@ impl InvocationTrace {
         let minutes = self.duration.as_secs_f64() / 60.0;
         TraceStats {
             invocations: self.invocations.len(),
-            req_per_min: if minutes > 0.0 { self.invocations.len() as f64 / minutes } else { 0.0 },
+            req_per_min: if minutes > 0.0 {
+                self.invocations.len() as f64 / minutes
+            } else {
+                0.0
+            },
             mean_interval_secs: interval_cdf.mean().unwrap_or(0.0),
             interval_std_secs: interval_cdf.std_dev().unwrap_or(0.0),
         }
@@ -150,7 +168,10 @@ mod tests {
     use super::*;
 
     fn inv(secs: u64, f: u32) -> Invocation {
-        Invocation { at: SimTime::from_secs(secs), function: FunctionId(f) }
+        Invocation {
+            at: SimTime::from_secs(secs),
+            function: FunctionId(f),
+        }
     }
 
     #[test]

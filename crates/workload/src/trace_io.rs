@@ -163,14 +163,21 @@ mod tests {
     #[test]
     fn beyond_horizon_is_error() {
         let text = "# faasmem-trace v1 horizon_micros=1000\n2000,0\n";
-        assert_eq!(from_str(text), Err(ParseTraceError::BeyondHorizon { line: 2 }));
+        assert_eq!(
+            from_str(text),
+            Err(ParseTraceError::BeyondHorizon { line: 2 })
+        );
     }
 
     #[test]
     fn errors_display_meaningfully() {
         assert!(ParseTraceError::BadHeader.to_string().contains("header"));
-        assert!(ParseTraceError::BadLine { line: 3 }.to_string().contains('3'));
-        assert!(ParseTraceError::BeyondHorizon { line: 4 }.to_string().contains('4'));
+        assert!(ParseTraceError::BadLine { line: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(ParseTraceError::BeyondHorizon { line: 4 }
+            .to_string()
+            .contains('4'));
     }
 
     proptest::proptest! {

@@ -15,9 +15,13 @@ use faasmem::prelude::*;
 fn main() {
     const FUNCTIONS: u32 = 424;
     let horizon = SimTime::from_mins(240);
-    let (trace, classes) =
-        TraceSynthesizer::new(20_260_706).duration(horizon).synthesize_cluster(FUNCTIONS);
-    let highs = classes.iter().filter(|(_, c)| *c == LoadClass::High).count();
+    let (trace, classes) = TraceSynthesizer::new(20_260_706)
+        .duration(horizon)
+        .synthesize_cluster(FUNCTIONS);
+    let highs = classes
+        .iter()
+        .filter(|(_, c)| *c == LoadClass::High)
+        .count();
     let lows = classes.iter().filter(|(_, c)| *c == LoadClass::Low).count();
     println!(
         "cluster: {FUNCTIONS} functions ({highs} high / {} middle / {lows} low), {} invocations over 4 h",
@@ -41,7 +45,9 @@ fn main() {
     let mut report = sim.run(&trace);
 
     println!("\nhour-by-hour node memory (local GiB, sampled every 15 min):");
-    let samples = report.local_mem.sample(SimDuration::from_mins(15), report.finished_at);
+    let samples = report
+        .local_mem
+        .sample(SimDuration::from_mins(15), report.finished_at);
     for hour in 0..4 {
         let window: Vec<String> = samples
             .iter()
@@ -56,9 +62,18 @@ fn main() {
     let p95 = report.p95_latency();
     println!("\nday summary:");
     println!("  requests completed:  {}", report.requests_completed);
-    println!("  cold-start ratio:    {:.1}%", report.cold_start_ratio() * 100.0);
-    println!("  avg local memory:    {:.2} GiB", report.avg_local_mib() / 1024.0);
-    println!("  avg pooled memory:   {:.2} GiB", report.avg_remote_mib() / 1024.0);
+    println!(
+        "  cold-start ratio:    {:.1}%",
+        report.cold_start_ratio() * 100.0
+    );
+    println!(
+        "  avg local memory:    {:.2} GiB",
+        report.avg_local_mib() / 1024.0
+    );
+    println!(
+        "  avg pooled memory:   {:.2} GiB",
+        report.avg_remote_mib() / 1024.0
+    );
     println!("  P95 latency:         {p95}");
     println!("  containers launched: {}", report.containers.len());
     let st = stats.borrow();
@@ -73,8 +88,17 @@ fn main() {
     let node = NodeProfile::from_report(&report, 384.0, 2_500.0);
     let rack = RackReport::analyze(node, RackPlan::default());
     println!("\nrack plan from this profile (10 nodes, 2500 containers each):");
-    println!("  remote bandwidth demand: {:.0} Gbps ({:.0}% of a 400 Gbps NIC)",
-        rack.demand_gbps, rack.fabric_utilization * 100.0);
-    println!("  pool to provision:       {:.1} TB", rack.pool_gib / 1024.0);
-    println!("  DRAM cost vs all-local:  {:.0}%", rack.relative_dram_cost * 100.0);
+    println!(
+        "  remote bandwidth demand: {:.0} Gbps ({:.0}% of a 400 Gbps NIC)",
+        rack.demand_gbps,
+        rack.fabric_utilization * 100.0
+    );
+    println!(
+        "  pool to provision:       {:.1} TB",
+        rack.pool_gib / 1024.0
+    );
+    println!(
+        "  DRAM cost vs all-local:  {:.0}%",
+        rack.relative_dram_cost * 100.0
+    );
 }

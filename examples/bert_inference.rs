@@ -69,7 +69,11 @@ fn main() {
     );
     println!(
         "  request windows chosen:     {:?}",
-        stats.windows_chosen.iter().map(|&(_, w)| w).collect::<Vec<_>>()
+        stats
+            .windows_chosen
+            .iter()
+            .map(|&(_, w)| w)
+            .collect::<Vec<_>>()
     );
     let fractions = stats.semi_warm_fractions();
     let spent_half = fractions.iter().filter(|&&f| f > 0.5).count();

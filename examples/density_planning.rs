@@ -47,8 +47,8 @@ fn main() {
         total_pool += pool_gib;
         // Bandwidth: scale the measured per-run offload bandwidth to the
         // planned container count.
-        let per_ctr_bw = report.mean_offload_bandwidth_mbps()
-            / report.avg_live_containers().max(1e-9);
+        let per_ctr_bw =
+            report.mean_offload_bandwidth_mbps() / report.avg_live_containers().max(1e-9);
         let node_bw = per_ctr_bw * ctrs;
         println!(
             "{:<8} {:>6}Mi {:>10.0}Mi {:>9.2}x {:>12.0} {:>14.0} {:>9.0}MB/s",

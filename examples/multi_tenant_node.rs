@@ -28,7 +28,12 @@ fn main() {
             .bursty(i % 2 == 0)
             .duration(horizon)
             .synthesize_for(FunctionId(i as u32));
-        println!("  {:<10} {:<7} {:>5} invocations", spec.name, class.name(), t.len());
+        println!(
+            "  {:<10} {:<7} {:>5} invocations",
+            spec.name,
+            class.name(),
+            t.len()
+        );
         merged = merged.merge(&t);
     }
     println!("node total: {} invocations\n", merged.len());
@@ -43,9 +48,18 @@ fn main() {
 
     println!("node-level results under FaaSMem:");
     println!("  requests completed:   {}", report.requests_completed);
-    println!("  cold-start ratio:     {:.1}%", report.cold_start_ratio() * 100.0);
-    println!("  avg local memory:     {:.2} GiB", report.avg_local_mib() / 1024.0);
-    println!("  avg offloaded:        {:.2} GiB", report.avg_remote_mib() / 1024.0);
+    println!(
+        "  cold-start ratio:     {:.1}%",
+        report.cold_start_ratio() * 100.0
+    );
+    println!(
+        "  avg local memory:     {:.2} GiB",
+        report.avg_local_mib() / 1024.0
+    );
+    println!(
+        "  avg offloaded:        {:.2} GiB",
+        report.avg_remote_mib() / 1024.0
+    );
     println!("  P95 latency:          {}", report.p95_latency());
     println!(
         "  peak local memory:    {:.2} GiB",

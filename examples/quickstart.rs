@@ -41,13 +41,18 @@ fn main() {
     let faasmem_mem = faasmem_report.avg_local_mib();
     let base_p95 = base_report.p95_latency();
     let faasmem_p95 = faasmem_report.p95_latency();
-    println!("avg local memory: baseline {base_mem:.1} MiB -> FaaSMem {faasmem_mem:.1} MiB ({:+.1}%)",
-        (faasmem_mem - base_mem) / base_mem * 100.0);
+    println!(
+        "avg local memory: baseline {base_mem:.1} MiB -> FaaSMem {faasmem_mem:.1} MiB ({:+.1}%)",
+        (faasmem_mem - base_mem) / base_mem * 100.0
+    );
     println!("P95 latency:      baseline {base_p95} -> FaaSMem {faasmem_p95}");
     println!(
         "remote traffic:   {:.1} MiB out, {:.1} MiB recalled",
         faasmem_report.pool_stats.bytes_out as f64 / (1024.0 * 1024.0),
         faasmem_report.pool_stats.bytes_in as f64 / (1024.0 * 1024.0),
     );
-    assert!(faasmem_mem < base_mem * 0.6, "FaaSMem should save >40% here");
+    assert!(
+        faasmem_mem < base_mem * 0.6,
+        "FaaSMem should save >40% here"
+    );
 }

@@ -56,14 +56,12 @@ pub mod prelude {
     pub use faasmem_baselines::{DamonPolicy, NoOffloadPolicy, TmoPolicy};
     pub use faasmem_core::{FaasMemConfig, FaasMemPolicy, SemiWarmConfig};
     pub use faasmem_faas::{
-        AdaptiveKeepAlive, FunctionId, FunctionSummary, MemoryPolicy, PlatformConfig,
-        PlatformSim, RunReport,
+        AdaptiveKeepAlive, FunctionId, FunctionSummary, MemoryPolicy, PlatformConfig, PlatformSim,
+        RunReport,
     };
     pub use faasmem_mem::{MemStats, PageTable, Segment, PAGE_SIZE_4K};
     pub use faasmem_metrics::{Cdf, LatencyRecorder, LatencySummary, TimeSeries};
     pub use faasmem_pool::{PoolConfig, RemotePool};
     pub use faasmem_sim::{SimDuration, SimRng, SimTime};
-    pub use faasmem_workload::{
-        BenchmarkSpec, InvocationTrace, LoadClass, TraceSynthesizer,
-    };
+    pub use faasmem_workload::{BenchmarkSpec, InvocationTrace, LoadClass, TraceSynthesizer};
 }

@@ -11,12 +11,10 @@ fn trace_for(seed: u64, class: LoadClass, mins: u64) -> InvocationTrace {
         .synthesize_for(FunctionId(0))
 }
 
-fn run_policy_on(
-    spec: &BenchmarkSpec,
-    trace: &InvocationTrace,
-    policy_name: &str,
-) -> RunReport {
-    let builder = PlatformSim::builder().register_function(spec.clone()).seed(17);
+fn run_policy_on(spec: &BenchmarkSpec, trace: &InvocationTrace, policy_name: &str) -> RunReport {
+    let builder = PlatformSim::builder()
+        .register_function(spec.clone())
+        .seed(17);
     let mut sim = match policy_name {
         "Baseline" => builder.policy(NoOffloadPolicy).build(),
         "TMO" => builder.policy(TmoPolicy::default()).build(),
@@ -38,8 +36,16 @@ fn every_benchmark_completes_under_faasmem() {
             "{}: all requests must complete",
             spec.name
         );
-        assert!(report.cold_starts >= 1, "{}: first request cold-starts", spec.name);
-        assert!(report.pool_stats.bytes_out > 0, "{}: FaaSMem must offload", spec.name);
+        assert!(
+            report.cold_starts >= 1,
+            "{}: first request cold-starts",
+            spec.name
+        );
+        assert!(
+            report.pool_stats.bytes_out > 0,
+            "{}: FaaSMem must offload",
+            spec.name
+        );
     }
 }
 
@@ -51,8 +57,16 @@ fn memory_accounting_is_conserved() {
     let spec = BenchmarkSpec::by_name("web").unwrap();
     let trace = trace_for(2, LoadClass::High, 20);
     let report = run_policy_on(&spec, &trace, "FaaSMem");
-    assert_eq!(report.local_mem.last_value(), Some(0.0), "all local memory released");
-    assert_eq!(report.remote_mem.last_value(), Some(0.0), "all remote memory released");
+    assert_eq!(
+        report.local_mem.last_value(),
+        Some(0.0),
+        "all local memory released"
+    );
+    assert_eq!(
+        report.remote_mem.last_value(),
+        Some(0.0),
+        "all remote memory released"
+    );
     assert_eq!(report.live_containers.last_value(), Some(0.0));
     // The pool's lifetime traffic must cover what was ever held remotely.
     assert!(report.pool_stats.bytes_out >= report.pool_stats.bytes_in);
@@ -69,7 +83,10 @@ fn deterministic_end_to_end() {
     assert_eq!(a.cold_starts, b.cold_starts);
     let lat_a: Vec<_> = a.requests.iter().map(|r| r.latency).collect();
     let lat_b: Vec<_> = b.requests.iter().map(|r| r.latency).collect();
-    assert_eq!(lat_a, lat_b, "identical seeds must give identical latencies");
+    assert_eq!(
+        lat_a, lat_b,
+        "identical seeds must give identical latencies"
+    );
 }
 
 #[test]
@@ -77,12 +94,18 @@ fn reuse_intervals_feed_semiwarm() {
     let spec = BenchmarkSpec::by_name("json").unwrap();
     let trace = trace_for(4, LoadClass::High, 30);
     let report = run_policy_on(&spec, &trace, "FaaSMem");
-    let gaps = report.reuse_intervals.get(&FunctionId(0)).expect("warm reuses happened");
+    let gaps = report
+        .reuse_intervals
+        .get(&FunctionId(0))
+        .expect("warm reuses happened");
     assert!(!gaps.is_empty());
     // Every recorded interval is below the keep-alive timeout, otherwise
     // the container would have been recycled instead of reused.
     for &gap in gaps {
-        assert!(gap <= SimDuration::from_mins(10), "gap {gap} exceeds keep-alive");
+        assert!(
+            gap <= SimDuration::from_mins(10),
+            "gap {gap} exceeds keep-alive"
+        );
     }
 }
 
@@ -95,9 +118,15 @@ fn per_request_records_are_complete_and_ordered() {
     let arrivals: Vec<_> = trace.iter().map(|i| i.at).collect();
     let mut recorded: Vec<_> = report.requests.iter().map(|r| r.arrived).collect();
     recorded.sort();
-    assert_eq!(arrivals, recorded, "every arrival accounted for exactly once");
+    assert_eq!(
+        arrivals, recorded,
+        "every arrival accounted for exactly once"
+    );
     // Cold-start count consistent with the flags.
-    assert_eq!(report.requests.iter().filter(|r| r.cold).count(), report.cold_starts);
+    assert_eq!(
+        report.requests.iter().filter(|r| r.cold).count(),
+        report.cold_starts
+    );
 }
 
 #[test]
@@ -154,15 +183,27 @@ fn damon_offloads_but_hurts_warm_latency_on_sparse_traffic() {
     let spec = BenchmarkSpec::by_name("bert").unwrap();
     // Sparse: requests a minute apart, well past DAMON's idle threshold.
     let invs: Vec<Invocation> = (0..30)
-        .map(|i| Invocation { at: SimTime::from_secs(10 + i * 60), function: FunctionId(0) })
+        .map(|i| Invocation {
+            at: SimTime::from_secs(10 + i * 60),
+            function: FunctionId(0),
+        })
         .collect();
     let trace = InvocationTrace::from_invocations(invs, SimTime::from_mins(60));
     let damon = run_policy_on(&spec, &trace, "DAMON");
     let base = run_policy_on(&spec, &trace, "Baseline");
-    let damon_warm_faults: u32 =
-        damon.requests.iter().filter(|r| !r.cold).map(|r| r.faults).sum();
+    let damon_warm_faults: u32 = damon
+        .requests
+        .iter()
+        .filter(|r| !r.cold)
+        .map(|r| r.faults)
+        .sum();
     assert!(damon_warm_faults > 100, "DAMON must thrash the hot set");
-    let base_warm_faults: u32 = base.requests.iter().filter(|r| !r.cold).map(|r| r.faults).sum();
+    let base_warm_faults: u32 = base
+        .requests
+        .iter()
+        .filter(|r| !r.cold)
+        .map(|r| r.faults)
+        .sum();
     assert_eq!(base_warm_faults, 0);
 }
 

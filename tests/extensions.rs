@@ -9,7 +9,10 @@ use faasmem::workload::{trace_io, Invocation};
 
 fn steady_trace(n: u64, gap_secs: u64) -> InvocationTrace {
     let invs: Vec<Invocation> = (0..n)
-        .map(|i| Invocation { at: SimTime::from_secs(10 + i * gap_secs), function: FunctionId(0) })
+        .map(|i| Invocation {
+            at: SimTime::from_secs(10 + i * gap_secs),
+            function: FunctionId(0),
+        })
         .collect();
     InvocationTrace::from_invocations(invs, SimTime::from_secs(10 + n * gap_secs + 1_000))
 }
@@ -20,7 +23,9 @@ fn adaptive_keepalive_recycles_fast_reuse_functions_early() {
     // Requests 15 s apart: the histogram learns a tight reuse bound.
     let trace = steady_trace(60, 15);
     let run = |adaptive: bool| {
-        let mut builder = PlatformSim::builder().register_function(spec.clone()).seed(9);
+        let mut builder = PlatformSim::builder()
+            .register_function(spec.clone())
+            .seed(9);
         if adaptive {
             builder = builder.adaptive_keep_alive(AdaptiveKeepAlive::default());
         }
@@ -33,7 +38,10 @@ fn adaptive_keepalive_recycles_fast_reuse_functions_early() {
     // sooner after the last request, shrinking total lifetime.
     assert_eq!(fixed.requests_completed, adaptive.requests_completed);
     let lifetime = |r: &RunReport| -> f64 {
-        r.containers.iter().map(|c| c.lifetime().as_secs_f64()).sum()
+        r.containers
+            .iter()
+            .map(|c| c.lifetime().as_secs_f64())
+            .sum()
     };
     assert!(
         lifetime(&adaptive) < lifetime(&fixed) * 0.7,
@@ -50,7 +58,10 @@ fn runtime_sharing_composes_with_faasmem() {
     let spec = BenchmarkSpec::by_name("pyaes").unwrap();
     // Concurrent arrivals force multiple containers.
     let invs: Vec<Invocation> = (0..6)
-        .map(|i| Invocation { at: SimTime::from_secs(10 + i / 3), function: FunctionId(0) })
+        .map(|i| Invocation {
+            at: SimTime::from_secs(10 + i / 3),
+            function: FunctionId(0),
+        })
         .collect();
     let trace = InvocationTrace::from_invocations(invs, SimTime::from_mins(15));
     let run = |share: bool| {
@@ -73,7 +84,10 @@ fn ssd_pool_throttles_offloading_but_stays_correct() {
     let spec = BenchmarkSpec::by_name("bert").unwrap();
     let trace = steady_trace(10, 30);
     let run = |pool: PoolConfig| {
-        let config = faasmem::faas::PlatformConfig { pool, ..Default::default() };
+        let config = faasmem::faas::PlatformConfig {
+            pool,
+            ..Default::default()
+        };
         let mut sim = PlatformSim::builder()
             .register_function(spec.clone())
             .config(config)
@@ -108,7 +122,10 @@ fn region_damon_runs_end_to_end() {
         .build();
     let report = sim.run(&trace);
     assert_eq!(report.requests_completed, 20);
-    assert!(report.pool_stats.bytes_out > 0, "regions must offload cold tail");
+    assert!(
+        report.pool_stats.bytes_out > 0,
+        "regions must offload cold tail"
+    );
     assert_eq!(report.local_mem.last_value(), Some(0.0));
 }
 
@@ -130,8 +147,11 @@ fn cold_start_aware_semiwarm_reduces_drain_on_cluster_patterns() {
             .config(FaasMemConfigBuilder::new().cold_start_aware(aware).build())
             .build();
         let stats = policy.stats();
-        let mut sim =
-            PlatformSim::builder().register_function(spec.clone()).policy(policy).seed(6).build();
+        let mut sim = PlatformSim::builder()
+            .register_function(spec.clone())
+            .policy(policy)
+            .seed(6)
+            .build();
         let _ = sim.run(&trace);
         let bytes = stats.borrow().semi_warm_bytes;
         bytes
@@ -177,7 +197,11 @@ fn traces_roundtrip_through_files_and_replay_identically() {
             .seed(11)
             .build();
         let mut report = sim.run(t);
-        (report.requests_completed, report.p95_latency(), report.pool_stats)
+        (
+            report.requests_completed,
+            report.p95_latency(),
+            report.pool_stats,
+        )
     };
     assert_eq!(run(&trace), run(&restored));
 }

@@ -63,7 +63,12 @@ fn micro_benchmarks_save_at_least_half() {
         let base = run(&spec, &trace, NoOffloadPolicy);
         let fm = run(&spec, &trace, FaasMemPolicy::new());
         let ratio = fm.avg_local_mib() / base.avg_local_mib();
-        assert!(ratio < 0.5, "{}: kept {:.0}% of baseline memory", spec.name, ratio * 100.0);
+        assert!(
+            ratio < 0.5,
+            "{}: kept {:.0}% of baseline memory",
+            spec.name,
+            ratio * 100.0
+        );
     }
 }
 
@@ -80,7 +85,12 @@ fn web_saves_most_graph_saves_least_among_apps() {
         savings.push((spec.name, saved_frac));
     }
     let get = |n: &str| savings.iter().find(|(name, _)| *name == n).unwrap().1;
-    assert!(get("web") > get("bert"), "web {:?} > bert {:?}", get("web"), get("bert"));
+    assert!(
+        get("web") > get("bert"),
+        "web {:?} > bert {:?}",
+        get("web"),
+        get("bert")
+    );
     assert!(get("web") > get("graph"));
     assert!(get("graph") < get("bert"), "graph is the worst offloader");
 }
@@ -91,14 +101,27 @@ fn ablation_components_both_contribute() {
     let spec = BenchmarkSpec::by_name("bert").unwrap();
     let trace = high_load_trace(4);
     let full = run(&spec, &trace, FaasMemPolicy::new());
-    let no_pucket = run(&spec, &trace, FaasMemPolicy::builder().without_pucket().build());
-    let no_semiwarm =
-        run(&spec, &trace, FaasMemPolicy::builder().without_semiwarm().build());
+    let no_pucket = run(
+        &spec,
+        &trace,
+        FaasMemPolicy::builder().without_pucket().build(),
+    );
+    let no_semiwarm = run(
+        &spec,
+        &trace,
+        FaasMemPolicy::builder().without_semiwarm().build(),
+    );
     let base = run(&spec, &trace, NoOffloadPolicy);
     assert!(full.avg_local_mib() < no_pucket.avg_local_mib());
     assert!(full.avg_local_mib() < no_semiwarm.avg_local_mib());
-    assert!(no_semiwarm.avg_local_mib() < base.avg_local_mib(), "pucket alone still helps");
-    assert!(no_pucket.avg_local_mib() < base.avg_local_mib(), "semi-warm alone still helps");
+    assert!(
+        no_semiwarm.avg_local_mib() < base.avg_local_mib(),
+        "pucket alone still helps"
+    );
+    assert!(
+        no_pucket.avg_local_mib() < base.avg_local_mib(),
+        "semi-warm alone still helps"
+    );
 }
 
 /// Fig 2 + Fig 12: a stage-agnostic sampler (DAMON) pays a much larger
@@ -166,7 +189,10 @@ fn semiwarm_respects_reuse_percentile() {
         .map(|r| r.faults)
         .collect();
     let heavy = late_warm_faults.iter().filter(|&&f| f > 2_000).count();
-    assert_eq!(heavy, 0, "no warm request recalls the whole hot set: {late_warm_faults:?}");
+    assert_eq!(
+        heavy, 0,
+        "no warm request recalls the whole hot set: {late_warm_faults:?}"
+    );
 }
 
 /// Fig 16: deployment density improves, and Web improves most.
@@ -182,7 +208,12 @@ fn density_improvement_ordering() {
         density.push((spec.name, d.improvement));
     }
     let get = |n: &str| density.iter().find(|(name, _)| *name == n).unwrap().1;
-    assert!(get("web") > get("graph"), "web {:.2} > graph {:.2}", get("web"), get("graph"));
+    assert!(
+        get("web") > get("graph"),
+        "web {:.2} > graph {:.2}",
+        get("web"),
+        get("graph")
+    );
 }
 
 /// Fig 1: longer keep-alive means fewer cold starts but more inactive
@@ -207,6 +238,9 @@ fn keepalive_tradeoff_is_monotone() {
         cold_ratios.push(report.cold_start_ratio());
         inactive.push(report.memory_inactive_fraction());
     }
-    assert!(cold_ratios[0] > cold_ratios[1] && cold_ratios[1] > cold_ratios[2], "{cold_ratios:?}");
+    assert!(
+        cold_ratios[0] > cold_ratios[1] && cold_ratios[1] > cold_ratios[2],
+        "{cold_ratios:?}"
+    );
     assert!(inactive[0] < inactive[2], "{inactive:?}");
 }

@@ -100,7 +100,11 @@ fn adaptive_keepalive_never_leaks_containers() {
             .build();
         let report = sim.run(&trace);
         assert_eq!(report.requests_completed, trace.len());
-        assert_eq!(report.live_containers.last_value(), Some(0.0), "container leak");
+        assert_eq!(
+            report.live_containers.last_value(),
+            Some(0.0),
+            "container leak"
+        );
         assert_eq!(report.local_mem.last_value(), Some(0.0));
     }
 }
@@ -143,8 +147,14 @@ fn tiny_pool_degrades_gracefully() {
         .load_class(LoadClass::High)
         .duration(SimTime::from_mins(15))
         .synthesize_for(FunctionId(0));
-    let pool = PoolConfig { capacity_bytes: 8 * 1024 * 1024, ..Default::default() };
-    let config = faasmem::faas::PlatformConfig { pool, ..Default::default() };
+    let pool = PoolConfig {
+        capacity_bytes: 8 * 1024 * 1024,
+        ..Default::default()
+    };
+    let config = faasmem::faas::PlatformConfig {
+        pool,
+        ..Default::default()
+    };
     let mut sim = PlatformSim::builder()
         .register_function(spec)
         .config(config)
