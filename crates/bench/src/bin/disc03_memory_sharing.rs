@@ -92,6 +92,7 @@ impl CloneShallow for faasmem_faas::RunReport {
             containers: self.containers.clone(),
             reuse_intervals: self.reuse_intervals.clone(),
             finished_at: self.finished_at,
+            faults: self.faults,
         }
     }
 }

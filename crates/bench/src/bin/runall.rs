@@ -39,6 +39,7 @@ const EXPERIMENTS: &[&str] = &[
     "disc04_rack_provisioning",
     "disc05_keepalive_policies",
     "disc06_load_imbalance",
+    "disc07_fault_tolerance",
     "ext01_coldstart_aware",
     "ext02_recall_prefetch",
     "abl01_window_policy",

@@ -211,6 +211,9 @@ pub struct TraceSpec {
     pub duration: SimTime,
     /// The recipe.
     pub kind: TraceKind,
+    /// Rows a lenient importer skipped while producing this trace
+    /// (non-zero only for [`TraceSpec::explicit_lossy`] traces).
+    pub skipped_rows: u64,
 }
 
 impl TraceSpec {
@@ -226,6 +229,7 @@ impl TraceSpec {
                 bursty: false,
                 arrival: None,
             },
+            skipped_rows: 0,
         }
     }
 
@@ -237,6 +241,7 @@ impl TraceSpec {
             seed_mix: SeedMix::Fixed,
             duration: SimTime::from_mins(60),
             kind: TraceKind::Cluster { functions },
+            skipped_rows: 0,
         }
     }
 
@@ -248,6 +253,29 @@ impl TraceSpec {
             seed_mix: SeedMix::Fixed,
             duration: SimTime::ZERO,
             kind: TraceKind::Explicit(trace),
+            skipped_rows: 0,
+        }
+    }
+
+    /// A leniently-imported trace (see [`faasmem_workload::trace_io::from_str_lossy`]):
+    /// used verbatim, with the importer's skip count carried into the
+    /// run summary and the exported JSON.
+    pub fn explicit_lossy(label: &str, lossy: faasmem_workload::LossyTrace) -> Self {
+        TraceSpec {
+            skipped_rows: lossy.skipped_lines,
+            ..TraceSpec::explicit(label, lossy.trace)
+        }
+    }
+
+    /// The synthesizer seed this spec uses for one bench case, after the
+    /// per-benchmark mixing. Panic reports reference it so a failing cell
+    /// can be reproduced stand-alone.
+    pub fn seed_for(&self, bench: &BenchCase) -> u64 {
+        let name_len = bench.specs.first().map_or(0, |s| s.name.len() as u64);
+        match self.seed_mix {
+            SeedMix::Fixed => self.seed,
+            SeedMix::XorNameLen => self.seed ^ name_len,
+            SeedMix::AddNameLen => self.seed + name_len,
         }
     }
 
@@ -281,12 +309,7 @@ impl TraceSpec {
 
     /// Materializes the trace for one bench case.
     fn build(&self, bench: &BenchCase, quick: bool) -> InvocationTrace {
-        let name_len = bench.specs.first().map_or(0, |s| s.name.len() as u64);
-        let seed = match self.seed_mix {
-            SeedMix::Fixed => self.seed,
-            SeedMix::XorNameLen => self.seed ^ name_len,
-            SeedMix::AddNameLen => self.seed + name_len,
-        };
+        let seed = self.seed_for(bench);
         let duration = if quick {
             self.duration.min(QUICK_DURATION)
         } else {
@@ -497,6 +520,8 @@ pub struct CellLabels {
 pub struct CellOutcome {
     /// Invocations in the cell's trace.
     pub trace_len: usize,
+    /// Rows a lenient importer skipped while producing the cell's trace.
+    pub trace_skipped_rows: u64,
     /// Arrival statistics of the cell's trace.
     pub trace_stats: TraceStats,
     /// The flat metric digest (serialized to JSON).
@@ -513,6 +538,11 @@ pub struct CellOutcome {
 pub struct CellResult {
     /// Coordinates within the grid.
     pub labels: CellLabels,
+    /// The mixed trace seed the cell ran with (see [`TraceSpec::seed_for`]).
+    pub seed: u64,
+    /// The fault-injection seed, when the cell's configuration enables
+    /// faults.
+    pub fault_seed: Option<u64>,
     /// The outcome, or the panic message if the cell died.
     pub outcome: Result<CellOutcome, String>,
     /// Wall-clock seconds this cell took on its worker.
@@ -667,6 +697,18 @@ impl GridRun {
                 self.failures()
             );
         }
+        let skipped: u64 = self
+            .cells
+            .iter()
+            .filter_map(|c| c.outcome.as_ref().ok())
+            .map(|o| o.trace_skipped_rows)
+            .sum();
+        if skipped > 0 {
+            eprintln!(
+                "[harness] grid {}: {skipped} malformed trace row(s) were skipped during import",
+                self.name
+            );
+        }
     }
 }
 
@@ -684,6 +726,10 @@ fn cell_json(cell: &CellResult) -> JsonValue {
         Err(msg) => {
             doc.push("status", JsonValue::Str("panicked".into()));
             doc.push("error", JsonValue::Str(msg.clone()));
+            doc.push("seed", JsonValue::Num(cell.seed as f64));
+            if let Some(fault_seed) = cell.fault_seed {
+                doc.push("fault_seed", JsonValue::Num(fault_seed as f64));
+            }
         }
         Ok(outcome) => {
             doc.push("status", JsonValue::Str("ok".into()));
@@ -691,6 +737,12 @@ fn cell_json(cell: &CellResult) -> JsonValue {
                 "trace_invocations",
                 JsonValue::Num(outcome.trace_len as f64),
             );
+            if outcome.trace_skipped_rows > 0 {
+                doc.push(
+                    "trace_skipped_rows",
+                    JsonValue::Num(outcome.trace_skipped_rows as f64),
+                );
+            }
             doc.push("metrics", summary_json(&outcome.summary));
             match &outcome.faasmem {
                 Some(stats) => doc.push("faasmem", faasmem_json(stats)),
@@ -752,6 +804,49 @@ fn summary_json(s: &RunSummary) -> JsonValue {
     );
     doc.push("containers", JsonValue::Num(s.containers as f64));
     doc.push("sim_secs", JsonValue::Num(s.sim_secs));
+    // Only fault-injected runs carry the block, so fault-free documents
+    // stay byte-identical to those written before faults existed.
+    if let Some(f) = &s.faults {
+        doc.push("faults", faults_json(f));
+    }
+    doc
+}
+
+fn faults_json(f: &faasmem_faas::FaultReport) -> JsonValue {
+    let mut doc = JsonValue::obj();
+    doc.push("link_availability", JsonValue::Num(f.link_availability));
+    doc.push(
+        "link_downtime_secs",
+        JsonValue::Num(f.link_downtime.as_secs_f64()),
+    );
+    doc.push("page_in_retries", JsonValue::Num(f.page_in_retries as f64));
+    doc.push(
+        "page_ins_gave_up",
+        JsonValue::Num(f.page_ins_gave_up as f64),
+    );
+    doc.push(
+        "forced_cold_restarts",
+        JsonValue::Num(f.forced_cold_restarts as f64),
+    );
+    doc.push(
+        "node_loss_events",
+        JsonValue::Num(f.node_loss_events as f64),
+    );
+    doc.push(
+        "container_crashes",
+        JsonValue::Num(f.container_crashes as f64),
+    );
+    doc.push(
+        "lost_remote_bytes",
+        JsonValue::Num(f.lost_remote_bytes as f64),
+    );
+    doc.push(
+        "offloads_refused",
+        JsonValue::Num(f.offloads_refused as f64),
+    );
+    doc.push("breaker_opens", JsonValue::Num(f.breaker_opens as f64));
+    doc.push("slo_total", JsonValue::Num(f.slo_total as f64));
+    doc.push("slo_violations", JsonValue::Num(f.slo_violations as f64));
     doc
 }
 
@@ -852,6 +947,8 @@ pub fn run_grid(grid: &ExperimentGrid, opts: &HarnessOptions) -> GridRun {
                         i,
                         CellResult {
                             labels: cell.labels.clone(),
+                            seed: cell.trace.seed_for(cell.bench),
+                            fault_seed: cell.config.config.faults.as_ref().map(|f| f.spec.seed),
                             outcome,
                             wall_secs: cell_started.elapsed().as_secs_f64(),
                         },
@@ -879,10 +976,36 @@ pub fn run_grid(grid: &ExperimentGrid, opts: &HarnessOptions) -> GridRun {
     }
 }
 
-/// Convenience wrapper: run, export JSON under `opts.out_dir`, print the
-/// timing line. IO errors only warn — experiment output on stdout is
-/// more important than the export.
+/// Validates every platform configuration the grid declares, returning
+/// one descriptive message per problem (empty when the grid is sound).
+/// An empty `configs` axis means the default configuration, which is
+/// always valid.
+pub fn validate_grid(grid: &ExperimentGrid) -> Vec<String> {
+    let mut problems = Vec::new();
+    for case in &grid.configs {
+        if let Err(errors) = case.config.validate() {
+            for e in errors {
+                problems.push(format!("config `{}`: {e}", case.label));
+            }
+        }
+    }
+    problems
+}
+
+/// Convenience wrapper: validate the grid's configurations, run, export
+/// JSON under `opts.out_dir`, print the timing line. A misconfigured
+/// grid exits with status 2 before any cell runs — a driver with a
+/// nonsensical config should fail loudly, not simulate garbage. IO
+/// errors only warn — experiment output on stdout is more important
+/// than the export.
 pub fn run_and_export(grid: &ExperimentGrid, opts: &HarnessOptions) -> GridRun {
+    let problems = validate_grid(grid);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("[harness] grid {}: {p}", grid.name);
+        }
+        std::process::exit(2);
+    }
     let run = run_grid(grid, opts);
     match run.write_results(&opts.out_dir) {
         Ok(path) => eprintln!("[harness] wrote {}", path.display()),
@@ -931,6 +1054,7 @@ fn run_cell(cell: &Cell<'_>, quick: bool) -> Result<CellOutcome, String> {
         let summary = report.summarize();
         CellOutcome {
             trace_len: trace.len(),
+            trace_skipped_rows: cell.trace.skipped_rows,
             trace_stats: trace.stats(),
             summary,
             // Snapshot: the Rc-based handle must not cross threads, the
@@ -940,12 +1064,30 @@ fn run_cell(cell: &Cell<'_>, quick: bool) -> Result<CellOutcome, String> {
         }
     }))
     .map_err(|payload| {
-        if let Some(msg) = payload.downcast_ref::<&'static str>() {
+        let msg = if let Some(msg) = payload.downcast_ref::<&'static str>() {
             (*msg).to_string()
         } else if let Some(msg) = payload.downcast_ref::<String>() {
             msg.clone()
         } else {
             "cell panicked with a non-string payload".to_string()
-        }
+        };
+        // Carry everything needed to replay the cell stand-alone: its
+        // coordinates, the mixed trace seed, and the fault seed when
+        // chaos was enabled.
+        let fault_seed = cell
+            .config
+            .config
+            .faults
+            .as_ref()
+            .map_or("none".to_string(), |f| f.spec.seed.to_string());
+        format!(
+            "cell[trace={}, bench={}, config={}, policy={}] seed={} fault_seed={}: {msg}",
+            cell.labels.trace,
+            cell.labels.bench,
+            cell.labels.config,
+            cell.labels.policy,
+            cell.trace.seed_for(cell.bench),
+            fault_seed,
+        )
     })
 }

@@ -3,13 +3,16 @@
 //! `--jobs`), grid edge cases, panic isolation, and option parsing.
 
 use faasmem_bench::harness::{
-    run_grid, BenchCase, ExperimentGrid, HarnessOptions, PolicySpec, SeedMix, TraceSpec,
-    DEFAULT_CONFIG,
+    run_grid, validate_grid, BenchCase, ConfigCase, ExperimentGrid, HarnessOptions, PolicySpec,
+    SeedMix, TraceSpec, DEFAULT_CONFIG,
 };
 use faasmem_bench::{json, PolicyKind};
 use faasmem_core::FaasMemPolicy;
-use faasmem_sim::SimTime;
-use faasmem_workload::{BenchmarkSpec, FunctionId, Invocation, InvocationTrace, LoadClass};
+use faasmem_faas::{FaultConfig, PlatformConfig};
+use faasmem_sim::{FaultSpec, SimDuration, SimTime};
+use faasmem_workload::{
+    trace_io, BenchmarkSpec, FunctionId, Invocation, InvocationTrace, LoadClass,
+};
 
 fn quick_opts(jobs: usize) -> HarnessOptions {
     HarnessOptions {
@@ -149,6 +152,15 @@ fn panicking_cell_is_captured_while_others_complete() {
         msg.contains("boom in policy factory"),
         "panic message lost: {msg}"
     );
+    // The report carries enough context to replay the cell stand-alone.
+    assert!(
+        msg.contains("cell[trace=high, bench=json, config=default, policy=exploding]"),
+        "panic message lacks cell coordinates: {msg}"
+    );
+    assert!(
+        msg.contains("seed=77") && msg.contains("fault_seed=none"),
+        "panic message lacks seeds: {msg}"
+    );
 
     // Neighbours on the same workers still ran to completion.
     assert!(
@@ -228,6 +240,136 @@ fn quick_mode_truncates_synthesized_traces() {
         quick_len < full_len,
         "quick trace ({quick_len}) must be shorter than the full one ({full_len})"
     );
+}
+
+#[test]
+fn panicking_chaos_cell_records_its_fault_seed() {
+    let chaos = PlatformConfig {
+        faults: Some(FaultConfig {
+            spec: FaultSpec::new(0xBAD5EED)
+                .outages(SimDuration::from_mins(5), SimDuration::from_secs(30)),
+            ..FaultConfig::default()
+        }),
+        ..PlatformConfig::default()
+    };
+    let grid = ExperimentGrid::new("chaos_panics")
+        .trace(TraceSpec::synth("high", 78, LoadClass::High))
+        .bench(BenchCase::single(
+            BenchmarkSpec::by_name("json").expect("catalog"),
+        ))
+        .config(ConfigCase::new("chaos", chaos))
+        .policy(PolicySpec::custom("exploding", || panic!("kaboom")));
+    let run = run_grid(&grid, &quick_opts(1));
+    let failed = run.cell("high", "json", "chaos", "exploding");
+    let msg = failed
+        .outcome
+        .as_ref()
+        .expect_err("cell must have panicked");
+    assert!(
+        msg.contains(&format!("fault_seed={}", 0xBAD5EEDu64)),
+        "fault seed missing: {msg}"
+    );
+
+    // Both seeds land in the exported document for the failed cell.
+    let doc = run.to_json();
+    let cell = &doc.get("cells").and_then(|v| v.as_arr()).expect("cells")[0];
+    assert_eq!(cell.get("seed").and_then(|v| v.as_num()), Some(78.0));
+    assert_eq!(
+        cell.get("fault_seed").and_then(|v| v.as_num()),
+        Some(0xBAD5EEDu64 as f64)
+    );
+}
+
+#[test]
+fn lossy_trace_skip_count_reaches_the_export() {
+    let text = "# faasmem-trace v1 horizon_micros=60000000\n\
+                5000000,0\njunk-row\n9000000,0\n";
+    let lossy = trace_io::from_str_lossy(text).expect("header parses");
+    assert_eq!(lossy.skipped_lines, 1);
+    let grid = ExperimentGrid::new("lossy_import")
+        .trace(TraceSpec::explicit_lossy("salvaged", lossy))
+        .bench(BenchCase::single(
+            BenchmarkSpec::by_name("json").expect("catalog"),
+        ))
+        .policy_kinds([PolicyKind::Baseline]);
+    let run = run_grid(&grid, &quick_opts(1));
+    let outcome = run.outcome("salvaged", "json", DEFAULT_CONFIG, "Baseline");
+    assert_eq!(outcome.trace_len, 2);
+    assert_eq!(outcome.trace_skipped_rows, 1);
+
+    let doc = run.to_json();
+    let cell = &doc.get("cells").and_then(|v| v.as_arr()).expect("cells")[0];
+    assert_eq!(
+        cell.get("trace_skipped_rows").and_then(|v| v.as_num()),
+        Some(1.0)
+    );
+}
+
+#[test]
+fn clean_cells_export_no_skip_or_fault_fields() {
+    let run = run_grid(&sample_grid(), &quick_opts(1));
+    let text = run.to_json().to_pretty();
+    // Additive fields must stay invisible for fault-free, clean-trace
+    // grids so documents written before they existed stay byte-identical.
+    assert!(!text.contains("trace_skipped_rows"));
+    assert!(!text.contains("fault_seed"));
+    assert!(!text.contains("\"faults\""));
+}
+
+#[test]
+fn chaos_grid_is_deterministic_across_thread_counts() {
+    let chaos = PlatformConfig {
+        faults: Some(FaultConfig {
+            spec: FaultSpec::new(0xFA17)
+                .outages(SimDuration::from_mins(2), SimDuration::from_secs(20))
+                .crashes(SimDuration::from_mins(3)),
+            slo: Some(SimDuration::from_secs(2)),
+            ..FaultConfig::default()
+        }),
+        ..PlatformConfig::default()
+    };
+    let grid = ExperimentGrid::new("chaos_grid")
+        .traces([
+            TraceSpec::synth("high", 4242, LoadClass::High),
+            TraceSpec::synth("low", 4243, LoadClass::Low).bursty(true),
+        ])
+        .benches(
+            ["json", "web"]
+                .map(|app| BenchCase::single(BenchmarkSpec::by_name(app).expect("catalog"))),
+        )
+        .config(ConfigCase::new("chaos", chaos))
+        .policy_kinds([PolicyKind::Baseline, PolicyKind::FaasMem]);
+    let serial = run_grid(&grid, &quick_opts(1)).to_json().to_pretty();
+    assert!(
+        serial.contains("\"faults\""),
+        "chaos runs must export the block"
+    );
+    for jobs in [2, 5] {
+        let parallel = run_grid(&grid, &quick_opts(jobs)).to_json().to_pretty();
+        assert_eq!(parallel, serial, "chaos document diverged at jobs={jobs}");
+    }
+}
+
+#[test]
+fn validate_grid_flags_broken_configs() {
+    let sound = ExperimentGrid::new("sound").config(ConfigCase::new(
+        "chaos-ok",
+        PlatformConfig {
+            faults: Some(FaultConfig::default()),
+            ..PlatformConfig::default()
+        },
+    ));
+    assert!(validate_grid(&sound).is_empty());
+
+    let bad_config = PlatformConfig {
+        page_size: 0,
+        ..PlatformConfig::default()
+    };
+    let broken = ExperimentGrid::new("broken").config(ConfigCase::new("nonsense", bad_config));
+    let problems = validate_grid(&broken);
+    assert_eq!(problems.len(), 1, "{problems:?}");
+    assert!(problems[0].contains("config `nonsense`"), "{problems:?}");
+    assert!(problems[0].contains("page size"), "{problems:?}");
 }
 
 #[test]

@@ -129,6 +129,67 @@ pub struct FaasMemConfig {
     pub semiwarm: SemiWarmConfig,
 }
 
+impl FaasMemConfig {
+    /// Checks the configuration without panicking, returning one
+    /// human-readable message per problem (empty `Err` never occurs;
+    /// `Ok(())` means valid). The builder's `build` enforces the same
+    /// core invariants via assertions; drivers call this first so a bad
+    /// grid fails at startup with messages instead of a backtrace
+    /// mid-run.
+    ///
+    /// # Errors
+    ///
+    /// `Err` carries every problem found.
+    pub fn validate(&self) -> Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        if !(self.semiwarm.start_percentile > 0.0 && self.semiwarm.start_percentile <= 1.0) {
+            problems.push(format!(
+                "faasmem config: start percentile {} out of (0, 1]",
+                self.semiwarm.start_percentile
+            ));
+        }
+        if self.tick.is_zero() {
+            problems.push("faasmem config: tick must be positive".into());
+        }
+        if self.window_cap < 1 {
+            problems.push("faasmem config: window cap must be at least 1".into());
+        }
+        if !(self.window_epsilon.is_finite() && self.window_epsilon >= 0.0) {
+            problems.push(format!(
+                "faasmem config: window epsilon {} must be finite and non-negative",
+                self.window_epsilon
+            ));
+        }
+        if self.window_stable_rounds == 0 {
+            problems.push("faasmem config: window stable rounds must be at least 1".into());
+        }
+        let rate_positive = |label: &str, v: f64, problems: &mut Vec<String>| {
+            if !(v.is_finite() && v > 0.0) {
+                problems.push(format!(
+                    "faasmem config: semi-warm {label} rate {v} must be finite and positive"
+                ));
+            }
+        };
+        match self.semiwarm.rate {
+            OffloadRate::PercentPerSec(frac) => rate_positive("percent", frac, &mut problems),
+            OffloadRate::MibPerSec(mib) => rate_positive("amount", mib, &mut problems),
+            OffloadRate::Auto {
+                percent_per_sec,
+                mib_per_sec,
+                ..
+            } => {
+                rate_positive("percent", percent_per_sec, &mut problems);
+                rate_positive("amount", mib_per_sec, &mut problems);
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+}
+
 impl Default for FaasMemConfig {
     fn default() -> Self {
         FaasMemConfig {
@@ -309,6 +370,26 @@ mod tests {
         assert_eq!(c.tick, SimDuration::from_secs(2));
         assert_eq!(c.window_cap, 5);
         assert_eq!(c.semiwarm.start_percentile, 0.95);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_flags_nonsense() {
+        assert!(FaasMemConfig::default().validate().is_ok());
+        let bad = FaasMemConfig {
+            tick: SimDuration::ZERO,
+            window_cap: 0,
+            window_epsilon: f64::NAN,
+            window_stable_rounds: 0,
+            semiwarm: SemiWarmConfig {
+                start_percentile: 1.5,
+                rate: OffloadRate::MibPerSec(-1.0),
+                ..SemiWarmConfig::default()
+            },
+            ..FaasMemConfig::default()
+        };
+        let problems = bad.validate().unwrap_err();
+        assert_eq!(problems.len(), 6, "{problems:?}");
+        assert!(problems.iter().all(|p| p.starts_with("faasmem config:")));
     }
 
     #[test]

@@ -76,6 +76,7 @@ mod tests {
             containers: Vec::new(),
             reuse_intervals: HashMap::new(),
             finished_at: finished,
+            faults: None,
         }
     }
 

@@ -58,10 +58,12 @@ pub mod report;
 pub use container::{Container, ContainerId, ContainerStage};
 pub use density::{estimate_density, DensityEstimate};
 pub use keepalive::AdaptiveKeepAlive;
-pub use platform::{PlatformBuilder, PlatformConfig, PlatformSim};
+pub use platform::{FaultConfig, PlatformBuilder, PlatformConfig, PlatformSim};
 pub use policy::{MemoryPolicy, NullPolicy, PolicyCtx};
 pub use rack::{NodeProfile, RackPlan, RackReport};
-pub use report::{ContainerRecord, FunctionSummary, RequestRecord, RunReport, RunSummary};
+pub use report::{
+    ContainerRecord, FaultReport, FunctionSummary, RequestRecord, RunReport, RunSummary,
+};
 
 // Re-export so downstream crates can name functions without depending on
 // the workload crate directly.

@@ -3,13 +3,17 @@
 use std::collections::HashMap;
 
 use faasmem_mem::{mib_to_pages, PageId};
-use faasmem_pool::{BandwidthGovernor, PoolConfig, RemotePool};
+use faasmem_metrics::SloTracker;
+use faasmem_pool::{
+    BandwidthGovernor, CircuitBreaker, PoolConfig, RecallOutcome, RemoteFaultPolicy, RemotePool,
+};
+use faasmem_sim::faults::{FaultPlan, FaultSpec};
 use faasmem_sim::{Clock, EventQueue, SimDuration, SimRng, SimTime};
 use faasmem_workload::{BenchmarkSpec, FunctionId, InvocationTrace, RequestAccess};
 
 use crate::container::{Container, ContainerId, ContainerStage};
 use crate::policy::{MemoryPolicy, NullPolicy, PolicyCtx};
-use crate::report::{ContainerRecord, RequestRecord, RunReport};
+use crate::report::{ContainerRecord, FaultReport, RequestRecord, RunReport};
 
 /// Platform-wide configuration.
 ///
@@ -49,6 +53,66 @@ pub struct PlatformConfig {
     pub adaptive_keep_alive: Option<crate::keepalive::AdaptiveKeepAlive>,
     /// RNG seed for all platform randomness.
     pub seed: u64,
+    /// Seeded fault injection and the degradation policy reacting to it.
+    /// `None` (the default) runs the healthy platform with zero fault
+    /// machinery on any hot path.
+    pub faults: Option<FaultConfig>,
+}
+
+/// Fault injection plus the platform's reaction policy.
+///
+/// The fault timeline derives from [`FaultConfig::spec`]'s own seed, not
+/// the platform seed, so enabling faults never perturbs the platform's
+/// jitter stream and healthy runs stay byte-identical.
+#[derive(Debug, Clone, Default)]
+pub struct FaultConfig {
+    /// Hazard rates; expanded to a timeline at run start.
+    pub spec: FaultSpec,
+    /// Timeout/backoff/circuit-breaker policy for remote page-ins.
+    pub policy: RemoteFaultPolicy,
+    /// Latency objective to measure violations against, if any.
+    pub slo: Option<SimDuration>,
+    /// Exact timeline to use instead of expanding `spec` — for tests
+    /// that need a hand-built schedule (e.g. the empty plan).
+    pub plan_override: Option<FaultPlan>,
+}
+
+impl PlatformConfig {
+    /// Checks the configuration, returning every problem found so a bad
+    /// grid fails at startup with messages instead of a backtrace
+    /// mid-run.
+    ///
+    /// # Errors
+    ///
+    /// `Err` carries one human-readable message per problem.
+    pub fn validate(&self) -> Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        if self.page_size == 0 {
+            problems.push("platform config: page size must be positive".into());
+        }
+        if !(self.exec_jitter_sigma.is_finite() && self.exec_jitter_sigma >= 0.0) {
+            problems.push(format!(
+                "platform config: exec jitter sigma {} must be finite and non-negative",
+                self.exec_jitter_sigma
+            ));
+        }
+        if self.governor_window.is_zero() {
+            problems.push("platform config: governor window must be positive".into());
+        }
+        problems.extend(self.pool.validate());
+        if let Some(fc) = &self.faults {
+            problems.extend(fc.spec.validate());
+            problems.extend(fc.policy.validate());
+            if fc.slo == Some(SimDuration::ZERO) {
+                problems.push("platform config: SLO threshold must be positive".into());
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
 }
 
 impl Default for PlatformConfig {
@@ -63,6 +127,7 @@ impl Default for PlatformConfig {
             share_runtime: false,
             adaptive_keep_alive: None,
             seed: 0xFAA5,
+            faults: None,
         }
     }
 }
@@ -140,6 +205,12 @@ impl PlatformBuilder {
         self
     }
 
+    /// Enables seeded fault injection (see [`FaultConfig`]).
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.config.faults = Some(faults);
+        self
+    }
+
     /// Builds the simulator.
     ///
     /// # Panics
@@ -162,6 +233,7 @@ impl PlatformBuilder {
             in_flight: HashMap::new(),
             next_container: 0,
             reuse_gaps: HashMap::new(),
+            faults: None,
             ran: false,
         }
     }
@@ -176,6 +248,25 @@ enum Event {
     FinishExec(ContainerId),
     RecycleCheck(ContainerId),
     Tick,
+    /// Index into the fault plan's node-loss list.
+    NodeLoss(u32),
+    /// Index into the fault plan's crash list.
+    ContainerCrash(u32),
+}
+
+/// Live fault-injection state: the expanded timeline plus the reaction
+/// machinery and its counters. Exists only while `config.faults` is set.
+struct FaultRuntime {
+    plan: FaultPlan,
+    policy: RemoteFaultPolicy,
+    breaker: CircuitBreaker,
+    slo: Option<SloTracker>,
+    page_in_retries: u64,
+    page_ins_gave_up: u64,
+    forced_cold_restarts: u64,
+    node_loss_events: u64,
+    container_crashes: u64,
+    lost_remote_bytes: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -204,6 +295,7 @@ pub struct PlatformSim {
     /// Observed idle-before-reuse gaps per function, in seconds (drives
     /// the adaptive keep-alive).
     reuse_gaps: HashMap<FunctionId, Vec<f64>>,
+    faults: Option<FaultRuntime>,
     ran: bool,
 }
 
@@ -250,6 +342,40 @@ impl PlatformSim {
             queue.push(SimTime::ZERO + dt, Event::Tick);
         }
 
+        if let Some(fc) = self.config.faults.clone() {
+            // Cover the trace plus the keep-alive drain so faults can
+            // still hit idle containers after the last invocation.
+            let horizon = trace
+                .duration()
+                .saturating_add(self.config.keep_alive * 2)
+                .max(SimTime::from_micros(1));
+            let plan = fc
+                .plan_override
+                .clone()
+                .unwrap_or_else(|| fc.spec.plan(horizon));
+            // The pool is untouched at this point; rebuild it around the
+            // planned link schedule.
+            self.pool = RemotePool::with_link_schedule(self.config.pool.clone(), plan.link.clone());
+            for (i, loss) in plan.node_losses.iter().enumerate() {
+                queue.push(loss.at, Event::NodeLoss(i as u32));
+            }
+            for (i, crash) in plan.crashes.iter().enumerate() {
+                queue.push(crash.at, Event::ContainerCrash(i as u32));
+            }
+            self.faults = Some(FaultRuntime {
+                plan,
+                policy: fc.policy,
+                breaker: CircuitBreaker::from_policy(&fc.policy),
+                slo: fc.slo.map(SloTracker::new),
+                page_in_retries: 0,
+                page_ins_gave_up: 0,
+                forced_cold_restarts: 0,
+                node_loss_events: 0,
+                container_crashes: 0,
+                lost_remote_bytes: 0,
+            });
+        }
+
         let mut clock = Clock::new();
         let mut report = RunReport {
             policy: self.policy.name(),
@@ -264,6 +390,7 @@ impl PlatformSim {
             containers: Vec::new(),
             reuse_intervals: HashMap::new(),
             finished_at: SimTime::ZERO,
+            faults: None,
         };
         report.local_mem.record(SimTime::ZERO, 0.0);
         report.remote_mem.record(SimTime::ZERO, 0.0);
@@ -272,6 +399,12 @@ impl PlatformSim {
         while let Some((at, event)) = queue.pop() {
             clock.advance_to(at);
             let now = clock.now();
+            if let Some(fr) = &self.faults {
+                // Graceful degradation: while the breaker holds the pool
+                // unhealthy, policies refuse new offloads and the
+                // platform leans on local-memory keep-alive.
+                self.pool.set_offloads_suspended(fr.breaker.is_open(now));
+            }
             match event {
                 Event::Invoke(i) => {
                     let inv = invocations[i as usize];
@@ -282,7 +415,12 @@ impl PlatformSim {
                 Event::FinishExec(id) => self.handle_finish(now, id, &mut queue, &mut report),
                 Event::RecycleCheck(id) => self.handle_recycle(now, id, &mut queue, &mut report),
                 Event::Tick => {
-                    let ids: Vec<ContainerId> = self.containers.keys().copied().collect();
+                    // Visit containers in id order: tick-time offloads
+                    // queue on the shared link, so HashMap iteration
+                    // order would leak into link contention and make
+                    // runs irreproducible.
+                    let mut ids: Vec<ContainerId> = self.containers.keys().copied().collect();
+                    ids.sort_unstable();
                     for id in ids {
                         let container = self.containers.get_mut(&id).expect("live container");
                         let mut ctx = PolicyCtx {
@@ -299,13 +437,16 @@ impl PlatformSim {
                         }
                     }
                 }
+                Event::NodeLoss(i) => self.handle_node_loss(now, i as usize, &mut report),
+                Event::ContainerCrash(i) => self.handle_crash(now, i as usize, &mut report),
             }
             self.record_memory(now, &mut report);
         }
 
         // Retire any containers still alive (should not happen after the
         // keep-alive drain, but be robust).
-        let leftover: Vec<ContainerId> = self.containers.keys().copied().collect();
+        let mut leftover: Vec<ContainerId> = self.containers.keys().copied().collect();
+        leftover.sort_unstable();
         for id in leftover {
             self.recycle_container(clock.now(), id, &mut report);
         }
@@ -313,7 +454,79 @@ impl PlatformSim {
 
         report.pool_stats = self.pool.stats();
         report.finished_at = clock.now();
+        if let Some(fr) = &self.faults {
+            let finished = report.finished_at;
+            let downtime = fr.plan.link.downtime_before(finished);
+            let availability = if finished == SimTime::ZERO {
+                1.0
+            } else {
+                1.0 - downtime.as_secs_f64() / finished.as_secs_f64()
+            };
+            report.faults = Some(FaultReport {
+                link_availability: availability,
+                link_downtime: downtime,
+                page_in_retries: fr.page_in_retries,
+                page_ins_gave_up: fr.page_ins_gave_up,
+                forced_cold_restarts: fr.forced_cold_restarts,
+                node_loss_events: fr.node_loss_events,
+                container_crashes: fr.container_crashes,
+                lost_remote_bytes: fr.lost_remote_bytes,
+                offloads_refused: self.pool.offloads_refused(),
+                breaker_opens: fr.breaker.opens(),
+                slo_total: fr.slo.map_or(0, |s| s.total()),
+                slo_violations: fr.slo.map_or(0, |s| s.violations()),
+            });
+        }
         report
+    }
+
+    /// A pool node died: the affected fraction of idle containers lose
+    /// their remote pages and are recycled — their next invocation pays
+    /// a full cold start.
+    fn handle_node_loss(&mut self, now: SimTime, index: usize, report: &mut RunReport) {
+        let Some(fr) = &self.faults else { return };
+        let fraction = fr.plan.node_losses[index].fraction;
+        let mut victims: Vec<(ContainerId, u64)> = self
+            .containers
+            .values()
+            .filter(|c| c.stage() == ContainerStage::KeepAlive && c.table().remote_pages() > 0)
+            .map(|c| (c.id(), c.table().remote_pages()))
+            .collect();
+        victims.sort_by_key(|&(id, _)| id);
+        let hit = ((victims.len() as f64 * fraction).ceil() as usize).min(victims.len());
+        victims.truncate(hit);
+        let mut lost_bytes = 0u64;
+        for &(id, remote_pages) in &victims {
+            lost_bytes += remote_pages * self.config.page_size;
+            self.recycle_container(now, id, report);
+        }
+        let fr = self.faults.as_mut().expect("fault runtime");
+        fr.node_loss_events += 1;
+        fr.forced_cold_restarts += victims.len() as u64;
+        fr.lost_remote_bytes += lost_bytes;
+    }
+
+    /// One idle container crashes; the planned `pick` selects the victim
+    /// deterministically among the id-sorted idle set.
+    fn handle_crash(&mut self, now: SimTime, index: usize, report: &mut RunReport) {
+        let Some(fr) = &self.faults else { return };
+        let pick = fr.plan.crashes[index].pick;
+        let mut idle: Vec<ContainerId> = self
+            .containers
+            .values()
+            .filter(|c| c.stage() == ContainerStage::KeepAlive)
+            .map(|c| c.id())
+            .collect();
+        if idle.is_empty() {
+            return; // nothing to crash at this instant
+        }
+        idle.sort();
+        let victim = idle[(pick % idle.len() as u64) as usize];
+        self.recycle_container(now, victim, report);
+        self.faults
+            .as_mut()
+            .expect("fault runtime")
+            .container_crashes += 1;
     }
 
     /// The keep-alive timeout currently applicable to `function`.
@@ -516,15 +729,46 @@ impl PlatformSim {
         container.set_exec_range(exec_range);
 
         let stall = if outcome.faulted > 0 {
-            let link = self
-                .pool
-                .page_in(now, u64::from(outcome.faulted), page_size)
-                .expect("faulted pages are held by the pool");
             // Per-fault CPU handling, throttled by the container's CPU
             // share (cgroup-accounted kernel time).
             let cpu_micros = (u64::from(outcome.faulted) * self.config.fault_cpu_micros) as f64
                 / spec.cpu_share.max(0.01);
-            link + SimDuration::from_micros(cpu_micros as u64)
+            let cpu = SimDuration::from_micros(cpu_micros as u64);
+            let faulted = u64::from(outcome.faulted);
+            match &mut self.faults {
+                None => {
+                    let link = self
+                        .pool
+                        .page_in(now, faulted, page_size)
+                        .expect("faulted pages are held by the pool");
+                    link + cpu
+                }
+                Some(fr) => {
+                    let recall = self
+                        .pool
+                        .page_in_resilient(now, faulted, page_size, &fr.policy, &mut fr.breaker)
+                        .expect("faulted pages are held by the pool");
+                    match recall {
+                        RecallOutcome::Recovered { stall, retries } => {
+                            fr.page_in_retries += u64::from(retries);
+                            stall + cpu
+                        }
+                        RecallOutcome::GaveUp { wasted, retries } => {
+                            // The remote pages are unreachable: abandon
+                            // them and rebuild the container's state via
+                            // the slow path (relaunch + reinit) locally.
+                            fr.page_in_retries += u64::from(retries);
+                            fr.page_ins_gave_up += 1;
+                            fr.forced_cold_restarts += 1;
+                            fr.lost_remote_bytes += faulted * page_size;
+                            self.pool
+                                .discard(faulted, page_size)
+                                .expect("faulted pages are held by the pool");
+                            wasted + spec.launch_time + spec.init_time
+                        }
+                    }
+                }
+            }
         } else {
             SimDuration::ZERO
         };
@@ -569,6 +813,9 @@ impl PlatformSim {
         }
         let function = self.containers.get(&id).expect("container").function();
         let latency = now.saturating_since(flight.arrived);
+        if let Some(slo) = self.faults.as_mut().and_then(|fr| fr.slo.as_mut()) {
+            slo.observe(latency);
+        }
         report.latency.record(latency);
         report.requests.push(RequestRecord {
             function,
@@ -852,5 +1099,196 @@ mod tests {
         let c = &report.containers[0];
         assert!(c.busy_time > SimDuration::ZERO);
         assert!(c.inactive_fraction() > 0.9, "mostly idle during keep-alive");
+    }
+
+    /// A minimal offloading policy so fault tests have remote pages to
+    /// lose: pushes the init segment to the pool after every request.
+    #[derive(Debug)]
+    struct OffloadInitPolicy;
+
+    impl MemoryPolicy for OffloadInitPolicy {
+        fn name(&self) -> &'static str {
+            "OffloadInit"
+        }
+        fn on_request_end(&mut self, ctx: &mut PolicyCtx<'_>) {
+            ctx.offload_where(|_, m| m.segment() == faasmem_mem::Segment::Init);
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_is_behavioral_noop() {
+        let run = |faults: Option<FaultConfig>| {
+            let mut b = PlatformSim::builder()
+                .register_function(spec())
+                .policy(OffloadInitPolicy)
+                .seed(5);
+            if let Some(fc) = faults {
+                b = b.faults(fc);
+            }
+            let mut s = b.build();
+            let mut r = s.run(&one_function_trace(&[10, 30, 700]));
+            (
+                r.requests_completed,
+                r.cold_starts,
+                r.p95_latency(),
+                r.avg_local_mib(),
+                r.pool_stats,
+            )
+        };
+        let healthy = run(None);
+        let empty = run(Some(FaultConfig {
+            plan_override: Some(FaultPlan::empty()),
+            ..FaultConfig::default()
+        }));
+        assert_eq!(healthy, empty, "empty plan must not perturb the run");
+    }
+
+    #[test]
+    fn empty_plan_reports_full_availability() {
+        let mut s = PlatformSim::builder()
+            .register_function(spec())
+            .seed(5)
+            .faults(FaultConfig {
+                slo: Some(SimDuration::from_secs(30)),
+                ..FaultConfig::default()
+            })
+            .build();
+        let r = s.run(&one_function_trace(&[10]));
+        let f = r.faults.expect("fault accounting present");
+        assert_eq!(f.link_availability, 1.0);
+        assert_eq!(f.link_downtime, SimDuration::ZERO);
+        assert_eq!(f.forced_cold_restarts, 0);
+        assert_eq!(f.page_ins_gave_up, 0);
+        assert!(f.slo_total >= 1, "SLO tracker observed the request");
+    }
+
+    #[test]
+    fn planned_crash_kills_idle_container() {
+        let plan = FaultPlan {
+            crashes: vec![faasmem_sim::faults::CrashEvent {
+                at: SimTime::from_secs(60),
+                pick: 0,
+            }],
+            ..FaultPlan::empty()
+        };
+        let mut s = PlatformSim::builder()
+            .register_function(spec())
+            .seed(5)
+            .faults(FaultConfig {
+                plan_override: Some(plan),
+                ..FaultConfig::default()
+            })
+            .build();
+        let r = s.run(&one_function_trace(&[10, 120]));
+        assert_eq!(r.faults.unwrap().container_crashes, 1);
+        assert_eq!(
+            r.cold_starts, 2,
+            "second request cold-starts after the crash"
+        );
+        assert_eq!(r.containers.len(), 2);
+    }
+
+    #[test]
+    fn node_loss_forces_cold_restarts_for_remote_holders() {
+        let plan = FaultPlan {
+            node_losses: vec![faasmem_sim::faults::NodeLossEvent {
+                at: SimTime::from_secs(60),
+                fraction: 1.0,
+            }],
+            ..FaultPlan::empty()
+        };
+        let mut s = PlatformSim::builder()
+            .register_function(spec())
+            .policy(OffloadInitPolicy)
+            .seed(5)
+            .faults(FaultConfig {
+                plan_override: Some(plan),
+                ..FaultConfig::default()
+            })
+            .build();
+        let r = s.run(&one_function_trace(&[10, 120]));
+        let f = r.faults.unwrap();
+        assert_eq!(f.node_loss_events, 1);
+        assert_eq!(f.forced_cold_restarts, 1, "the idle remote-holder dies");
+        assert!(f.lost_remote_bytes > 0);
+        assert_eq!(r.cold_starts, 2);
+    }
+
+    #[test]
+    fn long_outage_abandons_recall_and_rebuilds_locally() {
+        use faasmem_sim::faults::{LinkSchedule, LinkWindow};
+        let plan = FaultPlan {
+            link: LinkSchedule::from_windows(vec![LinkWindow {
+                start: SimTime::from_secs(40),
+                end: SimTime::from_secs(3_600),
+                factor: 0.0,
+            }]),
+            ..FaultPlan::empty()
+        };
+        let mut s = PlatformSim::builder()
+            .register_function(spec())
+            .policy(OffloadInitPolicy)
+            .seed(5)
+            .faults(FaultConfig {
+                plan_override: Some(plan),
+                policy: RemoteFaultPolicy::hasty(),
+                ..FaultConfig::default()
+            })
+            .build();
+        // Request 2 warm-starts at t=60 and must recall the init pages
+        // offloaded after request 1 — straight into the outage.
+        let r = s.run(&one_function_trace(&[10, 60]));
+        let f = r.faults.unwrap();
+        assert!(f.page_ins_gave_up >= 1, "hasty policy gives up mid-outage");
+        assert!(f.forced_cold_restarts >= 1);
+        assert!(f.page_in_retries >= 1);
+        assert!(f.lost_remote_bytes > 0);
+        assert!(f.link_availability < 1.0);
+        assert_eq!(r.requests_completed, 2, "the request still completes");
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_per_seed() {
+        let chaos = || {
+            FaultSpec::new(99)
+                .outages(SimDuration::from_mins(2), SimDuration::from_secs(20))
+                .crashes(SimDuration::from_mins(3))
+        };
+        let run = || {
+            let trace = TraceSynthesizer::new(3)
+                .load_class(LoadClass::High)
+                .duration(SimTime::from_mins(10))
+                .synthesize_for(FunctionId(0));
+            let mut s = PlatformSim::builder()
+                .register_function(spec())
+                .policy(OffloadInitPolicy)
+                .seed(7)
+                .faults(FaultConfig {
+                    spec: chaos(),
+                    slo: Some(SimDuration::from_secs(2)),
+                    ..FaultConfig::default()
+                })
+                .build();
+            let mut r = s.run(&trace);
+            (r.summarize(), r.faults)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn validate_reports_every_problem() {
+        let mut config = PlatformConfig::default();
+        assert!(config.validate().is_ok());
+        config.page_size = 0;
+        config.exec_jitter_sigma = f64::NAN;
+        config.pool.link_bytes_per_sec = 0;
+        config.faults = Some(FaultConfig {
+            slo: Some(SimDuration::ZERO),
+            ..FaultConfig::default()
+        });
+        let problems = config.validate().unwrap_err();
+        assert!(problems.len() >= 4, "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("page size")));
+        assert!(problems.iter().any(|p| p.contains("SLO")));
     }
 }

@@ -39,6 +39,14 @@ impl<'a> PolicyCtx<'a> {
     /// what fits).
     pub fn offload_pages(&mut self, ids: &[PageId]) -> u32 {
         let page_size = self.container.table().page_size();
+        if self.pool.offloads_suspended() || !self.pool.out_link_up(self.now) {
+            // Graceful degradation: while the circuit breaker holds the
+            // pool unhealthy — or the fabric itself is mid-outage, where
+            // an RDMA write would fail immediately — keep pages in local
+            // DRAM.
+            self.pool.note_refused_offload();
+            return 0;
+        }
         // Determine how many of the candidates are actually local.
         let movable: Vec<PageId> = ids
             .iter()
@@ -74,6 +82,12 @@ impl<'a> PolicyCtx<'a> {
     /// the link, so any demand faults issued right after queue behind it.
     pub fn prefetch_pages(&mut self, ids: &[PageId]) -> u32 {
         let page_size = self.container.table().page_size();
+        if !self.pool.in_link_up(self.now) {
+            // Prefetch is an optimization: mid-outage it is skipped
+            // rather than queued behind the window. Demand faults still
+            // recall the pages through the resilient path.
+            return 0;
+        }
         let moved = self
             .container
             .table_mut()
@@ -304,6 +318,31 @@ mod tests {
         for id in c.runtime_range().iter() {
             assert_eq!(c.table().meta(id).state(), PageState::Local);
         }
+    }
+
+    #[test]
+    fn suspended_pool_refuses_offloads() {
+        let (mut c, mut pool, mut gov) = harness();
+        pool.set_offloads_suspended(true);
+        let ids: Vec<_> = c.runtime_range().take(10).iter().collect();
+        let mut ctx = PolicyCtx {
+            now: SimTime::ZERO,
+            container: &mut c,
+            pool: &mut pool,
+            governor: &mut gov,
+        };
+        assert_eq!(ctx.offload_pages(&ids), 0);
+        assert_eq!(pool.used_bytes(), 0);
+        assert_eq!(pool.offloads_refused(), 1);
+        // Resuming lets the same batch through.
+        pool.set_offloads_suspended(false);
+        let mut ctx = PolicyCtx {
+            now: SimTime::ZERO,
+            container: &mut c,
+            pool: &mut pool,
+            governor: &mut gov,
+        };
+        assert_eq!(ctx.offload_pages(&ids), 10);
     }
 
     #[test]

@@ -83,6 +83,9 @@ pub struct RunReport {
     pub reuse_intervals: HashMap<FunctionId, Vec<SimDuration>>,
     /// When the run ended (trace horizon + drain).
     pub finished_at: SimTime,
+    /// Fault-injection accounting; `None` when the run had no fault
+    /// configuration (every metric below would be trivially zero).
+    pub faults: Option<FaultReport>,
 }
 
 impl RunReport {
@@ -210,6 +213,52 @@ impl RunReport {
             mean_offload_bandwidth_mbps: self.mean_offload_bandwidth_mbps(),
             containers: self.containers.len(),
             sim_secs: self.finished_at.as_secs_f64(),
+            faults: self.faults,
+        }
+    }
+}
+
+/// Accounting of one run's injected faults and the platform's reaction —
+/// the availability side of the "memory savings vs. availability"
+/// trade-off the `disc07` experiment measures.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultReport {
+    /// Fraction of the run during which the pool link carried traffic
+    /// (1.0 = no full outage overlapped the run).
+    pub link_availability: f64,
+    /// Total full-outage time overlapping the run.
+    pub link_downtime: SimDuration,
+    /// Timed-out page-in attempts that were retried.
+    pub page_in_retries: u64,
+    /// Page-ins abandoned after exhausting every retry.
+    pub page_ins_gave_up: u64,
+    /// Warm containers cold-restarted because their remote pages were
+    /// unreachable or lost.
+    pub forced_cold_restarts: u64,
+    /// Pool-node loss events injected.
+    pub node_loss_events: u64,
+    /// Idle-container crash events injected.
+    pub container_crashes: u64,
+    /// Remote bytes discarded to node loss or abandoned recalls.
+    pub lost_remote_bytes: u64,
+    /// Offload batches refused while the circuit breaker held offloading
+    /// suspended.
+    pub offloads_refused: u64,
+    /// Times the circuit breaker declared the pool unhealthy.
+    pub breaker_opens: u64,
+    /// Requests measured against the latency SLO (0 when no SLO set).
+    pub slo_total: u64,
+    /// Requests that violated the latency SLO.
+    pub slo_violations: u64,
+}
+
+impl FaultReport {
+    /// Fraction of SLO-measured requests that violated the objective.
+    pub fn slo_violation_ratio(&self) -> f64 {
+        if self.slo_total == 0 {
+            0.0
+        } else {
+            self.slo_violations as f64 / self.slo_total as f64
         }
     }
 }
@@ -247,6 +296,9 @@ pub struct RunSummary {
     pub containers: usize,
     /// Simulated seconds covered by the run.
     pub sim_secs: f64,
+    /// Fault-injection accounting; `None` when faults were not
+    /// configured.
+    pub faults: Option<FaultReport>,
 }
 
 /// One function's view of a run (see
@@ -308,6 +360,7 @@ mod tests {
             containers: Vec::new(),
             reuse_intervals: HashMap::new(),
             finished_at: SimTime::from_secs(10),
+            faults: None,
         }
     }
 

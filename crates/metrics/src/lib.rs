@@ -31,9 +31,11 @@ pub mod agg;
 pub mod cdf;
 pub mod histogram;
 pub mod latency;
+pub mod slo;
 pub mod timeseries;
 
 pub use cdf::Cdf;
 pub use histogram::Histogram;
 pub use latency::{LatencyRecorder, LatencySummary};
+pub use slo::SloTracker;
 pub use timeseries::TimeSeries;

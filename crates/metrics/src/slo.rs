@@ -1,0 +1,107 @@
+//! Service-level-objective accounting.
+//!
+//! Fault-injection experiments ask a question the paper's healthy-pool
+//! evaluation never had to: *how many requests blew their latency
+//! objective while the pool misbehaved?* [`SloTracker`] answers it with
+//! a single threshold and two counters, cheap enough to update on every
+//! completed request.
+
+use faasmem_sim::SimDuration;
+
+/// Counts requests whose end-to-end latency exceeded a fixed objective.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_metrics::SloTracker;
+/// use faasmem_sim::SimDuration;
+///
+/// let mut slo = SloTracker::new(SimDuration::from_secs(1));
+/// slo.observe(SimDuration::from_millis(250));
+/// slo.observe(SimDuration::from_secs(3));
+/// assert_eq!(slo.total(), 2);
+/// assert_eq!(slo.violations(), 1);
+/// assert_eq!(slo.violation_ratio(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloTracker {
+    threshold: SimDuration,
+    total: u64,
+    violations: u64,
+}
+
+impl SloTracker {
+    /// A tracker with the given latency objective. Latencies strictly
+    /// above the threshold count as violations.
+    pub fn new(threshold: SimDuration) -> Self {
+        SloTracker {
+            threshold,
+            total: 0,
+            violations: 0,
+        }
+    }
+
+    /// The configured latency objective.
+    pub fn threshold(&self) -> SimDuration {
+        self.threshold
+    }
+
+    /// Records one completed request's end-to-end latency.
+    pub fn observe(&mut self, latency: SimDuration) {
+        self.total += 1;
+        if latency > self.threshold {
+            self.violations += 1;
+        }
+    }
+
+    /// Requests observed so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Requests that exceeded the objective.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Fraction of observed requests that violated the objective; zero
+    /// when nothing has been observed.
+    pub fn violation_ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker_reports_zero() {
+        let slo = SloTracker::new(SimDuration::from_secs(1));
+        assert_eq!(slo.total(), 0);
+        assert_eq!(slo.violations(), 0);
+        assert_eq!(slo.violation_ratio(), 0.0);
+    }
+
+    #[test]
+    fn threshold_is_exclusive() {
+        let mut slo = SloTracker::new(SimDuration::from_millis(100));
+        slo.observe(SimDuration::from_millis(100)); // exactly at: OK
+        slo.observe(SimDuration::from_micros(100_001)); // just over
+        assert_eq!(slo.violations(), 1);
+        assert_eq!(slo.total(), 2);
+    }
+
+    #[test]
+    fn ratio_tracks_counts() {
+        let mut slo = SloTracker::new(SimDuration::from_millis(10));
+        for ms in [1u64, 5, 20, 30] {
+            slo.observe(SimDuration::from_millis(ms));
+        }
+        assert_eq!(slo.violation_ratio(), 0.5);
+    }
+}

@@ -1,0 +1,224 @@
+//! A fault-aware wrapper around [`RdmaLink`].
+//!
+//! [`DegradedLink`] consults a [`LinkSchedule`] before every transfer:
+//! submissions that land in a full-outage window defer to the window's
+//! end, and submissions inside a brown-out are serviced at the window's
+//! reduced rate. With an empty schedule every call forwards verbatim to
+//! the inner link — the wrapper is provably zero-cost when faults are
+//! off (see the property test below).
+
+use faasmem_sim::faults::LinkSchedule;
+use faasmem_sim::{SimDuration, SimTime};
+
+use crate::link::RdmaLink;
+
+/// One direction of an RDMA link subject to a scheduled fault timeline.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_pool::{DegradedLink, RdmaLink};
+/// use faasmem_sim::faults::{LinkSchedule, LinkWindow};
+/// use faasmem_sim::SimTime;
+///
+/// let schedule = LinkSchedule::from_windows(vec![LinkWindow {
+///     start: SimTime::from_secs(10),
+///     end: SimTime::from_secs(20),
+///     factor: 0.0, // full outage
+/// }]);
+/// let mut link = DegradedLink::new(RdmaLink::new(1_000_000, 0), schedule);
+/// // Submitted mid-outage: waits out the window, then transfers.
+/// let d = link.transfer(SimTime::from_secs(15), 1_000_000);
+/// assert_eq!(d.as_secs_f64(), 5.0 + 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DegradedLink {
+    inner: RdmaLink,
+    schedule: LinkSchedule,
+}
+
+impl DegradedLink {
+    /// Wraps a link with a fault schedule. An empty schedule makes the
+    /// wrapper behaviourally identical to the bare link.
+    pub fn new(inner: RdmaLink, schedule: LinkSchedule) -> Self {
+        DegradedLink { inner, schedule }
+    }
+
+    /// Wraps a link with no faults scheduled.
+    pub fn healthy(inner: RdmaLink) -> Self {
+        DegradedLink::new(inner, LinkSchedule::empty())
+    }
+
+    /// The fault schedule this link is subject to.
+    pub fn schedule(&self) -> &LinkSchedule {
+        &self.schedule
+    }
+
+    /// The first instant `≥ now` at which a submission would be accepted
+    /// for service (i.e. outside any full-outage window). Queueing behind
+    /// earlier traffic is separate and charged by [`transfer`].
+    ///
+    /// [`transfer`]: DegradedLink::transfer
+    pub fn available_from(&self, now: SimTime) -> SimTime {
+        self.schedule.available_from(now)
+    }
+
+    /// Submits a transfer at `now`, deferring past outage windows and
+    /// scaling the service rate inside brown-outs. Returns the total
+    /// latency the submitter observes (deferral + queueing + service +
+    /// base latency).
+    pub fn transfer(&mut self, now: SimTime, bytes: u64) -> SimDuration {
+        if self.schedule.is_empty() {
+            return self.inner.transfer(now, bytes);
+        }
+        let start = self.schedule.available_from(now);
+        if start == SimTime::MAX {
+            // The link never recovers within simulated time: the
+            // transfer never completes. Nothing is queued on the inner
+            // link and the submitter observes an unbounded wait; callers
+            // that cannot absorb that should gate on [`is_up`] first.
+            //
+            // [`is_up`]: DegradedLink::is_up
+            return SimDuration::MAX;
+        }
+        let factor = self.schedule.factor_at(start);
+        start.saturating_since(now) + self.inner.transfer_at_factor(start, bytes, factor)
+    }
+
+    /// `true` when a submission at `now` would be accepted for service
+    /// immediately (i.e. `now` is outside every full-outage window).
+    pub fn is_up(&self, now: SimTime) -> bool {
+        self.schedule.available_from(now) == now
+    }
+
+    /// The configured healthy service rate in bytes/second.
+    pub fn bytes_per_sec(&self) -> u64 {
+        self.inner.bytes_per_sec()
+    }
+
+    /// When the link becomes idle given no further traffic.
+    pub fn busy_until(&self) -> SimTime {
+        self.inner.busy_until()
+    }
+
+    /// Lifetime bytes carried.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.total_bytes()
+    }
+
+    /// Lifetime transfer operations.
+    pub fn total_ops(&self) -> u64 {
+        self.inner.total_ops()
+    }
+
+    /// Average utilisation over `[SimTime::ZERO, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.inner.utilization(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasmem_sim::faults::LinkWindow;
+
+    fn outage(start_s: u64, end_s: u64) -> LinkWindow {
+        LinkWindow {
+            start: SimTime::from_secs(start_s),
+            end: SimTime::from_secs(end_s),
+            factor: 0.0,
+        }
+    }
+
+    #[test]
+    fn permanent_outage_saturates_instead_of_panicking() {
+        let schedule = LinkSchedule::from_windows(vec![LinkWindow {
+            start: SimTime::from_secs(1),
+            end: SimTime::MAX,
+            factor: 0.0,
+        }]);
+        let mut link = DegradedLink::new(RdmaLink::new(1_000_000, 0), schedule);
+        assert!(link.is_up(SimTime::ZERO));
+        assert!(!link.is_up(SimTime::from_secs(2)));
+        // Submitted into a window that never closes: the transfer never
+        // completes and the inner link is left untouched.
+        assert_eq!(link.transfer(SimTime::from_secs(2), 4096), SimDuration::MAX);
+        assert_eq!(link.total_ops(), 0);
+    }
+
+    #[test]
+    fn healthy_wrapper_forwards_verbatim() {
+        let mut bare = RdmaLink::new(1_000_000, 7);
+        let mut wrapped = DegradedLink::healthy(RdmaLink::new(1_000_000, 7));
+        for (t, bytes) in [(0u64, 300_000u64), (0, 500_000), (2, 100_000)] {
+            let now = SimTime::from_secs(t);
+            assert_eq!(bare.transfer(now, bytes), wrapped.transfer(now, bytes));
+        }
+        assert_eq!(bare.busy_until(), wrapped.busy_until());
+        assert_eq!(bare.total_bytes(), wrapped.total_bytes());
+        assert_eq!(bare.total_ops(), wrapped.total_ops());
+    }
+
+    #[test]
+    fn outage_defers_submission() {
+        let schedule = LinkSchedule::from_windows(vec![outage(10, 20)]);
+        let mut link = DegradedLink::new(RdmaLink::new(1_000_000, 0), schedule);
+        assert_eq!(
+            link.available_from(SimTime::from_secs(12)),
+            SimTime::from_secs(20)
+        );
+        let d = link.transfer(SimTime::from_secs(12), 1_000_000);
+        // 8 s of deferral + 1 s of service.
+        assert_eq!(d, SimDuration::from_secs(9));
+        // Link time advanced from the window end, not the submission.
+        assert_eq!(link.busy_until(), SimTime::from_secs(21));
+    }
+
+    #[test]
+    fn brownout_scales_service_rate() {
+        let schedule = LinkSchedule::from_windows(vec![LinkWindow {
+            start: SimTime::from_secs(10),
+            end: SimTime::from_secs(100),
+            factor: 0.25,
+        }]);
+        let mut link = DegradedLink::new(RdmaLink::new(1_000_000, 0), schedule);
+        // Quarter rate: 1 MB takes 4 s instead of 1 s.
+        let d = link.transfer(SimTime::from_secs(10), 1_000_000);
+        assert_eq!(d, SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn transfers_outside_windows_are_unaffected() {
+        let schedule = LinkSchedule::from_windows(vec![outage(10, 20)]);
+        let mut degraded = DegradedLink::new(RdmaLink::new(1_000_000, 0), schedule);
+        let mut bare = RdmaLink::new(1_000_000, 0);
+        let now = SimTime::from_secs(30);
+        assert_eq!(degraded.transfer(now, 123_456), bare.transfer(now, 123_456));
+    }
+
+    proptest::proptest! {
+        // Satellite property: a DegradedLink with an empty fault plan is
+        // byte-for-byte equivalent to a bare RdmaLink over arbitrary
+        // transfer sequences.
+        #[test]
+        fn prop_empty_schedule_is_identity(
+            submissions in proptest::collection::vec((0u64..5_000_000, 1u64..50_000_000), 1..40),
+            rate in 1u64..10_000_000_000,
+            base in 0u64..100,
+        ) {
+            let mut bare = RdmaLink::new(rate, base);
+            let mut wrapped = DegradedLink::healthy(RdmaLink::new(rate, base));
+            let mut now = SimTime::ZERO;
+            for &(gap, bytes) in &submissions {
+                now += SimDuration::from_micros(gap);
+                proptest::prop_assert_eq!(
+                    bare.transfer(now, bytes),
+                    wrapped.transfer(now, bytes)
+                );
+                proptest::prop_assert_eq!(bare.busy_until(), wrapped.busy_until());
+            }
+            proptest::prop_assert_eq!(bare.total_bytes(), wrapped.total_bytes());
+            proptest::prop_assert_eq!(bare.total_ops(), wrapped.total_ops());
+        }
+    }
+}

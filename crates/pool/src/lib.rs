@@ -31,10 +31,14 @@
 //! assert_eq!(pool.used_bytes(), 256 * 4096);
 //! ```
 
+pub mod degraded;
 pub mod governor;
 pub mod link;
 pub mod pool;
+pub mod retry;
 
+pub use degraded::DegradedLink;
 pub use governor::BandwidthGovernor;
 pub use link::RdmaLink;
 pub use pool::{PoolConfig, PoolError, PoolStats, RemotePool};
+pub use retry::{CircuitBreaker, RecallOutcome, RemoteFaultPolicy};

@@ -71,6 +71,35 @@ impl RdmaLink {
         done.saturating_since(now) + self.base_latency
     }
 
+    /// Like [`RdmaLink::transfer`], but with the service rate scaled by
+    /// `factor` for the duration of this transfer — the building block of
+    /// brown-out modelling. A factor of `1.0` (or more) takes exactly the
+    /// healthy-path integer arithmetic, so wrapping a link in degradation
+    /// machinery with no active window cannot perturb results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite or not strictly positive (a
+    /// zero-rate link never completes; callers model full outages by
+    /// deferring the submission instant instead).
+    pub fn transfer_at_factor(&mut self, now: SimTime, bytes: u64, factor: f64) -> SimDuration {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "link rate factor {factor} must be finite and positive"
+        );
+        if factor >= 1.0 {
+            return self.transfer(now, bytes);
+        }
+        let service_micros = ((bytes as f64 * 1e6) / (self.bytes_per_sec as f64 * factor)).ceil();
+        let service = SimDuration::from_micros(service_micros as u64);
+        let start = self.busy_until.max(now);
+        let done = start + service;
+        self.busy_until = done;
+        self.total_bytes += bytes;
+        self.total_ops += 1;
+        done.saturating_since(now) + self.base_latency
+    }
+
     /// When the link becomes idle given no further traffic.
     pub fn busy_until(&self) -> SimTime {
         self.busy_until
@@ -177,6 +206,33 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_rate_panics() {
         let _ = RdmaLink::new(0, 0);
+    }
+
+    #[test]
+    fn factor_one_matches_plain_transfer() {
+        let mut plain = RdmaLink::new(1_000_000, 3);
+        let mut scaled = RdmaLink::new(1_000_000, 3);
+        for bytes in [1, 999, 250_000, 1_000_000] {
+            let a = plain.transfer(SimTime::from_secs(1), bytes);
+            let b = scaled.transfer_at_factor(SimTime::from_secs(1), bytes, 1.0);
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.busy_until(), scaled.busy_until());
+    }
+
+    #[test]
+    fn fractional_factor_slows_service() {
+        let mut link = RdmaLink::new(1_000_000, 0);
+        // Half rate: 250 KB takes 500 ms instead of 250 ms.
+        let d = link.transfer_at_factor(SimTime::ZERO, 250_000, 0.5);
+        assert_eq!(d, SimDuration::from_millis(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn zero_factor_panics() {
+        let mut link = RdmaLink::new(1_000_000, 0);
+        let _ = link.transfer_at_factor(SimTime::ZERO, 1, 0.0);
     }
 
     #[test]

@@ -3,9 +3,12 @@
 use std::error::Error;
 use std::fmt;
 
+use faasmem_sim::faults::LinkSchedule;
 use faasmem_sim::{SimDuration, SimTime};
 
+use crate::degraded::DegradedLink;
 use crate::link::RdmaLink;
+use crate::retry::{CircuitBreaker, RecallOutcome, RemoteFaultPolicy};
 
 /// Configuration of the remote memory pool and its interconnect.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +85,24 @@ impl PoolConfig {
     /// Effective page-out bandwidth (bytes/second).
     pub fn effective_out_bytes_per_sec(&self) -> u64 {
         self.out_bytes_per_sec.unwrap_or(self.link_bytes_per_sec)
+    }
+
+    /// Checks the configuration, returning one message per problem
+    /// (empty = valid). [`RemotePool::new`] panics on a zero link rate;
+    /// drivers call this first so a bad config fails with a message
+    /// instead of a backtrace mid-grid.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.capacity_bytes == 0 {
+            problems.push("pool config: capacity must be positive".into());
+        }
+        if self.link_bytes_per_sec == 0 {
+            problems.push("pool config: link bandwidth must be positive".into());
+        }
+        if self.out_bytes_per_sec == Some(0) {
+            problems.push("pool config: page-out bandwidth override must be positive".into());
+        }
+        problems
     }
 }
 
@@ -162,18 +183,26 @@ pub struct PoolStats {
 #[derive(Debug, Clone)]
 pub struct RemotePool {
     config: PoolConfig,
-    out_link: RdmaLink,
-    in_link: RdmaLink,
+    out_link: DegradedLink,
+    in_link: DegradedLink,
     used_bytes: u64,
     bytes_out: u64,
     bytes_in: u64,
     out_ops: u64,
     in_ops: u64,
+    offloads_suspended: bool,
+    offloads_refused: u64,
 }
 
 impl RemotePool {
-    /// Creates a pool from its configuration.
+    /// Creates a healthy pool from its configuration.
     pub fn new(config: PoolConfig) -> Self {
+        RemotePool::with_link_schedule(config, LinkSchedule::empty())
+    }
+
+    /// Creates a pool whose link (both directions) is subject to the
+    /// given fault schedule. An empty schedule is exactly [`RemotePool::new`].
+    pub fn with_link_schedule(config: PoolConfig, schedule: LinkSchedule) -> Self {
         let out_link = RdmaLink::new(
             config.effective_out_bytes_per_sec(),
             config.page_out_base_micros,
@@ -181,13 +210,15 @@ impl RemotePool {
         let in_link = RdmaLink::new(config.link_bytes_per_sec, config.page_in_base_micros);
         RemotePool {
             config,
-            out_link,
-            in_link,
+            out_link: DegradedLink::new(out_link, schedule.clone()),
+            in_link: DegradedLink::new(in_link, schedule),
             used_bytes: 0,
             bytes_out: 0,
             bytes_in: 0,
             out_ops: 0,
             in_ops: 0,
+            offloads_suspended: false,
+            offloads_refused: 0,
         }
     }
 
@@ -265,6 +296,86 @@ impl RemotePool {
         // but Fastswap batches reads; model the batch as one transfer plus
         // one base fault latency (already folded into the link).
         Ok(self.in_link.transfer(now, bytes))
+    }
+
+    /// Faults `pages` pages back in under a fault policy: each attempt
+    /// waits up to `policy.page_in_timeout` for the link to carry
+    /// traffic, timed-out attempts back off exponentially, and after
+    /// `policy.max_retries` retries the call gives up without touching
+    /// pool state — the caller then discards the pages and cold-restarts
+    /// locally. Successes and give-ups feed the circuit breaker.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::Underflow`] if the pool holds fewer bytes than
+    /// requested (a caller accounting bug, same as [`RemotePool::page_in`]).
+    pub fn page_in_resilient(
+        &mut self,
+        now: SimTime,
+        pages: u64,
+        page_size: u64,
+        policy: &RemoteFaultPolicy,
+        breaker: &mut CircuitBreaker,
+    ) -> Result<RecallOutcome, PoolError> {
+        let mut waited = SimDuration::ZERO;
+        for attempt in 0..=policy.max_retries {
+            let t = now + waited;
+            let ready = self.in_link.available_from(t);
+            let defer = ready.saturating_since(t);
+            if defer <= policy.page_in_timeout {
+                let transfer = self.page_in(ready, pages, page_size)?;
+                breaker.record_success();
+                return Ok(RecallOutcome::Recovered {
+                    stall: waited + defer + transfer,
+                    retries: attempt,
+                });
+            }
+            waited += policy.page_in_timeout + policy.backoff_delay(attempt);
+        }
+        breaker.record_failure(now + waited);
+        Ok(RecallOutcome::GaveUp {
+            wasted: waited,
+            retries: policy.max_retries + 1,
+        })
+    }
+
+    /// Suspends or resumes offloading; set by the platform from the
+    /// circuit breaker's state. While suspended, policies refuse new
+    /// page-outs and count them via [`RemotePool::note_refused_offload`].
+    pub fn set_offloads_suspended(&mut self, suspended: bool) {
+        self.offloads_suspended = suspended;
+    }
+
+    /// `true` while the platform holds offloading suspended.
+    pub fn offloads_suspended(&self) -> bool {
+        self.offloads_suspended
+    }
+
+    /// Records one offload batch refused because offloading was
+    /// suspended.
+    pub fn note_refused_offload(&mut self) {
+        self.offloads_refused += 1;
+    }
+
+    /// Lifetime offload batches refused while suspended.
+    pub fn offloads_refused(&self) -> u64 {
+        self.offloads_refused
+    }
+
+    /// `true` when the node→pool direction would accept a submission at
+    /// `now` (outside every scheduled outage window). An RDMA write into
+    /// a downed fabric fails immediately, so policies check this before
+    /// offloading rather than queueing behind the outage.
+    pub fn out_link_up(&self, now: SimTime) -> bool {
+        self.out_link.is_up(now)
+    }
+
+    /// `true` when the pool→node direction would accept a submission at
+    /// `now`. Prefetchers check this before issuing optional page-ins;
+    /// demand recalls go through [`RemotePool::page_in_resilient`]
+    /// instead, which retries across the outage.
+    pub fn in_link_up(&self, now: SimTime) -> bool {
+        self.in_link.is_up(now)
     }
 
     /// Releases bytes held remotely without transferring them back
@@ -453,6 +564,85 @@ mod tests {
         // Reads stay fast.
         let d = p.page_in(SimTime::from_secs(100), 1, 4_096).unwrap();
         assert!(d.as_secs_f64() < 0.001, "got {d}");
+    }
+
+    #[test]
+    fn validate_flags_nonsense() {
+        assert!(PoolConfig::infiniband_56g().validate().is_empty());
+        let bad = PoolConfig {
+            capacity_bytes: 0,
+            link_bytes_per_sec: 0,
+            out_bytes_per_sec: Some(0),
+            ..PoolConfig::slow_test_pool()
+        };
+        assert_eq!(bad.validate().len(), 3);
+    }
+
+    fn outage_pool(outage_secs: u64) -> RemotePool {
+        use faasmem_sim::faults::LinkWindow;
+        let schedule = LinkSchedule::from_windows(vec![LinkWindow {
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(outage_secs),
+            factor: 0.0,
+        }]);
+        RemotePool::with_link_schedule(PoolConfig::slow_test_pool(), schedule)
+    }
+
+    #[test]
+    fn resilient_page_in_rides_out_short_outage() {
+        use crate::retry::{CircuitBreaker, RecallOutcome, RemoteFaultPolicy};
+        let mut p = outage_pool(10);
+        p.page_out(SimTime::ZERO, 4, 4096).unwrap();
+        let policy = RemoteFaultPolicy::default();
+        let mut breaker = CircuitBreaker::from_policy(&policy);
+        let out = p
+            .page_in_resilient(SimTime::ZERO, 4, 4096, &policy, &mut breaker)
+            .unwrap();
+        match out {
+            RecallOutcome::Recovered { stall, retries } => {
+                // Attempts at t=0/3/7 time out; t=13 is past the outage.
+                assert_eq!(retries, 3);
+                assert!(stall >= SimDuration::from_secs(13), "got {stall}");
+            }
+            RecallOutcome::GaveUp { .. } => panic!("should recover"),
+        }
+        assert_eq!(p.stats().bytes_in, 4 * 4096, "recovery transfers pages");
+        assert!(!breaker.is_open(SimTime::from_secs(20)));
+    }
+
+    #[test]
+    fn resilient_page_in_gives_up_on_long_outage() {
+        use crate::retry::{CircuitBreaker, RecallOutcome, RemoteFaultPolicy};
+        let mut p = outage_pool(3_600);
+        p.page_out(SimTime::ZERO, 4, 4096).unwrap();
+        let policy = RemoteFaultPolicy::hasty();
+        let mut breaker = CircuitBreaker::from_policy(&policy);
+        let held = p.used_bytes();
+        for _ in 0..2 {
+            let out = p
+                .page_in_resilient(SimTime::ZERO, 4, 4096, &policy, &mut breaker)
+                .unwrap();
+            assert!(matches!(out, RecallOutcome::GaveUp { retries: 3, .. }));
+        }
+        assert_eq!(p.used_bytes(), held, "give-up leaves pool state alone");
+        assert!(
+            breaker.is_open(SimTime::from_secs(5)),
+            "two give-ups trip the hasty breaker"
+        );
+        assert_eq!(breaker.opens(), 1);
+    }
+
+    #[test]
+    fn offload_suspension_is_tracked() {
+        let mut p = pool();
+        assert!(!p.offloads_suspended());
+        p.set_offloads_suspended(true);
+        assert!(p.offloads_suspended());
+        p.note_refused_offload();
+        p.note_refused_offload();
+        assert_eq!(p.offloads_refused(), 2);
+        p.set_offloads_suspended(false);
+        assert!(!p.offloads_suspended());
     }
 
     #[test]

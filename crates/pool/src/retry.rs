@@ -1,0 +1,278 @@
+//! Client-side fault handling for remote page-ins: timeout, bounded
+//! exponential backoff, and a circuit breaker.
+//!
+//! When the pool link misbehaves, the platform cannot simply block a
+//! request until the link returns — cold-starting the function locally
+//! bounds the damage. [`RemoteFaultPolicy`] captures how patient the
+//! platform is: how long one page-in may wait, how retries back off, and
+//! after how many consecutive give-ups the [`CircuitBreaker`] declares
+//! the pool unhealthy so offloading is suspended until a cooldown
+//! passes.
+
+use faasmem_sim::{SimDuration, SimTime};
+
+/// How the platform handles remote page-ins under link faults.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_pool::RemoteFaultPolicy;
+/// use faasmem_sim::SimDuration;
+///
+/// let policy = RemoteFaultPolicy::default();
+/// // Backoff doubles per attempt and saturates at the cap.
+/// assert_eq!(policy.backoff_delay(0), policy.backoff_base);
+/// assert!(policy.backoff_delay(30) <= policy.backoff_cap);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteFaultPolicy {
+    /// Longest a single page-in attempt may wait for the link to carry
+    /// traffic before it counts as timed out.
+    pub page_in_timeout: SimDuration,
+    /// Delay before the first retry; doubles per attempt.
+    pub backoff_base: SimDuration,
+    /// Upper bound on any single backoff delay.
+    pub backoff_cap: SimDuration,
+    /// Retries after the first attempt before giving up entirely.
+    pub max_retries: u32,
+    /// Consecutive give-ups that trip the circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long the breaker stays open once tripped.
+    pub breaker_cooldown: SimDuration,
+}
+
+impl Default for RemoteFaultPolicy {
+    /// A patient policy: tolerate short outages, give up only on long
+    /// ones (2 s timeout, 1 s base backoff capped at 60 s, 8 retries,
+    /// breaker trips after 3 consecutive give-ups for 30 s).
+    fn default() -> Self {
+        RemoteFaultPolicy {
+            page_in_timeout: SimDuration::from_secs(2),
+            backoff_base: SimDuration::from_secs(1),
+            backoff_cap: SimDuration::from_secs(60),
+            max_retries: 8,
+            breaker_threshold: 3,
+            breaker_cooldown: SimDuration::from_secs(30),
+        }
+    }
+}
+
+impl RemoteFaultPolicy {
+    /// A hasty policy that bails to local cold restarts almost
+    /// immediately — the other end of the availability/latency trade-off.
+    pub fn hasty() -> Self {
+        RemoteFaultPolicy {
+            page_in_timeout: SimDuration::from_millis(200),
+            backoff_base: SimDuration::from_millis(100),
+            backoff_cap: SimDuration::from_secs(1),
+            max_retries: 2,
+            breaker_threshold: 2,
+            breaker_cooldown: SimDuration::from_secs(10),
+        }
+    }
+
+    /// The delay inserted after timed-out attempt number `attempt`
+    /// (0-based): `min(backoff_base · 2^attempt, backoff_cap)`, with
+    /// saturation instead of overflow for large attempt counts.
+    pub fn backoff_delay(&self, attempt: u32) -> SimDuration {
+        let scaled = 1u64
+            .checked_shl(attempt)
+            .map(|m| self.backoff_base.as_micros().saturating_mul(m))
+            .unwrap_or(u64::MAX);
+        SimDuration::from_micros(scaled).min(self.backoff_cap)
+    }
+
+    /// Checks the policy's numeric ranges, returning one message per
+    /// problem (empty = valid).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.page_in_timeout.is_zero() {
+            problems.push("fault policy: page-in timeout must be positive".into());
+        }
+        if self.backoff_cap < self.backoff_base {
+            problems.push(format!(
+                "fault policy: backoff cap {} below base {}",
+                self.backoff_cap, self.backoff_base
+            ));
+        }
+        if self.breaker_threshold == 0 {
+            problems.push("fault policy: breaker threshold must be at least 1".into());
+        }
+        problems
+    }
+}
+
+/// A consecutive-failure circuit breaker over the remote pool.
+///
+/// Each give-up recorded via [`record_failure`] counts toward the
+/// threshold; reaching it opens the breaker for the cooldown period.
+/// Any success resets the count. The platform polls [`is_open`] to
+/// decide whether offloading is currently suspended.
+///
+/// [`record_failure`]: CircuitBreaker::record_failure
+/// [`is_open`]: CircuitBreaker::is_open
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: SimDuration,
+    consecutive_failures: u32,
+    open_until: Option<SimTime>,
+    opens: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that opens for `cooldown` after `threshold`
+    /// consecutive failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: u32, cooldown: SimDuration) -> Self {
+        assert!(threshold > 0, "breaker threshold must be positive");
+        CircuitBreaker {
+            threshold,
+            cooldown,
+            consecutive_failures: 0,
+            open_until: None,
+            opens: 0,
+        }
+    }
+
+    /// A breaker configured from a fault policy.
+    pub fn from_policy(policy: &RemoteFaultPolicy) -> Self {
+        CircuitBreaker::new(policy.breaker_threshold.max(1), policy.breaker_cooldown)
+    }
+
+    /// `true` while the breaker holds the pool unhealthy at `now`.
+    pub fn is_open(&self, now: SimTime) -> bool {
+        self.open_until.is_some_and(|until| now < until)
+    }
+
+    /// Records a give-up at `now`; trips the breaker when the threshold
+    /// is reached.
+    pub fn record_failure(&mut self, now: SimTime) {
+        self.consecutive_failures += 1;
+        if self.consecutive_failures >= self.threshold {
+            self.open_until = Some(now + self.cooldown);
+            self.opens += 1;
+            self.consecutive_failures = 0;
+        }
+    }
+
+    /// Records a successful remote operation, resetting the failure
+    /// streak. An already-open breaker stays open until its cooldown
+    /// expires.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+    }
+
+    /// How many times the breaker has tripped over its lifetime.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+}
+
+/// The outcome of a resilient page-in
+/// ([`RemotePool::page_in_resilient`]).
+///
+/// [`RemotePool::page_in_resilient`]: crate::RemotePool::page_in_resilient
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecallOutcome {
+    /// The pages came back; the request stalls for `stall` total
+    /// (timeouts + backoff + deferral + transfer).
+    Recovered {
+        /// Total stall the faulting request observes.
+        stall: SimDuration,
+        /// Timed-out attempts before the one that succeeded.
+        retries: u32,
+    },
+    /// Every attempt timed out; the pages stay remote and the caller
+    /// must fall back (discard + local cold restart).
+    GaveUp {
+        /// Time burned on timeouts and backoff before giving up.
+        wasted: SimDuration,
+        /// Attempts made (always `max_retries + 1`).
+        retries: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RemoteFaultPolicy {
+            backoff_base: SimDuration::from_millis(100),
+            backoff_cap: SimDuration::from_millis(450),
+            ..RemoteFaultPolicy::default()
+        };
+        assert_eq!(p.backoff_delay(0), SimDuration::from_millis(100));
+        assert_eq!(p.backoff_delay(1), SimDuration::from_millis(200));
+        assert_eq!(p.backoff_delay(2), SimDuration::from_millis(400));
+        assert_eq!(p.backoff_delay(3), SimDuration::from_millis(450));
+        assert_eq!(p.backoff_delay(63), SimDuration::from_millis(450));
+        assert_eq!(p.backoff_delay(200), SimDuration::from_millis(450));
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_cools_down() {
+        let mut b = CircuitBreaker::new(3, SimDuration::from_secs(30));
+        let t = SimTime::from_secs(100);
+        assert!(!b.is_open(t));
+        b.record_failure(t);
+        b.record_failure(t);
+        assert!(!b.is_open(t), "below threshold");
+        b.record_failure(t);
+        assert!(b.is_open(t));
+        assert!(b.is_open(SimTime::from_secs(129)));
+        assert!(!b.is_open(SimTime::from_secs(130)), "cooldown expired");
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let mut b = CircuitBreaker::new(2, SimDuration::from_secs(10));
+        b.record_failure(SimTime::ZERO);
+        b.record_success();
+        b.record_failure(SimTime::from_secs(1));
+        assert!(!b.is_open(SimTime::from_secs(1)), "streak was reset");
+        b.record_failure(SimTime::from_secs(2));
+        assert!(b.is_open(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn validate_flags_nonsense() {
+        let mut p = RemoteFaultPolicy::default();
+        assert!(p.validate().is_empty());
+        assert!(RemoteFaultPolicy::hasty().validate().is_empty());
+        p.page_in_timeout = SimDuration::ZERO;
+        p.backoff_cap = SimDuration::ZERO;
+        p.breaker_threshold = 0;
+        assert_eq!(p.validate().len(), 3);
+    }
+
+    proptest::proptest! {
+        // Satellite property: backoff delays are monotone non-decreasing
+        // in the attempt number and never exceed the cap.
+        #[test]
+        fn prop_backoff_monotone_and_capped(
+            base_micros in 1u64..10_000_000,
+            cap_micros in 1u64..600_000_000,
+            attempts in 1u32..80,
+        ) {
+            let p = RemoteFaultPolicy {
+                backoff_base: SimDuration::from_micros(base_micros),
+                backoff_cap: SimDuration::from_micros(cap_micros),
+                ..RemoteFaultPolicy::default()
+            };
+            let mut prev = SimDuration::ZERO;
+            for attempt in 0..attempts {
+                let d = p.backoff_delay(attempt);
+                proptest::prop_assert!(d >= prev, "backoff decreased at attempt {}", attempt);
+                proptest::prop_assert!(d <= p.backoff_cap, "backoff exceeded cap");
+                prev = d;
+            }
+        }
+    }
+}

@@ -1,0 +1,662 @@
+//! Seeded fault injection: deterministic chaos for the simulation.
+//!
+//! Production memory pools are not the always-on 56 Gbps InfiniBand of
+//! the paper's testbed (§8.1): links brown out, pool nodes die, and idle
+//! containers crash. This module turns those hazards into *data*: a
+//! [`FaultSpec`] describes the hazard rates, and [`FaultSpec::plan`]
+//! expands it into a concrete [`FaultPlan`] — a fixed timeline of link
+//! windows, node-loss events and container crashes — using a dedicated
+//! [`SimRng`] stream derived from the spec's seed.
+//!
+//! # Determinism contract
+//!
+//! The plan is a pure function of `(spec, horizon)`: the same seed always
+//! yields the same timeline, byte for byte, independent of anything else
+//! the simulation draws. Each fault category forks its own RNG stream, so
+//! enabling outages does not perturb the crash schedule and vice versa.
+//! An empty plan ([`FaultPlan::empty`]) injects nothing and must leave a
+//! simulation bit-identical to one that never heard of faults.
+//!
+//! # Examples
+//!
+//! ```
+//! use faasmem_sim::faults::FaultSpec;
+//! use faasmem_sim::{SimDuration, SimTime};
+//!
+//! let spec = FaultSpec::new(7).outages(
+//!     SimDuration::from_mins(5),
+//!     SimDuration::from_secs(30),
+//! );
+//! let plan = spec.plan(SimTime::from_mins(60));
+//! assert_eq!(plan, spec.plan(SimTime::from_mins(60))); // same seed, same plan
+//! assert!(!plan.link.is_empty());
+//! ```
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// One contiguous window during which the pool link is impaired.
+///
+/// `factor` scales the link's effective service rate: `0.0` is a full
+/// outage, values in `(0, 1)` are brown-outs. Factor `1.0` windows are
+/// dropped at normalization — they would be no-ops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkWindow {
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+    /// Effective-rate multiplier inside the window (`0.0` = outage).
+    pub factor: f64,
+}
+
+/// A sorted, non-overlapping set of [`LinkWindow`]s.
+///
+/// Where generated windows overlap, the *worst* (lowest) factor wins —
+/// an outage inside a brown-out is still an outage.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinkSchedule {
+    windows: Vec<LinkWindow>,
+}
+
+impl LinkSchedule {
+    /// A schedule with no impairment windows at all.
+    pub fn empty() -> Self {
+        LinkSchedule::default()
+    }
+
+    /// Builds a schedule from arbitrary (possibly overlapping, unsorted)
+    /// windows, normalizing to sorted disjoint segments with the minimum
+    /// factor winning on overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a window's factor is negative, not finite, or ≥ 1
+    /// (a factor-1 window is meaningless; drop it instead).
+    pub fn from_windows(windows: Vec<LinkWindow>) -> Self {
+        for w in &windows {
+            assert!(
+                w.factor.is_finite() && (0.0..1.0).contains(&w.factor),
+                "window factor {} out of [0, 1)",
+                w.factor
+            );
+        }
+        let mut windows: Vec<LinkWindow> =
+            windows.into_iter().filter(|w| w.end > w.start).collect();
+        windows.sort_by_key(|w| (w.start, w.end));
+        // Sweep the boundary instants; each inter-boundary segment takes
+        // the minimum factor of the windows covering it. O(n²) on the
+        // window count, which a fault plan keeps in the dozens.
+        let mut bounds: Vec<SimTime> = Vec::with_capacity(windows.len() * 2);
+        for w in &windows {
+            bounds.push(w.start);
+            bounds.push(w.end);
+        }
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut out: Vec<LinkWindow> = Vec::new();
+        for pair in bounds.windows(2) {
+            let (start, end) = (pair[0], pair[1]);
+            let factor = windows
+                .iter()
+                .filter(|w| w.start <= start && w.end >= end)
+                .map(|w| w.factor)
+                .fold(f64::INFINITY, f64::min);
+            if !factor.is_finite() {
+                continue; // gap between windows
+            }
+            match out.last_mut() {
+                Some(prev) if prev.end == start && prev.factor == factor => prev.end = end,
+                _ => out.push(LinkWindow { start, end, factor }),
+            }
+        }
+        LinkSchedule { windows: out }
+    }
+
+    /// `true` when the schedule injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The normalized windows, sorted and disjoint.
+    pub fn windows(&self) -> &[LinkWindow] {
+        &self.windows
+    }
+
+    /// The link's effective-rate factor at instant `t` (1.0 = healthy).
+    pub fn factor_at(&self, t: SimTime) -> f64 {
+        self.windows
+            .iter()
+            .find(|w| w.start <= t && t < w.end)
+            .map_or(1.0, |w| w.factor)
+    }
+
+    /// The first instant `≥ t` at which the link carries *any* traffic
+    /// (factor > 0): `t` itself outside outage windows, else the end of
+    /// the outage run covering `t`.
+    pub fn available_from(&self, t: SimTime) -> SimTime {
+        let mut at = t;
+        for w in &self.windows {
+            if w.end <= at || w.factor > 0.0 {
+                continue;
+            }
+            if w.start > at {
+                break; // sorted: the outage starts after `at`
+            }
+            at = w.end;
+        }
+        at
+    }
+
+    /// Total full-outage (factor 0) time in `[SimTime::ZERO, t)` — the
+    /// numerator of the availability metric.
+    pub fn downtime_before(&self, t: SimTime) -> SimDuration {
+        let mut down = SimDuration::ZERO;
+        for w in &self.windows {
+            if w.factor > 0.0 || w.start >= t {
+                continue;
+            }
+            down += w.end.min(t).saturating_since(w.start);
+        }
+        down
+    }
+}
+
+/// A scheduled pool-node loss: a `fraction` of the containers holding
+/// remote pages lose them (the node that held those pages died).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeLossEvent {
+    /// When the node dies.
+    pub at: SimTime,
+    /// Fraction of remote-page-holding containers affected, in `(0, 1]`.
+    pub fraction: f64,
+}
+
+/// A scheduled crash of one idle container; `pick` selects the victim
+/// deterministically among the containers alive at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// When the crash fires.
+    pub at: SimTime,
+    /// Victim selector: index `pick % alive` into the id-sorted set.
+    pub pick: u64,
+}
+
+/// A concrete fault timeline: everything the platform will inject over
+/// one run. Produced by [`FaultSpec::plan`] or hand-built in tests.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Link outage / brown-out windows.
+    pub link: LinkSchedule,
+    /// Pool-node loss events, sorted by time.
+    pub node_losses: Vec<NodeLossEvent>,
+    /// Idle-container crash events, sorted by time.
+    pub crashes: Vec<CrashEvent>,
+}
+
+impl FaultPlan {
+    /// The plan that injects nothing.
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// `true` when no fault of any category is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.link.is_empty() && self.node_losses.is_empty() && self.crashes.is_empty()
+    }
+}
+
+/// Hazard rates for the seeded fault injector. Every category is off by
+/// default; enable the ones an experiment stresses.
+///
+/// Arrival processes are Poisson (exponential gaps at the configured
+/// MTBF), matching the memoryless failure model rack-scale studies
+/// assume; outage and brown-out durations are exponential around their
+/// configured means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Seed of the fault-plan RNG (independent of the platform seed).
+    pub seed: u64,
+    /// Mean time between full link outages; `None` disables them.
+    pub outage_mtbf: Option<SimDuration>,
+    /// Mean duration of one outage.
+    pub outage_mean: SimDuration,
+    /// Mean time between link brown-outs; `None` disables them.
+    pub brownout_mtbf: Option<SimDuration>,
+    /// Mean duration of one brown-out.
+    pub brownout_mean: SimDuration,
+    /// Effective-rate factor during a brown-out, in `(0, 1)`.
+    pub brownout_factor: f64,
+    /// Mean time between pool-node losses; `None` disables them.
+    pub node_loss_mtbf: Option<SimDuration>,
+    /// Fraction of remote-holding containers hit per node loss, `(0, 1]`.
+    pub node_loss_fraction: f64,
+    /// Mean time between idle-container crashes; `None` disables them.
+    pub crash_mtbf: Option<SimDuration>,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 0xFA17,
+            outage_mtbf: None,
+            outage_mean: SimDuration::from_secs(30),
+            brownout_mtbf: None,
+            brownout_mean: SimDuration::from_secs(60),
+            brownout_factor: 0.25,
+            node_loss_mtbf: None,
+            node_loss_fraction: 0.5,
+            crash_mtbf: None,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// A spec with every category disabled, seeded for later `plan` calls.
+    pub fn new(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// Enables full link outages at the given MTBF and mean duration.
+    pub fn outages(mut self, mtbf: SimDuration, mean: SimDuration) -> Self {
+        self.outage_mtbf = Some(mtbf);
+        self.outage_mean = mean;
+        self
+    }
+
+    /// Enables link brown-outs at the given MTBF, mean duration and
+    /// effective-rate factor.
+    pub fn brownouts(mut self, mtbf: SimDuration, mean: SimDuration, factor: f64) -> Self {
+        self.brownout_mtbf = Some(mtbf);
+        self.brownout_mean = mean;
+        self.brownout_factor = factor;
+        self
+    }
+
+    /// Enables pool-node losses at the given MTBF hitting the given
+    /// fraction of remote-holding containers.
+    pub fn node_losses(mut self, mtbf: SimDuration, fraction: f64) -> Self {
+        self.node_loss_mtbf = Some(mtbf);
+        self.node_loss_fraction = fraction;
+        self
+    }
+
+    /// Enables idle-container crashes at the given MTBF.
+    pub fn crashes(mut self, mtbf: SimDuration) -> Self {
+        self.crash_mtbf = Some(mtbf);
+        self
+    }
+
+    /// `true` when no category is enabled (the plan will be empty).
+    pub fn is_inert(&self) -> bool {
+        self.outage_mtbf.is_none()
+            && self.brownout_mtbf.is_none()
+            && self.node_loss_mtbf.is_none()
+            && self.crash_mtbf.is_none()
+    }
+
+    /// Checks the spec's numeric ranges, returning one message per
+    /// problem (empty = valid). Used by the drivers' startup validation.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let positive = |label: &str, d: Option<SimDuration>, problems: &mut Vec<String>| {
+            if let Some(d) = d {
+                if d.is_zero() {
+                    problems.push(format!("fault spec: {label} MTBF must be positive"));
+                }
+            }
+        };
+        positive("outage", self.outage_mtbf, &mut problems);
+        positive("brownout", self.brownout_mtbf, &mut problems);
+        positive("node-loss", self.node_loss_mtbf, &mut problems);
+        positive("crash", self.crash_mtbf, &mut problems);
+        if self.outage_mtbf.is_some() && self.outage_mean.is_zero() {
+            problems.push("fault spec: outage mean duration must be positive".into());
+        }
+        if self.brownout_mtbf.is_some() && self.brownout_mean.is_zero() {
+            problems.push("fault spec: brownout mean duration must be positive".into());
+        }
+        if !(self.brownout_factor.is_finite()
+            && 0.0 < self.brownout_factor
+            && self.brownout_factor < 1.0)
+        {
+            problems.push(format!(
+                "fault spec: brownout factor {} must be in (0, 1)",
+                self.brownout_factor
+            ));
+        }
+        if !(self.node_loss_fraction.is_finite()
+            && 0.0 < self.node_loss_fraction
+            && self.node_loss_fraction <= 1.0)
+        {
+            problems.push(format!(
+                "fault spec: node-loss fraction {} must be in (0, 1]",
+                self.node_loss_fraction
+            ));
+        }
+        problems
+    }
+
+    /// Expands the spec into a concrete timeline covering `[0, horizon)`.
+    /// Event *starts* are bounded by `horizon`; a window may extend past
+    /// it (the platform drains keep-alive past the trace end, so pass a
+    /// horizon that covers the drain).
+    ///
+    /// Deterministic: same `(self, horizon)` → identical plan. Each
+    /// category draws from its own forked stream, so categories do not
+    /// perturb one another.
+    pub fn plan(&self, horizon: SimTime) -> FaultPlan {
+        let mut root = SimRng::seed_from(self.seed);
+        let mut outage_rng = root.fork(1);
+        let mut brownout_rng = root.fork(2);
+        let mut loss_rng = root.fork(3);
+        let mut crash_rng = root.fork(4);
+
+        let mut windows = Vec::new();
+        if let Some(mtbf) = self.outage_mtbf {
+            for (start, len) in poisson_windows(&mut outage_rng, mtbf, self.outage_mean, horizon) {
+                windows.push(LinkWindow {
+                    start,
+                    end: start.saturating_add(len),
+                    factor: 0.0,
+                });
+            }
+        }
+        if let Some(mtbf) = self.brownout_mtbf {
+            for (start, len) in
+                poisson_windows(&mut brownout_rng, mtbf, self.brownout_mean, horizon)
+            {
+                windows.push(LinkWindow {
+                    start,
+                    end: start.saturating_add(len),
+                    factor: self.brownout_factor,
+                });
+            }
+        }
+
+        let mut node_losses = Vec::new();
+        if let Some(mtbf) = self.node_loss_mtbf {
+            for at in poisson_instants(&mut loss_rng, mtbf, horizon) {
+                node_losses.push(NodeLossEvent {
+                    at,
+                    fraction: self.node_loss_fraction,
+                });
+            }
+        }
+
+        let mut crashes = Vec::new();
+        if let Some(mtbf) = self.crash_mtbf {
+            for at in poisson_instants(&mut crash_rng, mtbf, horizon) {
+                let pick = crash_rng.next_u64();
+                crashes.push(CrashEvent { at, pick });
+            }
+        }
+
+        FaultPlan {
+            link: LinkSchedule::from_windows(windows),
+            node_losses,
+            crashes,
+        }
+    }
+}
+
+/// Poisson arrival instants in `[0, horizon)` with exponential gaps.
+fn poisson_instants(rng: &mut SimRng, mtbf: SimDuration, horizon: SimTime) -> Vec<SimTime> {
+    let mut out = Vec::new();
+    let mut t = SimTime::ZERO;
+    loop {
+        // At least 1 µs between events so zero-gap draws cannot spin.
+        let gap = rng.exp_duration(mtbf).max(SimDuration::from_micros(1));
+        t = t.saturating_add(gap);
+        if t >= horizon {
+            return out;
+        }
+        out.push(t);
+    }
+}
+
+/// Poisson-started windows with exponential lengths; the gap is measured
+/// from the previous window's *end* so windows of one category never
+/// self-overlap.
+fn poisson_windows(
+    rng: &mut SimRng,
+    mtbf: SimDuration,
+    mean_len: SimDuration,
+    horizon: SimTime,
+) -> Vec<(SimTime, SimDuration)> {
+    let mut out = Vec::new();
+    let mut t = SimTime::ZERO;
+    loop {
+        let gap = rng.exp_duration(mtbf).max(SimDuration::from_micros(1));
+        t = t.saturating_add(gap);
+        if t >= horizon {
+            return out;
+        }
+        let len = rng.exp_duration(mean_len).max(SimDuration::from_micros(1));
+        out.push((t, len));
+        t = t.saturating_add(len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaos_spec(seed: u64) -> FaultSpec {
+        FaultSpec::new(seed)
+            .outages(SimDuration::from_mins(5), SimDuration::from_secs(20))
+            .brownouts(SimDuration::from_mins(3), SimDuration::from_secs(45), 0.3)
+            .node_losses(SimDuration::from_mins(20), 0.5)
+            .crashes(SimDuration::from_mins(10))
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::empty();
+        assert!(plan.is_empty());
+        assert_eq!(plan.link.factor_at(SimTime::from_secs(5)), 1.0);
+        assert_eq!(
+            plan.link.available_from(SimTime::from_secs(5)),
+            SimTime::from_secs(5)
+        );
+        assert_eq!(
+            plan.link.downtime_before(SimTime::from_mins(60)),
+            SimDuration::ZERO
+        );
+        assert!(FaultSpec::new(1).is_inert());
+        assert!(FaultSpec::new(1).plan(SimTime::from_mins(60)).is_empty());
+    }
+
+    #[test]
+    fn plan_is_deterministic_per_seed() {
+        let horizon = SimTime::from_mins(60);
+        let a = chaos_spec(42).plan(horizon);
+        let b = chaos_spec(42).plan(horizon);
+        assert_eq!(a, b);
+        let c = chaos_spec(43).plan(horizon);
+        assert_ne!(a, c, "different seeds should give different timelines");
+    }
+
+    #[test]
+    fn categories_use_decoupled_streams() {
+        let horizon = SimTime::from_mins(120);
+        let crash_only = FaultSpec::new(9).crashes(SimDuration::from_mins(10));
+        let with_outages = crash_only
+            .clone()
+            .outages(SimDuration::from_mins(5), SimDuration::from_secs(20));
+        assert_eq!(
+            crash_only.plan(horizon).crashes,
+            with_outages.plan(horizon).crashes,
+            "enabling outages must not perturb the crash schedule"
+        );
+    }
+
+    #[test]
+    fn windows_are_sorted_and_disjoint() {
+        let plan = chaos_spec(7).plan(SimTime::from_mins(240));
+        let windows = plan.link.windows();
+        assert!(!windows.is_empty());
+        for pair in windows.windows(2) {
+            assert!(pair[0].end <= pair[1].start, "overlap: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn overlap_normalization_takes_min_factor() {
+        let s = LinkSchedule::from_windows(vec![
+            LinkWindow {
+                start: SimTime::from_secs(10),
+                end: SimTime::from_secs(30),
+                factor: 0.5,
+            },
+            LinkWindow {
+                start: SimTime::from_secs(20),
+                end: SimTime::from_secs(40),
+                factor: 0.0,
+            },
+        ]);
+        assert_eq!(s.factor_at(SimTime::from_secs(15)), 0.5);
+        assert_eq!(s.factor_at(SimTime::from_secs(25)), 0.0, "outage wins");
+        assert_eq!(s.factor_at(SimTime::from_secs(35)), 0.0);
+        assert_eq!(s.factor_at(SimTime::from_secs(45)), 1.0);
+    }
+
+    #[test]
+    fn adjacent_equal_factor_windows_merge() {
+        let s = LinkSchedule::from_windows(vec![
+            LinkWindow {
+                start: SimTime::from_secs(1),
+                end: SimTime::from_secs(2),
+                factor: 0.0,
+            },
+            LinkWindow {
+                start: SimTime::from_secs(2),
+                end: SimTime::from_secs(3),
+                factor: 0.0,
+            },
+        ]);
+        assert_eq!(s.windows().len(), 1);
+        assert_eq!(s.windows()[0].end, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn available_from_skips_outage_runs() {
+        let s = LinkSchedule::from_windows(vec![
+            LinkWindow {
+                start: SimTime::from_secs(10),
+                end: SimTime::from_secs(20),
+                factor: 0.0,
+            },
+            LinkWindow {
+                start: SimTime::from_secs(20),
+                end: SimTime::from_secs(25),
+                factor: 0.1,
+            },
+        ]);
+        assert_eq!(
+            s.available_from(SimTime::from_secs(5)),
+            SimTime::from_secs(5)
+        );
+        // Inside the outage: first instant with any capacity is 20 s
+        // (the brown-out still carries traffic).
+        assert_eq!(
+            s.available_from(SimTime::from_secs(12)),
+            SimTime::from_secs(20)
+        );
+        assert_eq!(
+            s.available_from(SimTime::from_secs(22)),
+            SimTime::from_secs(22)
+        );
+    }
+
+    #[test]
+    fn downtime_counts_only_outages() {
+        let s = LinkSchedule::from_windows(vec![
+            LinkWindow {
+                start: SimTime::from_secs(10),
+                end: SimTime::from_secs(20),
+                factor: 0.0,
+            },
+            LinkWindow {
+                start: SimTime::from_secs(30),
+                end: SimTime::from_secs(40),
+                factor: 0.5,
+            },
+        ]);
+        assert_eq!(
+            s.downtime_before(SimTime::from_secs(100)),
+            SimDuration::from_secs(10)
+        );
+        // Truncated mid-outage.
+        assert_eq!(
+            s.downtime_before(SimTime::from_secs(15)),
+            SimDuration::from_secs(5)
+        );
+        assert_eq!(s.downtime_before(SimTime::from_secs(5)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn event_starts_respect_horizon() {
+        let horizon = SimTime::from_mins(30);
+        let plan = chaos_spec(3).plan(horizon);
+        for w in plan.link.windows() {
+            assert!(w.start < horizon);
+        }
+        for e in &plan.node_losses {
+            assert!(e.at < horizon);
+        }
+        for c in &plan.crashes {
+            assert!(c.at < horizon);
+        }
+    }
+
+    #[test]
+    fn validate_flags_nonsense() {
+        let mut spec = chaos_spec(1);
+        assert!(spec.validate().is_empty());
+        spec.brownout_factor = 1.5;
+        spec.node_loss_fraction = 0.0;
+        spec.outage_mean = SimDuration::ZERO;
+        let problems = spec.validate();
+        assert_eq!(problems.len(), 3, "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("brownout factor")));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1)")]
+    fn bad_window_factor_panics() {
+        let _ = LinkSchedule::from_windows(vec![LinkWindow {
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(1),
+            factor: 1.0,
+        }]);
+    }
+
+    proptest::proptest! {
+        // Satellite property: same seed → identical FaultPlan timeline.
+        #[test]
+        fn prop_same_seed_same_plan(seed in 0u64..1_000_000, horizon_mins in 1u64..240) {
+            let horizon = SimTime::from_mins(horizon_mins);
+            let a = chaos_spec(seed).plan(horizon);
+            let b = chaos_spec(seed).plan(horizon);
+            proptest::prop_assert_eq!(a, b);
+        }
+
+        // Normalization invariant: windows sorted, disjoint, factors < 1.
+        #[test]
+        fn prop_schedules_are_normalized(seed in 0u64..1_000_000) {
+            let plan = chaos_spec(seed).plan(SimTime::from_mins(120));
+            let ws = plan.link.windows();
+            for w in ws {
+                proptest::prop_assert!(w.start < w.end);
+                proptest::prop_assert!((0.0..1.0).contains(&w.factor));
+            }
+            for pair in ws.windows(2) {
+                proptest::prop_assert!(pair[0].end <= pair[1].start);
+            }
+        }
+    }
+}

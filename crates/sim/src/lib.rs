@@ -23,11 +23,13 @@
 //! ```
 
 pub mod clock;
+pub mod faults;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
 pub use clock::Clock;
+pub use faults::{CrashEvent, FaultPlan, FaultSpec, LinkSchedule, LinkWindow, NodeLossEvent};
 pub use queue::{EventQueue, ScheduledEvent};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -99,6 +99,65 @@ impl AzureImport {
 /// assert_eq!(import.functions.len(), 2);
 /// ```
 pub fn parse(csv: &str) -> Result<AzureImport, ParseAzureError> {
+    parse_with(csv, Err)
+}
+
+/// A leniently-imported Azure trace: malformed data rows were skipped,
+/// not rejected, and the count of skipped rows is reported alongside.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossyAzureImport {
+    /// The import built from the rows that did parse.
+    pub import: AzureImport,
+    /// How many data rows were malformed and skipped.
+    pub skipped_rows: u64,
+}
+
+/// Parses the Azure CSV, skipping malformed data rows instead of failing
+/// on them.
+///
+/// A missing header or missing required column is still a hard error —
+/// without them no row is interpretable. Malformed rows are counted in
+/// [`LossyAzureImport::skipped_rows`] and otherwise ignored; real trace
+/// dumps routinely carry a handful of truncated or garbled lines, and a
+/// multi-hour replay should not abort over them.
+///
+/// # Errors
+///
+/// Returns [`ParseAzureError::MissingHeader`] or
+/// [`ParseAzureError::MissingColumn`] only.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_workload::azure_csv;
+///
+/// let csv = "app,func,end_timestamp,duration\n\
+///            a1,f1,60.5,0.5\n\
+///            a1,f2,not-a-number,0.25\n\
+///            a1,f1,70.0,1.0\n";
+/// let lossy = azure_csv::parse_lossy(csv).unwrap();
+/// assert_eq!(lossy.import.trace.len(), 2);
+/// assert_eq!(lossy.skipped_rows, 1);
+/// ```
+pub fn parse_lossy(csv: &str) -> Result<LossyAzureImport, ParseAzureError> {
+    let mut skipped_rows = 0u64;
+    let import = parse_with(csv, |_| {
+        skipped_rows += 1;
+        Ok(())
+    })?;
+    Ok(LossyAzureImport {
+        import,
+        skipped_rows,
+    })
+}
+
+/// The shared parse loop. `on_bad_row` decides whether a per-row error
+/// aborts the parse (strict) or is swallowed (lossy); header and column
+/// errors always abort.
+fn parse_with(
+    csv: &str,
+    mut on_bad_row: impl FnMut(ParseAzureError) -> Result<(), ParseAzureError>,
+) -> Result<AzureImport, ParseAzureError> {
     let mut lines = csv.lines().enumerate();
     let (_, header) = lines.next().ok_or(ParseAzureError::MissingHeader)?;
     let columns: Vec<&str> = header.split(',').map(str::trim).collect();
@@ -129,7 +188,10 @@ pub fn parse(csv: &str) -> Result<AzureImport, ParseAzureError> {
             (end.is_finite() && dur.is_finite() && dur >= 0.0 && end.is_sign_positive())
                 .then_some((func, end, dur))
         };
-        let (func, end, dur) = parse_row().ok_or(ParseAzureError::BadRow { line: idx + 1 })?;
+        let Some((func, end, dur)) = parse_row() else {
+            on_bad_row(ParseAzureError::BadRow { line: idx + 1 })?;
+            continue;
+        };
         let next_id = ids.len() as u32;
         let id = *ids.entry(func).or_insert_with_key(|k| {
             functions.push(k.clone());
@@ -223,6 +285,36 @@ mod tests {
     fn blank_lines_are_skipped() {
         let csv = "app,func,end_timestamp,duration\n\nx,f,10,1\n\n";
         assert_eq!(parse(csv).unwrap().trace.len(), 1);
+    }
+
+    #[test]
+    fn lossy_skips_and_counts_bad_rows() {
+        let csv = "app,func,end_timestamp,duration\n\
+            appA,funcX,60.5,0.5\n\
+            appA,funcY,nan,0.25\n\
+            truncated-row\n\
+            appB,funcZ,70.0,1.0\n";
+        let lossy = parse_lossy(csv).unwrap();
+        assert_eq!(lossy.skipped_rows, 2);
+        assert_eq!(lossy.import.trace.len(), 2);
+        // Skipped rows must not burn dense function ids.
+        assert_eq!(lossy.import.functions, vec!["funcX", "funcZ"]);
+    }
+
+    #[test]
+    fn lossy_still_rejects_structural_errors() {
+        assert_eq!(parse_lossy(""), Err(ParseAzureError::MissingHeader));
+        assert_eq!(
+            parse_lossy("app,funk,end_timestamp,duration\n"),
+            Err(ParseAzureError::MissingColumn { column: "func" })
+        );
+    }
+
+    #[test]
+    fn lossy_matches_strict_on_clean_input() {
+        let lossy = parse_lossy(SAMPLE).unwrap();
+        assert_eq!(lossy.skipped_rows, 0);
+        assert_eq!(lossy.import, parse(SAMPLE).unwrap());
     }
 
     #[test]

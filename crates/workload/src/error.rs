@@ -1,0 +1,69 @@
+//! A unified error type for trace ingestion.
+//!
+//! Both importers ([`crate::azure_csv`] and [`crate::trace_io`]) keep
+//! their own precise error enums; this module folds them into one
+//! [`TraceError`] so drivers that accept either format can hold a single
+//! error type in their signatures.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::azure_csv::ParseAzureError;
+use crate::trace_io::ParseTraceError;
+
+/// Any error produced while ingesting an invocation trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The Azure CSV importer rejected the input.
+    Azure(ParseAzureError),
+    /// The v1 text-format parser rejected the input.
+    Text(ParseTraceError),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Azure(e) => write!(f, "azure csv: {e}"),
+            TraceError::Text(e) => write!(f, "trace text: {e}"),
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Azure(e) => Some(e),
+            TraceError::Text(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseAzureError> for TraceError {
+    fn from(e: ParseAzureError) -> Self {
+        TraceError::Azure(e)
+    }
+}
+
+impl From<ParseTraceError> for TraceError {
+    fn from(e: ParseTraceError) -> Self {
+        TraceError::Text(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_both_sources() {
+        let a: TraceError = ParseAzureError::MissingHeader.into();
+        assert_eq!(a, TraceError::Azure(ParseAzureError::MissingHeader));
+        assert!(a.to_string().contains("azure csv"));
+        assert!(a.source().is_some());
+
+        let t: TraceError = ParseTraceError::BadLine { line: 3 }.into();
+        assert_eq!(t, TraceError::Text(ParseTraceError::BadLine { line: 3 }));
+        assert!(t.to_string().contains('3'));
+        assert!(t.source().is_some());
+    }
+}

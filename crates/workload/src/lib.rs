@@ -37,12 +37,14 @@ pub mod access;
 pub mod azure;
 pub mod azure_csv;
 pub mod benchmark;
+pub mod error;
 pub mod trace;
 pub mod trace_io;
 
 pub use access::{AccessSet, InitAccess, RequestAccess};
 pub use azure::{ArrivalModel, LoadClass, TraceSynthesizer};
-pub use azure_csv::{AzureImport, ParseAzureError};
+pub use azure_csv::{AzureImport, LossyAzureImport, ParseAzureError};
 pub use benchmark::{BenchmarkSpec, RuntimeKind, RuntimeSpec, ServerlessPlatform};
+pub use error::TraceError;
 pub use trace::{FunctionId, Invocation, InvocationTrace, TraceStats};
-pub use trace_io::ParseTraceError;
+pub use trace_io::{LossyTrace, ParseTraceError};

@@ -86,6 +86,60 @@ pub fn to_string(trace: &InvocationTrace) -> String {
 /// Returns [`ParseTraceError`] when the header is missing, a line is
 /// malformed, or a timestamp exceeds the declared horizon.
 pub fn from_str(text: &str) -> Result<InvocationTrace, ParseTraceError> {
+    parse_with(text, Err)
+}
+
+/// A leniently-parsed trace: malformed data lines were skipped, not
+/// rejected, and the count of skipped lines is reported alongside.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossyTrace {
+    /// The trace built from the lines that did parse.
+    pub trace: InvocationTrace,
+    /// How many data lines were malformed or beyond the horizon.
+    pub skipped_lines: u64,
+}
+
+/// Parses a trace from the v1 text format, skipping malformed data lines
+/// instead of failing on them.
+///
+/// A missing or malformed header is still a hard error — without the
+/// declared horizon nothing in the file is interpretable. Lines that are
+/// not `micros,function` or whose timestamp exceeds the horizon are
+/// counted in [`LossyTrace::skipped_lines`] and otherwise ignored.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError::BadHeader`] only.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_workload::trace_io;
+///
+/// let text = "# faasmem-trace v1 horizon_micros=1000\n5,0\njunk\n900,1\n";
+/// let lossy = trace_io::from_str_lossy(text).unwrap();
+/// assert_eq!(lossy.trace.len(), 2);
+/// assert_eq!(lossy.skipped_lines, 1);
+/// ```
+pub fn from_str_lossy(text: &str) -> Result<LossyTrace, ParseTraceError> {
+    let mut skipped_lines = 0u64;
+    let trace = parse_with(text, |_| {
+        skipped_lines += 1;
+        Ok(())
+    })?;
+    Ok(LossyTrace {
+        trace,
+        skipped_lines,
+    })
+}
+
+/// The shared parse loop. `on_bad_line` decides whether a per-line error
+/// aborts the parse (strict) or is swallowed (lossy); header errors always
+/// abort.
+fn parse_with(
+    text: &str,
+    mut on_bad_line: impl FnMut(ParseTraceError) -> Result<(), ParseTraceError>,
+) -> Result<InvocationTrace, ParseTraceError> {
     let mut lines = text.lines().enumerate();
     let (_, header) = lines.next().ok_or(ParseTraceError::BadHeader)?;
     let horizon_micros: u64 = header
@@ -99,12 +153,15 @@ pub fn from_str(text: &str) -> Result<InvocationTrace, ParseTraceError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (at, function) = line
-            .split_once(',')
-            .and_then(|(a, f)| Some((a.trim().parse::<u64>().ok()?, f.trim().parse::<u32>().ok()?)))
-            .ok_or(ParseTraceError::BadLine { line: idx + 1 })?;
+        let Some((at, function)) = line.split_once(',').and_then(|(a, f)| {
+            Some((a.trim().parse::<u64>().ok()?, f.trim().parse::<u32>().ok()?))
+        }) else {
+            on_bad_line(ParseTraceError::BadLine { line: idx + 1 })?;
+            continue;
+        };
         if at > horizon_micros {
-            return Err(ParseTraceError::BeyondHorizon { line: idx + 1 });
+            on_bad_line(ParseTraceError::BeyondHorizon { line: idx + 1 })?;
+            continue;
         }
         invocations.push(Invocation {
             at: SimTime::from_micros(at),
@@ -167,6 +224,35 @@ mod tests {
             from_str(text),
             Err(ParseTraceError::BeyondHorizon { line: 2 })
         );
+    }
+
+    #[test]
+    fn lossy_skips_and_counts_bad_lines() {
+        let text = "# faasmem-trace v1 horizon_micros=1000\n\
+                    5,0\nnot-a-line\n2000,1\n900,2\n";
+        let lossy = from_str_lossy(text).expect("header is fine");
+        assert_eq!(lossy.trace.len(), 2);
+        assert_eq!(lossy.skipped_lines, 2);
+        // The surviving invocations are exactly the parseable in-horizon ones.
+        let funcs: Vec<u32> = lossy.trace.iter().map(|i| i.function.0).collect();
+        assert_eq!(funcs, vec![0, 2]);
+    }
+
+    #[test]
+    fn lossy_still_rejects_bad_header() {
+        assert_eq!(from_str_lossy("100,1\n"), Err(ParseTraceError::BadHeader));
+    }
+
+    #[test]
+    fn lossy_matches_strict_on_clean_input() {
+        let trace = TraceSynthesizer::new(9)
+            .load_class(LoadClass::Middle)
+            .duration(SimTime::from_mins(5))
+            .synthesize_for(FunctionId(1));
+        let text = to_string(&trace);
+        let lossy = from_str_lossy(&text).unwrap();
+        assert_eq!(lossy.skipped_lines, 0);
+        assert_eq!(lossy.trace, from_str(&text).unwrap());
     }
 
     #[test]

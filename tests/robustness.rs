@@ -139,6 +139,164 @@ fn page_size_does_not_change_the_winner() {
 }
 
 #[test]
+fn empty_fault_plan_is_a_noop_for_the_real_policy() {
+    use faasmem::faas::{FaultConfig, PlatformConfig};
+
+    let spec = BenchmarkSpec::by_name("bert").unwrap();
+    let trace = TraceSynthesizer::new(23)
+        .load_class(LoadClass::High)
+        .duration(SimTime::from_mins(30))
+        .synthesize_for(FunctionId(0));
+    let run_with = |faults: Option<FaultConfig>| {
+        let mut sim = PlatformSim::builder()
+            .register_function(spec.clone())
+            .config(PlatformConfig {
+                faults,
+                ..Default::default()
+            })
+            .policy(FaasMemPolicy::new())
+            .seed(4)
+            .build();
+        let mut report = sim.run(&trace);
+        (
+            report.requests_completed,
+            report.cold_starts,
+            report.p95_latency(),
+            report.avg_local_mib(),
+            report.pool_stats,
+        )
+    };
+    // FaultConfig::default() has every fault category disabled, so its
+    // plan is empty — the chaos machinery must then be invisible.
+    assert_eq!(run_with(None), run_with(Some(FaultConfig::default())));
+}
+
+#[test]
+fn chaos_run_completes_every_request() {
+    use faasmem::faas::{FaultConfig, PlatformConfig};
+    use faasmem::sim::FaultSpec;
+
+    let spec = BenchmarkSpec::by_name("web").unwrap();
+    let trace = TraceSynthesizer::new(29)
+        .load_class(LoadClass::High)
+        .bursty(true)
+        .duration(SimTime::from_mins(45))
+        .synthesize_for(FunctionId(0));
+    let mut sim = PlatformSim::builder()
+        .register_function(spec)
+        .config(PlatformConfig {
+            faults: Some(FaultConfig {
+                spec: FaultSpec::new(0xC0FFEE)
+                    .outages(SimDuration::from_mins(4), SimDuration::from_secs(25))
+                    .brownouts(SimDuration::from_mins(6), SimDuration::from_secs(60), 0.25)
+                    .node_losses(SimDuration::from_mins(15), 0.5)
+                    .crashes(SimDuration::from_mins(8)),
+                slo: Some(SimDuration::from_secs(2)),
+                ..FaultConfig::default()
+            }),
+            ..Default::default()
+        })
+        .policy(FaasMemPolicy::new())
+        .seed(6)
+        .build();
+    let report = sim.run(&trace);
+    // Chaos may slow requests and force rebuilds, but must never lose
+    // them or wedge the platform.
+    assert_eq!(report.requests_completed, trace.len());
+    let faults = report.faults.expect("chaos run reports fault metrics");
+    assert!(faults.link_availability < 1.0);
+    assert!(faults.link_availability > 0.0);
+    assert_eq!(faults.slo_total, trace.len() as u64);
+}
+
+#[test]
+fn long_outage_suspends_offloading_via_the_breaker() {
+    use faasmem::faas::{FaultConfig, PlatformConfig};
+    use faasmem::pool::RemoteFaultPolicy;
+    use faasmem::sim::{FaultPlan, LinkSchedule, LinkWindow};
+
+    let spec = BenchmarkSpec::by_name("bert").unwrap();
+    let trace = TraceSynthesizer::new(41)
+        .load_class(LoadClass::High)
+        .duration(SimTime::from_mins(30))
+        .synthesize_for(FunctionId(0));
+    // The link dies five minutes in — after FaaSMem has offloaded the
+    // first containers' cold pages — and never comes back.
+    let plan = FaultPlan {
+        link: LinkSchedule::from_windows(vec![LinkWindow {
+            start: SimTime::from_secs(300),
+            end: SimTime::MAX,
+            factor: 0.0,
+        }]),
+        ..FaultPlan::empty()
+    };
+    let mut sim = PlatformSim::builder()
+        .register_function(spec)
+        .config(PlatformConfig {
+            faults: Some(FaultConfig {
+                policy: RemoteFaultPolicy {
+                    breaker_threshold: 1,
+                    ..RemoteFaultPolicy::hasty()
+                },
+                plan_override: Some(plan),
+                ..FaultConfig::default()
+            }),
+            ..Default::default()
+        })
+        .policy(FaasMemPolicy::new())
+        .seed(8)
+        .build();
+    let report = sim.run(&trace);
+    assert_eq!(report.requests_completed, trace.len());
+    let faults = report.faults.expect("fault metrics");
+    // Recalls behind the dead link give up, trip the breaker, and the
+    // platform falls back to keeping pages local.
+    assert!(faults.page_ins_gave_up > 0, "{faults:?}");
+    assert!(faults.breaker_opens > 0, "{faults:?}");
+    assert!(faults.offloads_refused > 0, "{faults:?}");
+    assert_eq!(faults.forced_cold_restarts, faults.page_ins_gave_up);
+}
+
+#[test]
+fn fault_injection_is_deterministic_per_seed() {
+    use faasmem::faas::{FaultConfig, PlatformConfig};
+    use faasmem::sim::FaultSpec;
+
+    let spec = BenchmarkSpec::by_name("json").unwrap();
+    let trace = TraceSynthesizer::new(11)
+        .load_class(LoadClass::High)
+        .bursty(true)
+        .duration(SimTime::from_mins(30))
+        .synthesize_for(FunctionId(0));
+    let run_chaos = |fault_seed: u64| {
+        let mut sim = PlatformSim::builder()
+            .register_function(spec.clone())
+            .config(PlatformConfig {
+                faults: Some(FaultConfig {
+                    spec: FaultSpec::new(fault_seed)
+                        .outages(SimDuration::from_mins(3), SimDuration::from_secs(20))
+                        .crashes(SimDuration::from_mins(5)),
+                    ..FaultConfig::default()
+                }),
+                ..Default::default()
+            })
+            .policy(FaasMemPolicy::new())
+            .seed(12)
+            .build();
+        let report = sim.run(&trace);
+        (
+            report.requests_completed,
+            report.cold_starts,
+            report.pool_stats,
+            report.faults,
+        )
+    };
+    assert_eq!(run_chaos(0xAB), run_chaos(0xAB));
+    // A different fault seed yields a different fault history.
+    assert_ne!(run_chaos(0xAB).3, run_chaos(0xCD).3);
+}
+
+#[test]
 fn tiny_pool_degrades_gracefully() {
     // A pool that can hold almost nothing: offloads truncate, but runs
     // stay correct and latency bounded.
