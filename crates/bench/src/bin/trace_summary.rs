@@ -1,0 +1,38 @@
+//! Reconstructs per-container timelines from a `--trace` JSONL file.
+//!
+//! ```text
+//! cargo run --release -p faasmem-bench --bin fig12_main_eval -- \
+//!     --quick --trace results/fig12.trace.jsonl
+//! cargo run --release -p faasmem-bench --bin trace_summary -- \
+//!     results/fig12.trace.jsonl
+//! ```
+//!
+//! Prints one block per grid cell: the cell's coordinates and headline
+//! counters, then one row per container with its lifecycle milestones
+//! and memory traffic. The rendering is a pure function of the input
+//! file, so serial and parallel harness runs summarize identically.
+
+use faasmem_trace::summarize_jsonl;
+use faasmem_trace::summary::render_text;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace_summary <trace.jsonl>");
+        std::process::exit(2);
+    };
+    let input = match std::fs::read_to_string(&path) {
+        Ok(input) => input,
+        Err(e) => {
+            eprintln!("trace_summary: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match summarize_jsonl(&input) {
+        Ok(summary) => print!("{}", render_text(&summary)),
+        Err(e) => {
+            eprintln!("trace_summary: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

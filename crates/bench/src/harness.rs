@@ -27,6 +27,7 @@ use faasmem_core::{FaasMemPolicy, FaasMemStats, StatsHandle};
 use faasmem_faas::{MemoryPolicy, PlatformConfig, PlatformSim, RunReport, RunSummary};
 use faasmem_metrics::agg;
 use faasmem_sim::SimTime;
+use faasmem_trace::{chrome_trace, ChromeGroup, EventKind, LayerMask, TraceEvent, Tracer};
 use faasmem_workload::{
     ArrivalModel, BenchmarkSpec, FunctionId, InvocationTrace, LoadClass, TraceStats,
     TraceSynthesizer,
@@ -444,6 +445,12 @@ pub struct HarnessOptions {
     pub quick: bool,
     /// Directory for the exported JSON files.
     pub out_dir: PathBuf,
+    /// When set, record per-cell event traces and write them as JSONL to
+    /// this path (plus a Chrome/Perfetto view next to it). `None` keeps
+    /// the zero-cost disabled tracer on every hot path.
+    pub trace: Option<PathBuf>,
+    /// Layers recorded when tracing is on (default: all).
+    pub trace_filter: LayerMask,
 }
 
 impl Default for HarnessOptions {
@@ -453,14 +460,18 @@ impl Default for HarnessOptions {
             jobs,
             quick: false,
             out_dir: PathBuf::from("results"),
+            trace: None,
+            trace_filter: LayerMask::ALL,
         }
     }
 }
 
 impl HarnessOptions {
-    /// Parses `--jobs N` / `-j N` / `--jobs=N`, `--quick` and
-    /// `--out DIR` / `--out=DIR` from the process arguments. Unknown
-    /// arguments are ignored so binaries can add their own flags.
+    /// Parses `--jobs N` / `-j N` / `--jobs=N`, `--quick`,
+    /// `--out DIR` / `--out=DIR`, `--trace PATH` / `--trace=PATH` and
+    /// `--trace-filter LAYERS` / `--trace-filter=LAYERS` (comma list of
+    /// `harness,container,memory,pool`) from the process arguments.
+    /// Unknown arguments are ignored so binaries can add their own flags.
     pub fn from_env() -> Self {
         Self::parse(std::env::args().skip(1))
     }
@@ -491,10 +502,31 @@ impl HarnessOptions {
                 }
             } else if let Some(dir) = arg.strip_prefix("--out=") {
                 opts.out_dir = PathBuf::from(dir);
+            } else if arg == "--trace" {
+                if let Some(path) = args.next() {
+                    opts.trace = Some(PathBuf::from(path.as_ref()));
+                }
+            } else if let Some(path) = arg.strip_prefix("--trace=") {
+                opts.trace = Some(PathBuf::from(path));
+            } else if arg == "--trace-filter" {
+                if let Some(list) = args.next() {
+                    Self::apply_trace_filter(&mut opts, list.as_ref());
+                }
+            } else if let Some(list) = arg.strip_prefix("--trace-filter=") {
+                Self::apply_trace_filter(&mut opts, list);
             }
         }
         opts.jobs = opts.jobs.max(1);
         opts
+    }
+
+    fn apply_trace_filter(opts: &mut HarnessOptions, list: &str) {
+        match LayerMask::parse_list(list) {
+            Ok(mask) => opts.trace_filter = mask,
+            Err(e) => {
+                eprintln!("[harness] ignoring --trace-filter: {e}");
+            }
+        }
     }
 }
 
@@ -530,6 +562,9 @@ pub struct CellOutcome {
     pub faasmem: Option<FaasMemStats>,
     /// The full platform report, for detailed per-binary rendering.
     pub report: RunReport,
+    /// The cell's drained event trace, in `(sim_time, seq)` order.
+    /// Empty unless the harness ran with `--trace`.
+    pub trace_events: Vec<TraceEvent>,
 }
 
 /// One cell's result: its coordinates, outcome (or captured panic) and
@@ -656,6 +691,61 @@ impl GridRun {
         doc
     }
 
+    /// The merged event trace as JSONL: cells in grid order, each line
+    /// stamped with its cell index. A pure function of the grid — byte
+    /// identical for any `--jobs` value. Panicked cells contribute
+    /// nothing (their events died with the worker's unwound stack).
+    pub fn trace_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (i, cell) in self.cells.iter().enumerate() {
+            if let Ok(o) = &cell.outcome {
+                for event in &o.trace_events {
+                    out.push_str(&event.jsonl_line(Some(i as u64)));
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// The merged trace as a Chrome trace-event document (load in
+    /// `chrome://tracing` or <https://ui.perfetto.dev>): one process per
+    /// cell, one thread per container.
+    pub fn chrome_json(&self) -> String {
+        let groups: Vec<ChromeGroup> = self
+            .cells
+            .iter()
+            .enumerate()
+            .filter_map(|(i, cell)| {
+                cell.outcome.as_ref().ok().map(|o| ChromeGroup {
+                    pid: i as u64,
+                    name: format!(
+                        "{}/{}/{}/{}",
+                        cell.labels.trace,
+                        cell.labels.bench,
+                        cell.labels.config,
+                        cell.labels.policy
+                    ),
+                    events: o.trace_events.clone(),
+                })
+            })
+            .collect();
+        chrome_trace(&groups).to_pretty()
+    }
+
+    /// Writes the JSONL trace to `path` and the Chrome view next to it
+    /// (`path` with its extension replaced by `chrome.json`).
+    pub fn write_trace(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.trace_jsonl())?;
+        std::fs::write(path.with_extension("chrome.json"), self.chrome_json())?;
+        Ok(())
+    }
+
     /// Writes `<name>.json` (deterministic) and `<name>.timing.json`
     /// (wall-clock) under `dir`, returning the main file's path.
     pub fn write_results(&self, dir: &Path) -> std::io::Result<PathBuf> {
@@ -744,12 +834,30 @@ fn cell_json(cell: &CellResult) -> JsonValue {
                 );
             }
             doc.push("metrics", summary_json(&outcome.summary));
+            doc.push("registry", registry_json(&outcome.report.registry));
             match &outcome.faasmem {
                 Some(stats) => doc.push("faasmem", faasmem_json(stats)),
                 None => doc.push("faasmem", JsonValue::Null),
             };
         }
     }
+    doc
+}
+
+/// The cell's counter/gauge snapshot. Registry maps iterate in key
+/// order, so the document is deterministic.
+fn registry_json(reg: &faasmem_metrics::MetricsRegistry) -> JsonValue {
+    let mut counters = JsonValue::obj();
+    for (name, v) in reg.counters() {
+        counters.push(name, JsonValue::Num(v as f64));
+    }
+    let mut gauges = JsonValue::obj();
+    for (name, v) in reg.gauges() {
+        gauges.push(name, JsonValue::Num(v));
+    }
+    let mut doc = JsonValue::obj();
+    doc.push("counters", counters);
+    doc.push("gauges", gauges);
     doc
 }
 
@@ -924,6 +1032,7 @@ pub fn run_grid(grid: &ExperimentGrid, opts: &HarnessOptions) -> GridRun {
     let jobs = opts.jobs.clamp(1, n.max(1));
     let next = AtomicUsize::new(0);
     let quick = opts.quick;
+    let trace_mask = opts.trace.as_ref().map(|_| opts.trace_filter);
 
     let mut results: Vec<Option<CellResult>> = Vec::with_capacity(n);
     results.resize_with(n, || None);
@@ -942,7 +1051,7 @@ pub fn run_grid(grid: &ExperimentGrid, opts: &HarnessOptions) -> GridRun {
                     }
                     let cell = &cells[i];
                     let cell_started = Instant::now();
-                    let outcome = run_cell(cell, quick);
+                    let outcome = run_cell(cell, quick, trace_mask);
                     mine.push((
                         i,
                         CellResult {
@@ -1014,16 +1123,49 @@ pub fn run_and_export(grid: &ExperimentGrid, opts: &HarnessOptions) -> GridRun {
             opts.out_dir.display()
         ),
     }
+    if let Some(path) = &opts.trace {
+        match run.write_trace(path) {
+            Ok(()) => eprintln!(
+                "[harness] wrote {} and {}",
+                path.display(),
+                path.with_extension("chrome.json").display()
+            ),
+            Err(e) => eprintln!("[harness] could not write trace {}: {e}", path.display()),
+        }
+    }
     run.print_timing();
     run
 }
 
-fn run_cell(cell: &Cell<'_>, quick: bool) -> Result<CellOutcome, String> {
+fn run_cell(
+    cell: &Cell<'_>,
+    quick: bool,
+    trace_mask: Option<LayerMask>,
+) -> Result<CellOutcome, String> {
     catch_unwind(AssertUnwindSafe(|| {
         let trace = cell.trace.build(cell.bench, quick);
+        // The tracer lives and dies on this worker thread; only the
+        // drained (Send) event vector crosses back to the merger, so
+        // tracing cannot perturb cell scheduling or output order.
+        let tracer = match trace_mask {
+            Some(mask) => Tracer::recording(mask),
+            None => Tracer::disabled(),
+        };
+        tracer.emit(
+            None,
+            None,
+            EventKind::CellStart {
+                trace: cell.labels.trace.clone(),
+                bench: cell.labels.bench.clone(),
+                config: cell.labels.config.clone(),
+                policy: cell.labels.policy.clone(),
+                seed: cell.trace.seed_for(cell.bench),
+            },
+        );
         let builder = PlatformSim::builder()
             .register_functions(cell.bench.specs.iter().cloned())
-            .config(cell.config.config.clone());
+            .config(cell.config.config.clone())
+            .tracer(tracer.clone());
         let (mut sim, stats) = match cell.policy {
             PolicySpec::Kind(kind) => match kind {
                 PolicyKind::Baseline => (builder.policy(NoOffloadPolicy).build(), None),
@@ -1051,6 +1193,15 @@ fn run_cell(cell: &Cell<'_>, quick: bool) -> Result<CellOutcome, String> {
             }
         };
         let mut report = sim.run(&trace);
+        tracer.set_now(report.finished_at);
+        tracer.emit(
+            None,
+            None,
+            EventKind::CellEnd {
+                requests: report.requests_completed as u64,
+                sim_secs: report.finished_at.as_secs_f64(),
+            },
+        );
         let summary = report.summarize();
         CellOutcome {
             trace_len: trace.len(),
@@ -1061,6 +1212,7 @@ fn run_cell(cell: &Cell<'_>, quick: bool) -> Result<CellOutcome, String> {
             // cloned stats may.
             faasmem: stats.map(|s| s.borrow().clone()),
             report,
+            trace_events: tracer.take_events(),
         }
     }))
     .map_err(|payload| {

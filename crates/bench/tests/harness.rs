@@ -350,6 +350,94 @@ fn chaos_grid_is_deterministic_across_thread_counts() {
     }
 }
 
+/// Quick options with tracing enabled. `run_grid` only records events
+/// when `trace` is set; the path itself is used by `run_and_export`,
+/// which these tests never call, so nothing is written.
+fn traced_opts(jobs: usize) -> HarnessOptions {
+    HarnessOptions {
+        trace: Some(std::path::PathBuf::from("unused.jsonl")),
+        ..quick_opts(jobs)
+    }
+}
+
+#[test]
+fn trace_jsonl_is_byte_identical_across_thread_counts() {
+    let grid = sample_grid();
+    let serial = run_grid(&grid, &traced_opts(1)).trace_jsonl();
+    assert!(
+        serial.starts_with(
+            "{\"cell\":0,\"t\":0,\"seq\":0,\"layer\":\"harness\",\"kind\":\"cell_start\""
+        ),
+        "first line must be cell 0's start event: {}",
+        serial.lines().next().unwrap_or("")
+    );
+    assert!(
+        serial.contains("\"kind\":\"cell_end\""),
+        "every cell is bracketed"
+    );
+    for jobs in [4, 7] {
+        let parallel = run_grid(&grid, &traced_opts(jobs)).trace_jsonl();
+        assert_eq!(parallel, serial, "trace diverged at jobs={jobs}");
+    }
+    // The summary tool accepts the merged stream whole.
+    let summary = faasmem_trace::summarize_jsonl(&serial).expect("trace summarizes");
+    assert_eq!(summary.cells.len(), sample_grid().len());
+}
+
+#[test]
+fn chrome_export_is_well_formed() {
+    let grid = ExperimentGrid::new("chrome_check")
+        .trace(TraceSpec::synth("high", 4242, LoadClass::High))
+        .bench(BenchCase::single(
+            BenchmarkSpec::by_name("json").expect("catalog"),
+        ))
+        .policy_kinds([PolicyKind::Baseline, PolicyKind::FaasMem]);
+    let run = run_grid(&grid, &traced_opts(2));
+    let doc = json::parse(&run.chrome_json()).expect("chrome document parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    for e in events {
+        let ph = e.get("ph").and_then(|v| v.as_str()).expect("ph");
+        assert!(
+            ["B", "E", "i", "M"].contains(&ph),
+            "unexpected phase {ph:?}: {e:?}"
+        );
+        assert!(e.get("pid").and_then(|v| v.as_num()).is_some(), "{e:?}");
+        assert!(e.get("name").and_then(|v| v.as_str()).is_some(), "{e:?}");
+        if ph != "M" {
+            // Real events carry a thread and a timestamp; metadata rows
+            // (process_name has no tid) only name things.
+            assert!(e.get("tid").and_then(|v| v.as_num()).is_some(), "{e:?}");
+            assert!(e.get("ts").and_then(|v| v.as_num()).is_some(), "{e:?}");
+        }
+    }
+}
+
+#[test]
+fn trace_filter_restricts_layers() {
+    let grid = ExperimentGrid::new("filter_check")
+        .trace(TraceSpec::synth("high", 4242, LoadClass::High))
+        .bench(BenchCase::single(
+            BenchmarkSpec::by_name("json").expect("catalog"),
+        ))
+        .policy_kinds([PolicyKind::FaasMem]);
+    let opts = HarnessOptions {
+        trace_filter: faasmem_trace::LayerMask::only(faasmem_trace::TraceLayer::Container),
+        ..traced_opts(1)
+    };
+    let jsonl = run_grid(&grid, &opts).trace_jsonl();
+    assert!(!jsonl.is_empty());
+    for line in jsonl.lines() {
+        assert!(
+            line.contains("\"layer\":\"container\""),
+            "foreign layer leaked through the filter: {line}"
+        );
+    }
+}
+
 #[test]
 fn validate_grid_flags_broken_configs() {
     let sound = ExperimentGrid::new("sound").config(ConfigCase::new(
@@ -378,6 +466,23 @@ fn options_parser() {
     assert_eq!(opts.jobs, 3);
     assert!(opts.quick);
     assert_eq!(opts.out_dir, std::path::PathBuf::from("exports"));
+    assert!(opts.trace.is_none());
+    assert_eq!(opts.trace_filter, faasmem_trace::LayerMask::ALL);
+
+    let opts = HarnessOptions::parse(["--trace", "t.jsonl", "--trace-filter", "pool,memory"]);
+    assert_eq!(opts.trace, Some(std::path::PathBuf::from("t.jsonl")));
+    assert!(opts.trace_filter.contains(faasmem_trace::TraceLayer::Pool));
+    assert!(opts
+        .trace_filter
+        .contains(faasmem_trace::TraceLayer::Memory));
+    assert!(!opts
+        .trace_filter
+        .contains(faasmem_trace::TraceLayer::Container));
+
+    let opts = HarnessOptions::parse(["--trace=a/b.jsonl", "--trace-filter=bogus"]);
+    assert_eq!(opts.trace, Some(std::path::PathBuf::from("a/b.jsonl")));
+    // An unparseable filter is ignored, keeping the default mask.
+    assert_eq!(opts.trace_filter, faasmem_trace::LayerMask::ALL);
 
     let opts = HarnessOptions::parse(["--jobs=5", "--out=x", "ignored", "--unknown-flag"]);
     assert_eq!(opts.jobs, 5);

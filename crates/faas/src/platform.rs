@@ -3,12 +3,13 @@
 use std::collections::HashMap;
 
 use faasmem_mem::{mib_to_pages, PageId};
-use faasmem_metrics::SloTracker;
+use faasmem_metrics::{MetricsRegistry, SloTracker};
 use faasmem_pool::{
     BandwidthGovernor, CircuitBreaker, PoolConfig, RecallOutcome, RemoteFaultPolicy, RemotePool,
 };
 use faasmem_sim::faults::{FaultPlan, FaultSpec};
 use faasmem_sim::{Clock, EventQueue, SimDuration, SimRng, SimTime};
+use faasmem_trace::{EventKind, Tracer};
 use faasmem_workload::{BenchmarkSpec, FunctionId, InvocationTrace, RequestAccess};
 
 use crate::container::{Container, ContainerId, ContainerStage};
@@ -137,6 +138,7 @@ pub struct PlatformBuilder {
     config: PlatformConfig,
     specs: Vec<BenchmarkSpec>,
     policy: Box<dyn MemoryPolicy>,
+    tracer: Tracer,
 }
 
 impl PlatformBuilder {
@@ -145,6 +147,7 @@ impl PlatformBuilder {
             config: PlatformConfig::default(),
             specs: Vec::new(),
             policy: Box::new(NullPolicy),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -211,6 +214,15 @@ impl PlatformBuilder {
         self
     }
 
+    /// Installs an event tracer. The platform shares it with the pool
+    /// and every container page table, so one sink observes all layers
+    /// in `(sim_time, seq)` order. The default disabled tracer keeps
+    /// every emission site a single branch.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     /// Builds the simulator.
     ///
     /// # Panics
@@ -222,9 +234,11 @@ impl PlatformBuilder {
             self.config.pool.effective_out_bytes_per_sec(),
             self.config.governor_window,
         );
+        let mut pool = RemotePool::new(self.config.pool.clone());
+        pool.attach_tracer(self.tracer.clone());
         PlatformSim {
             rng: SimRng::seed_from(self.config.seed),
-            pool: RemotePool::new(self.config.pool.clone()),
+            pool,
             governor,
             specs: self.specs,
             policy: self.policy,
@@ -234,6 +248,9 @@ impl PlatformBuilder {
             next_container: 0,
             reuse_gaps: HashMap::new(),
             faults: None,
+            tracer: self.tracer,
+            peak_local_bytes: 0,
+            peak_live: 0,
             ran: false,
         }
     }
@@ -267,10 +284,16 @@ struct FaultRuntime {
     node_loss_events: u64,
     container_crashes: u64,
     lost_remote_bytes: u64,
+    /// Breaker state observed on the previous event, so the run loop can
+    /// trace the open→closed transition (the pool traces open).
+    breaker_open_prev: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct InFlight {
+    /// Invocation index within the trace — the trace subsystem's
+    /// request id.
+    req: u32,
     arrived: SimTime,
     exec_started: SimTime,
     cold: bool,
@@ -296,6 +319,11 @@ pub struct PlatformSim {
     /// the adaptive keep-alive).
     reuse_gaps: HashMap<FunctionId, Vec<f64>>,
     faults: Option<FaultRuntime>,
+    tracer: Tracer,
+    /// Highest node-local footprint observed at any event (bytes).
+    peak_local_bytes: u64,
+    /// Highest live-container count observed at any event.
+    peak_live: u64,
     ran: bool,
 }
 
@@ -356,6 +384,22 @@ impl PlatformSim {
             // The pool is untouched at this point; rebuild it around the
             // planned link schedule.
             self.pool = RemotePool::with_link_schedule(self.config.pool.clone(), plan.link.clone());
+            self.pool.attach_tracer(self.tracer.clone());
+            // The pool layer can't see the plan (it only observes the
+            // degraded links), so the platform announces the windows.
+            if self.tracer.wants(faasmem_trace::TraceLayer::Pool) {
+                for w in plan.link.windows() {
+                    self.tracer.emit(
+                        None,
+                        None,
+                        EventKind::FaultWindow {
+                            start_us: w.start.as_micros(),
+                            end_us: w.end.as_micros(),
+                            factor: w.factor,
+                        },
+                    );
+                }
+            }
             for (i, loss) in plan.node_losses.iter().enumerate() {
                 queue.push(loss.at, Event::NodeLoss(i as u32));
             }
@@ -373,6 +417,7 @@ impl PlatformSim {
                 node_loss_events: 0,
                 container_crashes: 0,
                 lost_remote_bytes: 0,
+                breaker_open_prev: false,
             });
         }
 
@@ -391,6 +436,7 @@ impl PlatformSim {
             reuse_intervals: HashMap::new(),
             finished_at: SimTime::ZERO,
             faults: None,
+            registry: MetricsRegistry::new(),
         };
         report.local_mem.record(SimTime::ZERO, 0.0);
         report.remote_mem.record(SimTime::ZERO, 0.0);
@@ -399,16 +445,24 @@ impl PlatformSim {
         while let Some((at, event)) = queue.pop() {
             clock.advance_to(at);
             let now = clock.now();
-            if let Some(fr) = &self.faults {
+            self.tracer.set_now(now);
+            if let Some(fr) = &mut self.faults {
                 // Graceful degradation: while the breaker holds the pool
                 // unhealthy, policies refuse new offloads and the
                 // platform leans on local-memory keep-alive.
-                self.pool.set_offloads_suspended(fr.breaker.is_open(now));
+                let open = fr.breaker.is_open(now);
+                self.pool.set_offloads_suspended(open);
+                // The pool traces the open transition at trip time; the
+                // close is only observable here, when the cooldown lapses.
+                if fr.breaker_open_prev && !open {
+                    self.tracer.emit(None, None, EventKind::BreakerClose);
+                }
+                fr.breaker_open_prev = open;
             }
             match event {
                 Event::Invoke(i) => {
                     let inv = invocations[i as usize];
-                    self.handle_invoke(now, inv.function, &mut queue, &mut report);
+                    self.handle_invoke(now, i, inv.function, &mut queue, &mut report);
                 }
                 Event::RuntimeLoaded(id) => self.handle_runtime_loaded(now, id, &mut queue),
                 Event::InitDone(id) => self.handle_init_done(now, id, &mut queue),
@@ -477,7 +531,37 @@ impl PlatformSim {
                 slo_violations: fr.slo.map_or(0, |s| s.violations()),
             });
         }
+        self.fill_registry(&mut report);
         report
+    }
+
+    /// Snapshots the run's counters and gauges into the report registry.
+    /// Runs once at run end so the hot path never touches the maps.
+    fn fill_registry(&self, report: &mut RunReport) {
+        let reg = &mut report.registry;
+        reg.add("containers.created", self.next_container);
+        reg.add("containers.recycled", report.containers.len() as u64);
+        reg.add("requests.completed", report.requests_completed as u64);
+        reg.add("requests.cold_starts", report.cold_starts as u64);
+        reg.add(
+            "mem.demand_faults",
+            report.requests.iter().map(|r| u64::from(r.faults)).sum(),
+        );
+        reg.add("pool.bytes_out", report.pool_stats.bytes_out);
+        reg.add("pool.bytes_in", report.pool_stats.bytes_in);
+        reg.add("pool.out_ops", report.pool_stats.out_ops);
+        reg.add("pool.in_ops", report.pool_stats.in_ops);
+        reg.add("pool.offloads_refused", self.pool.offloads_refused());
+        if let Some(fr) = &self.faults {
+            reg.add("faults.page_in_retries", fr.page_in_retries);
+            reg.add("faults.page_ins_gave_up", fr.page_ins_gave_up);
+            reg.add("faults.forced_cold_restarts", fr.forced_cold_restarts);
+            reg.add("faults.node_loss_events", fr.node_loss_events);
+            reg.add("faults.container_crashes", fr.container_crashes);
+            reg.add("faults.breaker_opens", fr.breaker.opens());
+        }
+        reg.set_gauge("mem.peak_local_bytes", self.peak_local_bytes as f64);
+        reg.set_gauge("containers.peak_live", self.peak_live as f64);
     }
 
     /// A pool node died: the affected fraction of idle containers lose
@@ -504,6 +588,14 @@ impl PlatformSim {
         fr.node_loss_events += 1;
         fr.forced_cold_restarts += victims.len() as u64;
         fr.lost_remote_bytes += lost_bytes;
+        self.tracer.emit(
+            None,
+            None,
+            EventKind::NodeLoss {
+                victims: victims.len() as u64,
+                lost_bytes,
+            },
+        );
     }
 
     /// One idle container crashes; the planned `pick` selects the victim
@@ -522,6 +614,8 @@ impl PlatformSim {
         }
         idle.sort();
         let victim = idle[(pick % idle.len() as u64) as usize];
+        self.tracer
+            .emit(Some(victim.0), None, EventKind::ContainerCrash);
         self.recycle_container(now, victim, report);
         self.faults
             .as_mut()
@@ -544,7 +638,7 @@ impl PlatformSim {
         }
     }
 
-    fn record_memory(&self, now: SimTime, report: &mut RunReport) {
+    fn record_memory(&mut self, now: SimTime, report: &mut RunReport) {
         let mut local: u64 = self
             .containers
             .values()
@@ -576,15 +670,25 @@ impl PlatformSim {
         report
             .live_containers
             .record(now, self.containers.len() as f64);
+        self.peak_local_bytes = self.peak_local_bytes.max(local);
+        self.peak_live = self.peak_live.max(self.containers.len() as u64);
     }
 
     fn handle_invoke(
         &mut self,
         now: SimTime,
+        req: u32,
         function: FunctionId,
         queue: &mut EventQueue<Event>,
         report: &mut RunReport,
     ) {
+        self.tracer.emit(
+            None,
+            Some(u64::from(req)),
+            EventKind::RequestArrive {
+                function: function.0,
+            },
+        );
         // Route to the most-recently-used idle warm container, if any.
         let warm = self
             .containers
@@ -621,18 +725,29 @@ impl PlatformSim {
                 .get_mut(&id)
                 .expect("warm container")
                 .begin_execution(now);
-            self.start_execution(now, id, now, false, queue);
+            self.start_execution(now, id, req, now, false, queue);
         } else {
             // Cold start.
             let id = ContainerId(self.next_container);
             self.next_container += 1;
             let spec = self.specs[function.0 as usize].clone();
             let launch = spec.launch_time;
-            let container = Container::new(id, function, spec, self.config.page_size, now);
+            let mut container = Container::new(id, function, spec, self.config.page_size, now);
+            container
+                .table_mut()
+                .attach_tracer(self.tracer.clone(), id.0);
+            self.tracer.emit(
+                Some(id.0),
+                Some(u64::from(req)),
+                EventKind::ContainerLaunch {
+                    function: function.0,
+                },
+            );
             self.containers.insert(id, container);
             self.in_flight.insert(
                 id,
                 InFlight {
+                    req,
                     arrived: now,
                     exec_started: now,
                     cold: true,
@@ -650,6 +765,7 @@ impl PlatformSim {
         id: ContainerId,
         queue: &mut EventQueue<Event>,
     ) {
+        self.tracer.emit(Some(id.0), None, EventKind::RuntimeLoaded);
         let init_time = {
             let container = self.containers.get_mut(&id).expect("launching container");
             container.finish_launch();
@@ -670,6 +786,7 @@ impl PlatformSim {
     }
 
     fn handle_init_done(&mut self, now: SimTime, id: ContainerId, queue: &mut EventQueue<Event>) {
+        self.tracer.emit(Some(id.0), None, EventKind::InitDone);
         {
             let container = self
                 .containers
@@ -691,8 +808,8 @@ impl PlatformSim {
             self.policy.on_init_done(&mut ctx);
             self.policy.on_request_start(&mut ctx, None);
         }
-        let arrived = self.in_flight.get(&id).expect("pending request").arrived;
-        self.start_execution(now, id, arrived, true, queue);
+        let flight = *self.in_flight.get(&id).expect("pending request");
+        self.start_execution(now, id, flight.req, flight.arrived, true, queue);
     }
 
     /// Plans the request's page accesses, charges remote faults, and
@@ -701,10 +818,16 @@ impl PlatformSim {
         &mut self,
         now: SimTime,
         id: ContainerId,
+        req: u32,
         arrived: SimTime,
         cold: bool,
         queue: &mut EventQueue<Event>,
     ) {
+        self.tracer.emit(
+            Some(id.0),
+            Some(u64::from(req)),
+            EventKind::ExecStart { cold },
+        );
         let page_size = self.config.page_size;
         let container = self.containers.get_mut(&id).expect("executing container");
         let spec = container.spec().clone();
@@ -779,6 +902,7 @@ impl PlatformSim {
         self.in_flight.insert(
             id,
             InFlight {
+                req,
                 arrived,
                 exec_started: now,
                 cold,
@@ -813,6 +937,18 @@ impl PlatformSim {
         }
         let function = self.containers.get(&id).expect("container").function();
         let latency = now.saturating_since(flight.arrived);
+        if self.tracer.is_enabled() {
+            self.tracer.emit(
+                Some(id.0),
+                Some(u64::from(flight.req)),
+                EventKind::ExecEnd {
+                    latency_us: latency.as_micros(),
+                    faults: u64::from(flight.faults),
+                },
+            );
+            self.tracer
+                .emit(Some(id.0), None, EventKind::KeepAliveEnter);
+        }
         if let Some(slo) = self.faults.as_mut().and_then(|fr| fr.slo.as_mut()) {
             slo.observe(latency);
         }
@@ -875,6 +1011,13 @@ impl PlatformSim {
                 .discard(remote_pages, self.config.page_size)
                 .expect("pool holds this container's remote pages");
         }
+        self.tracer.emit(
+            Some(id.0),
+            None,
+            EventKind::ContainerRetire {
+                requests: container.requests_served(),
+            },
+        );
         report.containers.push(ContainerRecord {
             function: container.function(),
             created_at: container.created_at(),
@@ -1273,6 +1416,89 @@ mod tests {
             (r.summarize(), r.faults)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn tracer_observes_full_lifecycle_in_order() {
+        use faasmem_trace::{LayerMask, TraceLayer, Tracer};
+        let tracer = Tracer::recording(LayerMask::only(TraceLayer::Container));
+        let mut s = PlatformSim::builder()
+            .register_function(spec())
+            .seed(1)
+            .tracer(tracer.clone())
+            .build();
+        let report = s.run(&one_function_trace(&[10, 30]));
+        let events = tracer.take_events();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "request_arrive",
+                "container_launch",
+                "runtime_loaded",
+                "init_done",
+                "exec_start",
+                "exec_end",
+                "keep_alive_enter",
+                "request_arrive",
+                "exec_start",
+                "exec_end",
+                "keep_alive_enter",
+                "container_retire",
+            ],
+            "cold start, warm reuse, then keep-alive expiry"
+        );
+        assert!(
+            events.windows(2).all(|w| w[0].key() < w[1].key()),
+            "(time, seq) stamps are a strict total order"
+        );
+        // The registry snapshot agrees with the report.
+        assert_eq!(report.registry.counter("containers.created"), 1);
+        assert_eq!(report.registry.counter("requests.completed"), 2);
+        assert_eq!(report.registry.counter("requests.cold_starts"), 1);
+        assert_eq!(report.registry.gauge("containers.peak_live"), Some(1.0));
+    }
+
+    #[test]
+    fn tracer_reports_fault_windows_and_recall_path() {
+        use faasmem_sim::faults::{LinkSchedule, LinkWindow};
+        use faasmem_trace::{LayerMask, Tracer};
+        let plan = FaultPlan {
+            link: LinkSchedule::from_windows(vec![LinkWindow {
+                start: SimTime::from_secs(40),
+                end: SimTime::from_secs(3_600),
+                factor: 0.0,
+            }]),
+            ..FaultPlan::empty()
+        };
+        let tracer = Tracer::recording(LayerMask::ALL);
+        let mut s = PlatformSim::builder()
+            .register_function(spec())
+            .policy(OffloadInitPolicy)
+            .seed(5)
+            .faults(FaultConfig {
+                plan_override: Some(plan),
+                policy: RemoteFaultPolicy::hasty(),
+                ..FaultConfig::default()
+            })
+            .tracer(tracer.clone())
+            .build();
+        let _ = s.run(&one_function_trace(&[10, 60]));
+        let events = tracer.take_events();
+        let windows: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::FaultWindow { factor, .. } => Some(factor),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(windows, [0.0], "the planned outage is announced");
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::RecallGaveUp { .. })),
+            "the abandoned recall shows up in the pool layer"
+        );
     }
 
     #[test]

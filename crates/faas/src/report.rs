@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use faasmem_metrics::{Cdf, LatencyRecorder, LatencySummary, TimeSeries};
+use faasmem_metrics::{Cdf, LatencyRecorder, LatencySummary, MetricsRegistry, TimeSeries};
 use faasmem_pool::PoolStats;
 use faasmem_sim::{SimDuration, SimTime};
 use faasmem_workload::FunctionId;
@@ -86,6 +86,9 @@ pub struct RunReport {
     /// Fault-injection accounting; `None` when the run had no fault
     /// configuration (every metric below would be trivially zero).
     pub faults: Option<FaultReport>,
+    /// Named counters and gauges snapshotted at run end — the
+    /// introspection surface the harness serializes per cell.
+    pub registry: MetricsRegistry,
 }
 
 impl RunReport {
@@ -361,6 +364,7 @@ mod tests {
             reuse_intervals: HashMap::new(),
             finished_at: SimTime::from_secs(10),
             faults: None,
+            registry: MetricsRegistry::new(),
         }
     }
 

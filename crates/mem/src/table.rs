@@ -10,6 +10,7 @@
 
 use crate::page::{PageId, PageMeta, PageRange, PageState, Segment};
 use crate::stats::MemStats;
+use faasmem_trace::{EventKind, TraceLayer, Tracer};
 
 /// An MGLRU generation number.
 ///
@@ -67,6 +68,10 @@ pub struct PageTable {
     /// Lifetime counters for bandwidth accounting.
     total_offloaded: u64,
     total_faulted: u64,
+    /// Trace emission handle (disabled by default) and the container id
+    /// batch events are attributed to.
+    tracer: Tracer,
+    owner: Option<u64>,
 }
 
 impl PageTable {
@@ -88,7 +93,18 @@ impl PageTable {
             local_by_segment: [0; 3],
             total_offloaded: 0,
             total_faulted: 0,
+            tracer: Tracer::disabled(),
+            owner: None,
         }
+    }
+
+    /// Attaches a trace emission handle. Batch operations (scans, aging
+    /// walks, bulk offload/page-in) emit memory-layer events attributed
+    /// to container `owner`; single-page primitives stay silent so a
+    /// batch never double-reports.
+    pub fn attach_tracer(&mut self, tracer: Tracer, owner: u64) {
+        self.tracer = tracer;
+        self.owner = Some(owner);
     }
 
     /// Bytes per page.
@@ -116,6 +132,15 @@ impl PageTable {
     /// the returned generation.
     pub fn create_generation(&mut self) -> Generation {
         self.current_gen += 1;
+        if self.tracer.wants(TraceLayer::Memory) {
+            self.tracer.emit(
+                self.owner,
+                None,
+                EventKind::GenerationCreate {
+                    generation: u64::from(self.current_gen),
+                },
+            );
+        }
         Generation(self.current_gen)
     }
 
@@ -212,6 +237,7 @@ impl PageTable {
                 out.faulted += 1;
             }
         }
+        self.trace_demand_faults(out.faulted);
         out
     }
 
@@ -227,7 +253,21 @@ impl PageTable {
                 out.faulted += 1;
             }
         }
+        self.trace_demand_faults(out.faulted);
         out
+    }
+
+    fn trace_demand_faults(&self, faulted: u32) {
+        if faulted > 0 && self.tracer.wants(TraceLayer::Memory) {
+            self.tracer.emit(
+                self.owner,
+                None,
+                EventKind::MemPageIn {
+                    pages: u64::from(faulted),
+                    demand: true,
+                },
+            );
+        }
     }
 
     /// Brings one remote page back to local DRAM *without* marking it
@@ -249,7 +289,18 @@ impl PageTable {
 
     /// Prefetches the given pages; returns how many moved.
     pub fn prefetch_pages<I: IntoIterator<Item = PageId>>(&mut self, ids: I) -> u32 {
-        ids.into_iter().filter(|&id| self.prefetch(id)).count() as u32
+        let moved = ids.into_iter().filter(|&id| self.prefetch(id)).count() as u32;
+        if moved > 0 && self.tracer.wants(TraceLayer::Memory) {
+            self.tracer.emit(
+                self.owner,
+                None,
+                EventKind::MemPageIn {
+                    pages: u64::from(moved),
+                    demand: false,
+                },
+            );
+        }
+        moved
     }
 
     /// Moves one local page to the remote pool. Returns `true` if the page
@@ -270,12 +321,28 @@ impl PageTable {
 
     /// Offloads every local page in `range`; returns how many moved.
     pub fn offload_range(&mut self, range: PageRange) -> u32 {
-        range.iter().filter(|&id| self.offload(id)).count() as u32
+        let moved = range.iter().filter(|&id| self.offload(id)).count() as u32;
+        self.trace_offload(moved);
+        moved
     }
 
     /// Offloads the given pages; returns how many moved.
     pub fn offload_pages<I: IntoIterator<Item = PageId>>(&mut self, ids: I) -> u32 {
-        ids.into_iter().filter(|&id| self.offload(id)).count() as u32
+        let moved = ids.into_iter().filter(|&id| self.offload(id)).count() as u32;
+        self.trace_offload(moved);
+        moved
+    }
+
+    fn trace_offload(&self, moved: u32) {
+        if moved > 0 && self.tracer.wants(TraceLayer::Memory) {
+            self.tracer.emit(
+                self.owner,
+                None,
+                EventKind::MemOffload {
+                    pages: u64::from(moved),
+                },
+            );
+        }
     }
 
     /// Frees a range (execution pages after a request). Local and remote
@@ -333,6 +400,16 @@ impl PageTable {
             }
             meta.set_recently_faulted(false);
         }
+        if self.tracer.wants(TraceLayer::Memory) {
+            self.tracer.emit(
+                self.owner,
+                None,
+                EventKind::AccessScan {
+                    live: self.local_pages + self.remote_pages,
+                    accessed: hits.len() as u64,
+                },
+            );
+        }
         hits
     }
 
@@ -357,7 +434,21 @@ impl PageTable {
                 }
             }
         }
+        self.trace_aging(idle_threshold, cold.len() as u64);
         cold
+    }
+
+    fn trace_aging(&self, threshold: u8, collected: u64) {
+        if self.tracer.wants(TraceLayer::Memory) {
+            self.tracer.emit(
+                self.owner,
+                None,
+                EventKind::GenerationAge {
+                    threshold: u64::from(threshold),
+                    collected,
+                },
+            );
+        }
     }
 
     /// A hardware-sampled variant of [`PageTable::age_and_collect_idle`]
@@ -401,6 +492,7 @@ impl PageTable {
                 }
             }
         }
+        self.trace_aging(idle_threshold, cold.len() as u64);
         cold
     }
 
@@ -782,6 +874,69 @@ mod tests {
     fn meta_of_unallocated_page_panics() {
         let t = table();
         let _ = t.meta(PageId(0));
+    }
+
+    #[test]
+    fn attached_tracer_reports_batch_memory_events() {
+        use faasmem_trace::{LayerMask, Tracer};
+
+        let tracer = Tracer::recording(LayerMask::ALL);
+        let mut t = table();
+        t.attach_tracer(tracer.clone(), 7);
+        let r = t.alloc(Segment::Init, 8);
+        t.create_generation();
+        t.offload_range(r.take(4));
+        t.touch_range(r.take(2)); // 2 remote pages fault back in
+        t.prefetch_pages(r.skip(2).take(2).iter());
+        t.scan_accessed();
+        t.age_and_collect_idle(1);
+
+        let events = tracer.take_events();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "generation_create",
+                "mem_offload",
+                "mem_page_in", // demand
+                "mem_page_in", // prefetch
+                "access_scan",
+                "generation_age",
+            ]
+        );
+        assert!(events.iter().all(|e| e.container == Some(7)));
+        assert_eq!(
+            events[2].kind,
+            faasmem_trace::EventKind::MemPageIn {
+                pages: 2,
+                demand: true
+            }
+        );
+        assert_eq!(
+            events[3].kind,
+            faasmem_trace::EventKind::MemPageIn {
+                pages: 2,
+                demand: false
+            }
+        );
+    }
+
+    #[test]
+    fn silent_batches_emit_nothing() {
+        use faasmem_trace::{LayerMask, Tracer};
+
+        let tracer = Tracer::recording(LayerMask::ALL);
+        let mut t = table();
+        t.attach_tracer(tracer.clone(), 0);
+        let r = t.alloc(Segment::Init, 4);
+        // Nothing remote: touch faults none, offload of remote pages
+        // moves none the second time, prefetch of local moves none.
+        t.touch_range(r);
+        t.offload_range(r);
+        t.offload_range(r);
+        t.prefetch_pages(std::iter::empty());
+        let kinds: Vec<&str> = tracer.take_events().iter().map(|e| e.kind.name()).collect();
+        assert_eq!(kinds, vec!["mem_offload"]);
     }
 
     proptest::proptest! {

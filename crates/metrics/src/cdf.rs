@@ -40,13 +40,15 @@ impl Cdf {
     }
 
     /// Nearest-rank quantile: the smallest sample `x` such that at least a
-    /// `q` fraction of samples are `<= x`. `None` when empty.
+    /// `q` fraction of samples are `<= x`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `q` is outside `[0, 1]` or NaN.
+    /// Returns `None` when the CDF is empty or `q` is NaN or outside
+    /// `[0, 1]` — never panics, so percentile queries are safe on any
+    /// input. With a single sample, every valid `q` returns it.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if q.is_nan() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
         if self.sorted.is_empty() {
             return None;
         }
@@ -144,6 +146,26 @@ mod tests {
         assert_eq!(cdf.quantile(0.99), Some(99.0));
         assert_eq!(cdf.quantile(1.0), Some(100.0));
         assert_eq!(cdf.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn single_sample_quantiles() {
+        let cdf = Cdf::from_samples(vec![3.5]);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(cdf.quantile(q), Some(3.5), "q={q}");
+        }
+        assert_eq!(cdf.mean(), Some(3.5));
+        assert_eq!(cdf.std_dev(), Some(0.0));
+    }
+
+    #[test]
+    fn invalid_q_is_none_not_panic() {
+        let cdf = Cdf::from_samples(vec![1.0, 2.0]);
+        assert_eq!(cdf.quantile(-0.5), None);
+        assert_eq!(cdf.quantile(1.5), None);
+        assert_eq!(cdf.quantile(f64::NAN), None);
+        let empty = Cdf::default();
+        assert_eq!(empty.quantile(f64::NAN), None);
     }
 
     #[test]

@@ -58,14 +58,22 @@ impl Histogram {
         (idx.max(0.0) as usize).min(self.counts.len() - 1)
     }
 
-    /// Adds one sample.
+    /// Adds one sample. Non-finite values are discarded (previously a
+    /// NaN would land silently in bucket 0 and skew percentiles).
     pub fn add(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
         let bin = self.bin_of(value);
         self.counts[bin] += 1;
     }
 
-    /// Adds `weight` samples at `value`.
+    /// Adds `weight` samples at `value`. Non-finite values are
+    /// discarded, matching [`add`](Self::add).
     pub fn add_weighted(&mut self, value: f64, weight: u64) {
+        if !value.is_finite() {
+            return;
+        }
         let bin = self.bin_of(value);
         self.counts[bin] += weight;
     }
@@ -95,6 +103,32 @@ impl Histogram {
             .iter()
             .enumerate()
             .map(|(i, &c)| (self.bin_lower_edge(i), c))
+    }
+
+    /// Nearest-rank percentile estimated from the binned mass: the
+    /// lower edge of the bucket holding the `q`-th sample.
+    ///
+    /// Returns `None` when the histogram is empty or `q` is NaN or
+    /// outside `[0, 1]` — never panics and never divides by zero, so
+    /// callers can query unconditionally. With a single sample every
+    /// valid `q` returns that sample's bucket edge.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if q.is_nan() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(self.bin_lower_edge(i));
+            }
+        }
+        unreachable!("rank {rank} <= total {total}")
     }
 
     /// Resets all buckets to zero.
@@ -148,6 +182,54 @@ mod tests {
         h.add(0.1);
         h.clear();
         assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn percentile_on_empty_is_none() {
+        let h = Histogram::new(0.0, 10.0, 4);
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.percentile(1.0), None);
+    }
+
+    #[test]
+    fn percentile_on_single_sample_is_its_bucket() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(7.3);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), Some(7.0), "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_rejects_invalid_q_without_panicking() {
+        let mut h = Histogram::new(0.0, 10.0, 4);
+        h.add(1.0);
+        assert_eq!(h.percentile(-0.1), None);
+        assert_eq!(h.percentile(1.1), None);
+        assert_eq!(h.percentile(f64::NAN), None);
+    }
+
+    #[test]
+    fn percentile_walks_binned_mass() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        h.add_weighted(5.0, 50); // bucket 0
+        h.add_weighted(95.0, 50); // bucket 9
+        assert_eq!(h.percentile(0.25), Some(0.0));
+        assert_eq!(h.percentile(0.5), Some(0.0));
+        assert_eq!(h.percentile(0.51), Some(90.0));
+        assert_eq!(h.percentile(1.0), Some(90.0));
+    }
+
+    #[test]
+    fn non_finite_samples_are_discarded() {
+        let mut h = Histogram::new(0.0, 10.0, 4);
+        h.add(f64::NAN);
+        h.add(f64::INFINITY);
+        h.add(f64::NEG_INFINITY);
+        h.add_weighted(f64::NAN, 100);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.percentile(0.5), None);
     }
 
     #[test]

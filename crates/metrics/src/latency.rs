@@ -93,14 +93,14 @@ impl LatencyRecorder {
         }
     }
 
-    /// The `q`-quantile (`q` in `[0, 1]`) by nearest rank, or `None` when
-    /// empty.
+    /// The `q`-quantile (`q` in `[0, 1]`) by nearest rank.
     ///
-    /// # Panics
-    ///
-    /// Panics if `q` is outside `[0, 1]` or NaN.
+    /// Returns `None` when empty or when `q` is NaN or outside
+    /// `[0, 1]` — never panics, matching [`Cdf::quantile`](crate::Cdf::quantile).
     pub fn percentile(&mut self, q: f64) -> Option<SimDuration> {
-        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if q.is_nan() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
         if self.samples.is_empty() {
             return None;
         }
@@ -264,10 +264,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn out_of_range_quantile_panics() {
+    fn out_of_range_quantile_is_none() {
         let mut rec: LatencyRecorder = [ms(1)].into_iter().collect();
-        let _ = rec.percentile(1.5);
+        assert_eq!(rec.percentile(1.5), None);
+        assert_eq!(rec.percentile(-0.1), None);
+        assert_eq!(rec.percentile(f64::NAN), None);
+    }
+
+    #[test]
+    fn single_sample_percentiles() {
+        let mut rec: LatencyRecorder = [ms(7)].into_iter().collect();
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(rec.percentile(q), Some(ms(7)), "q={q}");
+        }
     }
 
     proptest::proptest! {

@@ -31,11 +31,13 @@ pub mod agg;
 pub mod cdf;
 pub mod histogram;
 pub mod latency;
+pub mod registry;
 pub mod slo;
 pub mod timeseries;
 
 pub use cdf::Cdf;
 pub use histogram::Histogram;
 pub use latency::{LatencyRecorder, LatencySummary};
+pub use registry::MetricsRegistry;
 pub use slo::SloTracker;
 pub use timeseries::TimeSeries;

@@ -1,0 +1,101 @@
+//! A small counter/gauge registry snapshotted into each cell's JSON.
+//!
+//! The platform accumulates named counters (monotone `u64` totals) and
+//! gauges (point-in-time `f64` readings) over a run and stores the
+//! registry in its report; the harness serializes it under the
+//! `registry` key of every cell. Keys are `&'static str` and stored in
+//! a `BTreeMap`, so iteration order — and therefore the serialized
+//! byte stream — is independent of insertion order.
+
+use std::collections::BTreeMap;
+
+/// Named counters and gauges with deterministic iteration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `delta` to counter `name`, creating it at zero first.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Reads counter `name` (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// `true` when no counter or gauge has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut reg = MetricsRegistry::new();
+        assert!(reg.is_empty());
+        reg.inc("requests.completed");
+        reg.add("requests.completed", 4);
+        reg.add("pool.bytes_out", 4096);
+        assert_eq!(reg.counter("requests.completed"), 5);
+        assert_eq!(reg.counter("pool.bytes_out"), 4096);
+        assert_eq!(reg.counter("never.touched"), 0);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut reg = MetricsRegistry::new();
+        assert_eq!(reg.gauge("mem.peak_local_bytes"), None);
+        reg.set_gauge("mem.peak_local_bytes", 1024.0);
+        reg.set_gauge("mem.peak_local_bytes", 2048.0);
+        assert_eq!(reg.gauge("mem.peak_local_bytes"), Some(2048.0));
+    }
+
+    #[test]
+    fn iteration_is_key_ordered_regardless_of_insertion() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("z.last");
+        reg.inc("a.first");
+        reg.inc("m.middle");
+        let keys: Vec<&str> = reg.counters().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a.first", "m.middle", "z.last"]);
+    }
+}

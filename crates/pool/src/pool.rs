@@ -5,6 +5,7 @@ use std::fmt;
 
 use faasmem_sim::faults::LinkSchedule;
 use faasmem_sim::{SimDuration, SimTime};
+use faasmem_trace::{EventKind, TraceLayer, Tracer};
 
 use crate::degraded::DegradedLink;
 use crate::link::RdmaLink;
@@ -192,12 +193,20 @@ pub struct RemotePool {
     in_ops: u64,
     offloads_suspended: bool,
     offloads_refused: u64,
+    tracer: Tracer,
 }
 
 impl RemotePool {
     /// Creates a healthy pool from its configuration.
     pub fn new(config: PoolConfig) -> Self {
         RemotePool::with_link_schedule(config, LinkSchedule::empty())
+    }
+
+    /// Attaches a trace emission handle. Transfers, discards, refused
+    /// offloads, recall retries and breaker-open transitions emit
+    /// pool-layer events (attributed to the node, not a container).
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Creates a pool whose link (both directions) is subject to the
@@ -219,6 +228,7 @@ impl RemotePool {
             in_ops: 0,
             offloads_suspended: false,
             offloads_refused: 0,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -263,7 +273,27 @@ impl RemotePool {
         self.used_bytes += bytes;
         self.bytes_out += bytes;
         self.out_ops += 1;
-        Ok(self.out_link.transfer(now, bytes))
+        // Queueing delay must be read before the transfer advances the
+        // link; computed only when the pool layer is actually traced.
+        let traced = self.tracer.wants(TraceLayer::Pool);
+        let queued_us = if traced {
+            self.out_link.busy_until().saturating_since(now).as_micros()
+        } else {
+            0
+        };
+        let stall = self.out_link.transfer(now, bytes);
+        if traced {
+            self.tracer.emit(
+                None,
+                None,
+                EventKind::PoolPageOut {
+                    bytes,
+                    stall_us: stall.as_micros(),
+                    queued_us,
+                },
+            );
+        }
+        Ok(stall)
     }
 
     /// Faults `pages` pages back in at `now`. Returns the stall the
@@ -292,10 +322,28 @@ impl RemotePool {
         self.used_bytes -= bytes;
         self.bytes_in += bytes;
         self.in_ops += 1;
+        let traced = self.tracer.wants(TraceLayer::Pool);
+        let queued_us = if traced {
+            self.in_link.busy_until().saturating_since(now).as_micros()
+        } else {
+            0
+        };
         // Demand faults are serial per page in the kernel's swap-in path,
         // but Fastswap batches reads; model the batch as one transfer plus
         // one base fault latency (already folded into the link).
-        Ok(self.in_link.transfer(now, bytes))
+        let stall = self.in_link.transfer(now, bytes);
+        if traced {
+            self.tracer.emit(
+                None,
+                None,
+                EventKind::PoolPageIn {
+                    bytes,
+                    stall_us: stall.as_micros(),
+                    queued_us,
+                },
+            );
+        }
+        Ok(stall)
     }
 
     /// Faults `pages` pages back in under a fault policy: each attempt
@@ -331,8 +379,31 @@ impl RemotePool {
                 });
             }
             waited += policy.page_in_timeout + policy.backoff_delay(attempt);
+            if self.tracer.wants(TraceLayer::Pool) {
+                self.tracer.emit(
+                    None,
+                    None,
+                    EventKind::RecallRetry {
+                        attempt: u64::from(attempt) + 1,
+                        waited_us: waited.as_micros(),
+                    },
+                );
+            }
         }
-        breaker.record_failure(now + waited);
+        let newly_open = breaker.record_failure(now + waited);
+        if self.tracer.wants(TraceLayer::Pool) {
+            self.tracer.emit(
+                None,
+                None,
+                EventKind::RecallGaveUp {
+                    retries: u64::from(policy.max_retries) + 1,
+                    wasted_us: waited.as_micros(),
+                },
+            );
+            if newly_open {
+                self.tracer.emit(None, None, EventKind::BreakerOpen);
+            }
+        }
         Ok(RecallOutcome::GaveUp {
             wasted: waited,
             retries: policy.max_retries + 1,
@@ -355,6 +426,9 @@ impl RemotePool {
     /// suspended.
     pub fn note_refused_offload(&mut self) {
         self.offloads_refused += 1;
+        if self.tracer.wants(TraceLayer::Pool) {
+            self.tracer.emit(None, None, EventKind::OffloadRefused);
+        }
     }
 
     /// Lifetime offload batches refused while suspended.
@@ -394,6 +468,10 @@ impl RemotePool {
             });
         }
         self.used_bytes -= bytes;
+        if bytes > 0 && self.tracer.wants(TraceLayer::Pool) {
+            self.tracer
+                .emit(None, None, EventKind::PoolDiscard { bytes });
+        }
         Ok(())
     }
 
@@ -643,6 +721,84 @@ mod tests {
         assert_eq!(p.offloads_refused(), 2);
         p.set_offloads_suspended(false);
         assert!(!p.offloads_suspended());
+    }
+
+    #[test]
+    fn attached_tracer_reports_pool_events() {
+        use faasmem_trace::{EventKind, LayerMask, Tracer};
+
+        let tracer = Tracer::recording(LayerMask::ALL);
+        let mut p = pool();
+        p.attach_tracer(tracer.clone());
+        p.page_out(SimTime::ZERO, 25_600, 4096).unwrap();
+        p.page_out(SimTime::ZERO, 25_600, 4096).unwrap(); // queues behind the first
+        p.page_in(SimTime::from_secs(10), 4, 4096).unwrap();
+        p.discard(4, 4096).unwrap();
+        p.note_refused_offload();
+
+        let events = tracer.take_events();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "pool_page_out",
+                "pool_page_out",
+                "pool_page_in",
+                "pool_discard",
+                "offload_refused",
+            ]
+        );
+        // The second page-out saw the first still on the wire.
+        match (&events[0].kind, &events[1].kind) {
+            (
+                EventKind::PoolPageOut { queued_us: q1, .. },
+                EventKind::PoolPageOut { queued_us: q2, .. },
+            ) => {
+                assert_eq!(*q1, 0);
+                assert!(*q2 >= 1_000_000, "second batch queued ~1s, got {q2}µs");
+            }
+            other => panic!("unexpected kinds {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resilient_give_up_traces_retries_and_breaker() {
+        use crate::retry::{CircuitBreaker, RemoteFaultPolicy};
+        use faasmem_trace::{EventKind, LayerMask, Tracer};
+
+        let tracer = Tracer::recording(LayerMask::ALL);
+        let mut p = outage_pool(3_600);
+        p.attach_tracer(tracer.clone());
+        p.page_out(SimTime::ZERO, 4, 4096).unwrap();
+        let policy = RemoteFaultPolicy::hasty();
+        let mut breaker = CircuitBreaker::from_policy(&policy);
+        for _ in 0..2 {
+            p.page_in_resilient(SimTime::ZERO, 4, 4096, &policy, &mut breaker)
+                .unwrap();
+        }
+        let events = tracer.take_events();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        // page_out, then per give-up: 3 retries + gave_up; the second
+        // give-up trips the hasty breaker (threshold 2).
+        assert_eq!(
+            kinds,
+            vec![
+                "pool_page_out",
+                "recall_retry",
+                "recall_retry",
+                "recall_retry",
+                "recall_gave_up",
+                "recall_retry",
+                "recall_retry",
+                "recall_retry",
+                "recall_gave_up",
+                "breaker_open",
+            ]
+        );
+        assert!(matches!(
+            events[4].kind,
+            EventKind::RecallGaveUp { retries: 3, .. }
+        ));
     }
 
     #[test]

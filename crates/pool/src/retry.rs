@@ -149,14 +149,17 @@ impl CircuitBreaker {
     }
 
     /// Records a give-up at `now`; trips the breaker when the threshold
-    /// is reached.
-    pub fn record_failure(&mut self, now: SimTime) {
+    /// is reached. Returns `true` exactly when this call newly tripped
+    /// it, so callers can trace the open transition without polling.
+    pub fn record_failure(&mut self, now: SimTime) -> bool {
         self.consecutive_failures += 1;
         if self.consecutive_failures >= self.threshold {
             self.open_until = Some(now + self.cooldown);
             self.opens += 1;
             self.consecutive_failures = 0;
+            return true;
         }
+        false
     }
 
     /// Records a successful remote operation, resetting the failure
@@ -220,10 +223,10 @@ mod tests {
         let mut b = CircuitBreaker::new(3, SimDuration::from_secs(30));
         let t = SimTime::from_secs(100);
         assert!(!b.is_open(t));
-        b.record_failure(t);
-        b.record_failure(t);
+        assert!(!b.record_failure(t));
+        assert!(!b.record_failure(t));
         assert!(!b.is_open(t), "below threshold");
-        b.record_failure(t);
+        assert!(b.record_failure(t), "third failure newly trips");
         assert!(b.is_open(t));
         assert!(b.is_open(SimTime::from_secs(129)));
         assert!(!b.is_open(SimTime::from_secs(130)), "cooldown expired");

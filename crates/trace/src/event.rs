@@ -1,0 +1,646 @@
+//! The typed event model: layers, filter masks, event kinds and the
+//! stamped [`TraceEvent`] record.
+//!
+//! Every event carries a `(sim_time, seq)` pair assigned by the
+//! [`Tracer`](crate::Tracer) at emission. `seq` is strictly monotone
+//! within one tracer, so the pair is a total order over the events of a
+//! cell regardless of how many emitters interleave. Events never carry
+//! wall-clock time — that is the core determinism rule (wall-clock
+//! lives only in `.timing.json` files, which are never byte-compared).
+
+use crate::json::JsonValue;
+use faasmem_sim::SimTime;
+
+/// The subsystem an event originates from. Used for `--trace-filter`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceLayer {
+    /// Harness cell boundaries (grid cell start/end).
+    Harness,
+    /// Container lifecycle and request execution (`faas::platform`).
+    Container,
+    /// Page-table events: scans, generations, offload, page-in (`mem`).
+    Memory,
+    /// Remote-pool transfers, faults, breaker transitions (`pool`).
+    Pool,
+}
+
+impl TraceLayer {
+    /// All layers, in a fixed order.
+    pub const ALL: [TraceLayer; 4] = [
+        TraceLayer::Harness,
+        TraceLayer::Container,
+        TraceLayer::Memory,
+        TraceLayer::Pool,
+    ];
+
+    /// The stable lowercase name used in JSONL output and CLI filters.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceLayer::Harness => "harness",
+            TraceLayer::Container => "container",
+            TraceLayer::Memory => "memory",
+            TraceLayer::Pool => "pool",
+        }
+    }
+
+    fn bit(self) -> u8 {
+        1 << (self as u8)
+    }
+}
+
+impl std::str::FromStr for TraceLayer {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<TraceLayer, String> {
+        match s {
+            "harness" => Ok(TraceLayer::Harness),
+            "container" => Ok(TraceLayer::Container),
+            "memory" => Ok(TraceLayer::Memory),
+            "pool" => Ok(TraceLayer::Pool),
+            other => Err(format!(
+                "unknown trace layer '{other}' (expected harness, container, memory or pool)"
+            )),
+        }
+    }
+}
+
+/// A set of [`TraceLayer`]s, used to filter emission at the source so
+/// disabled layers cost one branch per event site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerMask(u8);
+
+impl LayerMask {
+    /// Every layer enabled (the default for `--trace`).
+    pub const ALL: LayerMask = LayerMask(0b1111);
+    /// No layer enabled.
+    pub const NONE: LayerMask = LayerMask(0);
+
+    /// A mask with exactly one layer enabled.
+    pub fn only(layer: TraceLayer) -> LayerMask {
+        LayerMask(layer.bit())
+    }
+
+    /// This mask with `layer` also enabled.
+    pub fn with(self, layer: TraceLayer) -> LayerMask {
+        LayerMask(self.0 | layer.bit())
+    }
+
+    /// Whether `layer` is enabled.
+    pub fn contains(self, layer: TraceLayer) -> bool {
+        self.0 & layer.bit() != 0
+    }
+
+    /// Parses a comma-separated layer list (`"container,pool"`).
+    /// Empty segments are ignored; an unknown name is an error.
+    pub fn parse_list(list: &str) -> Result<LayerMask, String> {
+        let mut mask = LayerMask::NONE;
+        for part in list.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            mask = mask.with(part.parse::<TraceLayer>()?);
+        }
+        Ok(mask)
+    }
+}
+
+impl Default for LayerMask {
+    fn default() -> LayerMask {
+        LayerMask::ALL
+    }
+}
+
+/// What happened. Each variant belongs to one [`TraceLayer`] and
+/// carries a small, fully deterministic payload (counts, byte totals,
+/// simulated durations in microseconds — never wall-clock).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    // -- harness ------------------------------------------------------
+    /// A grid cell began: the experiment labels and seeds for the run.
+    CellStart {
+        /// Trace label (workload trace name).
+        trace: String,
+        /// Benchmark label.
+        bench: String,
+        /// Config label.
+        config: String,
+        /// Policy label.
+        policy: String,
+        /// Deterministic cell seed.
+        seed: u64,
+    },
+    /// A grid cell finished cleanly.
+    CellEnd {
+        /// Requests completed over the cell.
+        requests: u64,
+        /// Simulated duration of the run in seconds.
+        sim_secs: f64,
+    },
+
+    // -- container lifecycle ------------------------------------------
+    /// A request arrived for a function.
+    RequestArrive {
+        /// Function index within the registered spec set.
+        function: u32,
+    },
+    /// A cold start began: a new container was created.
+    ContainerLaunch {
+        /// Function index the container serves.
+        function: u32,
+    },
+    /// The container runtime finished loading.
+    RuntimeLoaded,
+    /// Language/runtime initialization completed.
+    InitDone,
+    /// Request execution began on a container.
+    ExecStart {
+        /// Whether this execution is the container's cold start.
+        cold: bool,
+    },
+    /// Request execution finished.
+    ExecEnd {
+        /// End-to-end request latency in simulated microseconds.
+        latency_us: u64,
+        /// Demand page faults taken during this execution.
+        faults: u64,
+    },
+    /// The container went idle into the keep-alive pool.
+    KeepAliveEnter,
+    /// The container was recycled (keep-alive expiry or fault policy).
+    ContainerRetire {
+        /// Requests the container served over its lifetime.
+        requests: u64,
+    },
+    /// The container was killed by an injected crash event.
+    ContainerCrash,
+    /// A memory-node loss event hit the pool.
+    NodeLoss {
+        /// Containers forcibly recycled by the loss.
+        victims: u64,
+        /// Remote bytes lost with the node.
+        lost_bytes: u64,
+    },
+
+    // -- memory -------------------------------------------------------
+    /// An access-bit scan over a container's pages.
+    AccessScan {
+        /// Pages resident (local + remote) at scan time.
+        live: u64,
+        /// Pages observed accessed since the previous scan.
+        accessed: u64,
+    },
+    /// A new MGLRU generation was created (promote tip).
+    GenerationCreate {
+        /// The new generation number.
+        generation: u64,
+    },
+    /// Generations were aged and idle pages collected (demote).
+    GenerationAge {
+        /// Generation threshold used for collection.
+        threshold: u64,
+        /// Pages collected as offload candidates.
+        collected: u64,
+    },
+    /// Pages moved local → remote in the page table.
+    MemOffload {
+        /// Pages offloaded.
+        pages: u64,
+    },
+    /// Pages moved remote → local in the page table.
+    MemPageIn {
+        /// Pages brought back.
+        pages: u64,
+        /// `true` for demand faults, `false` for prefetch.
+        demand: bool,
+    },
+
+    // -- pool ---------------------------------------------------------
+    /// A transfer to the memory pool completed.
+    PoolPageOut {
+        /// Bytes moved.
+        bytes: u64,
+        /// Transfer duration in simulated microseconds.
+        stall_us: u64,
+        /// Time spent queued behind earlier transfers (saturation).
+        queued_us: u64,
+    },
+    /// A transfer back from the memory pool completed.
+    PoolPageIn {
+        /// Bytes moved.
+        bytes: u64,
+        /// Transfer duration in simulated microseconds.
+        stall_us: u64,
+        /// Time spent queued behind earlier transfers (saturation).
+        queued_us: u64,
+    },
+    /// Remote bytes were discarded without transfer (container retire).
+    PoolDiscard {
+        /// Bytes released.
+        bytes: u64,
+    },
+    /// An offload attempt was refused (suspension or link down).
+    OffloadRefused,
+    /// A resilient recall attempt timed out and scheduled a retry.
+    RecallRetry {
+        /// 1-based attempt number that failed.
+        attempt: u64,
+        /// Total simulated microseconds wasted so far in this recall.
+        waited_us: u64,
+    },
+    /// A resilient recall exhausted its retry budget.
+    RecallGaveUp {
+        /// Attempts made.
+        retries: u64,
+        /// Total simulated microseconds wasted before giving up.
+        wasted_us: u64,
+    },
+    /// The recall circuit breaker tripped open.
+    BreakerOpen,
+    /// The recall circuit breaker cooled down and closed.
+    BreakerClose,
+    /// A degraded-bandwidth window from the fault plan.
+    FaultWindow {
+        /// Window start, simulated microseconds.
+        start_us: u64,
+        /// Window end, simulated microseconds (`u64::MAX` = permanent).
+        end_us: u64,
+        /// Bandwidth multiplier in effect (0 = outage).
+        factor: f64,
+    },
+}
+
+impl EventKind {
+    /// The layer this kind belongs to.
+    pub fn layer(&self) -> TraceLayer {
+        use EventKind::*;
+        match self {
+            CellStart { .. } | CellEnd { .. } => TraceLayer::Harness,
+            RequestArrive { .. }
+            | ContainerLaunch { .. }
+            | RuntimeLoaded
+            | InitDone
+            | ExecStart { .. }
+            | ExecEnd { .. }
+            | KeepAliveEnter
+            | ContainerRetire { .. }
+            | ContainerCrash
+            | NodeLoss { .. } => TraceLayer::Container,
+            AccessScan { .. }
+            | GenerationCreate { .. }
+            | GenerationAge { .. }
+            | MemOffload { .. }
+            | MemPageIn { .. } => TraceLayer::Memory,
+            PoolPageOut { .. }
+            | PoolPageIn { .. }
+            | PoolDiscard { .. }
+            | OffloadRefused
+            | RecallRetry { .. }
+            | RecallGaveUp { .. }
+            | BreakerOpen
+            | BreakerClose
+            | FaultWindow { .. } => TraceLayer::Pool,
+        }
+    }
+
+    /// The stable snake_case kind name used in JSONL and Chrome output.
+    pub fn name(&self) -> &'static str {
+        use EventKind::*;
+        match self {
+            CellStart { .. } => "cell_start",
+            CellEnd { .. } => "cell_end",
+            RequestArrive { .. } => "request_arrive",
+            ContainerLaunch { .. } => "container_launch",
+            RuntimeLoaded => "runtime_loaded",
+            InitDone => "init_done",
+            ExecStart { .. } => "exec_start",
+            ExecEnd { .. } => "exec_end",
+            KeepAliveEnter => "keep_alive_enter",
+            ContainerRetire { .. } => "container_retire",
+            ContainerCrash => "container_crash",
+            NodeLoss { .. } => "node_loss",
+            AccessScan { .. } => "access_scan",
+            GenerationCreate { .. } => "generation_create",
+            GenerationAge { .. } => "generation_age",
+            MemOffload { .. } => "mem_offload",
+            MemPageIn { .. } => "mem_page_in",
+            PoolPageOut { .. } => "pool_page_out",
+            PoolPageIn { .. } => "pool_page_in",
+            PoolDiscard { .. } => "pool_discard",
+            OffloadRefused => "offload_refused",
+            RecallRetry { .. } => "recall_retry",
+            RecallGaveUp { .. } => "recall_gave_up",
+            BreakerOpen => "breaker_open",
+            BreakerClose => "breaker_close",
+            FaultWindow { .. } => "fault_window",
+        }
+    }
+
+    /// Appends the payload fields, in declaration order, to a JSON
+    /// object. Payload keys come after the envelope keys so every line
+    /// shares a stable prefix.
+    pub fn push_payload(&self, doc: &mut JsonValue) {
+        use EventKind::*;
+        let num = |v: u64| JsonValue::Num(v as f64);
+        match self {
+            CellStart {
+                trace,
+                bench,
+                config,
+                policy,
+                seed,
+            } => {
+                doc.push("trace", JsonValue::Str(trace.clone()));
+                doc.push("bench", JsonValue::Str(bench.clone()));
+                doc.push("config", JsonValue::Str(config.clone()));
+                doc.push("policy", JsonValue::Str(policy.clone()));
+                doc.push("seed", num(*seed));
+            }
+            CellEnd { requests, sim_secs } => {
+                doc.push("requests", num(*requests));
+                doc.push("sim_secs", JsonValue::Num(*sim_secs));
+            }
+            RequestArrive { function } | ContainerLaunch { function } => {
+                doc.push("function", num(u64::from(*function)));
+            }
+            RuntimeLoaded | InitDone | KeepAliveEnter | ContainerCrash | OffloadRefused
+            | BreakerOpen | BreakerClose => {}
+            ExecStart { cold } => {
+                doc.push("cold", JsonValue::Bool(*cold));
+            }
+            ExecEnd { latency_us, faults } => {
+                doc.push("latency_us", num(*latency_us));
+                doc.push("faults", num(*faults));
+            }
+            ContainerRetire { requests } => {
+                doc.push("requests", num(*requests));
+            }
+            NodeLoss {
+                victims,
+                lost_bytes,
+            } => {
+                doc.push("victims", num(*victims));
+                doc.push("lost_bytes", num(*lost_bytes));
+            }
+            AccessScan { live, accessed } => {
+                doc.push("live", num(*live));
+                doc.push("accessed", num(*accessed));
+            }
+            GenerationCreate { generation } => {
+                doc.push("generation", num(*generation));
+            }
+            GenerationAge {
+                threshold,
+                collected,
+            } => {
+                doc.push("threshold", num(*threshold));
+                doc.push("collected", num(*collected));
+            }
+            MemOffload { pages } => {
+                doc.push("pages", num(*pages));
+            }
+            MemPageIn { pages, demand } => {
+                doc.push("pages", num(*pages));
+                doc.push("demand", JsonValue::Bool(*demand));
+            }
+            PoolPageOut {
+                bytes,
+                stall_us,
+                queued_us,
+            }
+            | PoolPageIn {
+                bytes,
+                stall_us,
+                queued_us,
+            } => {
+                doc.push("bytes", num(*bytes));
+                doc.push("stall_us", num(*stall_us));
+                doc.push("queued_us", num(*queued_us));
+            }
+            PoolDiscard { bytes } => {
+                doc.push("bytes", num(*bytes));
+            }
+            RecallRetry { attempt, waited_us } => {
+                doc.push("attempt", num(*attempt));
+                doc.push("waited_us", num(*waited_us));
+            }
+            RecallGaveUp { retries, wasted_us } => {
+                doc.push("retries", num(*retries));
+                doc.push("wasted_us", num(*wasted_us));
+            }
+            FaultWindow {
+                start_us,
+                end_us,
+                factor,
+            } => {
+                doc.push("start_us", num(*start_us));
+                doc.push("end_us", num(*end_us));
+                doc.push("factor", JsonValue::Num(*factor));
+            }
+        }
+    }
+}
+
+/// One stamped trace record. `(time, seq)` is a total order within a
+/// cell; `container`/`request` are parent span ids linking a page or
+/// pool operation back to the container and request that caused it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated timestamp at emission.
+    pub time: SimTime,
+    /// Strictly monotone per-tracer sequence number (tie-break).
+    pub seq: u64,
+    /// Owning container id, when the event is container-scoped.
+    pub container: Option<u64>,
+    /// Owning request index, when the event is request-scoped.
+    pub request: Option<u64>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// The `(sim_time_us, seq)` sort key.
+    pub fn key(&self) -> (u64, u64) {
+        (self.time.as_micros(), self.seq)
+    }
+
+    /// Renders the event as one JSONL object. Envelope keys come first
+    /// in fixed order (`cell`, `t`, `seq`, `layer`, `kind`, then `ctr`
+    /// and `req` when present), followed by the payload.
+    pub fn to_json(&self, cell: Option<u64>) -> JsonValue {
+        let mut doc = JsonValue::obj();
+        if let Some(cell) = cell {
+            doc.push("cell", JsonValue::Num(cell as f64));
+        }
+        doc.push("t", JsonValue::Num(self.time.as_micros() as f64));
+        doc.push("seq", JsonValue::Num(self.seq as f64));
+        doc.push("layer", JsonValue::Str(self.kind.layer().name().into()));
+        doc.push("kind", JsonValue::Str(self.kind.name().into()));
+        if let Some(ctr) = self.container {
+            doc.push("ctr", JsonValue::Num(ctr as f64));
+        }
+        if let Some(req) = self.request {
+            doc.push("req", JsonValue::Num(req as f64));
+        }
+        self.kind.push_payload(&mut doc);
+        doc
+    }
+
+    /// The event as one compact JSONL line (no trailing newline).
+    pub fn jsonl_line(&self, cell: Option<u64>) -> String {
+        self.to_json(cell).to_compact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_names_roundtrip_through_fromstr() {
+        for layer in TraceLayer::ALL {
+            assert_eq!(layer.name().parse::<TraceLayer>().unwrap(), layer);
+        }
+        assert!("disk".parse::<TraceLayer>().is_err());
+    }
+
+    #[test]
+    fn mask_parsing_and_membership() {
+        let mask = LayerMask::parse_list("container, pool,").unwrap();
+        assert!(mask.contains(TraceLayer::Container));
+        assert!(mask.contains(TraceLayer::Pool));
+        assert!(!mask.contains(TraceLayer::Memory));
+        assert!(!mask.contains(TraceLayer::Harness));
+        assert_eq!(LayerMask::parse_list("").unwrap(), LayerMask::NONE);
+        assert!(LayerMask::parse_list("container,bogus").is_err());
+        assert_eq!(LayerMask::default(), LayerMask::ALL);
+        for layer in TraceLayer::ALL {
+            assert!(LayerMask::ALL.contains(layer));
+            assert!(!LayerMask::NONE.contains(layer));
+            assert!(LayerMask::only(layer).contains(layer));
+        }
+    }
+
+    #[test]
+    fn jsonl_envelope_key_order_is_fixed() {
+        let event = TraceEvent {
+            time: SimTime::from_secs(1),
+            seq: 7,
+            container: Some(3),
+            request: Some(12),
+            kind: EventKind::ExecEnd {
+                latency_us: 4500,
+                faults: 2,
+            },
+        };
+        assert_eq!(
+            event.jsonl_line(Some(0)),
+            "{\"cell\":0,\"t\":1000000,\"seq\":7,\"layer\":\"container\",\
+             \"kind\":\"exec_end\",\"ctr\":3,\"req\":12,\"latency_us\":4500,\"faults\":2}"
+        );
+    }
+
+    #[test]
+    fn optional_span_ids_are_omitted() {
+        let event = TraceEvent {
+            time: SimTime::ZERO,
+            seq: 0,
+            container: None,
+            request: None,
+            kind: EventKind::BreakerOpen,
+        };
+        assert_eq!(
+            event.jsonl_line(None),
+            "{\"t\":0,\"seq\":0,\"layer\":\"pool\",\"kind\":\"breaker_open\"}"
+        );
+    }
+
+    #[test]
+    fn every_kind_reports_a_consistent_layer() {
+        use EventKind::*;
+        let kinds: Vec<EventKind> = vec![
+            CellStart {
+                trace: "t".into(),
+                bench: "b".into(),
+                config: "c".into(),
+                policy: "p".into(),
+                seed: 1,
+            },
+            CellEnd {
+                requests: 1,
+                sim_secs: 1.0,
+            },
+            RequestArrive { function: 0 },
+            ContainerLaunch { function: 0 },
+            RuntimeLoaded,
+            InitDone,
+            ExecStart { cold: true },
+            ExecEnd {
+                latency_us: 1,
+                faults: 0,
+            },
+            KeepAliveEnter,
+            ContainerRetire { requests: 1 },
+            ContainerCrash,
+            NodeLoss {
+                victims: 1,
+                lost_bytes: 4096,
+            },
+            AccessScan {
+                live: 1,
+                accessed: 1,
+            },
+            GenerationCreate { generation: 2 },
+            GenerationAge {
+                threshold: 1,
+                collected: 3,
+            },
+            MemOffload { pages: 4 },
+            MemPageIn {
+                pages: 2,
+                demand: true,
+            },
+            PoolPageOut {
+                bytes: 4096,
+                stall_us: 10,
+                queued_us: 0,
+            },
+            PoolPageIn {
+                bytes: 4096,
+                stall_us: 10,
+                queued_us: 5,
+            },
+            PoolDiscard { bytes: 4096 },
+            OffloadRefused,
+            RecallRetry {
+                attempt: 1,
+                waited_us: 100,
+            },
+            RecallGaveUp {
+                retries: 3,
+                wasted_us: 300,
+            },
+            BreakerOpen,
+            BreakerClose,
+            FaultWindow {
+                start_us: 0,
+                end_us: 100,
+                factor: 0.5,
+            },
+        ];
+        for kind in &kinds {
+            // Every kind serializes without panicking and its name is
+            // non-empty; layer() must be stable with the JSONL field.
+            let event = TraceEvent {
+                time: SimTime::ZERO,
+                seq: 0,
+                container: None,
+                request: None,
+                kind: kind.clone(),
+            };
+            let line = event.jsonl_line(Some(1));
+            assert!(line.contains(&format!("\"kind\":\"{}\"", kind.name())));
+            assert!(line.contains(&format!("\"layer\":\"{}\"", kind.layer().name())));
+        }
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Deterministic event tracing for the FaaSMem reproduction.
+//!
+//! The simulator's end-of-run aggregates say *what* happened; this
+//! crate records *why* and *when*: a typed, sim-time-stamped event
+//! stream covering container lifecycle, page-table activity, memory-
+//! pool transfers and harness cell boundaries. The design constraints,
+//! in order:
+//!
+//! 1. **Determinism.** Events are stamped `(sim_time, seq)` by a
+//!    single per-cell [`Tracer`]; `seq` is strictly monotone, so the
+//!    pair is a total order no matter how many subsystems interleave.
+//!    Wall-clock never enters an event, and cells are traced
+//!    independently, so a merged trace is byte-identical for any
+//!    `--jobs` value.
+//! 2. **Zero cost when off.** The default [`Tracer::disabled`] handle
+//!    is a `None`; every emission site is one well-predicted branch
+//!    and no allocation.
+//! 3. **Pluggable sinks.** [`BufferSink`] (harness default),
+//!    [`RingSink`] (bounded flight recorder), [`JsonlSink`]
+//!    (streaming), [`NullSink`] — all behind the [`TraceSink`] trait.
+//!
+//! Export paths: compact JSONL via [`TraceEvent::jsonl_line`], Chrome
+//! trace-event / Perfetto via [`chrome::chrome_trace`], and per-
+//! container timeline reconstruction via [`summary::summarize_jsonl`].
+//! The [`json`] module is the workspace's one JSON writer/parser
+//! (re-exported by `bench::json`), so result files, timing files and
+//! traces share a single formatting rule.
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod summary;
+pub mod tracer;
+
+pub use chrome::{chrome_trace, ChromeGroup};
+pub use event::{EventKind, LayerMask, TraceEvent, TraceLayer};
+pub use json::JsonValue;
+pub use summary::{summarize_jsonl, CellSummary, ContainerTimeline, TraceSummary};
+pub use tracer::{BufferSink, JsonlSink, NullSink, RingSink, TraceSink, Tracer};

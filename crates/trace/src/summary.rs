@@ -1,0 +1,439 @@
+//! Per-container timeline reconstruction from a JSONL trace.
+//!
+//! This is the analysis half of the `trace_summary` bin: it parses the
+//! JSONL lines the harness wrote, groups them by `(cell, container)`,
+//! and folds each group into a [`ContainerTimeline`] — when the
+//! container launched, how long init took, how many executions and
+//! faults it served, what it offloaded and recalled — plus per-cell
+//! pool totals. Everything here operates on the serialized trace, so
+//! it doubles as a schema check for the JSONL writer.
+
+use crate::json::{self, JsonValue};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One container's reconstructed lifecycle.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ContainerTimeline {
+    /// Container id.
+    pub container: u64,
+    /// Function index served, when a launch event was seen.
+    pub function: Option<u64>,
+    /// Launch timestamp (simulated microseconds).
+    pub launched_us: Option<u64>,
+    /// Runtime-loaded timestamp.
+    pub runtime_loaded_us: Option<u64>,
+    /// Init-done timestamp.
+    pub init_done_us: Option<u64>,
+    /// Retire timestamp.
+    pub retired_us: Option<u64>,
+    /// Executions observed.
+    pub execs: u64,
+    /// Executions that were cold starts.
+    pub cold_execs: u64,
+    /// Demand faults summed over executions.
+    pub faults: u64,
+    /// Pages offloaded from this container.
+    pub offload_pages: u64,
+    /// Pages demand-paged back in.
+    pub demand_pages: u64,
+    /// Pages prefetched back in.
+    pub prefetch_pages: u64,
+    /// Whether an injected crash killed it.
+    pub crashed: bool,
+}
+
+/// Totals for one grid cell.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellSummary {
+    /// Cell index.
+    pub cell: u64,
+    /// `trace/bench/config/policy` label from the cell-start event.
+    pub label: String,
+    /// Events observed for this cell.
+    pub events: u64,
+    /// Requests completed (from the cell-end event).
+    pub requests: u64,
+    /// Simulated seconds covered (from the cell-end event).
+    pub sim_secs: f64,
+    /// Bytes paged out to the pool.
+    pub pool_bytes_out: u64,
+    /// Bytes paged in from the pool.
+    pub pool_bytes_in: u64,
+    /// Recall retries observed.
+    pub recall_retries: u64,
+    /// Recalls that exhausted their budget.
+    pub recalls_gave_up: u64,
+    /// Breaker open transitions.
+    pub breaker_opens: u64,
+    /// Container timelines, ordered by container id.
+    pub containers: Vec<ContainerTimeline>,
+}
+
+/// A parsed trace: one summary per cell, in cell order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Per-cell summaries.
+    pub cells: Vec<CellSummary>,
+}
+
+fn num(doc: &JsonValue, key: &str) -> Option<u64> {
+    doc.get(key).and_then(JsonValue::as_num).map(|n| n as u64)
+}
+
+fn text<'a>(doc: &'a JsonValue, key: &str) -> &'a str {
+    doc.get(key).and_then(JsonValue::as_str).unwrap_or("")
+}
+
+/// Parses a JSONL trace into per-cell, per-container summaries.
+/// Malformed lines are an error (the writer never emits them).
+pub fn summarize_jsonl(input: &str) -> Result<TraceSummary, String> {
+    struct CellState {
+        summary: CellSummary,
+        containers: BTreeMap<u64, ContainerTimeline>,
+    }
+    let mut cells: BTreeMap<u64, CellState> = BTreeMap::new();
+
+    for (lineno, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let cell = num(&doc, "cell").unwrap_or(0);
+        let state = cells.entry(cell).or_insert_with(|| CellState {
+            summary: CellSummary {
+                cell,
+                ..CellSummary::default()
+            },
+            containers: BTreeMap::new(),
+        });
+        state.summary.events += 1;
+        let t = num(&doc, "t").unwrap_or(0);
+        let ctr = num(&doc, "ctr");
+        let timeline = ctr.map(|c| {
+            state
+                .containers
+                .entry(c)
+                .or_insert_with(|| ContainerTimeline {
+                    container: c,
+                    ..ContainerTimeline::default()
+                })
+        });
+        match text(&doc, "kind") {
+            "cell_start" => {
+                state.summary.label = format!(
+                    "{}/{}/{}/{}",
+                    text(&doc, "trace"),
+                    text(&doc, "bench"),
+                    text(&doc, "config"),
+                    text(&doc, "policy")
+                );
+            }
+            "cell_end" => {
+                state.summary.requests = num(&doc, "requests").unwrap_or(0);
+                state.summary.sim_secs = doc
+                    .get("sim_secs")
+                    .and_then(JsonValue::as_num)
+                    .unwrap_or(0.0);
+            }
+            "container_launch" => {
+                if let Some(tl) = timeline {
+                    tl.function = num(&doc, "function");
+                    tl.launched_us = Some(t);
+                }
+            }
+            "runtime_loaded" => {
+                if let Some(tl) = timeline {
+                    tl.runtime_loaded_us = Some(t);
+                }
+            }
+            "init_done" => {
+                if let Some(tl) = timeline {
+                    tl.init_done_us = Some(t);
+                }
+            }
+            "exec_start" => {
+                if let Some(tl) = timeline {
+                    tl.execs += 1;
+                    if doc.get("cold") == Some(&JsonValue::Bool(true)) {
+                        tl.cold_execs += 1;
+                    }
+                }
+            }
+            "exec_end" => {
+                if let Some(tl) = timeline {
+                    tl.faults += num(&doc, "faults").unwrap_or(0);
+                }
+            }
+            "container_retire" => {
+                if let Some(tl) = timeline {
+                    tl.retired_us = Some(t);
+                }
+            }
+            "container_crash" => {
+                if let Some(tl) = timeline {
+                    tl.crashed = true;
+                }
+            }
+            "mem_offload" => {
+                if let Some(tl) = timeline {
+                    tl.offload_pages += num(&doc, "pages").unwrap_or(0);
+                }
+            }
+            "mem_page_in" => {
+                if let Some(tl) = timeline {
+                    let pages = num(&doc, "pages").unwrap_or(0);
+                    if doc.get("demand") == Some(&JsonValue::Bool(true)) {
+                        tl.demand_pages += pages;
+                    } else {
+                        tl.prefetch_pages += pages;
+                    }
+                }
+            }
+            "pool_page_out" => {
+                state.summary.pool_bytes_out += num(&doc, "bytes").unwrap_or(0);
+            }
+            "pool_page_in" => {
+                state.summary.pool_bytes_in += num(&doc, "bytes").unwrap_or(0);
+            }
+            "recall_retry" => state.summary.recall_retries += 1,
+            "recall_gave_up" => state.summary.recalls_gave_up += 1,
+            "breaker_open" => state.summary.breaker_opens += 1,
+            _ => {}
+        }
+    }
+
+    let mut out = TraceSummary::default();
+    for (_, state) in cells {
+        let mut summary = state.summary;
+        summary.containers = state.containers.into_values().collect();
+        out.cells.push(summary);
+    }
+    Ok(out)
+}
+
+fn fmt_opt_ms(us: Option<u64>) -> String {
+    match us {
+        Some(us) => format!("{:.1}", us as f64 / 1000.0),
+        None => "-".to_string(),
+    }
+}
+
+/// Renders the summary as the fixed-width text table the
+/// `trace_summary` bin prints.
+pub fn render_text(summary: &TraceSummary) -> String {
+    let mut out = String::new();
+    for cell in &summary.cells {
+        let _ = writeln!(
+            out,
+            "cell {} [{}]: {} events, {} requests, {:.1} sim-s",
+            cell.cell, cell.label, cell.events, cell.requests, cell.sim_secs
+        );
+        let _ = writeln!(
+            out,
+            "  pool: {} B out, {} B in, {} retries, {} gave up, {} breaker opens",
+            cell.pool_bytes_out,
+            cell.pool_bytes_in,
+            cell.recall_retries,
+            cell.recalls_gave_up,
+            cell.breaker_opens
+        );
+        if !cell.containers.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:>5} {:>4} {:>10} {:>10} {:>10} {:>10} {:>6} {:>6} {:>7} {:>8} {:>8} {:>8}",
+                "ctr",
+                "fn",
+                "launch_ms",
+                "loaded_ms",
+                "init_ms",
+                "retire_ms",
+                "execs",
+                "cold",
+                "faults",
+                "offload",
+                "demand",
+                "prefetch"
+            );
+        }
+        for tl in &cell.containers {
+            let _ = writeln!(
+                out,
+                "  {:>5} {:>4} {:>10} {:>10} {:>10} {:>10} {:>6} {:>6} {:>7} {:>8} {:>8} {:>8}{}",
+                tl.container,
+                tl.function.map_or("-".to_string(), |f| f.to_string()),
+                fmt_opt_ms(tl.launched_us),
+                fmt_opt_ms(tl.runtime_loaded_us),
+                fmt_opt_ms(tl.init_done_us),
+                fmt_opt_ms(tl.retired_us),
+                tl.execs,
+                tl.cold_execs,
+                tl.faults,
+                tl.offload_pages,
+                tl.demand_pages,
+                tl.prefetch_pages,
+                if tl.crashed { "  CRASHED" } else { "" }
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, TraceEvent};
+    use faasmem_sim::SimTime;
+
+    fn line(us: u64, seq: u64, ctr: Option<u64>, req: Option<u64>, kind: EventKind) -> String {
+        TraceEvent {
+            time: SimTime::from_micros(us),
+            seq,
+            container: ctr,
+            request: req,
+            kind,
+        }
+        .jsonl_line(Some(0))
+    }
+
+    #[test]
+    fn reconstructs_a_container_timeline() {
+        let jsonl = [
+            line(
+                0,
+                0,
+                None,
+                None,
+                EventKind::CellStart {
+                    trace: "azure".into(),
+                    bench: "image".into(),
+                    config: "default".into(),
+                    policy: "faasmem".into(),
+                    seed: 42,
+                },
+            ),
+            line(
+                0,
+                1,
+                Some(0),
+                Some(0),
+                EventKind::ContainerLaunch { function: 2 },
+            ),
+            line(1500, 2, Some(0), Some(0), EventKind::RuntimeLoaded),
+            line(2500, 3, Some(0), Some(0), EventKind::InitDone),
+            line(
+                2500,
+                4,
+                Some(0),
+                Some(0),
+                EventKind::ExecStart { cold: true },
+            ),
+            line(2600, 5, Some(0), None, EventKind::MemOffload { pages: 8 }),
+            line(
+                2700,
+                6,
+                None,
+                None,
+                EventKind::PoolPageOut {
+                    bytes: 32768,
+                    stall_us: 12,
+                    queued_us: 0,
+                },
+            ),
+            line(
+                3000,
+                7,
+                Some(0),
+                Some(0),
+                EventKind::ExecEnd {
+                    latency_us: 3000,
+                    faults: 2,
+                },
+            ),
+            line(3000, 8, Some(0), None, EventKind::KeepAliveEnter),
+            line(
+                4000,
+                9,
+                Some(0),
+                Some(1),
+                EventKind::ExecStart { cold: false },
+            ),
+            line(
+                4100,
+                10,
+                Some(0),
+                None,
+                EventKind::MemPageIn {
+                    pages: 3,
+                    demand: true,
+                },
+            ),
+            line(
+                4500,
+                11,
+                Some(0),
+                Some(1),
+                EventKind::ExecEnd {
+                    latency_us: 500,
+                    faults: 3,
+                },
+            ),
+            line(
+                9000,
+                12,
+                Some(0),
+                None,
+                EventKind::ContainerRetire { requests: 2 },
+            ),
+            line(
+                9500,
+                13,
+                None,
+                None,
+                EventKind::CellEnd {
+                    requests: 2,
+                    sim_secs: 9.5,
+                },
+            ),
+        ]
+        .join("\n");
+
+        let summary = summarize_jsonl(&jsonl).unwrap();
+        assert_eq!(summary.cells.len(), 1);
+        let cell = &summary.cells[0];
+        assert_eq!(cell.label, "azure/image/default/faasmem");
+        assert_eq!(cell.events, 14);
+        assert_eq!(cell.requests, 2);
+        assert_eq!(cell.pool_bytes_out, 32768);
+        assert_eq!(cell.containers.len(), 1);
+        let tl = &cell.containers[0];
+        assert_eq!(tl.function, Some(2));
+        assert_eq!(tl.launched_us, Some(0));
+        assert_eq!(tl.runtime_loaded_us, Some(1500));
+        assert_eq!(tl.init_done_us, Some(2500));
+        assert_eq!(tl.retired_us, Some(9000));
+        assert_eq!(tl.execs, 2);
+        assert_eq!(tl.cold_execs, 1);
+        assert_eq!(tl.faults, 5);
+        assert_eq!(tl.offload_pages, 8);
+        assert_eq!(tl.demand_pages, 3);
+        assert_eq!(tl.prefetch_pages, 0);
+        assert!(!tl.crashed);
+
+        let text = render_text(&summary);
+        assert!(text.contains("cell 0 [azure/image/default/faasmem]"));
+        assert!(text.contains("32768 B out"));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_numbers() {
+        let err = summarize_jsonl("{\"t\":0}\nnot json").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_summary() {
+        assert_eq!(summarize_jsonl("").unwrap(), TraceSummary::default());
+        assert_eq!(summarize_jsonl("\n\n").unwrap(), TraceSummary::default());
+    }
+}

@@ -18,6 +18,8 @@
 //! * [`core`] — the FaaSMem mechanism itself: Puckets, segment-wise
 //!   offloading policies, the hot page pool and the semi-warm period.
 //! * [`baselines`] — NoOffload, TMO-like and DAMON-like baseline policies.
+//! * [`trace`] — deterministic event tracing: typed sim-time events,
+//!   pluggable sinks, JSONL and Chrome/Perfetto export.
 //!
 //! # Quickstart
 //!
@@ -49,6 +51,7 @@ pub use faasmem_mem as mem;
 pub use faasmem_metrics as metrics;
 pub use faasmem_pool as pool;
 pub use faasmem_sim as sim;
+pub use faasmem_trace as trace;
 pub use faasmem_workload as workload;
 
 /// One-stop imports for examples and downstream experiments.
@@ -63,5 +66,6 @@ pub mod prelude {
     pub use faasmem_metrics::{Cdf, LatencyRecorder, LatencySummary, TimeSeries};
     pub use faasmem_pool::{PoolConfig, RemotePool};
     pub use faasmem_sim::{SimDuration, SimRng, SimTime};
+    pub use faasmem_trace::{EventKind, LayerMask, TraceEvent, TraceLayer, Tracer};
     pub use faasmem_workload::{BenchmarkSpec, InvocationTrace, LoadClass, TraceSynthesizer};
 }
