@@ -5,22 +5,47 @@
 //!     --quick --trace results/fig12.trace.jsonl
 //! cargo run --release -p faasmem-bench --bin trace_summary -- \
 //!     results/fig12.trace.jsonl
+//! cargo run --release -p faasmem-bench --bin trace_summary -- \
+//!     results/fig12.trace.jsonl --container 3
 //! ```
 //!
 //! Prints one block per grid cell: the cell's coordinates and headline
 //! counters, then one row per container with its lifecycle milestones
-//! and memory traffic. The rendering is a pure function of the input
-//! file, so serial and parallel harness runs summarize identically.
+//! and memory traffic. `--container ID` narrows the output to a single
+//! container's timeline across all cells. The rendering is a pure
+//! function of the input file, so serial and parallel harness runs
+//! summarize identically.
+//!
+//! Exit codes: 0 success, 1 malformed trace, 2 usage / IO errors.
 
 use faasmem_trace::summarize_jsonl;
 use faasmem_trace::summary::render_text;
 
+fn usage() -> ! {
+    eprintln!("usage: trace_summary <trace.jsonl> [--container ID]");
+    std::process::exit(2);
+}
+
 fn main() {
+    let mut path: Option<String> = None;
+    let mut container: Option<u64> = None;
     let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: trace_summary <trace.jsonl>");
-        std::process::exit(2);
-    };
+    while let Some(arg) = args.next() {
+        if let Some(value) = arg.strip_prefix("--container=") {
+            container = Some(parse_container(value));
+        } else if arg == "--container" {
+            let Some(value) = args.next() else { usage() };
+            container = Some(parse_container(&value));
+        } else if arg.starts_with("--") {
+            eprintln!("trace_summary: unknown option {arg}");
+            usage();
+        } else if path.is_none() {
+            path = Some(arg);
+        } else {
+            usage();
+        }
+    }
+    let Some(path) = path else { usage() };
     let input = match std::fs::read_to_string(&path) {
         Ok(input) => input,
         Err(e) => {
@@ -29,10 +54,29 @@ fn main() {
         }
     };
     match summarize_jsonl(&input) {
-        Ok(summary) => print!("{}", render_text(&summary)),
+        Ok(mut summary) => {
+            if let Some(id) = container {
+                summary.filter_container(id);
+                if summary.cells.is_empty() {
+                    eprintln!("trace_summary: container {id} not found in {path}");
+                    std::process::exit(1);
+                }
+            }
+            print!("{}", render_text(&summary));
+        }
         Err(e) => {
             eprintln!("trace_summary: {path}: {e}");
             std::process::exit(1);
+        }
+    }
+}
+
+fn parse_container(value: &str) -> u64 {
+    match value.parse::<u64>() {
+        Ok(id) => id,
+        Err(_) => {
+            eprintln!("trace_summary: bad container id {value:?}");
+            std::process::exit(2);
         }
     }
 }

@@ -26,7 +26,10 @@ use faasmem_baselines::{DamonPolicy, NoOffloadPolicy, TmoPolicy};
 use faasmem_core::{FaasMemPolicy, FaasMemStats, StatsHandle};
 use faasmem_faas::{MemoryPolicy, PlatformConfig, PlatformSim, RunReport, RunSummary};
 use faasmem_metrics::agg;
-use faasmem_sim::SimTime;
+use faasmem_sim::{SimDuration, SimTime};
+use faasmem_telemetry::{
+    profile_scope, profiler, rss, SampleSpec, Sampler, SeriesMask, TimeSeries,
+};
 use faasmem_trace::{chrome_trace, ChromeGroup, EventKind, LayerMask, TraceEvent, Tracer};
 use faasmem_workload::{
     ArrivalModel, BenchmarkSpec, FunctionId, InvocationTrace, LoadClass, TraceStats,
@@ -451,6 +454,17 @@ pub struct HarnessOptions {
     pub trace: Option<PathBuf>,
     /// Layers recorded when tracing is on (default: all).
     pub trace_filter: LayerMask,
+    /// When set, sample per-cell telemetry series and write the merged
+    /// document to this path. `None` keeps the zero-cost disabled
+    /// sampler on every hot path.
+    pub series: Option<PathBuf>,
+    /// Sim-time sampling period when `--series` is on (default: 1 s).
+    pub series_interval: SimDuration,
+    /// Series groups recorded when sampling is on (default: all).
+    pub series_select: SeriesMask,
+    /// Profile the harness itself and export a `BENCH_*.json` perf
+    /// baseline next to the results.
+    pub profile: bool,
 }
 
 impl Default for HarnessOptions {
@@ -462,16 +476,23 @@ impl Default for HarnessOptions {
             out_dir: PathBuf::from("results"),
             trace: None,
             trace_filter: LayerMask::ALL,
+            series: None,
+            series_interval: SimDuration::from_secs(1),
+            series_select: SeriesMask::ALL,
+            profile: false,
         }
     }
 }
 
 impl HarnessOptions {
     /// Parses `--jobs N` / `-j N` / `--jobs=N`, `--quick`,
-    /// `--out DIR` / `--out=DIR`, `--trace PATH` / `--trace=PATH` and
+    /// `--out DIR` / `--out=DIR`, `--trace PATH` / `--trace=PATH`,
     /// `--trace-filter LAYERS` / `--trace-filter=LAYERS` (comma list of
-    /// `harness,container,memory,pool`) from the process arguments.
-    /// Unknown arguments are ignored so binaries can add their own flags.
+    /// `harness,container,memory,pool`), `--series PATH` /
+    /// `--series=PATH`, `--series-interval SECS`, `--series-select
+    /// GROUPS` (comma list of `faas,mem,pool,registry`) and `--profile`
+    /// from the process arguments. Unknown arguments are ignored so
+    /// binaries can add their own flags.
     pub fn from_env() -> Self {
         Self::parse(std::env::args().skip(1))
     }
@@ -514,10 +535,38 @@ impl HarnessOptions {
                 }
             } else if let Some(list) = arg.strip_prefix("--trace-filter=") {
                 Self::apply_trace_filter(&mut opts, list);
+            } else if arg == "--series" {
+                if let Some(path) = args.next() {
+                    opts.series = Some(PathBuf::from(path.as_ref()));
+                }
+            } else if let Some(path) = arg.strip_prefix("--series=") {
+                opts.series = Some(PathBuf::from(path));
+            } else if arg == "--series-interval" {
+                if let Some(secs) = args.next() {
+                    Self::apply_series_interval(&mut opts, secs.as_ref());
+                }
+            } else if let Some(secs) = arg.strip_prefix("--series-interval=") {
+                Self::apply_series_interval(&mut opts, secs);
+            } else if arg == "--series-select" {
+                if let Some(list) = args.next() {
+                    Self::apply_series_select(&mut opts, list.as_ref());
+                }
+            } else if let Some(list) = arg.strip_prefix("--series-select=") {
+                Self::apply_series_select(&mut opts, list);
+            } else if arg == "--profile" {
+                opts.profile = true;
             }
         }
         opts.jobs = opts.jobs.max(1);
         opts
+    }
+
+    /// The per-cell sampling spec, when `--series` asked for one.
+    pub fn sample_spec(&self) -> Option<SampleSpec> {
+        self.series.as_ref().map(|_| SampleSpec {
+            interval: self.series_interval,
+            select: self.series_select,
+        })
     }
 
     fn apply_trace_filter(opts: &mut HarnessOptions, list: &str) {
@@ -526,6 +575,23 @@ impl HarnessOptions {
             Err(e) => {
                 eprintln!("[harness] ignoring --trace-filter: {e}");
             }
+        }
+    }
+
+    fn apply_series_interval(opts: &mut HarnessOptions, secs: &str) {
+        match secs.parse::<f64>() {
+            Ok(s) if s > 0.0 && s.is_finite() => {
+                opts.series_interval = SimDuration::from_secs_f64(s);
+            }
+            _ => eprintln!("[harness] ignoring --series-interval: not a positive number: {secs}"),
+        }
+    }
+
+    fn apply_series_select(opts: &mut HarnessOptions, list: &str) {
+        match SeriesMask::parse_list(list) {
+            Ok(mask) if mask != SeriesMask::NONE => opts.series_select = mask,
+            Ok(_) => eprintln!("[harness] ignoring --series-select: empty group list"),
+            Err(e) => eprintln!("[harness] ignoring --series-select: {e}"),
         }
     }
 }
@@ -565,6 +631,9 @@ pub struct CellOutcome {
     /// The cell's drained event trace, in `(sim_time, seq)` order.
     /// Empty unless the harness ran with `--trace`.
     pub trace_events: Vec<TraceEvent>,
+    /// The cell's sampled telemetry series, rows on sim-time interval
+    /// boundaries. Empty unless the harness ran with `--series`.
+    pub series: TimeSeries,
 }
 
 /// One cell's result: its coordinates, outcome (or captured panic) and
@@ -582,6 +651,11 @@ pub struct CellResult {
     pub outcome: Result<CellOutcome, String>,
     /// Wall-clock seconds this cell took on its worker.
     pub wall_secs: f64,
+    /// Process peak RSS in KiB observed right after the cell finished
+    /// (`None` off Linux). The kernel value is a process-wide
+    /// high-water mark, so this reads as "peak so far", not a
+    /// per-cell footprint.
+    pub peak_rss_kb: Option<u64>,
 }
 
 /// A completed grid run: all cells in deterministic grid order.
@@ -677,6 +751,10 @@ impl GridRun {
                 JsonValue::Num(self.sim_secs_total() / self.wall_total_secs),
             );
         }
+        match self.cells.iter().filter_map(|c| c.peak_rss_kb).max() {
+            Some(peak) => doc.push("peak_rss_kb", JsonValue::Num(peak as f64)),
+            None => doc.push("peak_rss_kb", JsonValue::Null),
+        };
         let cells: Vec<JsonValue> = self
             .cells
             .iter()
@@ -684,11 +762,68 @@ impl GridRun {
                 let mut cell = JsonValue::obj();
                 push_labels(&mut cell, &c.labels);
                 cell.push("wall_secs", JsonValue::Num(c.wall_secs));
+                // Process-wide high-water mark at cell completion;
+                // explicit null where the platform can't report it.
+                match c.peak_rss_kb {
+                    Some(kb) => cell.push("peak_rss_kb", JsonValue::Num(kb as f64)),
+                    None => cell.push("peak_rss_kb", JsonValue::Null),
+                };
                 cell
             })
             .collect();
         doc.push("cells", JsonValue::Arr(cells));
         doc
+    }
+
+    /// The merged telemetry series document: cells in grid order, each
+    /// carrying its columnar `TimeSeries`. Sim-time rows only — no
+    /// wall-clock — so like the result JSON it is a pure function of
+    /// the grid, byte-identical for any `--jobs` value. Panicked cells
+    /// contribute an empty series.
+    pub fn series_json(&self, interval: SimDuration) -> JsonValue {
+        let mut doc = JsonValue::obj();
+        doc.push("schema_version", JsonValue::Num(SCHEMA_VERSION as f64));
+        doc.push("grid", JsonValue::Str(self.name.clone()));
+        doc.push("quick", JsonValue::Bool(self.quick));
+        doc.push("interval_us", JsonValue::Num(interval.as_micros() as f64));
+        let cells: Vec<JsonValue> = self
+            .cells
+            .iter()
+            .map(|c| {
+                let mut cell = JsonValue::obj();
+                push_labels(&mut cell, &c.labels);
+                match &c.outcome {
+                    Ok(o) => {
+                        let ts = o.series.to_json();
+                        cell.push("t_us", ts.get("t_us").cloned().unwrap_or(JsonValue::Null));
+                        cell.push(
+                            "series",
+                            ts.get("series").cloned().unwrap_or(JsonValue::Null),
+                        );
+                    }
+                    Err(_) => {
+                        cell.push("t_us", JsonValue::Arr(Vec::new()));
+                        cell.push("series", JsonValue::obj());
+                    }
+                }
+                cell
+            })
+            .collect();
+        doc.push("cells", JsonValue::Arr(cells));
+        doc
+    }
+
+    /// Writes the merged series document (compact JSON) to `path`.
+    pub fn write_series(&self, path: &Path, interval: SimDuration) -> std::io::Result<()> {
+        profile_scope!("series_export");
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut out = self.series_json(interval).to_compact();
+        out.push('\n');
+        std::fs::write(path, out)
     }
 
     /// The merged event trace as JSONL: cells in grid order, each line
@@ -736,6 +871,7 @@ impl GridRun {
     /// Writes the JSONL trace to `path` and the Chrome view next to it
     /// (`path` with its extension replaced by `chrome.json`).
     pub fn write_trace(&self, path: &Path) -> std::io::Result<()> {
+        profile_scope!("trace_flush");
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
                 std::fs::create_dir_all(dir)?;
@@ -749,6 +885,7 @@ impl GridRun {
     /// Writes `<name>.json` (deterministic) and `<name>.timing.json`
     /// (wall-clock) under `dir`, returning the main file's path.
     pub fn write_results(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        profile_scope!("json_export");
         std::fs::create_dir_all(dir)?;
         let main = dir.join(format!("{}.json", self.name));
         std::fs::write(&main, self.to_json().to_pretty())?;
@@ -800,6 +937,99 @@ impl GridRun {
             );
         }
     }
+
+    /// The perf-baseline document diffed by `bench_compare`: grid id,
+    /// git revision, total/per-cell wall time, peak RSS and the
+    /// profiler's per-phase breakdown. Wall-clock data throughout —
+    /// this is a timing side channel like `timing_json`, never part of
+    /// the deterministic results.
+    pub fn bench_json(&self, phases: &[(&'static str, profiler::PhaseStat)]) -> JsonValue {
+        let mut walls: Vec<f64> = self.cells.iter().map(|c| c.wall_secs).collect();
+        walls.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+        let mut doc = JsonValue::obj();
+        doc.push("schema_version", JsonValue::Num(SCHEMA_VERSION as f64));
+        doc.push("bench", JsonValue::Str(bench_id(&self.name, self.quick)));
+        doc.push("grid", JsonValue::Str(self.name.clone()));
+        doc.push("git_rev", JsonValue::Str(git_rev()));
+        doc.push("quick", JsonValue::Bool(self.quick));
+        doc.push("jobs", JsonValue::Num(self.jobs as f64));
+        doc.push("cells", JsonValue::Num(self.cells.len() as f64));
+        doc.push("total_wall_secs", JsonValue::Num(self.wall_total_secs));
+        if let Some(p50) = percentile(&walls, 0.50) {
+            doc.push("cell_wall_p50_secs", JsonValue::Num(p50));
+        }
+        if let Some(p95) = percentile(&walls, 0.95) {
+            doc.push("cell_wall_p95_secs", JsonValue::Num(p95));
+        }
+        if let Some(&max) = walls.last() {
+            doc.push("cell_wall_max_secs", JsonValue::Num(max));
+        }
+        match rss::peak_rss_kb() {
+            Some(kb) => doc.push("peak_rss_kb", JsonValue::Num(kb as f64)),
+            None => doc.push("peak_rss_kb", JsonValue::Null),
+        };
+        let phase_docs: Vec<JsonValue> = phases
+            .iter()
+            .map(|(name, stat)| {
+                let mut p = JsonValue::obj();
+                p.push("name", JsonValue::Str((*name).to_string()));
+                p.push("calls", JsonValue::Num(stat.calls as f64));
+                p.push("total_secs", JsonValue::Num(stat.total_secs));
+                p.push("self_secs", JsonValue::Num(stat.self_secs));
+                p
+            })
+            .collect();
+        doc.push("phases", JsonValue::Arr(phase_docs));
+        doc
+    }
+
+    /// Writes `BENCH_<id>.json` under `dir` and returns its path.
+    pub fn write_bench(
+        &self,
+        dir: &Path,
+        phases: &[(&'static str, profiler::PhaseStat)],
+    ) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", bench_id(&self.name, self.quick)));
+        std::fs::write(&path, self.bench_json(phases).to_pretty())?;
+        Ok(path)
+    }
+}
+
+/// The BENCH file id for a grid: the figure prefix of the grid name
+/// (`fig12_main_eval` → `fig12`), suffixed `_quick` for smoke runs so
+/// quick and full baselines never collide.
+fn bench_id(grid_name: &str, quick: bool) -> String {
+    let stem = grid_name.split('_').next().unwrap_or(grid_name);
+    let stem = if stem.is_empty() { grid_name } else { stem };
+    if quick {
+        format!("{stem}_quick")
+    } else {
+        stem.to_string()
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// The checked-out short revision, for provenance in BENCH files.
+/// Best-effort: "unknown" outside a git checkout.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 fn push_labels(cell: &mut JsonValue, labels: &CellLabels) {
@@ -1006,22 +1236,25 @@ pub fn run_grid(grid: &ExperimentGrid, opts: &HarnessOptions) -> GridRun {
     };
 
     let mut cells: Vec<Cell<'_>> = Vec::with_capacity(grid.len());
-    for trace in &grid.traces {
-        for bench in &grid.benches {
-            for config in configs {
-                for policy in &grid.policies {
-                    cells.push(Cell {
-                        labels: CellLabels {
-                            trace: trace.label.clone(),
-                            bench: bench.label.clone(),
-                            config: config.label.clone(),
-                            policy: policy.label().to_string(),
-                        },
-                        bench,
-                        trace,
-                        config,
-                        policy,
-                    });
+    {
+        profile_scope!("expand_grid");
+        for trace in &grid.traces {
+            for bench in &grid.benches {
+                for config in configs {
+                    for policy in &grid.policies {
+                        cells.push(Cell {
+                            labels: CellLabels {
+                                trace: trace.label.clone(),
+                                bench: bench.label.clone(),
+                                config: config.label.clone(),
+                                policy: policy.label().to_string(),
+                            },
+                            bench,
+                            trace,
+                            config,
+                            policy,
+                        });
+                    }
                 }
             }
         }
@@ -1033,6 +1266,7 @@ pub fn run_grid(grid: &ExperimentGrid, opts: &HarnessOptions) -> GridRun {
     let next = AtomicUsize::new(0);
     let quick = opts.quick;
     let trace_mask = opts.trace.as_ref().map(|_| opts.trace_filter);
+    let sample_spec = opts.sample_spec();
 
     let mut results: Vec<Option<CellResult>> = Vec::with_capacity(n);
     results.resize_with(n, || None);
@@ -1051,7 +1285,10 @@ pub fn run_grid(grid: &ExperimentGrid, opts: &HarnessOptions) -> GridRun {
                     }
                     let cell = &cells[i];
                     let cell_started = Instant::now();
-                    let outcome = run_cell(cell, quick, trace_mask);
+                    let outcome = {
+                        profile_scope!("cell");
+                        run_cell(cell, quick, trace_mask, sample_spec)
+                    };
                     mine.push((
                         i,
                         CellResult {
@@ -1060,9 +1297,13 @@ pub fn run_grid(grid: &ExperimentGrid, opts: &HarnessOptions) -> GridRun {
                             fault_seed: cell.config.config.faults.as_ref().map(|f| f.spec.seed),
                             outcome,
                             wall_secs: cell_started.elapsed().as_secs_f64(),
+                            peak_rss_kb: rss::peak_rss_kb(),
                         },
                     ));
                 }
+                // Hand this worker's span aggregates to the global
+                // profiler table before the thread dies.
+                profiler::flush_thread();
                 mine
             }));
         }
@@ -1108,12 +1349,18 @@ pub fn validate_grid(grid: &ExperimentGrid) -> Vec<String> {
 /// errors only warn — experiment output on stdout is more important
 /// than the export.
 pub fn run_and_export(grid: &ExperimentGrid, opts: &HarnessOptions) -> GridRun {
-    let problems = validate_grid(grid);
+    let mut problems = validate_grid(grid);
+    if let Some(spec) = opts.sample_spec() {
+        problems.extend(spec.validate());
+    }
     if !problems.is_empty() {
         for p in &problems {
             eprintln!("[harness] grid {}: {p}", grid.name);
         }
         std::process::exit(2);
+    }
+    if opts.profile {
+        profiler::set_enabled(true);
     }
     let run = run_grid(grid, opts);
     match run.write_results(&opts.out_dir) {
@@ -1133,14 +1380,52 @@ pub fn run_and_export(grid: &ExperimentGrid, opts: &HarnessOptions) -> GridRun {
             Err(e) => eprintln!("[harness] could not write trace {}: {e}", path.display()),
         }
     }
+    if let Some(path) = &opts.series {
+        match run.write_series(path, opts.series_interval) {
+            Ok(()) => eprintln!("[harness] wrote {}", path.display()),
+            Err(e) => eprintln!("[harness] could not write series {}: {e}", path.display()),
+        }
+    }
+    if opts.profile {
+        profiler::set_enabled(false);
+        let phases = profiler::take_report();
+        print_phase_table(&phases);
+        match run.write_bench(&opts.out_dir, &phases) {
+            Ok(path) => eprintln!("[harness] wrote {}", path.display()),
+            Err(e) => eprintln!(
+                "[harness] could not write BENCH file under {}: {e}",
+                opts.out_dir.display()
+            ),
+        }
+    }
     run.print_timing();
     run
+}
+
+/// Renders the profiler's per-phase table to stderr (stderr so stdout
+/// stays byte-comparable across runs).
+fn print_phase_table(phases: &[(&'static str, profiler::PhaseStat)]) {
+    if phases.is_empty() {
+        eprintln!("[profile] no spans recorded");
+        return;
+    }
+    eprintln!(
+        "[profile] {:<14} {:>8} {:>12} {:>12}",
+        "phase", "calls", "total_s", "self_s"
+    );
+    for (name, stat) in phases {
+        eprintln!(
+            "[profile] {:<14} {:>8} {:>12.4} {:>12.4}",
+            name, stat.calls, stat.total_secs, stat.self_secs
+        );
+    }
 }
 
 fn run_cell(
     cell: &Cell<'_>,
     quick: bool,
     trace_mask: Option<LayerMask>,
+    sample_spec: Option<SampleSpec>,
 ) -> Result<CellOutcome, String> {
     catch_unwind(AssertUnwindSafe(|| {
         let trace = cell.trace.build(cell.bench, quick);
@@ -1150,6 +1435,12 @@ fn run_cell(
         let tracer = match trace_mask {
             Some(mask) => Tracer::recording(mask),
             None => Tracer::disabled(),
+        };
+        // Same lifecycle for the sampler: per-cell, thread-confined,
+        // only the drained columnar series crosses back.
+        let sampler = match sample_spec {
+            Some(spec) => Sampler::recording(spec),
+            None => Sampler::disabled(),
         };
         tracer.emit(
             None,
@@ -1165,7 +1456,8 @@ fn run_cell(
         let builder = PlatformSim::builder()
             .register_functions(cell.bench.specs.iter().cloned())
             .config(cell.config.config.clone())
-            .tracer(tracer.clone());
+            .tracer(tracer.clone())
+            .sampler(sampler.clone());
         let (mut sim, stats) = match cell.policy {
             PolicySpec::Kind(kind) => match kind {
                 PolicyKind::Baseline => (builder.policy(NoOffloadPolicy).build(), None),
@@ -1192,7 +1484,10 @@ fn run_cell(
                 (builder.policy(policy).build(), stats)
             }
         };
-        let mut report = sim.run(&trace);
+        let mut report = {
+            profile_scope!("simulate");
+            sim.run(&trace)
+        };
         tracer.set_now(report.finished_at);
         tracer.emit(
             None,
@@ -1202,7 +1497,10 @@ fn run_cell(
                 sim_secs: report.finished_at.as_secs_f64(),
             },
         );
-        let summary = report.summarize();
+        let summary = {
+            profile_scope!("summarize");
+            report.summarize()
+        };
         CellOutcome {
             trace_len: trace.len(),
             trace_skipped_rows: cell.trace.skipped_rows,
@@ -1213,6 +1511,7 @@ fn run_cell(
             faasmem: stats.map(|s| s.borrow().clone()),
             report,
             trace_events: tracer.take_events(),
+            series: sampler.take_series(),
         }
     }))
     .map_err(|payload| {

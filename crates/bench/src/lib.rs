@@ -14,8 +14,10 @@
 //! cargo run --release -p faasmem-bench --bin fig12_main_eval
 //! ```
 
+pub mod dashboard;
 pub mod harness;
 pub mod json;
+pub mod perf;
 pub mod svg;
 
 use faasmem_baselines::{DamonPolicy, NoOffloadPolicy, TmoPolicy};

@@ -1,0 +1,280 @@
+//! Comparison of `BENCH_*.json` perf baselines — the analysis half of
+//! the `bench_compare` bin.
+//!
+//! A BENCH document (written by [`crate::harness::GridRun::write_bench`])
+//! records a run's total wall time, per-cell wall-time percentiles and
+//! the self-profiler's per-phase breakdown. This module flattens two
+//! such documents into named scalar metrics and flags every metric
+//! whose new value exceeds the old by more than a tolerance — the CI
+//! perf job fails when any metric regresses.
+//!
+//! Wall-clock is noisy, so the comparison is deliberately coarse:
+//! metrics whose baseline sits below [`MIN_COMPARABLE_SECS`] are
+//! skipped outright (at micro scale the scheduler noise floor dwarfs
+//! any real regression), and the default tolerance is a generous
+//! [`DEFAULT_TOLERANCE`].
+
+use std::fmt::Write as _;
+
+use crate::json::JsonValue;
+
+/// Default allowed slow-down before a metric counts as regressed
+/// (`new > old * (1 + tolerance)`).
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Baseline metrics below this many seconds are never compared: the
+/// wall-clock noise floor makes ratios at that scale meaningless.
+pub const MIN_COMPARABLE_SECS: f64 = 0.005;
+
+/// A BENCH document flattened to named scalar metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// The `bench` id (e.g. `fig12_quick`); compared runs should agree.
+    pub bench: String,
+    /// The producing checkout's short git revision (`unknown` outside
+    /// a checkout).
+    pub git_rev: String,
+    /// Named wall-time metrics in document order: the headline scalars
+    /// plus one `phase:<name>` entry per profiler phase.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BenchDoc {
+    /// Looks up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Flattens a parsed BENCH document into a [`BenchDoc`].
+pub fn parse_bench(doc: &JsonValue) -> Result<BenchDoc, String> {
+    let bench = doc
+        .get("bench")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "missing \"bench\" id".to_string())?
+        .to_string();
+    let git_rev = doc
+        .get("git_rev")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let mut metrics = Vec::new();
+    for key in [
+        "total_wall_secs",
+        "cell_wall_p50_secs",
+        "cell_wall_p95_secs",
+        "cell_wall_max_secs",
+    ] {
+        if let Some(v) = doc.get(key).and_then(JsonValue::as_num) {
+            metrics.push((key.to_string(), v));
+        }
+    }
+    if metrics.is_empty() {
+        return Err("no wall-time metrics (is this a BENCH file?)".to_string());
+    }
+    if let Some(phases) = doc.get("phases").and_then(JsonValue::as_arr) {
+        for phase in phases {
+            let name = phase
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| "phase entry missing \"name\"".to_string())?;
+            let total = phase
+                .get("total_secs")
+                .and_then(JsonValue::as_num)
+                .ok_or_else(|| format!("phase {name:?} missing \"total_secs\""))?;
+            metrics.push((format!("phase:{name}"), total));
+        }
+    }
+    Ok(BenchDoc {
+        bench,
+        git_rev,
+        metrics,
+    })
+}
+
+/// One metric's old-vs-new verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Metric name (`total_wall_secs`, `phase:simulate`, ...).
+    pub metric: String,
+    /// Baseline value in seconds.
+    pub old: f64,
+    /// New value in seconds.
+    pub new: f64,
+    /// `true` when the baseline was too small to compare.
+    pub skipped: bool,
+    /// `true` when `new > old * (1 + tolerance)` (never for skipped
+    /// metrics).
+    pub regressed: bool,
+}
+
+/// The full comparison of two BENCH documents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Comparison {
+    /// One entry per baseline metric, in baseline order.
+    pub deltas: Vec<Delta>,
+    /// Baseline metrics absent from the new document (warned about,
+    /// not failed: phase sets legitimately change between revisions).
+    pub missing_in_new: Vec<String>,
+}
+
+impl Comparison {
+    /// Number of regressed metrics.
+    pub fn regressions(&self) -> usize {
+        self.deltas.iter().filter(|d| d.regressed).count()
+    }
+}
+
+/// Compares every baseline metric against the new document.
+pub fn compare(old: &BenchDoc, new: &BenchDoc, tolerance: f64) -> Comparison {
+    let mut cmp = Comparison::default();
+    for (name, old_v) in &old.metrics {
+        let Some(new_v) = new.metric(name) else {
+            cmp.missing_in_new.push(name.clone());
+            continue;
+        };
+        let skipped = *old_v < MIN_COMPARABLE_SECS;
+        cmp.deltas.push(Delta {
+            metric: name.clone(),
+            old: *old_v,
+            new: new_v,
+            skipped,
+            regressed: !skipped && new_v > *old_v * (1.0 + tolerance),
+        });
+    }
+    cmp
+}
+
+/// Renders the comparison as the fixed-width report `bench_compare`
+/// prints.
+pub fn render_report(old: &BenchDoc, new: &BenchDoc, cmp: &Comparison, tolerance: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench {}: {} (old) vs {} (new), tolerance {:.0}%",
+        old.bench,
+        old.git_rev,
+        new.git_rev,
+        tolerance * 100.0
+    );
+    let width = cmp
+        .deltas
+        .iter()
+        .map(|d| d.metric.len())
+        .max()
+        .unwrap_or(6)
+        .max("metric".len());
+    let _ = writeln!(
+        out,
+        "  {:<width$}  {:>10}  {:>10}  {:>8}  verdict",
+        "metric", "old (s)", "new (s)", "change"
+    );
+    for d in &cmp.deltas {
+        let change = if d.old > 0.0 {
+            format!("{:+.1}%", (d.new - d.old) / d.old * 100.0)
+        } else {
+            "n/a".to_string()
+        };
+        let verdict = if d.skipped {
+            "skipped (below noise floor)"
+        } else if d.regressed {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        let _ = writeln!(
+            out,
+            "  {:<width$}  {:>10.4}  {:>10.4}  {:>8}  {}",
+            d.metric, d.old, d.new, change, verdict
+        );
+    }
+    for name in &cmp.missing_in_new {
+        let _ = writeln!(out, "  {name}: missing from new document (warning)");
+    }
+    let regressions = cmp.regressions();
+    if regressions > 0 {
+        let _ = writeln!(out, "FAIL: {regressions} metric(s) regressed");
+    } else {
+        let _ = writeln!(out, "PASS: no regression");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn doc(total: f64, simulate: f64) -> BenchDoc {
+        let text = format!(
+            r#"{{"bench":"fig12_quick","git_rev":"abc1234",
+                "total_wall_secs":{total},
+                "cell_wall_p50_secs":{half},
+                "phases":[{{"name":"simulate","calls":4,"total_secs":{simulate},"self_secs":{simulate}}}]}}"#,
+            half = total / 2.0
+        );
+        parse_bench(&json::parse(&text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parse_flattens_headline_and_phase_metrics() {
+        let d = doc(2.0, 1.5);
+        assert_eq!(d.bench, "fig12_quick");
+        assert_eq!(d.git_rev, "abc1234");
+        assert_eq!(d.metric("total_wall_secs"), Some(2.0));
+        assert_eq!(d.metric("cell_wall_p50_secs"), Some(1.0));
+        assert_eq!(d.metric("phase:simulate"), Some(1.5));
+        assert_eq!(d.metric("phase:nope"), None);
+    }
+
+    #[test]
+    fn parse_rejects_non_bench_documents() {
+        let err = parse_bench(&json::parse(r#"{"grid":"x"}"#).unwrap()).unwrap_err();
+        assert!(err.contains("bench"), "{err}");
+        let err = parse_bench(&json::parse(r#"{"bench":"x","jobs":2}"#).unwrap()).unwrap_err();
+        assert!(err.contains("wall-time"), "{err}");
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let cmp = compare(&doc(2.0, 1.5), &doc(2.4, 1.8), 0.25);
+        assert_eq!(cmp.regressions(), 0);
+        assert!(cmp.missing_in_new.is_empty());
+        assert!(render_report(&doc(2.0, 1.5), &doc(2.4, 1.8), &cmp, 0.25).contains("PASS"));
+    }
+
+    #[test]
+    fn slowdown_past_tolerance_regresses() {
+        let old = doc(2.0, 1.5);
+        let new = doc(2.0, 2.1); // simulate phase +40%
+        let cmp = compare(&old, &new, 0.25);
+        assert_eq!(cmp.regressions(), 1);
+        let bad = cmp.deltas.iter().find(|d| d.regressed).unwrap();
+        assert_eq!(bad.metric, "phase:simulate");
+        let report = render_report(&old, &new, &cmp, 0.25);
+        assert!(report.contains("REGRESSED"), "{report}");
+        assert!(report.contains("FAIL"), "{report}");
+    }
+
+    #[test]
+    fn tiny_baselines_are_skipped_not_failed() {
+        // 1 ms baseline ballooning 100x is still noise, not signal.
+        let cmp = compare(&doc(0.001, 0.0005), &doc(0.1, 0.05), 0.25);
+        assert_eq!(cmp.regressions(), 0);
+        assert!(cmp.deltas.iter().all(|d| d.skipped));
+    }
+
+    #[test]
+    fn baseline_metrics_missing_from_new_warn_only() {
+        let old = doc(2.0, 1.5);
+        let mut new = doc(2.0, 1.5);
+        new.metrics.retain(|(n, _)| !n.starts_with("phase:"));
+        let cmp = compare(&old, &new, 0.25);
+        assert_eq!(cmp.regressions(), 0);
+        assert_eq!(cmp.missing_in_new, vec!["phase:simulate".to_string()]);
+        assert!(render_report(&old, &new, &cmp, 0.25).contains("missing from new"));
+    }
+}

@@ -233,6 +233,39 @@ pub fn lines(
     s
 }
 
+/// Stacks full-size panels (as produced by [`grouped_bars`] or
+/// [`lines`]) vertically into one SVG document, in order, via nested
+/// `<svg>` elements offset by the shared panel height.
+///
+/// # Panics
+///
+/// Panics if `panels` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_bench::svg::{lines, stack_vertical};
+///
+/// let panel = lines("p", "x", "y", &[("s", vec![(0.0, 0.0), (1.0, 1.0)])]);
+/// let dash = stack_vertical(&[panel.clone(), panel]);
+/// assert_eq!(dash.matches("<svg").count(), 3);
+/// ```
+pub fn stack_vertical(panels: &[String]) -> String {
+    assert!(!panels.is_empty(), "empty dashboard");
+    let total_h = HEIGHT * panels.len() as f64;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{total_h}" viewBox="0 0 {WIDTH} {total_h}">"##
+    );
+    for (i, panel) in panels.iter().enumerate() {
+        let y = HEIGHT * i as f64;
+        s.push_str(&panel.replacen("<svg ", &format!(r#"<svg y="{y}" "#), 1));
+    }
+    s.push_str("</svg>");
+    s
+}
+
 /// Writes an SVG string under `results/` (created if needed); best-effort
 /// — experiments must not fail because the filesystem is read-only.
 pub fn write_chart(filename: &str, svg: &str) {
@@ -292,6 +325,23 @@ mod tests {
     #[should_panic(expected = "two points")]
     fn single_point_series_panics() {
         let _ = lines("t", "x", "y", &[("s", vec![(0.0, 0.0)])]);
+    }
+
+    #[test]
+    fn stacked_panels_keep_their_order_and_offset() {
+        let p1 = lines("first", "x", "y", &[("a", vec![(0.0, 0.0), (1.0, 1.0)])]);
+        let p2 = lines("second", "x", "y", &[("b", vec![(0.0, 1.0), (1.0, 0.0)])]);
+        let dash = stack_vertical(&[p1, p2]);
+        assert_eq!(dash.matches("<svg").count(), 3, "outer + two nested");
+        assert!(dash.contains(&format!(r#"<svg y="{HEIGHT}""#)));
+        assert!(dash.find("first").unwrap() < dash.find("second").unwrap());
+        assert!(dash.contains(&format!(r#"height="{}""#, HEIGHT * 2.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dashboard")]
+    fn empty_dashboard_panics() {
+        let _ = stack_vertical(&[]);
     }
 
     #[test]

@@ -461,6 +461,95 @@ fn validate_grid_flags_broken_configs() {
 }
 
 #[test]
+fn series_json_is_byte_identical_across_thread_counts() {
+    let grid = sample_grid();
+    let interval = SimDuration::from_secs(30);
+    let opts = |jobs| HarnessOptions {
+        series: Some(std::path::PathBuf::from("unused.series.json")),
+        series_interval: interval,
+        ..quick_opts(jobs)
+    };
+    let serial = run_grid(&grid, &opts(1)).series_json(interval).to_compact();
+    for jobs in [2, 8] {
+        let parallel = run_grid(&grid, &opts(jobs))
+            .series_json(interval)
+            .to_compact();
+        assert_eq!(parallel, serial, "series document diverged at jobs={jobs}");
+    }
+    // Sanity: rows exist, ticks are boundary-aligned, all four groups
+    // surfaced.
+    let doc = json::parse(&serial).expect("series document parses");
+    assert_eq!(
+        doc.get("interval_us").and_then(|v| v.as_num()),
+        Some(30_000_000.0)
+    );
+    let cells = doc.get("cells").and_then(|v| v.as_arr()).expect("cells");
+    assert_eq!(cells.len(), sample_grid().len());
+    let ticks = cells[0].get("t_us").and_then(|v| v.as_arr()).expect("t_us");
+    assert!(ticks.len() > 1, "quick run must cross several boundaries");
+    for t in ticks {
+        let t = t.as_num().expect("tick") as u64;
+        assert_eq!(t % 30_000_000, 0, "off-boundary tick {t}");
+    }
+    for prefix in ["faas.", "mem.", "pool.", "registry."] {
+        assert!(
+            serial.contains(&format!("\"{prefix}")),
+            "missing series group {prefix}*"
+        );
+    }
+}
+
+#[test]
+fn enabling_series_does_not_change_the_main_document() {
+    let grid = sample_grid();
+    let plain = run_grid(&grid, &quick_opts(2)).to_json().to_pretty();
+    let sampled_opts = HarnessOptions {
+        series: Some(std::path::PathBuf::from("unused.series.json")),
+        series_interval: SimDuration::from_secs(15),
+        ..quick_opts(2)
+    };
+    let sampled = run_grid(&grid, &sampled_opts).to_json().to_pretty();
+    assert_eq!(
+        sampled, plain,
+        "sampling must never perturb the deterministic results"
+    );
+}
+
+#[test]
+fn bench_json_carries_percentiles_and_phases() {
+    let run = run_grid(&sample_grid(), &quick_opts(2));
+    let phases = [(
+        "simulate",
+        faasmem_telemetry::profiler::PhaseStat {
+            calls: 12,
+            total_secs: 3.5,
+            self_secs: 3.5,
+        },
+    )];
+    let doc = run.bench_json(&phases);
+    assert_eq!(
+        doc.get("bench").and_then(|v| v.as_str()),
+        Some("harness_quick")
+    );
+    assert_eq!(doc.get("cells").and_then(|v| v.as_num()), Some(12.0));
+    let p50 = doc
+        .get("cell_wall_p50_secs")
+        .and_then(|v| v.as_num())
+        .expect("p50");
+    let p95 = doc
+        .get("cell_wall_p95_secs")
+        .and_then(|v| v.as_num())
+        .expect("p95");
+    assert!(p50 <= p95, "p50 {p50} must not exceed p95 {p95}");
+    let phase = &doc.get("phases").and_then(|v| v.as_arr()).expect("phases")[0];
+    assert_eq!(phase.get("name").and_then(|v| v.as_str()), Some("simulate"));
+    assert_eq!(phase.get("calls").and_then(|v| v.as_num()), Some(12.0));
+    // The BENCH document feeds straight into the comparator.
+    let bench = faasmem_bench::perf::parse_bench(&doc).expect("comparable");
+    assert_eq!(bench.metric("phase:simulate"), Some(3.5));
+}
+
+#[test]
 fn options_parser() {
     let opts = HarnessOptions::parse(["--jobs", "3", "--quick", "--out", "exports"]);
     assert_eq!(opts.jobs, 3);
@@ -492,4 +581,40 @@ fn options_parser() {
     // jobs is clamped to at least one worker.
     let opts = HarnessOptions::parse(["--jobs", "0"]);
     assert_eq!(opts.jobs, 1);
+
+    // Telemetry flags: disabled by default...
+    let opts = HarnessOptions::parse(["--quick"]);
+    assert!(opts.series.is_none());
+    assert!(!opts.profile);
+    assert!(opts.sample_spec().is_none());
+
+    // ...and parsed in both --flag VALUE and --flag=VALUE forms.
+    let opts = HarnessOptions::parse([
+        "--series",
+        "out.series.json",
+        "--series-interval",
+        "2.5",
+        "--series-select",
+        "faas,pool",
+        "--profile",
+    ]);
+    assert_eq!(
+        opts.series,
+        Some(std::path::PathBuf::from("out.series.json"))
+    );
+    assert_eq!(opts.series_interval, SimDuration::from_secs_f64(2.5));
+    assert!(opts.profile);
+    let spec = opts.sample_spec().expect("series path set");
+    use faasmem_telemetry::SeriesGroup;
+    assert!(spec.select.contains(SeriesGroup::Faas));
+    assert!(spec.select.contains(SeriesGroup::Pool));
+    assert!(!spec.select.contains(SeriesGroup::Mem));
+
+    let opts = HarnessOptions::parse(["--series=s.json", "--series-select=bogus"]);
+    assert_eq!(opts.series, Some(std::path::PathBuf::from("s.json")));
+    // An unparseable selection is ignored, keeping the default mask.
+    assert_eq!(
+        opts.sample_spec().expect("enabled").select,
+        faasmem_telemetry::SeriesMask::ALL
+    );
 }

@@ -9,6 +9,7 @@ use faasmem_pool::{
 };
 use faasmem_sim::faults::{FaultPlan, FaultSpec};
 use faasmem_sim::{Clock, EventQueue, SimDuration, SimRng, SimTime};
+use faasmem_telemetry::{Sampler, SeriesGroup};
 use faasmem_trace::{EventKind, Tracer};
 use faasmem_workload::{BenchmarkSpec, FunctionId, InvocationTrace, RequestAccess};
 
@@ -139,6 +140,7 @@ pub struct PlatformBuilder {
     specs: Vec<BenchmarkSpec>,
     policy: Box<dyn MemoryPolicy>,
     tracer: Tracer,
+    sampler: Sampler,
 }
 
 impl PlatformBuilder {
@@ -148,6 +150,7 @@ impl PlatformBuilder {
             specs: Vec::new(),
             policy: Box::new(NullPolicy),
             tracer: Tracer::disabled(),
+            sampler: Sampler::disabled(),
         }
     }
 
@@ -223,6 +226,16 @@ impl PlatformBuilder {
         self
     }
 
+    /// Installs a telemetry sampler. The platform snapshots gauges
+    /// from every layer at each interval boundary the event loop
+    /// crosses — no queue events are injected, so an enabled sampler
+    /// cannot perturb the simulation. The default disabled sampler
+    /// costs one branch per event.
+    pub fn sampler(mut self, sampler: Sampler) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
     /// Builds the simulator.
     ///
     /// # Panics
@@ -249,6 +262,7 @@ impl PlatformBuilder {
             reuse_gaps: HashMap::new(),
             faults: None,
             tracer: self.tracer,
+            sampler: self.sampler,
             peak_local_bytes: 0,
             peak_live: 0,
             ran: false,
@@ -320,6 +334,7 @@ pub struct PlatformSim {
     reuse_gaps: HashMap<FunctionId, Vec<f64>>,
     faults: Option<FaultRuntime>,
     tracer: Tracer,
+    sampler: Sampler,
     /// Highest node-local footprint observed at any event (bytes).
     peak_local_bytes: u64,
     /// Highest live-container count observed at any event.
@@ -495,6 +510,7 @@ impl PlatformSim {
                 Event::ContainerCrash(i) => self.handle_crash(now, i as usize, &mut report),
             }
             self.record_memory(now, &mut report);
+            self.sample_due(now, &report);
         }
 
         // Retire any containers still alive (should not happen after the
@@ -505,6 +521,7 @@ impl PlatformSim {
             self.recycle_container(clock.now(), id, &mut report);
         }
         self.record_memory(clock.now(), &mut report);
+        self.sample_due(clock.now(), &report);
 
         report.pool_stats = self.pool.stats();
         report.finished_at = clock.now();
@@ -636,6 +653,148 @@ impl PlatformSim {
             }
             None => self.config.keep_alive,
         }
+    }
+
+    /// Materialises telemetry rows for every sample-interval boundary
+    /// crossed since the previous event. Called after each event is
+    /// processed; between events the discrete-event state is frozen,
+    /// so values observed here equal the values at the boundary.
+    /// Gauges that decay continuously with wall-of-sim time (link
+    /// utilisation, backlogs, the governor window) are evaluated at
+    /// the exact boundary timestamp instead.
+    fn sample_due(&mut self, now: SimTime, report: &RunReport) {
+        if !self.sampler.is_enabled() {
+            return;
+        }
+        let sampler = self.sampler.clone();
+        sampler.record_due_rows(now, |at| self.telemetry_row(at, report, &sampler));
+    }
+
+    /// One row of the telemetry series catalog (see DESIGN.md
+    /// §telemetry), restricted to the sampler's selected groups. All
+    /// per-container aggregates are order-independent sums, so the
+    /// `HashMap` iteration order cannot leak into the output.
+    fn telemetry_row(
+        &mut self,
+        at: SimTime,
+        report: &RunReport,
+        sampler: &Sampler,
+    ) -> Vec<(&'static str, f64)> {
+        let mut row: Vec<(&'static str, f64)> = Vec::with_capacity(32);
+        if sampler.wants(SeriesGroup::Faas) {
+            let mut by_stage = [0u64; 4];
+            let mut warm = 0u64;
+            let mut semi_warm = 0u64;
+            for c in self.containers.values() {
+                let stage = c.stage();
+                by_stage[stage as usize] += 1;
+                if stage == ContainerStage::KeepAlive {
+                    if c.table().remote_pages() > 0 {
+                        semi_warm += 1;
+                    } else {
+                        warm += 1;
+                    }
+                }
+            }
+            row.push((
+                "faas.launching",
+                by_stage[ContainerStage::Launching as usize] as f64,
+            ));
+            row.push((
+                "faas.initializing",
+                by_stage[ContainerStage::Initializing as usize] as f64,
+            ));
+            row.push((
+                "faas.executing",
+                by_stage[ContainerStage::Executing as usize] as f64,
+            ));
+            row.push((
+                "faas.keepalive",
+                by_stage[ContainerStage::KeepAlive as usize] as f64,
+            ));
+            row.push(("faas.warm", warm as f64));
+            row.push(("faas.semi_warm", semi_warm as f64));
+            // The keep-alive queue holds every idle container, warm
+            // and semi-warm alike.
+            row.push(("faas.keepalive_queue_depth", (warm + semi_warm) as f64));
+        }
+        if sampler.wants(SeriesGroup::Mem) {
+            let mut local_pages = 0u64;
+            let mut remote_pages = 0u64;
+            let mut gen_hist = [0u64; 4];
+            for c in self.containers.values() {
+                local_pages += c.table().local_pages();
+                remote_pages += c.table().remote_pages();
+                for (bucket, count) in c
+                    .table()
+                    .generation_age_histogram(4)
+                    .into_iter()
+                    .enumerate()
+                {
+                    gen_hist[bucket] += count;
+                }
+            }
+            row.push(("mem.local_pages", local_pages as f64));
+            row.push(("mem.remote_pages", remote_pages as f64));
+            row.push((
+                "mem.local_bytes",
+                (local_pages * self.config.page_size) as f64,
+            ));
+            row.push((
+                "mem.remote_bytes",
+                (remote_pages * self.config.page_size) as f64,
+            ));
+            row.push(("mem.gen_age_0", gen_hist[0] as f64));
+            row.push(("mem.gen_age_1", gen_hist[1] as f64));
+            row.push(("mem.gen_age_2", gen_hist[2] as f64));
+            row.push(("mem.gen_age_3p", gen_hist[3] as f64));
+        }
+        if sampler.wants(SeriesGroup::Pool) {
+            row.push(("pool.out_busy_frac", self.pool.out_utilization(at)));
+            row.push(("pool.in_busy_frac", self.pool.in_utilization(at)));
+            row.push((
+                "pool.out_backlog_secs",
+                self.pool.out_backlog(at).as_secs_f64(),
+            ));
+            row.push((
+                "pool.in_backlog_secs",
+                self.pool.in_backlog(at).as_secs_f64(),
+            ));
+            row.push(("pool.in_flight", self.pool.in_flight_transfers(at) as f64));
+            row.push(("pool.used_bytes", self.pool.used_bytes() as f64));
+            row.push((
+                "pool.governor_usage_bytes_per_sec",
+                self.governor.current_usage(at),
+            ));
+            row.push(("pool.governor_throttle", self.governor.throttle_factor(at)));
+            row.push((
+                "pool.offloads_suspended",
+                f64::from(u8::from(self.pool.offloads_suspended())),
+            ));
+            let breaker_open = self
+                .faults
+                .as_ref()
+                .is_some_and(|fr| fr.breaker.is_open(at));
+            row.push(("pool.breaker_open", f64::from(u8::from(breaker_open))));
+        }
+        if sampler.wants(SeriesGroup::Registry) {
+            // Registry-style counters are monotone totals; export the
+            // per-interval delta so the series reads as a rate.
+            let stats = self.pool.stats();
+            for (name, cumulative) in [
+                (
+                    "registry.requests_completed",
+                    report.requests_completed as f64,
+                ),
+                ("registry.cold_starts", report.cold_starts as f64),
+                ("registry.containers_created", self.next_container as f64),
+                ("registry.pool_bytes_out", stats.bytes_out as f64),
+                ("registry.pool_bytes_in", stats.bytes_in as f64),
+            ] {
+                row.push((name, sampler.counter_delta(name, cumulative)));
+            }
+        }
+        row
     }
 
     fn record_memory(&mut self, now: SimTime, report: &mut RunReport) {
@@ -1499,6 +1658,92 @@ mod tests {
                 .any(|e| matches!(e.kind, EventKind::RecallGaveUp { .. })),
             "the abandoned recall shows up in the pool layer"
         );
+    }
+
+    #[test]
+    fn sampler_records_boundary_aligned_rows() {
+        use faasmem_telemetry::SampleSpec;
+        let sampler = Sampler::recording(SampleSpec::every(SimDuration::from_secs(60)));
+        let mut s = PlatformSim::builder()
+            .register_function(spec())
+            .seed(1)
+            .sampler(sampler.clone())
+            .build();
+        let report = s.run(&one_function_trace(&[10, 30]));
+        let ts = sampler.take_series();
+        assert!(ts.is_rectangular());
+        assert!(ts.len() > 2, "a 10-minute keep-alive spans many minutes");
+        // Rows land exactly on interval boundaries, starting with the
+        // t=0 baseline.
+        assert_eq!(ts.ticks()[0], 0);
+        assert!(ts.ticks().iter().all(|t| t % 60_000_000 == 0));
+        assert!(ts.ticks().windows(2).all(|w| w[0] < w[1]));
+        // The idle container is visible in the keep-alive series.
+        let keepalive = ts.column("faas.keepalive").unwrap();
+        assert_eq!(keepalive[0], 0.0);
+        assert!(keepalive.contains(&1.0));
+        assert!(ts
+            .column("mem.local_pages")
+            .unwrap()
+            .iter()
+            .any(|&v| v > 0.0));
+        // Registry series are per-interval deltas: they sum back to
+        // the cumulative total.
+        let req: f64 = ts
+            .column("registry.requests_completed")
+            .unwrap()
+            .iter()
+            .sum();
+        assert_eq!(req, report.requests_completed as f64);
+        // Every catalog group contributed columns.
+        for prefix in ["faas.", "mem.", "pool.", "registry."] {
+            assert!(
+                ts.column_names().any(|n| n.starts_with(prefix)),
+                "missing {prefix}* series"
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_selects_only_requested_groups() {
+        use faasmem_telemetry::{SampleSpec, SeriesMask};
+        let sampler = Sampler::recording(SampleSpec {
+            interval: SimDuration::from_secs(60),
+            select: SeriesMask::only(SeriesGroup::Pool),
+        });
+        let mut s = PlatformSim::builder()
+            .register_function(spec())
+            .seed(1)
+            .sampler(sampler.clone())
+            .build();
+        s.run(&one_function_trace(&[10]));
+        let ts = sampler.take_series();
+        assert!(
+            ts.column_names().all(|n| n.starts_with("pool.")),
+            "only pool series"
+        );
+        assert!(ts.column("pool.used_bytes").is_some());
+    }
+
+    #[test]
+    fn sampler_does_not_perturb_the_run() {
+        use faasmem_telemetry::SampleSpec;
+        let baseline = sim().run(&one_function_trace(&[10, 30, 710]));
+        let sampler = Sampler::recording(SampleSpec::every(SimDuration::from_secs(30)));
+        let mut s = PlatformSim::builder()
+            .register_function(spec())
+            .seed(1)
+            .sampler(sampler.clone())
+            .build();
+        let sampled = s.run(&one_function_trace(&[10, 30, 710]));
+        assert!(!sampler.take_series().is_empty());
+        // Sampling is lazy (no injected events), so the simulation is
+        // bit-for-bit unaffected: same finish time, same counters.
+        assert_eq!(sampled.finished_at, baseline.finished_at);
+        assert_eq!(sampled.registry, baseline.registry);
+        assert_eq!(sampled.requests_completed, baseline.requests_completed);
+        assert_eq!(sampled.cold_starts, baseline.cold_starts);
+        assert_eq!(sampled.pool_stats, baseline.pool_stats);
     }
 
     #[test]

@@ -3,9 +3,16 @@
 //! The platform accumulates named counters (monotone `u64` totals) and
 //! gauges (point-in-time `f64` readings) over a run and stores the
 //! registry in its report; the harness serializes it under the
-//! `registry` key of every cell. Keys are `&'static str` and stored in
-//! a `BTreeMap`, so iteration order — and therefore the serialized
-//! byte stream — is independent of insertion order.
+//! `registry` key of every cell.
+//!
+//! **Ordering guarantee.** [`MetricsRegistry::counters`] and
+//! [`MetricsRegistry::gauges`] yield entries in ascending
+//! lexicographic key order, independent of insertion order. This is
+//! an explicit API contract, not an implementation accident: the
+//! cell-JSON byte-identity guarantee and the telemetry series derived
+//! from registry snapshots both depend on it, so any future storage
+//! change must preserve sorted iteration (and the unit test below
+//! will catch a regression).
 
 use std::collections::BTreeMap;
 
@@ -47,12 +54,14 @@ impl MetricsRegistry {
         self.gauges.get(name).copied()
     }
 
-    /// Counters in key order.
+    /// Counters in ascending lexicographic key order (guaranteed —
+    /// see the module docs).
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         self.counters.iter().map(|(&k, &v)| (k, v))
     }
 
-    /// Gauges in key order.
+    /// Gauges in ascending lexicographic key order (guaranteed — see
+    /// the module docs).
     pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
         self.gauges.iter().map(|(&k, &v)| (k, v))
     }
@@ -97,5 +106,19 @@ mod tests {
         reg.inc("m.middle");
         let keys: Vec<&str> = reg.counters().map(|(k, _)| k).collect();
         assert_eq!(keys, vec!["a.first", "m.middle", "z.last"]);
+
+        // The same contract holds for gauges: snapshot order is the
+        // sorted key order, never insertion order.
+        reg.set_gauge("pool.level", 1.0);
+        reg.set_gauge("containers.live", 2.0);
+        reg.set_gauge("mem.resident", 3.0);
+        let gauge_keys: Vec<&str> = reg.gauges().map(|(k, _)| k).collect();
+        assert_eq!(
+            gauge_keys,
+            vec!["containers.live", "mem.resident", "pool.level"]
+        );
+        let mut resorted = gauge_keys.clone();
+        resorted.sort_unstable();
+        assert_eq!(gauge_keys, resorted);
     }
 }

@@ -115,6 +115,17 @@ impl DegradedLink {
     pub fn utilization(&self, now: SimTime) -> f64 {
         self.inner.utilization(now)
     }
+
+    /// Whether no transfer is in service or queued at `now`.
+    pub fn is_idle_at(&self, now: SimTime) -> bool {
+        self.inner.is_idle_at(now)
+    }
+
+    /// Queueing delay a transfer submitted at `now` would see before
+    /// its own service time begins.
+    pub fn backlog_at(&self, now: SimTime) -> SimDuration {
+        self.inner.backlog_at(now)
+    }
 }
 
 #[cfg(test)]

@@ -481,6 +481,33 @@ impl RemotePool {
         (self.out_link.utilization(now) + self.in_link.utilization(now)) / 2.0
     }
 
+    /// Offload-direction link utilisation over `[0, now]`.
+    pub fn out_utilization(&self, now: SimTime) -> f64 {
+        self.out_link.utilization(now)
+    }
+
+    /// Recall-direction link utilisation over `[0, now]`.
+    pub fn in_utilization(&self, now: SimTime) -> f64 {
+        self.in_link.utilization(now)
+    }
+
+    /// Queueing delay an offload submitted at `now` would see.
+    pub fn out_backlog(&self, now: SimTime) -> SimDuration {
+        self.out_link.backlog_at(now)
+    }
+
+    /// Queueing delay a recall submitted at `now` would see.
+    pub fn in_backlog(&self, now: SimTime) -> SimDuration {
+        self.in_link.backlog_at(now)
+    }
+
+    /// How many of the two fabric directions are mid-transfer at
+    /// `now` (0–2). Each link is a FIFO serving one queue, so this is
+    /// the instantaneous in-flight transfer count.
+    pub fn in_flight_transfers(&self, now: SimTime) -> u64 {
+        u64::from(!self.out_link.is_idle_at(now)) + u64::from(!self.in_link.is_idle_at(now))
+    }
+
     /// Average offload bandwidth in bytes/second over `[0, now]`.
     pub fn mean_out_bandwidth(&self, now: SimTime) -> f64 {
         if now == SimTime::ZERO {
@@ -535,6 +562,29 @@ mod tests {
         p.page_in(SimTime::from_secs(1), 4, 4096).unwrap();
         assert_eq!(p.used_bytes(), 6 * 4096);
         assert_eq!(p.stats().bytes_in, 4 * 4096);
+    }
+
+    #[test]
+    fn telemetry_accessors_track_per_direction_link_state() {
+        let mut p = pool();
+        assert_eq!(p.in_flight_transfers(SimTime::ZERO), 0);
+        assert_eq!(p.out_backlog(SimTime::ZERO), SimDuration::ZERO);
+
+        p.page_out(SimTime::ZERO, 10, 4096).unwrap();
+        // The slow test pool serves 40 KiB well after t=0: the out
+        // direction is busy, the in direction idle.
+        assert_eq!(p.in_flight_transfers(SimTime::ZERO), 1);
+        assert!(p.out_backlog(SimTime::ZERO) > SimDuration::ZERO);
+        assert_eq!(p.in_backlog(SimTime::ZERO), SimDuration::ZERO);
+        assert!(p.out_utilization(SimTime::from_micros(1)) > 0.0);
+        assert_eq!(p.in_utilization(SimTime::from_micros(1)), 0.0);
+
+        // Long after the transfer drains, nothing is in flight and
+        // utilisation decays toward zero.
+        let later = SimTime::from_secs(3_600);
+        assert_eq!(p.in_flight_transfers(later), 0);
+        assert_eq!(p.out_backlog(later), SimDuration::ZERO);
+        assert!(p.out_utilization(later) < 0.01);
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! Sim-time telemetry for the FaaSMem reproduction.
+//!
+//! Two halves, matching the two things the harness could not see
+//! before this crate existed:
+//!
+//! 1. **What happens *inside* a run.** The end-of-run aggregates and
+//!    the discrete event trace (`faasmem-trace`) bracket a run but do
+//!    not show how resident pages, pool occupancy, or breaker state
+//!    evolve over simulated time. The [`Sampler`] fixes that: a
+//!    [`SampleSpec`] (interval in sim-time plus a [`SeriesMask`] of
+//!    selected series groups) is registered with the platform, which
+//!    snapshots named gauges from every layer at each interval
+//!    boundary into a columnar [`TimeSeries`]. Sampling is *lazy* —
+//!    rows are materialised when the event loop crosses a boundary,
+//!    never via injected queue events — so enabling telemetry cannot
+//!    perturb the simulation, and the output is a pure function of
+//!    the cell (byte-identical for any `--jobs` value).
+//!
+//! 2. **Where the harness spends wall time.** The [`profiler`] module
+//!    provides `profile_scope!`, a thread-local span stack that is
+//!    zero-cost when disabled (a global flag checked once per scope;
+//!    no clock reads). Aggregated per-phase tables feed the
+//!    `BENCH_<grid>.json` perf baselines diffed by `bench_compare`.
+//!
+//! [`rss::peak_rss_kb`] rounds out the picture with the process
+//! high-water resident set, read from `/proc/self/status` on Linux.
+
+pub mod profiler;
+pub mod rss;
+pub mod sampler;
+pub mod series;
+
+pub use sampler::{SampleSpec, Sampler, SeriesGroup, SeriesMask};
+pub use series::TimeSeries;

@@ -1,0 +1,213 @@
+//! Self-profiling for the harness: named wall-time spans aggregated
+//! into per-phase tables.
+//!
+//! Spans nest on a thread-local stack, so each phase accrues both
+//! *total* time (including children) and *self* time (children
+//! subtracted). The `profile_scope!` macro is the only intended entry
+//! point:
+//!
+//! ```
+//! faasmem_telemetry::profiler::set_enabled(true);
+//! {
+//!     faasmem_telemetry::profile_scope!("outer");
+//!     faasmem_telemetry::profile_scope!("inner");
+//! }
+//! faasmem_telemetry::profiler::set_enabled(false);
+//! let report = faasmem_telemetry::profiler::take_report();
+//! assert_eq!(report.len(), 2);
+//! ```
+//!
+//! When profiling is disabled (the default) a scope is one relaxed
+//! atomic load — no clock read, no allocation, no thread-local
+//! access. Worker threads must call [`flush_thread`] before exiting
+//! so their local aggregates reach the global table; [`take_report`]
+//! flushes the calling thread implicitly.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+static GLOBAL: Mutex<BTreeMap<&'static str, PhaseStat>> = Mutex::new(BTreeMap::new());
+
+thread_local! {
+    /// Open spans on this thread: (accumulated child seconds).
+    static STACK: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    static LOCAL: RefCell<BTreeMap<&'static str, PhaseStat>> =
+        const { RefCell::new(BTreeMap::new()) };
+}
+
+/// Aggregated timing for one named phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseStat {
+    /// How many spans completed under this name.
+    pub calls: u64,
+    /// Wall seconds including nested child spans.
+    pub total_secs: f64,
+    /// Wall seconds with child-span time subtracted.
+    pub self_secs: f64,
+}
+
+impl PhaseStat {
+    fn merge(&mut self, other: PhaseStat) {
+        self.calls += other.calls;
+        self.total_secs += other.total_secs;
+        self.self_secs += other.self_secs;
+    }
+}
+
+/// Turns span recording on or off process-wide. Spans opened while
+/// disabled record nothing even if profiling is enabled before they
+/// close.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether spans are currently being recorded.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// RAII guard for one span. Construct via `profile_scope!`, not
+/// directly.
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Opens a span. Prefer the `profile_scope!` macro, which binds the
+/// guard to scope exit.
+pub fn enter(name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard { name, start: None };
+    }
+    STACK.with(|stack| stack.borrow_mut().push(0.0));
+    SpanGuard {
+        name,
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let total = start.elapsed().as_secs_f64();
+        let child_secs = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let child_secs = stack.pop().unwrap_or(0.0);
+            // Charge this span's full duration to the parent, if any.
+            if let Some(parent) = stack.last_mut() {
+                *parent += total;
+            }
+            child_secs
+        });
+        let stat = PhaseStat {
+            calls: 1,
+            total_secs: total,
+            self_secs: (total - child_secs).max(0.0),
+        };
+        LOCAL.with(|local| local.borrow_mut().entry(self.name).or_default().merge(stat));
+    }
+}
+
+/// Merges this thread's aggregates into the global table. Call from
+/// each worker thread before it exits.
+pub fn flush_thread() {
+    let drained: Vec<(&'static str, PhaseStat)> = LOCAL.with(|local| {
+        std::mem::take(&mut *local.borrow_mut())
+            .into_iter()
+            .collect()
+    });
+    if drained.is_empty() {
+        return;
+    }
+    let mut global = GLOBAL.lock().expect("profiler mutex poisoned");
+    for (name, stat) in drained {
+        global.entry(name).or_default().merge(stat);
+    }
+}
+
+/// Flushes the calling thread, then drains and returns the global
+/// per-phase table sorted by phase name.
+pub fn take_report() -> Vec<(&'static str, PhaseStat)> {
+    flush_thread();
+    let mut global = GLOBAL.lock().expect("profiler mutex poisoned");
+    std::mem::take(&mut *global).into_iter().collect()
+}
+
+/// Times the enclosing scope under `name` when profiling is enabled.
+/// Zero-cost (one atomic load) when disabled.
+#[macro_export]
+macro_rules! profile_scope {
+    ($name:literal) => {
+        let _faasmem_profile_guard = $crate::profiler::enter($name);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A single test exercises the whole lifecycle: the profiler is
+    // process-global state, and parallel test threads toggling
+    // `set_enabled` would race each other.
+    #[test]
+    fn spans_nest_and_aggregate() {
+        // Disabled spans record nothing.
+        {
+            crate::profile_scope!("never");
+        }
+        assert!(take_report().iter().all(|(name, _)| *name != "never"));
+
+        set_enabled(true);
+        for _ in 0..3 {
+            crate::profile_scope!("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                crate::profile_scope!("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        // A worker thread contributes via flush_thread.
+        std::thread::spawn(|| {
+            {
+                crate::profile_scope!("worker");
+            }
+            flush_thread();
+        })
+        .join()
+        .unwrap();
+        set_enabled(false);
+
+        let report = take_report();
+        let get = |name: &str| {
+            report
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, s)| *s)
+                .unwrap_or_else(|| panic!("missing phase {name}: {report:?}"))
+        };
+        let outer = get("outer");
+        let inner = get("inner");
+        assert_eq!(outer.calls, 3);
+        assert_eq!(inner.calls, 3);
+        // Outer includes inner in total, excludes it in self time.
+        assert!(outer.total_secs >= inner.total_secs);
+        assert!(outer.self_secs <= outer.total_secs);
+        assert!(inner.self_secs > 0.0);
+        assert_eq!(get("worker").calls, 1);
+        // Report names are sorted.
+        let names: Vec<_> = report.iter().map(|(n, _)| *n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+
+        // Drained: a second take sees nothing.
+        assert!(take_report().is_empty());
+    }
+}

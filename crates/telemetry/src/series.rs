@@ -1,0 +1,234 @@
+//! Columnar (struct-of-arrays) time-series storage.
+//!
+//! A [`TimeSeries`] holds one shared tick axis (sim-time microseconds)
+//! and any number of named `f64` columns. The structural invariant —
+//! every column is exactly as long as the tick axis — is maintained by
+//! construction: a column first seen mid-run is backfilled with NaN
+//! for the rows it missed, and columns absent from a row get NaN for
+//! that row. NaN serialises as JSON `null`, so gaps survive export.
+
+use faasmem_trace::json::JsonValue;
+
+/// One named column of samples.
+#[derive(Debug, Clone, PartialEq)]
+struct Column {
+    name: String,
+    values: Vec<f64>,
+}
+
+/// A rectangular, columnar time-series: one tick axis, N named f64
+/// columns, all the same length. Columns are kept sorted by name so
+/// serialisation order never depends on insertion order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    ticks: Vec<u64>,
+    columns: Vec<Column>,
+}
+
+impl TimeSeries {
+    /// An empty series with no ticks and no columns.
+    pub fn new() -> TimeSeries {
+        TimeSeries::default()
+    }
+
+    /// Number of rows (ticks) recorded.
+    pub fn len(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// Whether no rows have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ticks.is_empty()
+    }
+
+    /// The tick axis, in sim-time microseconds.
+    pub fn ticks(&self) -> &[u64] {
+        &self.ticks
+    }
+
+    /// Column names, in the (sorted) serialisation order.
+    pub fn column_names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|c| c.name.as_str())
+    }
+
+    /// The samples of one column, if it exists.
+    pub fn column(&self, name: &str) -> Option<&[f64]> {
+        self.columns
+            .binary_search_by(|c| c.name.as_str().cmp(name))
+            .ok()
+            .map(|i| self.columns[i].values.as_slice())
+    }
+
+    /// Whether every column is exactly as long as the tick axis. Held
+    /// by construction; exposed so property tests can state it.
+    pub fn is_rectangular(&self) -> bool {
+        self.columns
+            .iter()
+            .all(|c| c.values.len() == self.ticks.len())
+    }
+
+    /// Appends one row at tick `t_us`. Values are `(series name,
+    /// sample)` pairs; a name not seen before creates a new column
+    /// backfilled with NaN, and existing columns missing from `values`
+    /// receive NaN for this row. Duplicate names within one row keep
+    /// the last value.
+    pub fn push_row<'a>(&mut self, t_us: u64, values: impl IntoIterator<Item = (&'a str, f64)>) {
+        let backfill = self.ticks.len();
+        self.ticks.push(t_us);
+        for (name, v) in values {
+            let idx = match self.columns.binary_search_by(|c| c.name.as_str().cmp(name)) {
+                Ok(i) => i,
+                Err(i) => {
+                    self.columns.insert(
+                        i,
+                        Column {
+                            name: name.to_string(),
+                            values: vec![f64::NAN; backfill],
+                        },
+                    );
+                    i
+                }
+            };
+            let col = &mut self.columns[idx].values;
+            if col.len() == self.ticks.len() {
+                // Duplicate name within this row: last value wins.
+                *col.last_mut().expect("non-empty column") = v;
+            } else {
+                col.push(v);
+            }
+        }
+        for col in &mut self.columns {
+            if col.values.len() < self.ticks.len() {
+                col.values.push(f64::NAN);
+            }
+        }
+    }
+
+    /// Takes the recorded data out, leaving this series empty. Plain
+    /// data only — safe to move across threads after the `Rc`-held
+    /// recorder is done with it.
+    pub fn take(&mut self) -> TimeSeries {
+        std::mem::take(self)
+    }
+
+    /// Serialises to `{"t_us": [...], "series": {name: [...]}}`. NaN
+    /// samples (structural gaps) become JSON `null`.
+    pub fn to_json(&self) -> JsonValue {
+        let mut doc = JsonValue::obj();
+        doc.push(
+            "t_us",
+            JsonValue::Arr(
+                self.ticks
+                    .iter()
+                    .map(|&t| JsonValue::Num(t as f64))
+                    .collect(),
+            ),
+        );
+        let mut series = JsonValue::obj();
+        for col in &self.columns {
+            series.push(
+                &col.name,
+                JsonValue::Arr(col.values.iter().map(|&v| JsonValue::Num(v)).collect()),
+            );
+        }
+        doc.push("series", series);
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_row_keeps_columns_rectangular() {
+        let mut ts = TimeSeries::new();
+        ts.push_row(0, [("a", 1.0)]);
+        ts.push_row(10, [("a", 2.0), ("b", 3.0)]);
+        ts.push_row(20, [("b", 4.0)]);
+        assert!(ts.is_rectangular());
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.column("a").unwrap()[1], 2.0);
+        assert!(ts.column("a").unwrap()[2].is_nan());
+        // Column "b" was born on row 1: row 0 is a NaN backfill.
+        assert!(ts.column("b").unwrap()[0].is_nan());
+        assert_eq!(ts.column("b").unwrap()[2], 4.0);
+    }
+
+    #[test]
+    fn columns_serialize_sorted_regardless_of_insertion_order() {
+        let mut ts = TimeSeries::new();
+        ts.push_row(0, [("zeta", 1.0), ("alpha", 2.0), ("mid", 3.0)]);
+        let names: Vec<&str> = ts.column_names().collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+        let json = ts.to_json().to_compact();
+        let a = json.find("alpha").unwrap();
+        let m = json.find("mid").unwrap();
+        let z = json.find("zeta").unwrap();
+        assert!(a < m && m < z, "{json}");
+    }
+
+    #[test]
+    fn duplicate_name_in_row_keeps_last_value() {
+        let mut ts = TimeSeries::new();
+        ts.push_row(0, [("a", 1.0), ("a", 9.0)]);
+        assert!(ts.is_rectangular());
+        assert_eq!(ts.column("a").unwrap(), [9.0]);
+    }
+
+    #[test]
+    fn nan_gaps_export_as_null() {
+        let mut ts = TimeSeries::new();
+        ts.push_row(0, [("a", 1.0)]);
+        ts.push_row(5, [("b", 2.0)]);
+        let json = ts.to_json().to_compact();
+        assert!(json.contains("[1,null]"), "{json}");
+        assert!(json.contains("[null,2]"), "{json}");
+    }
+
+    // Under any interleaving of row pushes (with arbitrary column
+    // subsets per row) and flushes, every live snapshot stays
+    // rectangular: all columns exactly as long as the tick axis.
+    proptest::proptest! {
+        #[test]
+        fn prop_columns_stay_equal_length_under_interleaved_sample_flush(
+            ops in proptest::collection::vec((0u8..5, 0u8..16), 0..60),
+        ) {
+            const NAMES: [&str; 4] = ["c0", "c1", "c2", "c3"];
+            let mut ts = TimeSeries::new();
+            let mut tick = 0u64;
+            for (op, subset) in ops {
+                if op == 4 {
+                    let taken = ts.take();
+                    proptest::prop_assert!(taken.is_rectangular());
+                    proptest::prop_assert!(ts.is_empty());
+                    tick = 0;
+                } else {
+                    let row = NAMES
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| subset & (1 << i) != 0)
+                        .map(|(i, name)| (*name, i as f64));
+                    ts.push_row(tick, row);
+                    tick += 1;
+                }
+                proptest::prop_assert!(ts.is_rectangular());
+                for name in NAMES {
+                    if let Some(col) = ts.column(name) {
+                        proptest::prop_assert_eq!(col.len(), ts.len());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn take_leaves_empty_series() {
+        let mut ts = TimeSeries::new();
+        ts.push_row(0, [("a", 1.0)]);
+        let taken = ts.take();
+        assert_eq!(taken.len(), 1);
+        assert!(ts.is_empty());
+        assert_eq!(ts.column_names().count(), 0);
+    }
+}

@@ -212,6 +212,20 @@ pub fn summarize_jsonl(input: &str) -> Result<TraceSummary, String> {
     Ok(out)
 }
 
+impl TraceSummary {
+    /// Narrows the summary to one container id: cells that never saw
+    /// the container are dropped, and surviving cells keep only that
+    /// container's timeline. Cell-level totals (events, pool bytes,
+    /// retries...) are left untouched — they describe the whole cell
+    /// and filtering them would misattribute shared traffic.
+    pub fn filter_container(&mut self, container: u64) {
+        self.cells.retain_mut(|cell| {
+            cell.containers.retain(|tl| tl.container == container);
+            !cell.containers.is_empty()
+        });
+    }
+}
+
 fn fmt_opt_ms(us: Option<u64>) -> String {
     match us {
         Some(us) => format!("{:.1}", us as f64 / 1000.0),
@@ -423,6 +437,41 @@ mod tests {
         let text = render_text(&summary);
         assert!(text.contains("cell 0 [azure/image/default/faasmem]"));
         assert!(text.contains("32768 B out"));
+    }
+
+    #[test]
+    fn filter_container_keeps_only_matching_timelines() {
+        let jsonl = [
+            line(
+                0,
+                0,
+                Some(0),
+                None,
+                EventKind::ContainerLaunch { function: 0 },
+            ),
+            line(
+                10,
+                1,
+                Some(1),
+                None,
+                EventKind::ContainerLaunch { function: 1 },
+            ),
+        ]
+        .join("\n");
+        let mut summary = summarize_jsonl(&jsonl).unwrap();
+        assert_eq!(summary.cells[0].containers.len(), 2);
+
+        let mut only_one = summary.clone();
+        only_one.filter_container(1);
+        assert_eq!(only_one.cells.len(), 1);
+        assert_eq!(only_one.cells[0].containers.len(), 1);
+        assert_eq!(only_one.cells[0].containers[0].container, 1);
+        // Cell totals describe the whole cell and survive the filter.
+        assert_eq!(only_one.cells[0].events, 2);
+
+        // A container that never appears empties the summary.
+        summary.filter_container(99);
+        assert!(summary.cells.is_empty());
     }
 
     #[test]
