@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use faasmem_faas::{ContainerId, MemoryPolicy, PolicyCtx};
-use faasmem_mem::{RegionConfig, RegionMonitor};
+use faasmem_mem::{PageId, RegionConfig, RegionMonitor};
 use faasmem_sim::{SimDuration, SimRng};
 
 /// How the policy estimates page hotness.
@@ -77,6 +77,8 @@ pub struct DamonPolicy {
     config: DamonConfig,
     rng: SimRng,
     monitors: HashMap<ContainerId, RegionMonitor>,
+    /// Reused cold-page buffer; keeps the per-tick scan allocation-free.
+    scratch: Vec<PageId>,
 }
 
 impl Default for DamonPolicy {
@@ -92,6 +94,7 @@ impl DamonPolicy {
             config,
             rng: SimRng::seed_from(0xDA30),
             monitors: HashMap::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -113,17 +116,18 @@ impl MemoryPolicy for DamonPolicy {
     fn on_tick(&mut self, ctx: &mut PolicyCtx<'_>) {
         // Sampling is container-stage agnostic: it runs during execution
         // and keep-alive alike — the design flaw the paper calls out.
-        let cold = match self.config.mode {
+        match self.config.mode {
             DamonMode::ExactScan => ctx
                 .container
                 .table_mut()
-                .age_and_collect_idle(self.config.idle_threshold),
+                .age_and_collect_idle_into(self.config.idle_threshold, &mut self.scratch),
             DamonMode::PebsSampling(p) => {
                 let rng = &mut self.rng;
-                ctx.container.table_mut().age_and_collect_idle_sampled(
+                ctx.container.table_mut().age_and_collect_idle_sampled_into(
                     self.config.idle_threshold,
                     p,
                     || rng.next_f64(),
+                    &mut self.scratch,
                 )
             }
             DamonMode::RegionMonitor(region_config) => {
@@ -133,11 +137,15 @@ impl MemoryPolicy for DamonPolicy {
                     .or_insert_with(|| RegionMonitor::new(region_config));
                 let rng = &mut self.rng;
                 monitor.aggregate(ctx.container.table_mut(), || rng.next_f64());
-                monitor.cold_pages(ctx.container.table(), u32::from(self.config.idle_threshold))
+                monitor.cold_pages_into(
+                    ctx.container.table(),
+                    u32::from(self.config.idle_threshold),
+                    &mut self.scratch,
+                )
             }
         };
-        if !cold.is_empty() {
-            ctx.offload_pages(&cold);
+        if !self.scratch.is_empty() {
+            ctx.offload_pages(&self.scratch);
         }
     }
 

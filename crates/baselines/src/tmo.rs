@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use faasmem_faas::{ContainerId, MemoryPolicy, PolicyCtx};
+use faasmem_mem::PageId;
 use faasmem_sim::{SimDuration, SimTime};
 
 /// Configuration of the TMO-like policy.
@@ -48,6 +49,8 @@ pub struct TmoPolicy {
     config: TmoConfig,
     /// Per-container: paused-until timestamp and fractional-page carry.
     state: HashMap<ContainerId, TmoState>,
+    /// Reused cold-page buffer; keeps the per-tick scan allocation-free.
+    scratch: Vec<PageId>,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -62,6 +65,7 @@ impl TmoPolicy {
         TmoPolicy {
             config,
             state: HashMap::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -109,15 +113,14 @@ impl MemoryPolicy for TmoPolicy {
         let budget_pages = (budget_bytes / page_size as f64).floor();
         entry.carry = budget_bytes - budget_pages * page_size as f64;
         // Age first so idleness accumulates even when the budget is zero.
-        let mut cold = ctx
-            .container
+        ctx.container
             .table_mut()
-            .age_and_collect_idle(self.config.idle_threshold);
-        if budget_pages < 1.0 || cold.is_empty() {
+            .age_and_collect_idle_into(self.config.idle_threshold, &mut self.scratch);
+        if budget_pages < 1.0 || self.scratch.is_empty() {
             return;
         }
-        cold.truncate(budget_pages as usize);
-        ctx.offload_pages(&cold);
+        self.scratch.truncate(budget_pages as usize);
+        ctx.offload_pages(&self.scratch);
     }
 
     fn on_container_recycled(&mut self, ctx: &mut PolicyCtx<'_>) {

@@ -54,6 +54,11 @@ pub struct FaasMemPolicy {
     /// cold-start-aware timing extension.
     last_seen: HashMap<faasmem_faas::FunctionId, faasmem_sim::SimTime>,
     stats: StatsHandle,
+    /// Reusable id buffer for offload candidate collection — keeps the
+    /// per-request and per-tick hot paths allocation-free.
+    scratch_ids: Vec<PageId>,
+    /// Reusable buffer for promotion scan hits.
+    scratch_hits: Vec<(PageId, bool)>,
 }
 
 /// Builder for [`FaasMemPolicy`].
@@ -92,6 +97,8 @@ impl FaasMemPolicyBuilder {
             containers: HashMap::new(),
             last_seen: HashMap::new(),
             stats: new_stats_handle(),
+            scratch_ids: Vec::new(),
+            scratch_hits: Vec::new(),
         }
     }
 }
@@ -123,12 +130,20 @@ impl FaasMemPolicy {
     }
 
     /// Offloads the inactive lists of the Runtime and Init Puckets.
-    fn offload_inactive(state: &CState, ctx: &mut PolicyCtx<'_>, kinds: &[PucketKind]) -> u32 {
-        let mut ids: Vec<PageId> = Vec::new();
+    /// `ids` is a reusable scratch buffer (clobbered).
+    fn offload_inactive(
+        state: &CState,
+        ctx: &mut PolicyCtx<'_>,
+        kinds: &[PucketKind],
+        ids: &mut Vec<PageId>,
+    ) -> u32 {
+        ids.clear();
         for &kind in kinds {
-            ids.extend(state.puckets.inactive_pages(ctx.container.table(), kind));
+            state
+                .puckets
+                .append_inactive_pages(ctx.container.table(), kind, ids);
         }
-        ctx.offload_pages(&ids)
+        ctx.offload_pages(ids)
     }
 }
 
@@ -176,7 +191,7 @@ impl MemoryPolicy for FaasMemPolicy {
             .insert_init_exec_barrier(ctx.container.table_mut());
         // Allocation-time Access bits are not request accesses: clear
         // them so every Pucket starts with a full inactive list (§4).
-        ctx.container.table_mut().scan_accessed();
+        ctx.container.table_mut().clear_accessed();
         let init_total = u64::from(ctx.container.init_range().len());
         state.window = Some(WindowTracker::new(init_total, epsilon, rounds, cap));
     }
@@ -236,7 +251,9 @@ impl MemoryPolicy for FaasMemPolicy {
                 .containers
                 .get_mut(&id)
                 .expect("state exists after cold start");
-            state.puckets.promote_accessed(ctx.container.table_mut())
+            state
+                .puckets
+                .promote_accessed_into(ctx.container.table_mut(), &mut self.scratch_hits)
         };
         if promote.runtime_recalled > 0 {
             let state = self.containers.get_mut(&id).expect("state exists");
@@ -252,7 +269,7 @@ impl MemoryPolicy for FaasMemPolicy {
             if !state.runtime_offloaded {
                 state.runtime_offloaded = true;
                 let state = self.containers.get(&id).expect("state exists");
-                Self::offload_inactive(state, ctx, &[PucketKind::Runtime]);
+                Self::offload_inactive(state, ctx, &[PucketKind::Runtime], &mut self.scratch_ids);
                 self.stats
                     .borrow_mut()
                     .runtime_offloads
@@ -274,7 +291,7 @@ impl MemoryPolicy for FaasMemPolicy {
             let state = self.containers.get_mut(&id).expect("state exists");
             state.rollback.arm(window, now);
             let state = self.containers.get(&id).expect("state exists");
-            Self::offload_inactive(state, ctx, &[PucketKind::Init]);
+            Self::offload_inactive(state, ctx, &[PucketKind::Init], &mut self.scratch_ids);
             self.stats
                 .borrow_mut()
                 .windows_chosen
@@ -296,7 +313,12 @@ impl MemoryPolicy for FaasMemPolicy {
             }
             RollbackAction::OffloadLeftovers => {
                 let state = self.containers.get(&id).expect("state exists");
-                Self::offload_inactive(state, ctx, &[PucketKind::Runtime, PucketKind::Init]);
+                Self::offload_inactive(
+                    state,
+                    ctx,
+                    &[PucketKind::Runtime, PucketKind::Init],
+                    &mut self.scratch_ids,
+                );
             }
         }
     }
@@ -341,16 +363,20 @@ impl MemoryPolicy for FaasMemPolicy {
         // then (when Puckets are disabled) any remaining local page.
         let state = self.containers.get(&id).expect("state exists");
         let table = ctx.container.table();
-        let mut candidates: Vec<PageId> = Vec::new();
+        self.scratch_ids.clear();
         if self.config.enable_pucket {
-            candidates.extend(state.puckets.inactive_pages(table, PucketKind::Runtime));
-            candidates.extend(state.puckets.inactive_pages(table, PucketKind::Init));
-            candidates.extend(state.puckets.hot_pool_pages(table));
+            state
+                .puckets
+                .append_inactive_pages(table, PucketKind::Runtime, &mut self.scratch_ids);
+            state
+                .puckets
+                .append_inactive_pages(table, PucketKind::Init, &mut self.scratch_ids);
+            table.append_hot_pool_local(&mut self.scratch_ids);
         } else {
-            candidates = table.collect_ids(|_, m| m.state() == faasmem_mem::PageState::Local);
+            table.append_local(&mut self.scratch_ids);
         }
-        candidates.truncate(budget as usize);
-        let moved = ctx.offload_pages(&candidates);
+        self.scratch_ids.truncate(budget as usize);
+        let moved = ctx.offload_pages(&self.scratch_ids);
         if moved > 0 {
             let bytes = u64::from(moved) * page_size;
             self.containers

@@ -8,7 +8,7 @@
 //! reveals its segment. [`Puckets`] performs that classification and
 //! maintains each Pucket's inactive list plus the shared hot page pool.
 
-use faasmem_mem::{Generation, PageId, PageMeta, PageState, PageTable};
+use faasmem_mem::{Generation, PageId, PageMeta, PageTable};
 
 /// Which Pucket a page belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -137,37 +137,79 @@ impl Puckets {
         }
     }
 
+    /// The generation interval `[lo, hi)` a Pucket occupies given the
+    /// current barriers, or `None` if the Pucket cannot hold pages yet.
+    /// This is [`Puckets::classify`] inverted so page-table queries can
+    /// run as a single interval test per page.
+    fn gen_bounds(&self, kind: PucketKind) -> Option<(u32, u32)> {
+        match (self.runtime_init, self.init_exec) {
+            (None, _) => (kind == PucketKind::Runtime).then_some((0, u32::MAX)),
+            (Some(ri), None) => match kind {
+                PucketKind::Runtime => Some((0, ri.0)),
+                PucketKind::Init => Some((ri.0, u32::MAX)),
+                PucketKind::Execution => None,
+            },
+            (Some(ri), Some(ie)) => match kind {
+                PucketKind::Runtime => Some((0, ri.0)),
+                PucketKind::Init => Some((ri.0, ie.0)),
+                PucketKind::Execution => Some((ie.0, u32::MAX)),
+            },
+        }
+    }
+
     /// The inactive list of one Pucket: live local pages of that Pucket
     /// not currently in the hot page pool — the offloading candidates.
     pub fn inactive_pages(&self, table: &PageTable, kind: PucketKind) -> Vec<PageId> {
-        table.collect_ids(|_, m| {
-            m.state() == PageState::Local && !m.in_hot_pool() && self.classify(m) == kind
-        })
+        let mut out = Vec::new();
+        self.append_inactive_pages(table, kind, &mut out);
+        out
+    }
+
+    /// Appends one Pucket's inactive list to `out` (no clear), ascending
+    /// — the allocation-free path the semi-warm reclamation tick uses.
+    pub fn append_inactive_pages(
+        &self,
+        table: &PageTable,
+        kind: PucketKind,
+        out: &mut Vec<PageId>,
+    ) {
+        if let Some((lo, hi)) = self.gen_bounds(kind) {
+            table.append_inactive_in_gen_range(lo, hi, out);
+        }
     }
 
     /// Number of inactive pages in one Pucket (cheaper than collecting).
     pub fn inactive_count(&self, table: &PageTable, kind: PucketKind) -> u64 {
-        table
-            .iter_live()
-            .filter(|&(_, m)| {
-                m.state() == PageState::Local && !m.in_hot_pool() && self.classify(m) == kind
-            })
-            .count() as u64
+        self.gen_bounds(kind)
+            .map_or(0, |(lo, hi)| table.count_inactive_in_gen_range(lo, hi))
     }
 
     /// Pages currently in the shared hot page pool (any Pucket), local
     /// only.
     pub fn hot_pool_pages(&self, table: &PageTable) -> Vec<PageId> {
-        table.collect_ids(|_, m| m.state() == PageState::Local && m.in_hot_pool())
+        let mut out = Vec::new();
+        table.append_hot_pool_local(&mut out);
+        out
     }
 
     /// Scans Access bits and promotes revisited Runtime/Init-Pucket pages
     /// into the hot page pool. Execution-Pucket accesses are ignored —
     /// the paper does not monitor that segment (§4).
     pub fn promote_accessed(&self, table: &mut PageTable) -> PromoteSummary {
-        let accessed = table.scan_accessed_with_faults();
+        let mut scratch = Vec::new();
+        self.promote_accessed_into(table, &mut scratch)
+    }
+
+    /// Allocation-free variant of [`Puckets::promote_accessed`]: the scan
+    /// hits land in the caller-owned `scratch` buffer (clobbered).
+    pub fn promote_accessed_into(
+        &self,
+        table: &mut PageTable,
+        scratch: &mut Vec<(PageId, bool)>,
+    ) -> PromoteSummary {
+        table.scan_accessed_with_faults_into(scratch);
         let mut summary = PromoteSummary::default();
-        for (id, faulted) in accessed {
+        for &(id, faulted) in scratch.iter() {
             let meta = table.meta(id);
             if meta.in_hot_pool() {
                 continue;
@@ -196,11 +238,7 @@ impl Puckets {
     /// Rolls every hot-pool page back to its original Pucket's inactive
     /// list (§5.3). Returns how many pages were rolled back.
     pub fn rollback_hot_pool(&self, table: &mut PageTable) -> u32 {
-        let hot = self.hot_pool_pages(table);
-        for &id in &hot {
-            table.set_in_hot_pool(id, false);
-        }
-        hot.len() as u32
+        table.clear_local_hot_pool()
     }
 }
 

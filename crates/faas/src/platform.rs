@@ -377,8 +377,18 @@ impl PlatformSim {
         }
 
         let mut queue: EventQueue<Event> = EventQueue::with_capacity(invocations.len() * 4);
-        for (i, inv) in invocations.iter().enumerate() {
-            queue.push(inv.at, Event::Invoke(i as u32));
+        // Bursty traces schedule many invocations at the same instant;
+        // batching each same-time run keeps seq assignment identical to
+        // pushing one by one while touching the heap allocator once.
+        let mut i = 0;
+        while i < invocations.len() {
+            let at = invocations[i].at;
+            let run_end = invocations[i..]
+                .iter()
+                .position(|inv| inv.at != at)
+                .map_or(invocations.len(), |n| i + n);
+            queue.push_at_many(at, (i..run_end).map(|j| Event::Invoke(j as u32)));
+            i = run_end;
         }
         let tick = self.policy.tick_interval();
         if let Some(dt) = tick {
@@ -415,6 +425,7 @@ impl PlatformSim {
                     );
                 }
             }
+            queue.reserve(plan.node_losses.len() + plan.crashes.len());
             for (i, loss) in plan.node_losses.iter().enumerate() {
                 queue.push(loss.at, Event::NodeLoss(i as u32));
             }

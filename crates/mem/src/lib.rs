@@ -36,11 +36,13 @@
 //! ```
 
 pub mod page;
+pub mod reference;
 pub mod regions;
 pub mod stats;
 pub mod table;
 
 pub use page::{PageId, PageMeta, PageRange, PageState, Segment};
+pub use reference::ReferencePageTable;
 pub use regions::{Region, RegionConfig, RegionMonitor};
 pub use stats::MemStats;
 pub use table::{Generation, PageTable, TouchOutcome};

@@ -192,6 +192,44 @@ impl PageMeta {
         }
     }
 
+    /// Assembles a snapshot from the table's column-oriented storage.
+    /// The table keeps flags in bitmaps and the rest in dense columns;
+    /// this reconstitutes the value-type view callers see via
+    /// [`PageTable::meta`](crate::PageTable::meta).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        state: PageState,
+        segment: Segment,
+        accessed: bool,
+        in_hot_pool: bool,
+        recently_faulted: bool,
+        idle_scans: u8,
+        access_count: u16,
+        generation: u32,
+    ) -> Self {
+        let state_bits = match state {
+            PageState::Local => STATE_LOCAL,
+            PageState::Remote => STATE_REMOTE,
+            PageState::Freed => STATE_FREED,
+        };
+        let mut flags = state_bits | ((segment.index() as u8) << SEG_SHIFT);
+        if accessed {
+            flags |= FLAG_ACCESSED;
+        }
+        if in_hot_pool {
+            flags |= FLAG_HOT_POOL;
+        }
+        if recently_faulted {
+            flags |= FLAG_FAULTED;
+        }
+        PageMeta {
+            flags,
+            idle_scans,
+            access_count,
+            generation,
+        }
+    }
+
     /// Residency state.
     pub fn state(self) -> PageState {
         match self.flags & STATE_MASK {

@@ -155,7 +155,7 @@ impl RegionMonitor {
             }
         }
         // The window is over: clear all Access bits (DAMON's PTE reset).
-        table.scan_accessed();
+        table.clear_accessed();
         self.split(&mut coin);
         self.merge();
     }
@@ -221,18 +221,21 @@ impl RegionMonitor {
     /// pages are returned.
     pub fn cold_pages(&self, table: &PageTable, idle_threshold: u32) -> Vec<PageId> {
         let mut out = Vec::new();
+        self.cold_pages_into(table, idle_threshold, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`RegionMonitor::cold_pages`]: clears
+    /// `out` and fills it in ascending page order.
+    pub fn cold_pages_into(&self, table: &PageTable, idle_threshold: u32, out: &mut Vec<PageId>) {
+        out.clear();
         for region in &self.regions {
             if region.age_idle < idle_threshold {
                 continue;
             }
-            for page in region.start..region.end() {
-                let id = PageId(page);
-                if table.meta(id).state() == PageState::Local {
-                    out.push(id);
-                }
-            }
+            let range = crate::PageRange::new(PageId(region.start), region.len);
+            table.append_local_in_range(range, out);
         }
-        out
     }
 }
 

@@ -7,6 +7,23 @@
 //! allocated in. All policy code — FaaSMem's Puckets as well as the TMO
 //! and DAMON baselines — operates purely through this interface, which is
 //! what keeps the head-to-head evaluation honest.
+//!
+//! # Data layout
+//!
+//! The table is column-oriented (see DESIGN § data layout). Single-bit
+//! page attributes — the Access bit, the recently-faulted flag, freed
+//! state, remote residency, hot-pool membership — live in packed `u64`
+//! bitmaps, one bit per page; multi-bit attributes (generation, idle-scan
+//! counter, access counter, segment tag) live in dense parallel columns.
+//! Batch operations iterate word-wise: an all-zero mask word skips 64
+//! pages in one branch, and set bits are visited in ascending page-id
+//! order via `trailing_zeros`. Every scan-like operation has an `_into`
+//! variant writing into a caller-owned scratch buffer, so steady-state
+//! simulation allocates nothing per scan.
+//!
+//! The `freed` bitmap carries a *tail guard*: bits at indices `>= len`
+//! (the slack of the last partial word) are kept set, so the live-page
+//! mask of any word is simply `!freed[w]` with no last-word special case.
 
 use crate::page::{PageId, PageMeta, PageRange, PageState, Segment};
 use crate::stats::MemStats;
@@ -37,6 +54,31 @@ impl TouchOutcome {
     }
 }
 
+/// `(word index, bit mask)` addressing one page in a bitmap.
+#[inline]
+fn word_bit(index: usize) -> (usize, u64) {
+    (index >> 6, 1u64 << (index & 63))
+}
+
+/// Iterates the bitmap words overlapping `[start, end)`, yielding each
+/// word index with the mask of span bits inside it. `start < end`.
+#[inline]
+fn span_words(start: usize, end: usize) -> impl Iterator<Item = (usize, u64)> {
+    debug_assert!(start < end);
+    let first = start >> 6;
+    let last = (end - 1) >> 6;
+    (first..=last).map(move |w| {
+        let mut mask = !0u64;
+        if w == first {
+            mask &= !0u64 << (start & 63);
+        }
+        if w == last && (end & 63) != 0 {
+            mask &= (1u64 << (end & 63)) - 1;
+        }
+        (w, mask)
+    })
+}
+
 /// Per-container page table with MGLRU generations and residency tracking.
 ///
 /// # Examples
@@ -57,7 +99,33 @@ impl TouchOutcome {
 #[derive(Debug, Clone)]
 pub struct PageTable {
     page_size: u64,
-    pages: Vec<PageMeta>,
+    /// Total pages ever allocated; bitmap bits `>= len` are dead slack
+    /// (set in `freed`, clear everywhere else).
+    len: usize,
+    /// Simulated Access bits. Invariant: subset of live pages.
+    accessed: Vec<u64>,
+    /// "Faulted back since the last scan" flags. May linger on freed
+    /// pages (frees do not consume the flag; scans clear live bits and
+    /// recycling resets it).
+    recently_faulted: Vec<u64>,
+    /// Freed-state bits, tail-guarded: slack bits past `len` stay set so
+    /// `!freed[w]` is the live mask of any word.
+    freed: Vec<u64>,
+    /// Remote-residency bits. Invariant: subset of live pages.
+    remote: Vec<u64>,
+    /// Hot-page-pool membership bits (policy-owned, see `set_in_hot_pool`).
+    hot_pool: Vec<u64>,
+    /// MGLRU generation per page.
+    generation: Vec<u32>,
+    /// DAMON-style idle-scan counter per page.
+    idle_scans: Vec<u8>,
+    /// Lifetime access counter per page (saturating).
+    access_count: Vec<u16>,
+    /// Lifecycle segment tag per page (`Segment::ALL` index).
+    segment: Vec<u8>,
+    /// Live pages per generation, indexed by generation number — keeps
+    /// `generation_age_histogram` O(generations) instead of O(pages).
+    gen_live: Vec<u64>,
     current_gen: u32,
     /// Freed execution ranges available for reuse, newest last.
     free_exec: Vec<PageRange>,
@@ -84,7 +152,17 @@ impl PageTable {
         assert!(page_size > 0, "page size must be positive");
         PageTable {
             page_size,
-            pages: Vec::new(),
+            len: 0,
+            accessed: Vec::new(),
+            recently_faulted: Vec::new(),
+            freed: Vec::new(),
+            remote: Vec::new(),
+            hot_pool: Vec::new(),
+            generation: Vec::new(),
+            idle_scans: Vec::new(),
+            access_count: Vec::new(),
+            segment: Vec::new(),
+            gen_live: Vec::new(),
             current_gen: 0,
             free_exec: Vec::new(),
             local_pages: 0,
@@ -114,12 +192,55 @@ impl PageTable {
 
     /// Total pages ever allocated (including freed slots awaiting reuse).
     pub fn len(&self) -> usize {
-        self.pages.len()
+        self.len
     }
 
     /// `true` when no pages have been allocated.
     pub fn is_empty(&self) -> bool {
-        self.pages.is_empty()
+        self.len == 0
+    }
+
+    /// Number of bitmap words in play.
+    #[inline]
+    fn words(&self) -> usize {
+        self.freed.len()
+    }
+
+    #[inline]
+    fn assert_allocated(&self, id: PageId) {
+        assert!(
+            id.index() < self.len,
+            "page {} was never allocated (table has {})",
+            id.index(),
+            self.len
+        );
+    }
+
+    /// Asserts `range` lies within the allocated id space and returns its
+    /// `(start, end)` indices; `None` for an empty range.
+    #[inline]
+    fn range_bounds(&self, range: PageRange) -> Option<(usize, usize)> {
+        if range.is_empty() {
+            return None;
+        }
+        let start = range.start().index();
+        let end = start + range.len() as usize;
+        assert!(
+            end <= self.len,
+            "range {}..{} exceeds allocated pages ({})",
+            start,
+            end,
+            self.len
+        );
+        Some((start, end))
+    }
+
+    fn bump_gen_live(&mut self, generation: u32, count: u64) {
+        let g = generation as usize;
+        if self.gen_live.len() <= g {
+            self.gen_live.resize(g + 1, 0);
+        }
+        self.gen_live[g] += count;
     }
 
     /// The generation newly allocated pages are tagged with.
@@ -153,26 +274,54 @@ impl PageTable {
         }
         if segment == Segment::Execution {
             if let Some(range) = self.take_free_exec(count) {
-                for id in range.iter() {
-                    let gen = self.current_gen;
-                    let meta = &mut self.pages[id.index()];
-                    debug_assert_eq!(meta.state(), PageState::Freed);
-                    *meta = PageMeta::new(Segment::Execution, gen);
-                }
-                self.freed_pages -= u64::from(range.len());
-                self.local_pages += u64::from(range.len());
-                self.local_by_segment[Segment::Execution.index()] += u64::from(range.len());
+                self.recycle(range);
                 return range;
             }
         }
-        let start = PageId(self.pages.len() as u32);
-        self.pages.extend(std::iter::repeat_n(
-            PageMeta::new(segment, self.current_gen),
-            count as usize,
-        ));
+        let start = self.len;
+        let new_len = start + count as usize;
+        let words = new_len.div_ceil(64);
+        self.accessed.resize(words, 0);
+        self.recently_faulted.resize(words, 0);
+        self.remote.resize(words, 0);
+        self.hot_pool.resize(words, 0);
+        // New freed words arrive all-ones (tail guard), then the newly
+        // allocated span is carved out as live.
+        self.freed.resize(words, !0u64);
+        for (w, mask) in span_words(start, new_len) {
+            self.freed[w] &= !mask;
+        }
+        self.generation.resize(new_len, self.current_gen);
+        self.idle_scans.resize(new_len, 0);
+        self.access_count.resize(new_len, 0);
+        self.segment.resize(new_len, segment.index() as u8);
+        self.len = new_len;
         self.local_pages += u64::from(count);
         self.local_by_segment[segment.index()] += u64::from(count);
-        PageRange::new(start, count)
+        self.bump_gen_live(self.current_gen, u64::from(count));
+        PageRange::new(PageId(start as u32), count)
+    }
+
+    /// Resets a previously freed execution range to freshly allocated
+    /// state, exactly as `PageMeta::new` would.
+    fn recycle(&mut self, range: PageRange) {
+        let (start, end) = self.range_bounds(range).expect("recycled range non-empty");
+        for (w, mask) in span_words(start, end) {
+            debug_assert_eq!(self.freed[w] & mask, mask, "recycled pages must be freed");
+            self.freed[w] &= !mask;
+            self.accessed[w] &= !mask;
+            self.recently_faulted[w] &= !mask;
+            self.remote[w] &= !mask;
+            self.hot_pool[w] &= !mask;
+        }
+        self.generation[start..end].fill(self.current_gen);
+        self.idle_scans[start..end].fill(0);
+        self.access_count[start..end].fill(0);
+        self.segment[start..end].fill(Segment::Execution.index() as u8);
+        self.freed_pages -= u64::from(range.len());
+        self.local_pages += u64::from(range.len());
+        self.local_by_segment[Segment::Execution.index()] += u64::from(range.len());
+        self.bump_gen_live(self.current_gen, u64::from(range.len()));
     }
 
     fn take_free_exec(&mut self, count: u32) -> Option<PageRange> {
@@ -188,13 +337,35 @@ impl PageTable {
         Some(taken)
     }
 
-    /// Metadata for one page.
+    /// Metadata for one page, reassembled from the columns.
     ///
     /// # Panics
     ///
     /// Panics if `id` was never allocated.
     pub fn meta(&self, id: PageId) -> PageMeta {
-        self.pages[id.index()]
+        self.assert_allocated(id);
+        self.meta_idx(id.index())
+    }
+
+    fn meta_idx(&self, i: usize) -> PageMeta {
+        let (w, b) = word_bit(i);
+        let state = if self.freed[w] & b != 0 {
+            PageState::Freed
+        } else if self.remote[w] & b != 0 {
+            PageState::Remote
+        } else {
+            PageState::Local
+        };
+        PageMeta::from_parts(
+            state,
+            Segment::ALL[self.segment[i] as usize],
+            self.accessed[w] & b != 0,
+            self.hot_pool[w] & b != 0,
+            self.recently_faulted[w] & b != 0,
+            self.idle_scans[i],
+            self.access_count[i],
+            self.generation[i],
+        )
     }
 
     /// Touches one page: sets its Access bit and bumps its access counter.
@@ -202,39 +373,60 @@ impl PageTable {
     ///
     /// Freed pages are ignored (returns `false`).
     pub fn touch(&mut self, id: PageId) -> bool {
-        let meta = &mut self.pages[id.index()];
-        match meta.state() {
-            PageState::Freed => false,
-            PageState::Local => {
-                meta.set_accessed(true);
-                meta.bump_access_count();
-                false
-            }
-            PageState::Remote => {
-                meta.set_accessed(true);
-                meta.bump_access_count();
-                meta.set_state(PageState::Local);
-                meta.set_recently_faulted(true);
-                let seg = meta.segment();
-                self.remote_pages -= 1;
-                self.local_pages += 1;
-                self.local_by_segment[seg.index()] += 1;
-                self.total_faulted += 1;
-                true
-            }
+        self.assert_allocated(id);
+        let i = id.index();
+        let (w, b) = word_bit(i);
+        if self.freed[w] & b != 0 {
+            return false;
+        }
+        self.accessed[w] |= b;
+        self.access_count[i] = self.access_count[i].saturating_add(1);
+        if self.remote[w] & b != 0 {
+            self.remote[w] &= !b;
+            self.recently_faulted[w] |= b;
+            self.remote_pages -= 1;
+            self.local_pages += 1;
+            self.local_by_segment[self.segment[i] as usize] += 1;
+            self.total_faulted += 1;
+            true
+        } else {
+            false
         }
     }
 
     /// Touches every page of a range.
     pub fn touch_range(&mut self, range: PageRange) -> TouchOutcome {
         let mut out = TouchOutcome::default();
-        for id in range.iter() {
-            if self.pages[id.index()].state() == PageState::Freed {
-                continue;
-            }
-            out.touched += 1;
-            if self.touch(id) {
-                out.faulted += 1;
+        if let Some((start, end)) = self.range_bounds(range) {
+            for (w, mask) in span_words(start, end) {
+                let live = mask & !self.freed[w];
+                if live == 0 {
+                    continue;
+                }
+                out.touched += live.count_ones();
+                self.accessed[w] |= live;
+                let mut bits = live;
+                while bits != 0 {
+                    let i = (w << 6) | bits.trailing_zeros() as usize;
+                    self.access_count[i] = self.access_count[i].saturating_add(1);
+                    bits &= bits - 1;
+                }
+                let faulted = live & self.remote[w];
+                if faulted != 0 {
+                    out.faulted += faulted.count_ones();
+                    self.remote[w] &= !faulted;
+                    self.recently_faulted[w] |= faulted;
+                    let n = u64::from(faulted.count_ones());
+                    self.remote_pages -= n;
+                    self.local_pages += n;
+                    self.total_faulted += n;
+                    let mut bits = faulted;
+                    while bits != 0 {
+                        let i = (w << 6) | bits.trailing_zeros() as usize;
+                        self.local_by_segment[self.segment[i] as usize] += 1;
+                        bits &= bits - 1;
+                    }
+                }
             }
         }
         self.trace_demand_faults(out.faulted);
@@ -245,7 +437,9 @@ impl PageTable {
     pub fn touch_pages<I: IntoIterator<Item = PageId>>(&mut self, ids: I) -> TouchOutcome {
         let mut out = TouchOutcome::default();
         for id in ids {
-            if self.pages[id.index()].state() == PageState::Freed {
+            self.assert_allocated(id);
+            let (w, b) = word_bit(id.index());
+            if self.freed[w] & b != 0 {
                 continue;
             }
             out.touched += 1;
@@ -275,21 +469,56 @@ impl PageTable {
     /// ahead of demand, so no Access bit flips and no fault is counted).
     /// Returns `true` if the page was remote.
     pub fn prefetch(&mut self, id: PageId) -> bool {
-        let meta = &mut self.pages[id.index()];
-        if meta.state() != PageState::Remote {
+        self.assert_allocated(id);
+        let i = id.index();
+        let (w, b) = word_bit(i);
+        if self.remote[w] & b == 0 {
             return false;
         }
-        meta.set_state(PageState::Local);
-        let seg = meta.segment();
+        self.remote[w] &= !b;
         self.remote_pages -= 1;
         self.local_pages += 1;
-        self.local_by_segment[seg.index()] += 1;
+        self.local_by_segment[self.segment[i] as usize] += 1;
         true
     }
 
     /// Prefetches the given pages; returns how many moved.
     pub fn prefetch_pages<I: IntoIterator<Item = PageId>>(&mut self, ids: I) -> u32 {
         let moved = ids.into_iter().filter(|&id| self.prefetch(id)).count() as u32;
+        self.trace_page_in(moved);
+        moved
+    }
+
+    /// Brings every remote page in `range` back to local DRAM without
+    /// marking it accessed — the bulk prefetch path. Returns how many
+    /// pages moved.
+    pub fn page_in_range(&mut self, range: PageRange) -> u32 {
+        let mut moved = 0u32;
+        if let Some((start, end)) = self.range_bounds(range) {
+            for (w, mask) in span_words(start, end) {
+                // Remote bits are a subset of live bits, so the mask
+                // alone selects exactly the movable pages.
+                let movable = mask & self.remote[w];
+                if movable == 0 {
+                    continue;
+                }
+                moved += movable.count_ones();
+                self.remote[w] &= !movable;
+                let mut bits = movable;
+                while bits != 0 {
+                    let i = (w << 6) | bits.trailing_zeros() as usize;
+                    self.local_by_segment[self.segment[i] as usize] += 1;
+                    bits &= bits - 1;
+                }
+            }
+        }
+        self.remote_pages -= u64::from(moved);
+        self.local_pages += u64::from(moved);
+        self.trace_page_in(moved);
+        moved
+    }
+
+    fn trace_page_in(&self, moved: u32) {
         if moved > 0 && self.tracer.wants(TraceLayer::Memory) {
             self.tracer.emit(
                 self.owner,
@@ -300,20 +529,20 @@ impl PageTable {
                 },
             );
         }
-        moved
     }
 
     /// Moves one local page to the remote pool. Returns `true` if the page
     /// was local (and is now remote); remote and freed pages are no-ops.
     pub fn offload(&mut self, id: PageId) -> bool {
-        let meta = &mut self.pages[id.index()];
-        if meta.state() != PageState::Local {
+        self.assert_allocated(id);
+        let i = id.index();
+        let (w, b) = word_bit(i);
+        if (self.freed[w] | self.remote[w]) & b != 0 {
             return false;
         }
-        meta.set_state(PageState::Remote);
-        let seg = meta.segment();
+        self.remote[w] |= b;
         self.local_pages -= 1;
-        self.local_by_segment[seg.index()] -= 1;
+        self.local_by_segment[self.segment[i] as usize] -= 1;
         self.remote_pages += 1;
         self.total_offloaded += 1;
         true
@@ -321,7 +550,26 @@ impl PageTable {
 
     /// Offloads every local page in `range`; returns how many moved.
     pub fn offload_range(&mut self, range: PageRange) -> u32 {
-        let moved = range.iter().filter(|&id| self.offload(id)).count() as u32;
+        let mut moved = 0u32;
+        if let Some((start, end)) = self.range_bounds(range) {
+            for (w, mask) in span_words(start, end) {
+                let movable = mask & !self.freed[w] & !self.remote[w];
+                if movable == 0 {
+                    continue;
+                }
+                moved += movable.count_ones();
+                self.remote[w] |= movable;
+                let mut bits = movable;
+                while bits != 0 {
+                    let i = (w << 6) | bits.trailing_zeros() as usize;
+                    self.local_by_segment[self.segment[i] as usize] -= 1;
+                    bits &= bits - 1;
+                }
+            }
+        }
+        self.local_pages -= u64::from(moved);
+        self.remote_pages += u64::from(moved);
+        self.total_offloaded += u64::from(moved);
         self.trace_offload(moved);
         moved
     }
@@ -349,25 +597,35 @@ impl PageTable {
     /// pages both transition to [`PageState::Freed`]; the range becomes
     /// available for execution-segment reuse.
     pub fn free_range(&mut self, range: PageRange) {
-        if range.is_empty() {
+        let Some((start, end)) = self.range_bounds(range) else {
             return;
-        }
-        for id in range.iter() {
-            let meta = &mut self.pages[id.index()];
-            match meta.state() {
-                PageState::Local => {
-                    self.local_pages -= 1;
-                    self.local_by_segment[meta.segment().index()] -= 1;
+        };
+        for (w, mask) in span_words(start, end) {
+            let live = mask & !self.freed[w];
+            if live != 0 {
+                let remote = live & self.remote[w];
+                let mut bits = live;
+                while bits != 0 {
+                    let t = bits.trailing_zeros() as usize;
+                    let i = (w << 6) | t;
+                    self.gen_live[self.generation[i] as usize] -= 1;
+                    if remote & (1u64 << t) == 0 {
+                        self.local_by_segment[self.segment[i] as usize] -= 1;
+                    }
+                    bits &= bits - 1;
                 }
-                PageState::Remote => {
-                    self.remote_pages -= 1;
-                }
-                PageState::Freed => continue,
+                let n = u64::from(live.count_ones());
+                let nr = u64::from(remote.count_ones());
+                self.freed_pages += n;
+                self.remote_pages -= nr;
+                self.local_pages -= n - nr;
+                self.freed[w] |= live;
+                // The recently-faulted flag deliberately survives a free
+                // (scans consume it; recycling resets it).
+                self.remote[w] &= !live;
+                self.accessed[w] &= !live;
+                self.hot_pool[w] &= !live;
             }
-            meta.set_state(PageState::Freed);
-            meta.set_accessed(false);
-            meta.set_in_hot_pool(false);
-            self.freed_pages += 1;
         }
         self.free_exec.push(range);
     }
@@ -379,38 +637,100 @@ impl PageTable {
     /// baseline) sample from. The per-page "recently faulted" flag is
     /// consumed (cleared) by the scan as well.
     pub fn scan_accessed(&mut self) -> Vec<PageId> {
-        self.scan_accessed_with_faults()
-            .into_iter()
-            .map(|(id, _)| id)
-            .collect()
+        let mut out = Vec::new();
+        self.scan_accessed_into(&mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`PageTable::scan_accessed`]: clears
+    /// `out` and fills it with the accessed ids in ascending order.
+    pub fn scan_accessed_into(&mut self, out: &mut Vec<PageId>) {
+        out.clear();
+        for w in 0..self.words() {
+            let live = !self.freed[w];
+            if live == 0 {
+                continue;
+            }
+            let hits = self.accessed[w] & live;
+            if hits != 0 {
+                let mut bits = hits;
+                while bits != 0 {
+                    out.push(PageId(((w << 6) | bits.trailing_zeros() as usize) as u32));
+                    bits &= bits - 1;
+                }
+                self.accessed[w] &= !hits;
+            }
+            self.recently_faulted[w] &= !live;
+        }
+        self.trace_scan(out.len() as u64);
     }
 
     /// Like [`PageTable::scan_accessed`], but also reports per page
     /// whether the access faulted it back from remote memory since the
     /// previous scan — the signal recall accounting (Fig 8) needs.
     pub fn scan_accessed_with_faults(&mut self) -> Vec<(PageId, bool)> {
-        let mut hits = Vec::new();
-        for (i, meta) in self.pages.iter_mut().enumerate() {
-            if meta.state() == PageState::Freed {
+        let mut out = Vec::new();
+        self.scan_accessed_with_faults_into(&mut out);
+        out
+    }
+
+    /// Allocation-free variant of
+    /// [`PageTable::scan_accessed_with_faults`]: clears `out` and fills
+    /// it in ascending page order.
+    pub fn scan_accessed_with_faults_into(&mut self, out: &mut Vec<(PageId, bool)>) {
+        out.clear();
+        for w in 0..self.words() {
+            let live = !self.freed[w];
+            if live == 0 {
                 continue;
             }
-            if meta.accessed() {
-                hits.push((PageId(i as u32), meta.recently_faulted()));
-                meta.set_accessed(false);
+            let hits = self.accessed[w] & live;
+            if hits != 0 {
+                let rf = self.recently_faulted[w];
+                let mut bits = hits;
+                while bits != 0 {
+                    let t = bits.trailing_zeros() as usize;
+                    out.push((PageId(((w << 6) | t) as u32), rf >> t & 1 != 0));
+                    bits &= bits - 1;
+                }
+                self.accessed[w] &= !hits;
             }
-            meta.set_recently_faulted(false);
+            self.recently_faulted[w] &= !live;
         }
+        self.trace_scan(out.len() as u64);
+    }
+
+    /// Clears all Access bits (and recently-faulted flags) without
+    /// collecting the accessed ids — for callers that only want to reset
+    /// scan state. Observably identical to [`PageTable::scan_accessed`]
+    /// with the returned ids discarded (including the emitted trace
+    /// event); returns how many live pages had their Access bit set.
+    pub fn clear_accessed(&mut self) -> u64 {
+        let mut hits = 0u64;
+        for w in 0..self.words() {
+            let live = !self.freed[w];
+            if live == 0 {
+                continue;
+            }
+            hits += u64::from((self.accessed[w] & live).count_ones());
+            self.accessed[w] &= !live;
+            self.recently_faulted[w] &= !live;
+        }
+        self.trace_scan(hits);
+        hits
+    }
+
+    fn trace_scan(&self, accessed: u64) {
         if self.tracer.wants(TraceLayer::Memory) {
             self.tracer.emit(
                 self.owner,
                 None,
                 EventKind::AccessScan {
                     live: self.local_pages + self.remote_pages,
-                    accessed: hits.len() as u64,
+                    accessed,
                 },
             );
         }
-        hits
     }
 
     /// Performs one DAMON-style aging scan: pages accessed since the last
@@ -419,23 +739,47 @@ impl PageTable {
     /// whose idle count has reached `idle_threshold` — the cold-region
     /// candidates a sampling policy would offload.
     pub fn age_and_collect_idle(&mut self, idle_threshold: u8) -> Vec<PageId> {
-        let mut cold = Vec::new();
-        for (i, meta) in self.pages.iter_mut().enumerate() {
-            if meta.state() == PageState::Freed {
+        let mut out = Vec::new();
+        self.age_and_collect_idle_into(idle_threshold, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`PageTable::age_and_collect_idle`]:
+    /// clears `out` and fills it with the cold local ids in ascending
+    /// order.
+    pub fn age_and_collect_idle_into(&mut self, idle_threshold: u8, out: &mut Vec<PageId>) {
+        out.clear();
+        for w in 0..self.words() {
+            let live = !self.freed[w];
+            if live == 0 {
                 continue;
             }
-            if meta.accessed() {
-                meta.set_accessed(false);
-                meta.reset_idle_scans();
-            } else {
-                meta.bump_idle_scans();
-                if meta.idle_scans() >= idle_threshold && meta.state() == PageState::Local {
-                    cold.push(PageId(i as u32));
+            let hot = self.accessed[w] & live;
+            if hot != 0 {
+                self.accessed[w] &= !hot;
+                let mut bits = hot;
+                while bits != 0 {
+                    let i = (w << 6) | bits.trailing_zeros() as usize;
+                    self.idle_scans[i] = 0;
+                    bits &= bits - 1;
                 }
             }
+            // Cold candidates stay ascending: hot pages never collect, so
+            // walking the idle subset in bit order preserves the global
+            // per-page order of the naive walk.
+            let mut idle = live & !hot;
+            while idle != 0 {
+                let t = idle.trailing_zeros() as usize;
+                let i = (w << 6) | t;
+                let scans = self.idle_scans[i].saturating_add(1);
+                self.idle_scans[i] = scans;
+                if scans >= idle_threshold && self.remote[w] & (1u64 << t) == 0 {
+                    out.push(PageId(i as u32));
+                }
+                idle &= idle - 1;
+            }
         }
-        self.trace_aging(idle_threshold, cold.len() as u64);
-        cold
+        self.trace_aging(idle_threshold, out.len() as u64);
     }
 
     fn trace_aging(&self, threshold: u8, collected: u64) {
@@ -468,85 +812,241 @@ impl PageTable {
         &mut self,
         idle_threshold: u8,
         sample_prob: f64,
-        mut coin: F,
+        coin: F,
     ) -> Vec<PageId> {
+        let mut out = Vec::new();
+        self.age_and_collect_idle_sampled_into(idle_threshold, sample_prob, coin, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of
+    /// [`PageTable::age_and_collect_idle_sampled`]. The coin is flipped
+    /// once per *accessed* live page, in ascending page order — the same
+    /// draw sequence as the naive per-page walk, so seeded runs are
+    /// reproducible across layouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_prob` is not in `(0, 1]`.
+    pub fn age_and_collect_idle_sampled_into<F: FnMut() -> f64>(
+        &mut self,
+        idle_threshold: u8,
+        sample_prob: f64,
+        mut coin: F,
+        out: &mut Vec<PageId>,
+    ) {
         assert!(
             sample_prob > 0.0 && sample_prob <= 1.0,
             "sample probability {sample_prob} out of range"
         );
-        let mut cold = Vec::new();
-        for (i, meta) in self.pages.iter_mut().enumerate() {
-            if meta.state() == PageState::Freed {
+        out.clear();
+        for w in 0..self.words() {
+            let live = !self.freed[w];
+            if live == 0 {
                 continue;
             }
-            let observed_access = meta.accessed() && coin() < sample_prob;
-            if meta.accessed() {
-                meta.set_accessed(false);
-            }
-            if observed_access {
-                meta.reset_idle_scans();
-            } else {
-                meta.bump_idle_scans();
-                if meta.idle_scans() >= idle_threshold && meta.state() == PageState::Local {
-                    cold.push(PageId(i as u32));
+            let accessed = self.accessed[w] & live;
+            let mut bits = live;
+            while bits != 0 {
+                let t = bits.trailing_zeros() as usize;
+                let i = (w << 6) | t;
+                let observed = accessed >> t & 1 != 0 && coin() < sample_prob;
+                if observed {
+                    self.idle_scans[i] = 0;
+                } else {
+                    let scans = self.idle_scans[i].saturating_add(1);
+                    self.idle_scans[i] = scans;
+                    if scans >= idle_threshold && self.remote[w] & (1u64 << t) == 0 {
+                        out.push(PageId(i as u32));
+                    }
                 }
+                bits &= bits - 1;
             }
+            self.accessed[w] &= !accessed;
         }
-        self.trace_aging(idle_threshold, cold.len() as u64);
-        cold
+        self.trace_aging(idle_threshold, out.len() as u64);
     }
 
     /// Collects ids of live pages matching a predicate over their metadata.
     pub fn collect_ids<F: Fn(PageId, PageMeta) -> bool>(&self, pred: F) -> Vec<PageId> {
-        self.pages
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &m)| {
+        let mut out = Vec::new();
+        self.collect_ids_into(pred, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`PageTable::collect_ids`]: clears
+    /// `out` and fills it in ascending order.
+    pub fn collect_ids_into<F: Fn(PageId, PageMeta) -> bool>(
+        &self,
+        pred: F,
+        out: &mut Vec<PageId>,
+    ) {
+        out.clear();
+        for w in 0..self.words() {
+            let mut bits = !self.freed[w];
+            while bits != 0 {
+                let i = (w << 6) | bits.trailing_zeros() as usize;
                 let id = PageId(i as u32);
-                (m.state() != PageState::Freed && pred(id, m)).then_some(id)
-            })
-            .collect()
+                if pred(id, self.meta_idx(i)) {
+                    out.push(id);
+                }
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Appends the ids of live *local* pages to `out` (no clear) — the
+    /// residency sweep semi-warm reclamation uses when Puckets are off.
+    pub fn append_local(&self, out: &mut Vec<PageId>) {
+        for w in 0..self.words() {
+            let mut bits = !self.freed[w] & !self.remote[w];
+            while bits != 0 {
+                out.push(PageId(((w << 6) | bits.trailing_zeros() as usize) as u32));
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Appends the ids of live local pages inside `range` to `out` (no
+    /// clear) — the region-granular collection DAMON's region monitor
+    /// performs.
+    pub fn append_local_in_range(&self, range: PageRange, out: &mut Vec<PageId>) {
+        let Some((start, end)) = self.range_bounds(range) else {
+            return;
+        };
+        for (w, mask) in span_words(start, end) {
+            let mut bits = mask & !self.freed[w] & !self.remote[w];
+            while bits != 0 {
+                out.push(PageId(((w << 6) | bits.trailing_zeros() as usize) as u32));
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Appends the ids of *inactive* pages — live, local, outside the hot
+    /// pool — whose generation lies in `[gen_lo, gen_hi)`, in ascending
+    /// order (no clear). This is a Pucket's inactive list expressed as a
+    /// generation interval.
+    pub fn append_inactive_in_gen_range(&self, gen_lo: u32, gen_hi: u32, out: &mut Vec<PageId>) {
+        for w in 0..self.words() {
+            let mut bits = !self.freed[w] & !self.remote[w] & !self.hot_pool[w];
+            while bits != 0 {
+                let i = (w << 6) | bits.trailing_zeros() as usize;
+                let g = self.generation[i];
+                if g >= gen_lo && g < gen_hi {
+                    out.push(PageId(i as u32));
+                }
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Counts what [`PageTable::append_inactive_in_gen_range`] would
+    /// append, without materialising the ids.
+    pub fn count_inactive_in_gen_range(&self, gen_lo: u32, gen_hi: u32) -> u64 {
+        let mut count = 0u64;
+        for w in 0..self.words() {
+            let mut bits = !self.freed[w] & !self.remote[w] & !self.hot_pool[w];
+            while bits != 0 {
+                let i = (w << 6) | bits.trailing_zeros() as usize;
+                let g = self.generation[i];
+                if g >= gen_lo && g < gen_hi {
+                    count += 1;
+                }
+                bits &= bits - 1;
+            }
+        }
+        count
+    }
+
+    /// Appends the ids of live *local* hot-pool pages to `out` (no
+    /// clear), ascending. Remote pages keep their hot-pool flag (it is
+    /// what marks them for recall prefetch) but are not reported here.
+    pub fn append_hot_pool_local(&self, out: &mut Vec<PageId>) {
+        for w in 0..self.words() {
+            let mut bits = self.hot_pool[w] & !self.freed[w] & !self.remote[w];
+            while bits != 0 {
+                out.push(PageId(((w << 6) | bits.trailing_zeros() as usize) as u32));
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Clears hot-pool membership on every live *local* page (the §5.3
+    /// rollback). Remote pages keep the flag so recall prefetch can still
+    /// find them. Returns how many pages were rolled back.
+    pub fn clear_local_hot_pool(&mut self) -> u32 {
+        let mut cleared = 0u32;
+        for w in 0..self.words() {
+            let local_hot = self.hot_pool[w] & !self.freed[w] & !self.remote[w];
+            if local_hot != 0 {
+                cleared += local_hot.count_ones();
+                self.hot_pool[w] &= !local_hot;
+            }
+        }
+        cleared
     }
 
     /// Iterates over `(id, meta)` for every live (non-freed) page.
     pub fn iter_live(&self) -> impl Iterator<Item = (PageId, PageMeta)> + '_ {
-        self.pages
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| m.state() != PageState::Freed)
-            .map(|(i, &m)| (PageId(i as u32), m))
+        (0..self.len).filter_map(move |i| {
+            let (w, b) = word_bit(i);
+            (self.freed[w] & b == 0).then(|| (PageId(i as u32), self.meta_idx(i)))
+        })
     }
 
     /// Histogram of live-page ages in generations: bucket `i` counts
     /// pages whose generation lags the table's current generation by
     /// exactly `i`, with everything older collapsed into the last
     /// bucket. Feeds the `mem.gen_age_*` telemetry series; an empty
-    /// table yields all-zero buckets.
+    /// table yields all-zero buckets. Served from incrementally
+    /// maintained per-generation live counts, so the cost scales with
+    /// the number of generations, not the number of pages.
     pub fn generation_age_histogram(&self, buckets: usize) -> Vec<u64> {
         assert!(buckets > 0, "histogram needs at least one bucket");
         let mut hist = vec![0u64; buckets];
-        let current = self.current_generation().0;
-        for (_, meta) in self.iter_live() {
-            let age = current.saturating_sub(meta.generation()) as usize;
-            hist[age.min(buckets - 1)] += 1;
+        for (g, &n) in self.gen_live.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let age = self.current_gen.saturating_sub(g as u32) as usize;
+            hist[age.min(buckets - 1)] += n;
         }
         hist
     }
 
     /// Marks hot-page-pool membership for one page.
     pub fn set_in_hot_pool(&mut self, id: PageId, on: bool) {
-        self.pages[id.index()].set_in_hot_pool(on);
+        self.assert_allocated(id);
+        let (w, b) = word_bit(id.index());
+        if on {
+            self.hot_pool[w] |= b;
+        } else {
+            self.hot_pool[w] &= !b;
+        }
     }
 
     /// Reassigns a page's generation (used when rolling hot pages back to
     /// their original Pucket).
     pub fn set_generation(&mut self, id: PageId, generation: Generation) {
-        self.pages[id.index()].set_generation(generation.0);
+        self.assert_allocated(id);
+        let i = id.index();
+        let old = self.generation[i];
+        let new = generation.0;
+        if old != new {
+            let (w, b) = word_bit(i);
+            if self.freed[w] & b == 0 {
+                self.gen_live[old as usize] -= 1;
+                self.bump_gen_live(new, 1);
+            }
+            self.generation[i] = new;
+        }
     }
 
     /// Clears the lifetime access counter of a page.
     pub fn reset_access_count(&mut self, id: PageId) {
-        self.pages[id.index()].reset_access_count();
+        self.assert_allocated(id);
+        self.access_count[id.index()] = 0;
     }
 
     /// Pages currently resident in local DRAM.
@@ -647,6 +1147,30 @@ mod tests {
     }
 
     #[test]
+    fn histogram_tracks_frees_recycling_and_reassignment() {
+        let mut t = table();
+        t.alloc(Segment::Runtime, 4); // gen 0
+        t.create_generation();
+        let e = t.alloc(Segment::Execution, 3); // gen 1
+        assert_eq!(t.generation_age_histogram(2), [3, 4]);
+        // Freed pages leave the histogram.
+        t.free_range(e);
+        assert_eq!(t.generation_age_histogram(2), [0, 4]);
+        // Recycled pages re-enter at the current generation.
+        t.create_generation();
+        let e2 = t.alloc(Segment::Execution, 3);
+        assert_eq!(e, e2, "recycled in place");
+        assert_eq!(t.generation_age_histogram(3), [3, 0, 4]);
+        // Reassignment moves a live page between buckets...
+        t.set_generation(PageId(0), t.current_generation());
+        assert_eq!(t.generation_age_histogram(3), [4, 0, 3]);
+        // ...but a freed page only updates the column, not the counts.
+        t.free_range(e2);
+        t.set_generation(e2.start(), Generation(0));
+        assert_eq!(t.generation_age_histogram(3), [1, 0, 3]);
+    }
+
+    #[test]
     fn alloc_zero_is_empty() {
         let mut t = table();
         assert!(t.alloc(Segment::Init, 0).is_empty());
@@ -689,6 +1213,59 @@ mod tests {
         let hits = t.scan_accessed();
         assert_eq!(hits.len(), 3);
         assert!(t.scan_accessed().is_empty());
+    }
+
+    #[test]
+    fn scan_into_reuses_buffer_and_orders_ascending() {
+        let mut t = table();
+        let r = t.alloc(Segment::Runtime, 200);
+        t.touch_pages([PageId(190), PageId(3), PageId(64), PageId(65)]);
+        let mut buf = vec![PageId(999)]; // stale contents must be cleared
+        t.scan_accessed_into(&mut buf);
+        assert_eq!(buf, vec![PageId(3), PageId(64), PageId(65), PageId(190)]);
+        t.touch_range(r.take(1));
+        t.scan_accessed_into(&mut buf);
+        assert_eq!(buf, vec![PageId(0)]);
+    }
+
+    #[test]
+    fn clear_accessed_matches_discarded_scan() {
+        let mk = || {
+            let mut t = table();
+            let r = t.alloc(Segment::Init, 100);
+            t.offload_range(r.take(10));
+            t.touch_range(r.take(30)); // 10 fault back, setting rf
+            t
+        };
+        let mut scanned = mk();
+        let mut cleared = mk();
+        let hits = scanned.scan_accessed().len() as u64;
+        assert_eq!(cleared.clear_accessed(), hits);
+        for i in 0..100 {
+            assert_eq!(
+                scanned.meta(PageId(i)),
+                cleared.meta(PageId(i)),
+                "page {i} diverged"
+            );
+        }
+        assert_eq!(cleared.clear_accessed(), 0);
+    }
+
+    #[test]
+    fn page_in_range_matches_prefetch_pages() {
+        let mut t = table();
+        let r = t.alloc(Segment::Init, 130);
+        t.offload_range(r.take(70));
+        t.free_range(r.skip(100)); // freed tail stays put
+        assert_eq!(t.page_in_range(r), 70);
+        assert_eq!(t.remote_pages(), 0);
+        assert_eq!(t.local_pages(), 100);
+        assert_eq!(t.total_faulted(), 0, "bulk page-in is not a fault");
+        for id in r.take(100).iter() {
+            assert_eq!(t.meta(id).state(), PageState::Local);
+            assert!(!t.meta(id).accessed());
+        }
+        assert_eq!(t.page_in_range(r), 0, "idempotent");
     }
 
     #[test]
@@ -816,6 +1393,48 @@ mod tests {
     }
 
     #[test]
+    fn append_queries_respect_residency_and_hot_pool() {
+        let mut t = table();
+        t.alloc(Segment::Runtime, 70); // gen 0
+        t.create_generation();
+        let init = t.alloc(Segment::Init, 70); // gen 1
+        t.offload_range(PageRange::new(PageId(0), 3));
+        t.set_in_hot_pool(PageId(65), true);
+        t.set_in_hot_pool(init.start(), true);
+
+        let mut out = Vec::new();
+        t.append_local(&mut out);
+        assert_eq!(out.len(), 140 - 3);
+        assert_eq!(out[0], PageId(3));
+
+        out.clear();
+        t.append_local_in_range(PageRange::new(PageId(0), 70), &mut out);
+        assert_eq!(out.len(), 67);
+
+        // Runtime pucket = generations [0, 1): live local non-hot.
+        out.clear();
+        t.append_inactive_in_gen_range(0, 1, &mut out);
+        assert_eq!(out.len(), 70 - 3 - 1);
+        assert!(!out.contains(&PageId(65)));
+        assert_eq!(t.count_inactive_in_gen_range(0, 1), 66);
+        assert_eq!(t.count_inactive_in_gen_range(1, u32::MAX), 69);
+
+        out.clear();
+        t.append_hot_pool_local(&mut out);
+        assert_eq!(out, vec![PageId(65), init.start()]);
+
+        // An offloaded hot page keeps its flag but stops being reported
+        // as local, and rollback leaves it flagged for recall.
+        t.offload(PageId(65));
+        out.clear();
+        t.append_hot_pool_local(&mut out);
+        assert_eq!(out, vec![init.start()]);
+        assert_eq!(t.clear_local_hot_pool(), 1);
+        assert!(t.meta(PageId(65)).in_hot_pool());
+        assert!(!t.meta(init.start()).in_hot_pool());
+    }
+
+    #[test]
     fn aging_scan_accumulates_idleness() {
         let mut t = table();
         let r = t.alloc(Segment::Init, 4);
@@ -878,6 +1497,20 @@ mod tests {
         let mut t = table();
         t.alloc(Segment::Init, 1);
         let _ = t.age_and_collect_idle_sampled(1, 0.0, || 0.5);
+    }
+
+    #[test]
+    fn sampled_aging_draws_one_coin_per_accessed_page() {
+        let mut t = table();
+        let r = t.alloc(Segment::Init, 100);
+        t.free_range(PageRange::new(PageId(90), 10));
+        t.touch_range(r.take(40));
+        let mut draws = 0u32;
+        t.age_and_collect_idle_sampled(1, 0.5, || {
+            draws += 1;
+            0.9
+        });
+        assert_eq!(draws, 40, "idle and freed pages flip no coin");
     }
 
     #[test]

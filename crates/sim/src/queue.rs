@@ -95,6 +95,22 @@ impl<E> EventQueue<E> {
         self.heap.push(ScheduledEvent { at, seq, event });
     }
 
+    /// Reserves room for at least `additional` more events, so a known
+    /// batch of pushes performs at most one heap reallocation.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Schedules a batch of events all firing at `at`, in iteration order
+    /// (equivalent to pushing each in turn, minus repeated reallocation).
+    pub fn push_at_many<I: IntoIterator<Item = E>>(&mut self, at: SimTime, events: I) {
+        let iter = events.into_iter();
+        self.heap.reserve(iter.size_hint().0);
+        for event in iter {
+            self.push(at, event);
+        }
+    }
+
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|s| (s.at, s.event))
@@ -128,6 +144,8 @@ impl<E> EventQueue<E> {
 
 impl<E> Extend<(SimTime, E)> for EventQueue<E> {
     fn extend<I: IntoIterator<Item = (SimTime, E)>>(&mut self, iter: I) {
+        let iter = iter.into_iter();
+        self.heap.reserve(iter.size_hint().0);
         for (at, event) in iter {
             self.push(at, event);
         }
@@ -191,6 +209,26 @@ mod tests {
         assert_eq!(q.pop(), Some((SimTime::ZERO, 20)));
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_at_many_matches_individual_pushes() {
+        let mut batched = EventQueue::new();
+        batched.push(SimTime::from_secs(2), 'x');
+        batched.reserve(3);
+        batched.push_at_many(SimTime::from_secs(1), ['a', 'b', 'c']);
+        batched.push(SimTime::from_secs(1), 'd');
+
+        let mut plain = EventQueue::new();
+        plain.push(SimTime::from_secs(2), 'x');
+        for e in ['a', 'b', 'c', 'd'] {
+            plain.push(SimTime::from_secs(1), e);
+        }
+
+        let drain = |q: &mut EventQueue<char>| -> Vec<(SimTime, char)> {
+            std::iter::from_fn(|| q.pop()).collect()
+        };
+        assert_eq!(drain(&mut batched), drain(&mut plain));
     }
 
     #[test]
