@@ -1,0 +1,257 @@
+//! Macro-benchmark of the shard-parallel cluster engine.
+//!
+//! Simulates a rack of independent platform nodes three ways — the
+//! serial oracle, the sharded driver pinned to one thread, and the
+//! sharded driver fanned out across worker threads — and byte-compares
+//! the three [`ClusterReport`] digests. The digests must match exactly
+//! (the shard-parallel engine's core guarantee); any divergence exits
+//! non-zero regardless of flags.
+//!
+//! ```text
+//! cargo run --release -p faasmem-bench --bin bench_cluster -- \
+//!     --profile --check-speedup --out perf
+//! cargo run --release -p faasmem-bench --bin bench_compare -- \
+//!     BENCH_cluster.json perf/BENCH_cluster.json --tolerance 0.25
+//! ```
+//!
+//! The workload is fixed (same seed, same node/function mix) so the
+//! per-phase totals in `BENCH_cluster.json` are comparable across runs
+//! and CI can diff them with `bench_compare`. `--check-speedup` exits
+//! non-zero unless the threaded run beats the serial oracle by at
+//! least [`REQUIRED_SPEEDUP`]× — meaningful only on a multi-core
+//! runner, so it is an opt-in flag rather than the default.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use faasmem_bench::json::JsonValue;
+use faasmem_bench::render_table;
+use faasmem_core::FaasMemPolicy;
+use faasmem_faas::{ClusterReport, ClusterSim, ClusterSpec};
+use faasmem_sim::SimTime;
+use faasmem_telemetry::profiler;
+use faasmem_workload::LoadClass;
+
+/// Minimum threaded-vs-serial wall-clock ratio `--check-speedup`
+/// enforces. The nodes share nothing, so a 4-shard run on a 4+ core
+/// runner clears 2× with headroom.
+const REQUIRED_SPEEDUP: f64 = 2.0;
+
+struct Options {
+    nodes: u32,
+    shards: u32,
+    threads: usize,
+    out_dir: PathBuf,
+    profile: bool,
+    check_speedup: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_cluster [--nodes N] [--shards S] [--threads T] \
+         [--profile] [--check-speedup] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let default_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut opts = Options {
+        nodes: 8,
+        shards: 4,
+        threads: default_threads,
+        out_dir: PathBuf::from("."),
+        profile: false,
+        check_speedup: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--profile" => opts.profile = true,
+            "--check-speedup" => opts.check_speedup = true,
+            "--nodes" => opts.nodes = parse_count(args.next()),
+            "--shards" => opts.shards = parse_count(args.next()),
+            "--threads" => opts.threads = parse_count(args.next()) as usize,
+            "--out" => {
+                let Some(dir) = args.next() else { usage() };
+                opts.out_dir = PathBuf::from(dir);
+            }
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn parse_count(arg: Option<String>) -> u32 {
+    let Some(raw) = arg else { usage() };
+    match raw.parse::<u32>() {
+        Ok(n) if n >= 1 => n,
+        _ => usage(),
+    }
+}
+
+/// The fixed cluster workload: every run, serial or sharded, simulates
+/// exactly this recipe under the FaaSMem policy.
+fn cluster(nodes: u32) -> ClusterSim {
+    ClusterSim::new(
+        ClusterSpec {
+            nodes,
+            functions_per_node: 3,
+            seed: 0xC1A5,
+            duration: SimTime::from_mins(8),
+            load: LoadClass::High,
+            bursty: true,
+        },
+        |_| Box::new(FaasMemPolicy::new()),
+    )
+}
+
+/// Runs `f` under a named profiler phase and times it.
+fn timed<T>(phase: &'static str, f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = {
+        let _guard = profiler::enter(phase);
+        f()
+    };
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// The `BENCH_cluster.json` document `bench_compare` diffs in CI.
+fn bench_json(total_wall_secs: f64, phases: &[(&'static str, profiler::PhaseStat)]) -> JsonValue {
+    let mut doc = JsonValue::obj();
+    doc.push("schema_version", JsonValue::Num(1.0));
+    doc.push("bench", JsonValue::Str("cluster".to_string()));
+    doc.push("git_rev", JsonValue::Str(git_rev()));
+    doc.push("total_wall_secs", JsonValue::Num(total_wall_secs));
+    let phase_docs: Vec<JsonValue> = phases
+        .iter()
+        .map(|(name, stat)| {
+            let mut p = JsonValue::obj();
+            p.push("name", JsonValue::Str((*name).to_string()));
+            p.push("calls", JsonValue::Num(stat.calls as f64));
+            p.push("total_secs", JsonValue::Num(stat.total_secs));
+            p.push("self_secs", JsonValue::Num(stat.self_secs));
+            p
+        })
+        .collect();
+    doc.push("phases", JsonValue::Arr(phase_docs));
+    doc
+}
+
+/// The checked-out short revision, for provenance. Best-effort:
+/// "unknown" outside a git checkout.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn write_bench(dir: &Path, doc: &JsonValue) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("BENCH_cluster.json");
+    std::fs::write(&path, doc.to_pretty())?;
+    Ok(path)
+}
+
+fn summarize(report: &ClusterReport) -> String {
+    format!(
+        "{} req, {} cold starts over {} nodes",
+        report.total_requests(),
+        report.total_cold_starts(),
+        report.nodes.len()
+    )
+}
+
+fn main() {
+    let opts = parse_args();
+    profiler::set_enabled(true);
+    let started = Instant::now();
+
+    let sim = cluster(opts.nodes);
+    let (serial, serial_secs) = timed("cluster_serial", || sim.run_serial());
+    let (shard1, shard1_secs) = timed("cluster_shard1", || sim.run_sharded(opts.shards, 1));
+    let (sharded, sharded_secs) = timed("cluster_sharded", || {
+        sim.run_sharded(opts.shards, opts.threads)
+    });
+
+    let rows = vec![
+        vec![
+            "serial".to_string(),
+            "-".to_string(),
+            "1".to_string(),
+            format!("{serial_secs:.3}"),
+            summarize(&serial),
+        ],
+        vec![
+            "sharded".to_string(),
+            opts.shards.to_string(),
+            "1".to_string(),
+            format!("{shard1_secs:.3}"),
+            summarize(&shard1),
+        ],
+        vec![
+            "sharded".to_string(),
+            opts.shards.to_string(),
+            opts.threads.to_string(),
+            format!("{sharded_secs:.3}"),
+            summarize(&sharded),
+        ],
+    ];
+    print!(
+        "{}",
+        render_table(&["driver", "shards", "threads", "wall s", "outcome"], &rows)
+    );
+
+    // Byte-identity is the engine's contract: enforce it on every run,
+    // not only under --check-speedup.
+    let oracle = serial.digest();
+    let mut diverged = false;
+    for (label, run) in [
+        ("shards=S threads=1", &shard1),
+        ("shards=S threads=T", &sharded),
+    ] {
+        if run.digest() != oracle {
+            eprintln!("bench_cluster: {label} digest diverged from the serial oracle");
+            diverged = true;
+        }
+    }
+    if diverged {
+        std::process::exit(1);
+    }
+
+    let speedup = serial_secs / sharded_secs.max(f64::EPSILON);
+    println!(
+        "\nthreaded speedup over serial at {} shards / {} threads: {speedup:.2}x",
+        opts.shards, opts.threads
+    );
+
+    profiler::set_enabled(false);
+    let phases = profiler::take_report();
+    let total_wall_secs = started.elapsed().as_secs_f64();
+    if opts.profile {
+        let doc = bench_json(total_wall_secs, &phases);
+        match write_bench(&opts.out_dir, &doc) {
+            Ok(path) => eprintln!("[bench_cluster] wrote {}", path.display()),
+            Err(e) => {
+                eprintln!(
+                    "[bench_cluster] could not write BENCH file under {}: {e}",
+                    opts.out_dir.display()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if opts.check_speedup && speedup < REQUIRED_SPEEDUP {
+        eprintln!("bench_cluster: speedup {speedup:.2}x below the required {REQUIRED_SPEEDUP}x");
+        std::process::exit(1);
+    }
+}

@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use faasmem_baselines::{DamonPolicy, NoOffloadPolicy, TmoPolicy};
 use faasmem_core::{FaasMemPolicy, FaasMemStats, StatsHandle};
-use faasmem_faas::{MemoryPolicy, PlatformConfig, PlatformSim, RunReport, RunSummary};
+use faasmem_faas::{MemoryPolicy, PlatformConfig, PlatformSim, RunReport, RunSummary, ShardSpec};
 use faasmem_metrics::agg;
 use faasmem_sim::{SimDuration, SimTime};
 use faasmem_telemetry::{
@@ -465,6 +465,10 @@ pub struct HarnessOptions {
     /// Profile the harness itself and export a `BENCH_*.json` perf
     /// baseline next to the results.
     pub profile: bool,
+    /// When set, run every cell through the shard-parallel platform
+    /// driver with this many shards. `None` keeps the serial driver.
+    /// Output is byte-identical either way (CI compares them).
+    pub shards: Option<u32>,
 }
 
 impl Default for HarnessOptions {
@@ -480,6 +484,7 @@ impl Default for HarnessOptions {
             series_interval: SimDuration::from_secs(1),
             series_select: SeriesMask::ALL,
             profile: false,
+            shards: None,
         }
     }
 }
@@ -490,9 +495,10 @@ impl HarnessOptions {
     /// `--trace-filter LAYERS` / `--trace-filter=LAYERS` (comma list of
     /// `harness,container,memory,pool`), `--series PATH` /
     /// `--series=PATH`, `--series-interval SECS`, `--series-select
-    /// GROUPS` (comma list of `faas,mem,pool,registry`) and `--profile`
-    /// from the process arguments. Unknown arguments are ignored so
-    /// binaries can add their own flags.
+    /// GROUPS` (comma list of `faas,mem,pool,registry`), `--profile`
+    /// and `--shards N` / `--shards=N` (shard-parallel platform driver;
+    /// 0 or omitted = serial) from the process arguments. Unknown
+    /// arguments are ignored so binaries can add their own flags.
     pub fn from_env() -> Self {
         Self::parse(std::env::args().skip(1))
     }
@@ -555,6 +561,14 @@ impl HarnessOptions {
                 Self::apply_series_select(&mut opts, list);
             } else if arg == "--profile" {
                 opts.profile = true;
+            } else if arg == "--shards" {
+                if let Some(n) = args.next().and_then(|v| v.as_ref().parse().ok()) {
+                    opts.shards = (n > 0).then_some(n);
+                }
+            } else if let Some(n) = arg.strip_prefix("--shards=") {
+                if let Ok(n) = n.parse() {
+                    opts.shards = (n > 0).then_some(n);
+                }
             }
         }
         opts.jobs = opts.jobs.max(1);
@@ -1267,6 +1281,7 @@ pub fn run_grid(grid: &ExperimentGrid, opts: &HarnessOptions) -> GridRun {
     let quick = opts.quick;
     let trace_mask = opts.trace.as_ref().map(|_| opts.trace_filter);
     let sample_spec = opts.sample_spec();
+    let shards = opts.shards;
 
     let mut results: Vec<Option<CellResult>> = Vec::with_capacity(n);
     results.resize_with(n, || None);
@@ -1287,7 +1302,7 @@ pub fn run_grid(grid: &ExperimentGrid, opts: &HarnessOptions) -> GridRun {
                     let cell_started = Instant::now();
                     let outcome = {
                         profile_scope!("cell");
-                        run_cell(cell, quick, trace_mask, sample_spec)
+                        run_cell(cell, quick, trace_mask, sample_spec, shards)
                     };
                     mine.push((
                         i,
@@ -1426,6 +1441,7 @@ fn run_cell(
     quick: bool,
     trace_mask: Option<LayerMask>,
     sample_spec: Option<SampleSpec>,
+    shards: Option<u32>,
 ) -> Result<CellOutcome, String> {
     catch_unwind(AssertUnwindSafe(|| {
         let trace = cell.trace.build(cell.bench, quick);
@@ -1486,7 +1502,12 @@ fn run_cell(
         };
         let mut report = {
             profile_scope!("simulate");
-            sim.run(&trace)
+            match shards {
+                // The sharded driver is byte-identical to the serial
+                // one for any shard count; CI compares both paths.
+                Some(s) => sim.run_sharded(&trace, &ShardSpec::new(s)),
+                None => sim.run(&trace),
+            }
         };
         tracer.set_now(report.finished_at);
         tracer.emit(

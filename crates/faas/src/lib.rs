@@ -47,6 +47,7 @@
 //! assert_eq!(report.pool_stats.bytes_out, 0); // NullPolicy never offloads
 //! ```
 
+pub mod cluster;
 pub mod container;
 pub mod density;
 pub mod keepalive;
@@ -54,7 +55,9 @@ pub mod platform;
 pub mod policy;
 pub mod rack;
 pub mod report;
+pub mod shard;
 
+pub use cluster::{ClusterReport, ClusterSim, ClusterSpec, NodeReport};
 pub use container::{Container, ContainerId, ContainerStage};
 pub use density::{estimate_density, DensityEstimate};
 pub use keepalive::AdaptiveKeepAlive;
@@ -64,6 +67,7 @@ pub use rack::{NodeProfile, RackPlan, RackReport};
 pub use report::{
     ContainerRecord, FaultReport, FunctionSummary, RequestRecord, RunReport, RunSummary,
 };
+pub use shard::{ShardSpec, CONTROL_SHARD};
 
 // Re-export so downstream crates can name functions without depending on
 // the workload crate directly.

@@ -11,7 +11,7 @@ use faasmem_sim::faults::{FaultPlan, FaultSpec};
 use faasmem_sim::{Clock, EventQueue, SimDuration, SimRng, SimTime};
 use faasmem_telemetry::{Sampler, SeriesGroup};
 use faasmem_trace::{EventKind, Tracer};
-use faasmem_workload::{BenchmarkSpec, FunctionId, InvocationTrace, RequestAccess};
+use faasmem_workload::{BenchmarkSpec, FunctionId, Invocation, InvocationTrace, RequestAccess};
 
 use crate::container::{Container, ContainerId, ContainerStage};
 use crate::policy::{MemoryPolicy, NullPolicy, PolicyCtx};
@@ -271,7 +271,7 @@ impl PlatformBuilder {
 }
 
 #[derive(Debug, Clone, Copy)]
-enum Event {
+pub(crate) enum Event {
     /// Index into the trace's invocation list.
     Invoke(u32),
     RuntimeLoaded(ContainerId),
@@ -283,6 +283,47 @@ enum Event {
     NodeLoss(u32),
     /// Index into the fault plan's crash list.
     ContainerCrash(u32),
+}
+
+/// Scheduling surface the event handlers push through: implemented by
+/// the serial [`EventQueue`] and by the sharded driver's routing sink
+/// (see `crate::shard`), so handler bodies are shared verbatim between
+/// both execution modes — the byte-identity contract reduces to the two
+/// sinks agreeing on `(sim_time, seq)` order.
+pub(crate) trait EventSink {
+    /// Schedules one event.
+    fn push(&mut self, at: SimTime, event: Event);
+    /// Schedules a same-instant group in iterator order (the stable
+    /// FIFO contract of [`EventQueue::push_at_many`]).
+    fn push_group(&mut self, at: SimTime, events: &mut dyn Iterator<Item = Event>);
+    /// Pre-sizes internal storage for `additional` upcoming pushes.
+    fn reserve(&mut self, additional: usize);
+    /// `true` while any event is still scheduled.
+    fn has_pending(&self) -> bool;
+}
+
+impl EventSink for EventQueue<Event> {
+    fn push(&mut self, at: SimTime, event: Event) {
+        EventQueue::push(self, at, event);
+    }
+    fn push_group(&mut self, at: SimTime, events: &mut dyn Iterator<Item = Event>) {
+        self.push_at_many(at, events);
+    }
+    fn reserve(&mut self, additional: usize) {
+        EventQueue::reserve(self, additional);
+    }
+    fn has_pending(&self) -> bool {
+        !self.is_empty()
+    }
+}
+
+/// Everything [`PlatformSim::prepare`] derives from the trace before
+/// seeding: the driver loops (serial and sharded) thread it through
+/// [`PlatformSim::seed`] and [`PlatformSim::process_event`].
+pub(crate) struct RunSetup {
+    invocations: Vec<Invocation>,
+    tick: Option<SimDuration>,
+    trace_duration: SimTime,
 }
 
 /// Live fault-injection state: the expanded timeline plus the reaction
@@ -361,6 +402,27 @@ impl PlatformSim {
     /// Panics if called twice on the same simulator, or if the trace
     /// invokes an unregistered function.
     pub fn run(&mut self, trace: &InvocationTrace) -> RunReport {
+        let setup = self.prepare(trace);
+        let mut queue: EventQueue<Event> = EventQueue::with_capacity(setup.invocations.len() * 4);
+        self.seed(&setup, &mut queue);
+        let mut clock = Clock::new();
+        let mut report = self.new_report(&setup);
+        while let Some((at, event)) = queue.pop() {
+            clock.advance_to(at);
+            self.process_event(clock.now(), event, &setup, &mut queue, &mut report);
+        }
+        self.finish(clock.now(), &mut report);
+        report
+    }
+
+    /// Validates the trace against the registered functions and captures
+    /// what seeding and the event loop need.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator already ran, or if the trace invokes an
+    /// unregistered function.
+    pub(crate) fn prepare(&mut self, trace: &InvocationTrace) -> RunSetup {
         assert!(
             !self.ran,
             "PlatformSim::run consumes the simulator; build a fresh one"
@@ -375,8 +437,18 @@ impl PlatformSim {
                 inv.function
             );
         }
+        RunSetup {
+            invocations,
+            tick: self.policy.tick_interval(),
+            trace_duration: trace.duration(),
+        }
+    }
 
-        let mut queue: EventQueue<Event> = EventQueue::with_capacity(invocations.len() * 4);
+    /// Seeds the initial event population — invocations, the first policy
+    /// tick, and the fault timeline — in the exact push order both
+    /// drivers must share (seq/stamp assignment follows push order).
+    pub(crate) fn seed(&mut self, setup: &RunSetup, queue: &mut dyn EventSink) {
+        let invocations = &setup.invocations;
         // Bursty traces schedule many invocations at the same instant;
         // batching each same-time run keeps seq assignment identical to
         // pushing one by one while touching the heap allocator once.
@@ -387,19 +459,18 @@ impl PlatformSim {
                 .iter()
                 .position(|inv| inv.at != at)
                 .map_or(invocations.len(), |n| i + n);
-            queue.push_at_many(at, (i..run_end).map(|j| Event::Invoke(j as u32)));
+            queue.push_group(at, &mut (i..run_end).map(|j| Event::Invoke(j as u32)));
             i = run_end;
         }
-        let tick = self.policy.tick_interval();
-        if let Some(dt) = tick {
+        if let Some(dt) = setup.tick {
             queue.push(SimTime::ZERO + dt, Event::Tick);
         }
 
         if let Some(fc) = self.config.faults.clone() {
             // Cover the trace plus the keep-alive drain so faults can
             // still hit idle containers after the last invocation.
-            let horizon = trace
-                .duration()
+            let horizon = setup
+                .trace_duration
                 .saturating_add(self.config.keep_alive * 2)
                 .max(SimTime::from_micros(1));
             let plan = fc
@@ -446,14 +517,17 @@ impl PlatformSim {
                 breaker_open_prev: false,
             });
         }
+    }
 
-        let mut clock = Clock::new();
+    /// A fresh, empty [`RunReport`] with the time-series zero anchors
+    /// both drivers start from.
+    pub(crate) fn new_report(&self, setup: &RunSetup) -> RunReport {
         let mut report = RunReport {
             policy: self.policy.name(),
             requests_completed: 0,
             cold_starts: 0,
             latency: faasmem_metrics::LatencyRecorder::new(),
-            requests: Vec::with_capacity(invocations.len()),
+            requests: Vec::with_capacity(setup.invocations.len()),
             local_mem: faasmem_metrics::TimeSeries::new(),
             remote_mem: faasmem_metrics::TimeSeries::new(),
             live_containers: faasmem_metrics::TimeSeries::new(),
@@ -467,10 +541,21 @@ impl PlatformSim {
         report.local_mem.record(SimTime::ZERO, 0.0);
         report.remote_mem.record(SimTime::ZERO, 0.0);
         report.live_containers.record(SimTime::ZERO, 0.0);
+        report
+    }
 
-        while let Some((at, event)) = queue.pop() {
-            clock.advance_to(at);
-            let now = clock.now();
+    /// Handles one popped event: breaker bookkeeping, dispatch, and the
+    /// post-event memory/telemetry sampling. Shared verbatim by the
+    /// serial and sharded drivers.
+    pub(crate) fn process_event(
+        &mut self,
+        now: SimTime,
+        event: Event,
+        setup: &RunSetup,
+        queue: &mut dyn EventSink,
+        report: &mut RunReport,
+    ) {
+        {
             self.tracer.set_now(now);
             if let Some(fr) = &mut self.faults {
                 // Graceful degradation: while the breaker holds the pool
@@ -487,13 +572,13 @@ impl PlatformSim {
             }
             match event {
                 Event::Invoke(i) => {
-                    let inv = invocations[i as usize];
-                    self.handle_invoke(now, i, inv.function, &mut queue, &mut report);
+                    let inv = setup.invocations[i as usize];
+                    self.handle_invoke(now, i, inv.function, queue, report);
                 }
-                Event::RuntimeLoaded(id) => self.handle_runtime_loaded(now, id, &mut queue),
-                Event::InitDone(id) => self.handle_init_done(now, id, &mut queue),
-                Event::FinishExec(id) => self.handle_finish(now, id, &mut queue, &mut report),
-                Event::RecycleCheck(id) => self.handle_recycle(now, id, &mut queue, &mut report),
+                Event::RuntimeLoaded(id) => self.handle_runtime_loaded(now, id, queue),
+                Event::InitDone(id) => self.handle_init_done(now, id, queue),
+                Event::FinishExec(id) => self.handle_finish(now, id, queue, report),
+                Event::RecycleCheck(id) => self.handle_recycle(now, id, queue, report),
                 Event::Tick => {
                     // Visit containers in id order: tick-time offloads
                     // queue on the shared link, so HashMap iteration
@@ -511,31 +596,35 @@ impl PlatformSim {
                         };
                         self.policy.on_tick(&mut ctx);
                     }
-                    if let Some(dt) = tick {
-                        if !self.containers.is_empty() || !queue.is_empty() {
+                    if let Some(dt) = setup.tick {
+                        if !self.containers.is_empty() || queue.has_pending() {
                             queue.push(now + dt, Event::Tick);
                         }
                     }
                 }
-                Event::NodeLoss(i) => self.handle_node_loss(now, i as usize, &mut report),
-                Event::ContainerCrash(i) => self.handle_crash(now, i as usize, &mut report),
+                Event::NodeLoss(i) => self.handle_node_loss(now, i as usize, report),
+                Event::ContainerCrash(i) => self.handle_crash(now, i as usize, report),
             }
-            self.record_memory(now, &mut report);
-            self.sample_due(now, &report);
+            self.record_memory(now, report);
+            self.sample_due(now, report);
         }
+    }
 
+    /// Drains leftover containers and fills the report's run-end fields.
+    /// `now` is the final clock time after the event loop emptied.
+    pub(crate) fn finish(&mut self, now: SimTime, report: &mut RunReport) {
         // Retire any containers still alive (should not happen after the
         // keep-alive drain, but be robust).
         let mut leftover: Vec<ContainerId> = self.containers.keys().copied().collect();
         leftover.sort_unstable();
         for id in leftover {
-            self.recycle_container(clock.now(), id, &mut report);
+            self.recycle_container(now, id, report);
         }
-        self.record_memory(clock.now(), &mut report);
-        self.sample_due(clock.now(), &report);
+        self.record_memory(now, report);
+        self.sample_due(now, report);
 
         report.pool_stats = self.pool.stats();
-        report.finished_at = clock.now();
+        report.finished_at = now;
         if let Some(fr) = &self.faults {
             let finished = report.finished_at;
             let downtime = fr.plan.link.downtime_before(finished);
@@ -559,8 +648,41 @@ impl PlatformSim {
                 slo_violations: fr.slo.map_or(0, |s| s.violations()),
             });
         }
-        self.fill_registry(&mut report);
-        report
+        self.fill_registry(report);
+    }
+
+    /// The conservative window lookahead for the sharded driver: half
+    /// the shortest registered spec latency, floored at the pool's
+    /// minimum transfer latency (and one microsecond). Any positive
+    /// value is *correct* — the window contracts around cross-shard
+    /// edges shorter than promised — so this only tunes how much work a
+    /// window batches.
+    pub(crate) fn cross_shard_lookahead(&self) -> SimDuration {
+        let spec_min = self
+            .specs
+            .iter()
+            .map(|s| s.launch_time.min(s.exec_time))
+            .min()
+            .unwrap_or(SimDuration::from_micros(1));
+        spec_min
+            .mul_f64(0.5)
+            .max(self.config.pool.min_transfer_latency())
+            .max(SimDuration::from_micros(1))
+    }
+
+    /// Mutable access to the remote pool for the sharded driver (shard
+    /// accounting is enabled only after seeding, which may rebuild the
+    /// pool around a fault plan's link schedule).
+    pub(crate) fn pool_mut(&mut self) -> &mut RemotePool {
+        &mut self.pool
+    }
+
+    /// Per-shard pool traffic recorded by the last
+    /// [`PlatformSim::run_sharded`] call — empty after a serial
+    /// [`PlatformSim::run`]. Diagnostic only: these counters never enter
+    /// the report, so shard count cannot leak into any output artefact.
+    pub fn pool_shard_traffic(&self) -> &[faasmem_pool::ShardTraffic] {
+        self.pool.shard_traffic()
     }
 
     /// Snapshots the run's counters and gauges into the report registry.
@@ -849,7 +971,7 @@ impl PlatformSim {
         now: SimTime,
         req: u32,
         function: FunctionId,
-        queue: &mut EventQueue<Event>,
+        queue: &mut dyn EventSink,
         report: &mut RunReport,
     ) {
         self.tracer.emit(
@@ -929,12 +1051,7 @@ impl PlatformSim {
         }
     }
 
-    fn handle_runtime_loaded(
-        &mut self,
-        now: SimTime,
-        id: ContainerId,
-        queue: &mut EventQueue<Event>,
-    ) {
+    fn handle_runtime_loaded(&mut self, now: SimTime, id: ContainerId, queue: &mut dyn EventSink) {
         self.tracer.emit(Some(id.0), None, EventKind::RuntimeLoaded);
         let init_time = {
             let container = self.containers.get_mut(&id).expect("launching container");
@@ -955,7 +1072,7 @@ impl PlatformSim {
         queue.push(now + init_time.mul_f64(jitter), Event::InitDone(id));
     }
 
-    fn handle_init_done(&mut self, now: SimTime, id: ContainerId, queue: &mut EventQueue<Event>) {
+    fn handle_init_done(&mut self, now: SimTime, id: ContainerId, queue: &mut dyn EventSink) {
         self.tracer.emit(Some(id.0), None, EventKind::InitDone);
         {
             let container = self
@@ -991,7 +1108,7 @@ impl PlatformSim {
         req: u32,
         arrived: SimTime,
         cold: bool,
-        queue: &mut EventQueue<Event>,
+        queue: &mut dyn EventSink,
     ) {
         self.tracer.emit(
             Some(id.0),
@@ -1086,7 +1203,7 @@ impl PlatformSim {
         &mut self,
         now: SimTime,
         id: ContainerId,
-        queue: &mut EventQueue<Event>,
+        queue: &mut dyn EventSink,
         report: &mut RunReport,
     ) {
         let flight = self.in_flight.remove(&id).expect("in-flight request");
@@ -1141,7 +1258,7 @@ impl PlatformSim {
         &mut self,
         now: SimTime,
         id: ContainerId,
-        queue: &mut EventQueue<Event>,
+        queue: &mut dyn EventSink,
         report: &mut RunReport,
     ) {
         let Some(container) = self.containers.get(&id) else {

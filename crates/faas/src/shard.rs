@@ -1,0 +1,319 @@
+//! Shard-parallel platform driver.
+//!
+//! [`PlatformSim::run_sharded`] partitions the event population across
+//! `S` per-shard queues (containers round-robin by id, control events
+//! on shard 0) and drains them through conservative windows — the
+//! DSLab-style parallel-FaaS engine shape. Both drivers share the
+//! handler bodies verbatim through the `EventSink` seam, and the
+//! sharded queue's global stamp counter reproduces the serial queue's
+//! `(sim_time, seq)` total order exactly, so the report, series and
+//! trace output are **byte-identical for any shard count** (the
+//! differential tests below and in `tests/` enforce this).
+//!
+//! The simulated platform is one node with globally shared state (one
+//! RNG stream, one pool link pair, one tracer sequence), so handlers
+//! must execute in the merged global order — this driver parallelises
+//! the *event administration* (per-shard heaps, windowed delivery,
+//! per-shard link ledgers), not the handler bodies. Thread-level
+//! speedup comes from the cluster tier ([`crate::cluster`]), where
+//! whole nodes are independent.
+
+use faasmem_sim::shard::ShardedEventQueue;
+use faasmem_sim::{Clock, SimTime};
+use faasmem_workload::InvocationTrace;
+
+use crate::container::ContainerId;
+use crate::platform::{Event, EventSink, PlatformSim};
+use crate::report::RunReport;
+
+/// The shard that owns every non-container event: invocation routing,
+/// policy ticks, and the fault timeline.
+pub const CONTROL_SHARD: u32 = 0;
+
+/// How a sharded run partitions its containers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    shards: u32,
+}
+
+impl ShardSpec {
+    /// A partition into `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    pub fn new(shards: u32) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardSpec { shards }
+    }
+
+    /// The shard count.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+}
+
+/// The shard owning an event: container-keyed events follow their
+/// container (round-robin by id), everything else is control-plane
+/// work on [`CONTROL_SHARD`].
+fn target_shard(event: &Event, shards: u32) -> u32 {
+    let container = |id: ContainerId| (id.0 % u64::from(shards)) as u32;
+    match *event {
+        Event::RuntimeLoaded(id)
+        | Event::InitDone(id)
+        | Event::FinishExec(id)
+        | Event::RecycleCheck(id) => container(id),
+        Event::Invoke(_) | Event::Tick | Event::NodeLoss(_) | Event::ContainerCrash(_) => {
+            CONTROL_SHARD
+        }
+    }
+}
+
+/// The sharded queue seen through the handlers' [`EventSink`] seam:
+/// every push is routed to its owning shard, originating from the
+/// shard whose event is currently being handled.
+struct ShardSink<'a> {
+    queue: &'a mut ShardedEventQueue<Event>,
+    shards: u32,
+}
+
+impl EventSink for ShardSink<'_> {
+    fn push(&mut self, at: SimTime, event: Event) {
+        let origin = self.queue.current_shard();
+        let target = target_shard(&event, self.shards);
+        self.queue.push_from(origin, target, at, event);
+    }
+
+    fn push_group(&mut self, at: SimTime, events: &mut dyn Iterator<Item = Event>) {
+        for event in events {
+            self.push(at, event);
+        }
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.queue.reserve_current(additional);
+    }
+
+    fn has_pending(&self) -> bool {
+        self.queue.has_pending()
+    }
+}
+
+impl PlatformSim {
+    /// Runs the trace through the shard-parallel driver. Produces a
+    /// report byte-identical to [`PlatformSim::run`] for any shard
+    /// count — the differential tests race both drivers as oracles.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`PlatformSim::run`].
+    pub fn run_sharded(&mut self, trace: &InvocationTrace, spec: &ShardSpec) -> RunReport {
+        let shards = spec.shards();
+        let setup = self.prepare(trace);
+        let mut queue: ShardedEventQueue<Event> = ShardedEventQueue::new(shards);
+        {
+            let mut sink = ShardSink {
+                queue: &mut queue,
+                shards,
+            };
+            self.seed(&setup, &mut sink);
+        }
+        // After seeding: a fault plan rebuilds the pool around its link
+        // schedule, which would have wiped earlier ledgers.
+        self.pool_mut().enable_shard_accounting(shards);
+
+        let lookahead = self.cross_shard_lookahead();
+        let mut clock = Clock::new();
+        let mut report = self.new_report(&setup);
+        while queue.begin_window(lookahead).is_some() {
+            while let Some((at, event)) = queue.pop_window() {
+                clock.advance_to(at);
+                let shard = queue.current_shard();
+                // Link-ownership token: transfers this handler performs
+                // are charged to the owning shard's ledger.
+                self.pool_mut().set_active_shard(shard);
+                let mut sink = ShardSink {
+                    queue: &mut queue,
+                    shards,
+                };
+                self.process_event(clock.now(), event, &setup, &mut sink, &mut report);
+            }
+            queue.flush_window();
+        }
+        // The post-loop drain (leftover recycles) is control-plane work.
+        self.pool_mut().set_active_shard(CONTROL_SHARD);
+        self.finish(clock.now(), &mut report);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{FaultConfig, PlatformConfig};
+    use crate::policy::{MemoryPolicy, NullPolicy};
+    use faasmem_metrics::TimeSeries;
+    use faasmem_pool::PoolStats;
+    use faasmem_sim::faults::FaultSpec;
+    use faasmem_sim::SimDuration;
+    use faasmem_trace::{LayerMask, TraceEvent, Tracer};
+    use faasmem_workload::{BenchmarkSpec, FunctionId, LoadClass, TraceSynthesizer};
+
+    use crate::report::{ContainerRecord, FaultReport, RequestRecord};
+
+    /// Exercises the pool on every request: offloads the init segment
+    /// at request end and wakes up on a policy tick, so sharded runs
+    /// cover cross-shard pool transfers and Tick control events.
+    struct OffloadInitPolicy;
+
+    impl MemoryPolicy for OffloadInitPolicy {
+        fn name(&self) -> &'static str {
+            "OffloadInit"
+        }
+        fn tick_interval(&self) -> Option<SimDuration> {
+            Some(SimDuration::from_secs(30))
+        }
+        fn on_request_end(&mut self, ctx: &mut crate::policy::PolicyCtx<'_>) {
+            ctx.offload_where(|_, m| m.segment() == faasmem_mem::Segment::Init);
+        }
+    }
+
+    /// Everything observable about a run, for exact comparison. The
+    /// latency recorder has no `PartialEq` but is fully determined by
+    /// the per-request records.
+    #[derive(Debug, PartialEq)]
+    struct Fingerprint {
+        requests_completed: usize,
+        cold_starts: usize,
+        requests: Vec<RequestRecord>,
+        containers: Vec<ContainerRecord>,
+        local_mem: TimeSeries,
+        remote_mem: TimeSeries,
+        live_containers: TimeSeries,
+        pool_stats: PoolStats,
+        finished_at: SimTime,
+        faults: Option<FaultReport>,
+        registry: faasmem_metrics::MetricsRegistry,
+        trace: Vec<TraceEvent>,
+    }
+
+    fn fingerprint(report: RunReport, tracer: &Tracer) -> Fingerprint {
+        Fingerprint {
+            requests_completed: report.requests_completed,
+            cold_starts: report.cold_starts,
+            requests: report.requests,
+            containers: report.containers,
+            local_mem: report.local_mem,
+            remote_mem: report.remote_mem,
+            live_containers: report.live_containers,
+            pool_stats: report.pool_stats,
+            finished_at: report.finished_at,
+            faults: report.faults,
+            registry: report.registry,
+            trace: tracer.take_events(),
+        }
+    }
+
+    fn chaos_config() -> PlatformConfig {
+        PlatformConfig {
+            faults: Some(FaultConfig {
+                spec: FaultSpec::new(0xC0FFEE)
+                    .outages(SimDuration::from_mins(4), SimDuration::from_secs(25))
+                    .node_losses(SimDuration::from_mins(15), 0.5)
+                    .crashes(SimDuration::from_mins(8)),
+                slo: Some(SimDuration::from_secs(2)),
+                ..FaultConfig::default()
+            }),
+            ..Default::default()
+        }
+    }
+
+    fn drive(
+        policy: impl MemoryPolicy + 'static,
+        config: PlatformConfig,
+        shards: Option<u32>,
+    ) -> Fingerprint {
+        let spec = BenchmarkSpec::by_name("web").unwrap();
+        let trace = TraceSynthesizer::new(7)
+            .load_class(LoadClass::High)
+            .bursty(true)
+            .duration(SimTime::from_mins(12))
+            .synthesize_for(FunctionId(0));
+        let tracer = Tracer::recording(LayerMask::ALL);
+        let mut sim = PlatformSim::builder()
+            .register_function(spec)
+            .policy(policy)
+            .config(config)
+            .seed(3)
+            .tracer(tracer.clone())
+            .build();
+        let report = match shards {
+            None => sim.run(&trace),
+            Some(s) => sim.run_sharded(&trace, &ShardSpec::new(s)),
+        };
+        fingerprint(report, &tracer)
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_for_every_shard_count() {
+        let serial = drive(OffloadInitPolicy, PlatformConfig::default(), None);
+        for shards in [1u32, 2, 3, 4, 7] {
+            let sharded = drive(OffloadInitPolicy, PlatformConfig::default(), Some(shards));
+            assert_eq!(serial, sharded, "shards={shards} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn sharded_chaos_run_matches_serial() {
+        let serial = drive(NullPolicy, chaos_config(), None);
+        for shards in [1u32, 2, 4, 7] {
+            let sharded = drive(NullPolicy, chaos_config(), Some(shards));
+            assert_eq!(serial, sharded, "shards={shards} diverged under chaos");
+        }
+    }
+
+    #[test]
+    fn shard_ledgers_partition_total_pool_traffic() {
+        let spec = BenchmarkSpec::by_name("web").unwrap();
+        let trace = TraceSynthesizer::new(5)
+            .load_class(LoadClass::High)
+            .duration(SimTime::from_mins(10))
+            .synthesize_for(FunctionId(0));
+        let mut sim = PlatformSim::builder()
+            .register_function(spec)
+            .policy(OffloadInitPolicy)
+            .seed(2)
+            .build();
+        let report = sim.run_sharded(&trace, &ShardSpec::new(3));
+        let ledgers = sim.pool_shard_traffic();
+        assert_eq!(ledgers.len(), 3);
+        assert_eq!(
+            ledgers.iter().map(|t| t.bytes_out).sum::<u64>(),
+            report.pool_stats.bytes_out
+        );
+        assert_eq!(
+            ledgers.iter().map(|t| t.bytes_in).sum::<u64>(),
+            report.pool_stats.bytes_in
+        );
+        assert_eq!(
+            ledgers.iter().map(|t| t.out_ops).sum::<u64>(),
+            report.pool_stats.out_ops
+        );
+        assert_eq!(
+            ledgers.iter().map(|t| t.in_ops).sum::<u64>(),
+            report.pool_stats.in_ops
+        );
+    }
+
+    #[test]
+    fn control_events_stay_on_shard_zero() {
+        assert_eq!(target_shard(&Event::Invoke(9), 4), CONTROL_SHARD);
+        assert_eq!(target_shard(&Event::Tick, 4), CONTROL_SHARD);
+        assert_eq!(target_shard(&Event::NodeLoss(1), 4), CONTROL_SHARD);
+        assert_eq!(
+            target_shard(&Event::FinishExec(ContainerId(6)), 4),
+            2,
+            "container events follow their container"
+        );
+    }
+}

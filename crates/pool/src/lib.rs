@@ -40,5 +40,5 @@ pub mod retry;
 pub use degraded::DegradedLink;
 pub use governor::BandwidthGovernor;
 pub use link::RdmaLink;
-pub use pool::{PoolConfig, PoolError, PoolStats, RemotePool};
+pub use pool::{PoolConfig, PoolError, PoolStats, RemotePool, ShardTraffic};
 pub use retry::{CircuitBreaker, RecallOutcome, RemoteFaultPolicy};

@@ -26,10 +26,12 @@ pub mod clock;
 pub mod faults;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod time;
 
 pub use clock::Clock;
 pub use faults::{CrashEvent, FaultPlan, FaultSpec, LinkSchedule, LinkWindow, NodeLossEvent};
 pub use queue::{EventQueue, ScheduledEvent};
 pub use rng::SimRng;
+pub use shard::{ShardMap, ShardedEventQueue};
 pub use time::{SimDuration, SimTime};

@@ -111,9 +111,49 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Schedules `event` with an externally allocated sequence stamp in
+    /// place of the queue's own counter.
+    ///
+    /// The shard-parallel engine hands out stamps from one global
+    /// counter in event-processing order, so events split across
+    /// per-shard queues and merged back reproduce the serial `(at,
+    /// seq)` pop order exactly. The internal counter jumps past `stamp`
+    /// so later plain [`EventQueue::push`]es can never collide with a
+    /// stamped event.
+    pub fn push_stamped(&mut self, at: SimTime, stamp: u64, event: E) {
+        self.next_seq = self.next_seq.max(stamp + 1);
+        self.heap.push(ScheduledEvent {
+            at,
+            seq: stamp,
+            event,
+        });
+    }
+
+    /// Batch sibling of [`EventQueue::push_stamped`] — the stamped
+    /// analogue of [`EventQueue::push_at_many`]: delivers a window's
+    /// worth of pre-stamped cross-shard events with at most one heap
+    /// reallocation.
+    pub fn push_stamped_many<I>(&mut self, events: I)
+    where
+        I: IntoIterator<Item = ScheduledEvent<E>>,
+    {
+        let iter = events.into_iter();
+        self.heap.reserve(iter.size_hint().0);
+        for ev in iter {
+            self.push_stamped(ev.at, ev.seq, ev.event);
+        }
+    }
+
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Removes and returns the earliest event together with its firing
+    /// time and sequence stamp — the form the shard merge needs to
+    /// re-deliver an event without re-stamping it.
+    pub fn pop_scheduled(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop()
     }
 
     /// The firing time of the earliest pending event.
@@ -229,6 +269,66 @@ mod tests {
             std::iter::from_fn(|| q.pop()).collect()
         };
         assert_eq!(drain(&mut batched), drain(&mut plain));
+    }
+
+    #[test]
+    fn stamped_pushes_merge_with_plain_pushes() {
+        // A queue fed stamps out of the usual counter order must still
+        // pop in (at, seq) order, and plain pushes afterwards must slot
+        // in past the highest stamp seen.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.push_stamped(t, 7, 'c');
+        q.push_stamped(t, 2, 'b');
+        q.push_stamped(SimTime::ZERO, 9, 'a');
+        q.push(t, 'd'); // gets seq 10: after every stamped event
+        assert_eq!(q.pop(), Some((SimTime::ZERO, 'a')));
+        assert_eq!(q.pop(), Some((t, 'b')));
+        assert_eq!(q.pop(), Some((t, 'c')));
+        assert_eq!(q.pop(), Some((t, 'd')));
+    }
+
+    #[test]
+    fn push_stamped_many_matches_individual_stamped_pushes() {
+        let t = SimTime::from_millis(3);
+        let evs = |base: u64| {
+            (0..5u64).map(move |i| ScheduledEvent {
+                at: t,
+                seq: base + i,
+                event: i,
+            })
+        };
+        let mut batched = EventQueue::new();
+        batched.push_stamped_many(evs(10));
+        let mut plain = EventQueue::new();
+        for ev in evs(10) {
+            plain.push_stamped(ev.at, ev.seq, ev.event);
+        }
+        let drain = |q: &mut EventQueue<u64>| -> Vec<ScheduledEvent<u64>> {
+            std::iter::from_fn(|| q.pop_scheduled()).collect()
+        };
+        let (a, b) = (drain(&mut batched), drain(&mut plain));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.at, x.seq, x.event), (y.at, y.seq, y.event));
+        }
+    }
+
+    #[test]
+    fn pop_scheduled_exposes_the_stamp() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(2), 'x');
+        q.push(SimTime::from_secs(1), 'y');
+        let first = q.pop_scheduled().unwrap();
+        assert_eq!(
+            (first.at, first.seq, first.event),
+            (SimTime::from_secs(1), 1, 'y')
+        );
+        let second = q.pop_scheduled().unwrap();
+        assert_eq!(
+            (second.at, second.seq, second.event),
+            (SimTime::from_secs(2), 0, 'x')
+        );
     }
 
     #[test]

@@ -1,0 +1,504 @@
+//! Shard-parallel event scheduling: per-shard queues advancing inside a
+//! conservative time window, with deterministic cross-shard delivery.
+//!
+//! The serial [`EventQueue`] is one heap; this module splits the pending
+//! event set across `S` per-shard heaps while keeping the *merged* pop
+//! order byte-identical to the serial queue. Two mechanisms make that
+//! possible:
+//!
+//! 1. **Global stamps.** Every push draws its sequence number from one
+//!    shared counter ([`ShardedEventQueue::push_from`]) instead of a
+//!    per-queue counter. Stamps are allocated in push order, exactly
+//!    like the serial queue's `seq`, so `(at, stamp)` is a total order
+//!    identical to the serial `(at, seq)` order — the shard id never
+//!    needs to break a tie.
+//! 2. **Conservative windows.** A window opens at the earliest pending
+//!    time and extends by a lookahead ([`ShardedEventQueue::begin_window`]).
+//!    Events strictly before the window end are poppable; cross-shard
+//!    sends raised meanwhile are parked in an outbox and delivered at
+//!    the window barrier ([`ShardedEventQueue::flush_window`]) in `(at,
+//!    stamp)` order via the stamped batch-push API. If a cross-shard
+//!    edge turns out *shorter* than the lookahead promised, the window
+//!    contracts to the delivery time on the spot — only events at
+//!    earlier instants can still pop, so no event is ever processed
+//!    ahead of a pending delivery that precedes it in `(at, stamp)`
+//!    order. Correctness therefore never depends on the lookahead
+//!    value; lookahead only sets how much work a window can batch.
+//!
+//! [`ShardMap`] is the companion partition function: a round-robin
+//! assignment of entity ids (containers, nodes) to shards.
+
+use crate::queue::{EventQueue, ScheduledEvent};
+use crate::time::{SimDuration, SimTime};
+
+/// Round-robin partition of entity ids over a fixed shard count.
+///
+/// The assignment is a pure function of the id, so producers on any
+/// thread agree on placement without coordination, and re-partitioning
+/// the same id set always yields the same shards.
+///
+/// # Examples
+///
+/// ```
+/// use faasmem_sim::ShardMap;
+///
+/// let map = ShardMap::new(4);
+/// assert_eq!(map.shard_of(6), 2);
+/// let parts = map.partition(0..8);
+/// assert_eq!(parts[2], vec![2, 6]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: u32,
+}
+
+impl ShardMap {
+    /// A partition over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    pub fn new(shards: u32) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardMap { shards }
+    }
+
+    /// The shard count.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard owning `id`.
+    pub fn shard_of(&self, id: u64) -> u32 {
+        (id % u64::from(self.shards)) as u32
+    }
+
+    /// Splits `ids` into per-shard lists, preserving input order within
+    /// each shard. The output is a permutation of the input: every id
+    /// lands in exactly one shard.
+    pub fn partition<I: IntoIterator<Item = u64>>(&self, ids: I) -> Vec<Vec<u64>> {
+        let mut parts = vec![Vec::new(); self.shards as usize];
+        for id in ids {
+            parts[self.shard_of(id) as usize].push(id);
+        }
+        parts
+    }
+}
+
+/// `S` per-shard event queues with one global stamp counter, a
+/// conservative window, and a cross-shard outbox (see the module docs
+/// for the ordering argument).
+#[derive(Debug)]
+pub struct ShardedEventQueue<E> {
+    queues: Vec<EventQueue<E>>,
+    /// Cross-shard events raised inside the open window, delivered at
+    /// the barrier as `(target_shard, stamped event)`.
+    outbox: Vec<(u32, ScheduledEvent<E>)>,
+    next_stamp: u64,
+    /// Shard whose event [`ShardedEventQueue::pop_window`] last
+    /// returned — the origin of any pushes its handler performs.
+    current_shard: u32,
+    /// Exclusive upper bound of the open window; `None` between windows.
+    window_end: Option<SimTime>,
+    windows: u64,
+    cross_events: u64,
+}
+
+impl<E> ShardedEventQueue<E> {
+    /// An empty sharded queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    pub fn new(shards: u32) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardedEventQueue {
+            queues: (0..shards).map(|_| EventQueue::new()).collect(),
+            outbox: Vec::new(),
+            next_stamp: 0,
+            current_shard: 0,
+            window_end: None,
+            windows: 0,
+            cross_events: 0,
+        }
+    }
+
+    /// The shard count.
+    pub fn shard_count(&self) -> u32 {
+        self.queues.len() as u32
+    }
+
+    /// The shard whose event the last [`ShardedEventQueue::pop_window`]
+    /// returned (shard 0 before any pop — seeding runs as the control
+    /// shard).
+    pub fn current_shard(&self) -> u32 {
+        self.current_shard
+    }
+
+    /// Windows opened so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Cross-shard events routed through the outbox so far.
+    pub fn cross_events(&self) -> u64 {
+        self.cross_events
+    }
+
+    /// Pre-sizes the current shard's queue for `additional` pushes.
+    pub fn reserve_current(&mut self, additional: usize) {
+        self.queues[self.current_shard as usize].reserve(additional);
+    }
+
+    /// Schedules `event` at `at` on `target`'s queue, stamping it from
+    /// the global counter.
+    ///
+    /// Same-shard pushes (and any push outside an open window, i.e.
+    /// during seeding) land directly on the target heap. A cross-shard
+    /// push inside a window is parked in the outbox for the barrier —
+    /// and if it lands *before* the window's end, the window contracts
+    /// to the delivery time: every event processed so far fired at or
+    /// before `at`, and remaining pops are strictly below the new end,
+    /// so nothing can overtake the parked event in `(at, stamp)` order.
+    pub fn push_from(&mut self, origin: u32, target: u32, at: SimTime, event: E) {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        match self.window_end {
+            Some(ref mut end) if origin != target => {
+                if at < *end {
+                    *end = at;
+                }
+                self.cross_events += 1;
+                self.outbox.push((
+                    target,
+                    ScheduledEvent {
+                        at,
+                        seq: stamp,
+                        event,
+                    },
+                ));
+            }
+            _ => self.queues[target as usize].push_stamped(at, stamp, event),
+        }
+    }
+
+    /// Opens a window at the earliest pending time, extending it by
+    /// `lookahead` (floored at one microsecond so the window always
+    /// makes progress). Returns the window start, or `None` when no
+    /// events are pending anywhere — the drain is complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) when the previous window was not flushed.
+    pub fn begin_window(&mut self, lookahead: SimDuration) -> Option<SimTime> {
+        debug_assert!(
+            self.outbox.is_empty(),
+            "flush_window the previous window before opening a new one"
+        );
+        let start = self.next_time()?;
+        let step = lookahead.max(SimDuration::from_micros(1));
+        self.window_end = Some(start + step);
+        self.windows += 1;
+        Some(start)
+    }
+
+    /// Pops the globally earliest `(at, stamp)` event among all shard
+    /// heaps, provided it fires strictly before the window end. Returns
+    /// `None` when the window is exhausted. Sets
+    /// [`ShardedEventQueue::current_shard`] to the owning shard.
+    pub fn pop_window(&mut self) -> Option<(SimTime, E)> {
+        let end = self.window_end.expect("begin_window first");
+        let mut best: Option<(usize, SimTime, u64)> = None;
+        for (i, q) in self.queues.iter().enumerate() {
+            if let Some(head) = q.peek() {
+                let better = match best {
+                    None => true,
+                    Some((_, at, seq)) => (head.at, head.seq) < (at, seq),
+                };
+                if better {
+                    best = Some((i, head.at, head.seq));
+                }
+            }
+        }
+        let (i, at, _) = best?;
+        if at >= end {
+            return None;
+        }
+        self.current_shard = i as u32;
+        let ev = self.queues[i].pop_scheduled().expect("peeked event");
+        Some((ev.at, ev.event))
+    }
+
+    /// The window barrier: closes the window and delivers every parked
+    /// cross-shard event onto its target heap, in `(at, stamp)` order,
+    /// batched per target run through the stamped batch-push API.
+    pub fn flush_window(&mut self) {
+        self.window_end = None;
+        if self.outbox.is_empty() {
+            return;
+        }
+        let mut pending = std::mem::take(&mut self.outbox);
+        // Stamps are globally unique, so (at, stamp) is already total —
+        // the shard id in the nominal (time, seq, shard) merge key can
+        // never act as a tie-breaker.
+        pending.sort_by_key(|(_, ev)| (ev.at, ev.seq));
+        let mut iter = pending.into_iter().peekable();
+        while let Some((target, first)) = iter.next() {
+            let mut batch = vec![first];
+            while iter.peek().is_some_and(|(t, _)| *t == target) {
+                batch.push(iter.next().expect("peeked item").1);
+            }
+            self.queues[target as usize].push_stamped_many(batch);
+        }
+    }
+
+    /// The earliest pending firing time across all shard heaps (the
+    /// outbox is empty between windows, so heaps are the whole state).
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.queues.iter().filter_map(EventQueue::peek_time).min()
+    }
+
+    /// Total pending events, heaps plus outbox.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(EventQueue::len).sum::<usize>() + self.outbox.len()
+    }
+
+    /// `true` when nothing is pending anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` while any event is pending in a heap or the outbox.
+    pub fn has_pending(&self) -> bool {
+        !self.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_round_robins() {
+        let map = ShardMap::new(3);
+        let parts = map.partition(0..7);
+        assert_eq!(parts, vec![vec![0, 3, 6], vec![1, 4], vec![2, 5]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardMap::new(0);
+    }
+
+    #[test]
+    fn seeding_outside_a_window_is_direct() {
+        let mut q: ShardedEventQueue<u32> = ShardedEventQueue::new(4);
+        // No window open: cross-shard pushes land on the target heap.
+        q.push_from(0, 3, SimTime::from_secs(1), 10);
+        q.push_from(0, 1, SimTime::from_secs(2), 11);
+        assert_eq!(q.cross_events(), 0);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.next_time(), Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn short_cross_shard_edge_contracts_the_window() {
+        let mut q: ShardedEventQueue<&str> = ShardedEventQueue::new(2);
+        q.push_from(0, 0, SimTime::from_secs(1), "a");
+        q.push_from(0, 0, SimTime::from_secs(5), "later");
+        // Generous lookahead: the window nominally spans [1s, 11s).
+        assert_eq!(
+            q.begin_window(SimDuration::from_secs(10)),
+            Some(SimTime::from_secs(1))
+        );
+        assert_eq!(q.pop_window(), Some((SimTime::from_secs(1), "a")));
+        // "a"'s handler sends cross-shard for 2s — inside the window.
+        q.push_from(0, 1, SimTime::from_secs(2), "cross");
+        assert_eq!(q.cross_events(), 1);
+        // The window contracted to 2s: "later" (5s) must not pop before
+        // the parked delivery.
+        assert_eq!(q.pop_window(), None);
+        q.flush_window();
+        assert_eq!(
+            q.begin_window(SimDuration::from_secs(10)),
+            Some(SimTime::from_secs(2))
+        );
+        assert_eq!(q.pop_window(), Some((SimTime::from_secs(2), "cross")));
+        assert_eq!(q.current_shard(), 1);
+        assert_eq!(q.pop_window(), Some((SimTime::from_secs(5), "later")));
+        assert_eq!(q.pop_window(), None);
+        q.flush_window();
+        assert!(q.is_empty());
+        assert_eq!(q.windows(), 2);
+    }
+
+    #[test]
+    fn same_instant_cross_delivery_defers_to_the_next_window() {
+        // A zero-delay cross-shard send shrinks the window to "now";
+        // the event is delivered at the barrier and pops first thing in
+        // the next window, still in global stamp order.
+        let t = SimTime::from_secs(3);
+        let mut q: ShardedEventQueue<u32> = ShardedEventQueue::new(2);
+        q.push_from(0, 0, t, 0);
+        q.push_from(0, 0, t, 1);
+        q.begin_window(SimDuration::from_secs(1));
+        assert_eq!(q.pop_window(), Some((t, 0)));
+        q.push_from(0, 1, t, 2); // same-instant cross send: window → t
+        assert_eq!(q.pop_window(), None, "window contracted to its start");
+        q.flush_window();
+        q.begin_window(SimDuration::from_secs(1));
+        // Stamp order within the instant: 1 (pushed earlier) before 2.
+        assert_eq!(q.pop_window(), Some((t, 1)));
+        assert_eq!(q.pop_window(), Some((t, 2)));
+    }
+
+    /// Reference drive: the same seed/follow-up script against a plain
+    /// serial [`EventQueue`]. Each processed event `k` may trigger one
+    /// follow-up push (the `follow` script), mimicking handlers that
+    /// schedule new work.
+    fn serial_drain(
+        seeds: &[(u64, u32)],
+        follow: &[(u64, u32)],
+        _shards: u32,
+    ) -> Vec<(SimTime, u64, u32)> {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for (i, &(at, _)) in seeds.iter().enumerate() {
+            q.push(SimTime::from_millis(at), i as u32);
+        }
+        let mut next_payload = seeds.len() as u32;
+        let mut popped = Vec::new();
+        let mut k = 0usize;
+        while let Some(ev) = q.pop_scheduled() {
+            popped.push((ev.at, ev.seq, ev.event));
+            if let Some(&(delta, _)) = follow.get(k) {
+                q.push(ev.at + SimDuration::from_millis(delta), next_payload);
+                next_payload += 1;
+            }
+            k += 1;
+        }
+        popped
+    }
+
+    /// The same script through the sharded queue: seeds target a shard
+    /// derived from their hint, follow-ups are cross- or same-shard
+    /// sends from whichever shard's event is being processed.
+    fn sharded_drain(
+        seeds: &[(u64, u32)],
+        follow: &[(u64, u32)],
+        shards: u32,
+        lookahead: SimDuration,
+    ) -> Vec<(SimTime, u64, u32)> {
+        let mut q: ShardedEventQueue<u32> = ShardedEventQueue::new(shards);
+        for (i, &(at, hint)) in seeds.iter().enumerate() {
+            q.push_from(0, hint % shards, SimTime::from_millis(at), i as u32);
+        }
+        let mut next_payload = seeds.len() as u32;
+        let mut popped = Vec::new();
+        let mut k = 0usize;
+        while q.begin_window(lookahead).is_some() {
+            while let Some((at, payload)) = q.pop_window() {
+                // Reconstruct the stamp for the assertion: pops surface
+                // payloads; stamps are checked via the serial mirror's
+                // seq, so recompute from push order (payload == order).
+                popped.push((at, u64::from(payload), payload));
+                if let Some(&(delta, hint)) = follow.get(k) {
+                    let origin = q.current_shard();
+                    q.push_from(
+                        origin,
+                        hint % shards,
+                        at + SimDuration::from_millis(delta),
+                        next_payload,
+                    );
+                    next_payload += 1;
+                }
+                k += 1;
+            }
+            q.flush_window();
+        }
+        popped
+    }
+
+    proptest::proptest! {
+        // The tentpole ordering property: for arbitrary seeds,
+        // follow-up interleavings, shard counts and lookaheads, the
+        // sharded window merge pops payloads in exactly the serial
+        // queue's `(sim_time, seq)` total order.
+        #[test]
+        fn prop_window_merge_preserves_serial_total_order(
+            seeds in proptest::collection::vec((0u64..50, 0u32..16), 1..40),
+            follow in proptest::collection::vec((0u64..20, 0u32..16), 0..80),
+            shards in 1u32..8,
+            lookahead_ms in 0u64..30,
+        ) {
+            let serial = serial_drain(&seeds, &follow, shards);
+            let sharded = sharded_drain(
+                &seeds,
+                &follow,
+                shards,
+                SimDuration::from_millis(lookahead_ms),
+            );
+            // Payloads are assigned in push order in both drives, and
+            // stamps equal the serial seqs by construction, so the
+            // full (at, payload) sequences must match element-wise.
+            let a: Vec<(SimTime, u32)> = serial.iter().map(|&(at, _, p)| (at, p)).collect();
+            let b: Vec<(SimTime, u32)> = sharded.iter().map(|&(at, _, p)| (at, p)).collect();
+            proptest::prop_assert_eq!(a, b);
+        }
+
+        // `shards = 1` degenerates to the serial queue at the event
+        // stream level: same pops, and no event ever crosses shards.
+        #[test]
+        fn prop_single_shard_is_the_serial_path(
+            seeds in proptest::collection::vec((0u64..50, 0u32..16), 1..40),
+            follow in proptest::collection::vec((0u64..20, 0u32..16), 0..80),
+            lookahead_ms in 0u64..30,
+        ) {
+            let serial = serial_drain(&seeds, &follow, 1);
+            let mut q: ShardedEventQueue<u32> = ShardedEventQueue::new(1);
+            for (i, &(at, _)) in seeds.iter().enumerate() {
+                q.push_from(0, 0, SimTime::from_millis(at), i as u32);
+            }
+            let mut next_payload = seeds.len() as u32;
+            let mut popped = Vec::new();
+            let mut k = 0usize;
+            while q.begin_window(SimDuration::from_millis(lookahead_ms)).is_some() {
+                while let Some((at, payload)) = q.pop_window() {
+                    popped.push((at, payload));
+                    if let Some(&(delta, _)) = follow.get(k) {
+                        q.push_from(0, 0, at + SimDuration::from_millis(delta), next_payload);
+                        next_payload += 1;
+                    }
+                    k += 1;
+                }
+                q.flush_window();
+            }
+            proptest::prop_assert_eq!(q.cross_events(), 0);
+            let expect: Vec<(SimTime, u32)> = serial.iter().map(|&(at, _, p)| (at, p)).collect();
+            proptest::prop_assert_eq!(popped, expect);
+        }
+
+        // Partitioning is a permutation: every id lands in exactly one
+        // shard, nothing is duplicated or dropped, and placement
+        // matches the pure assignment function.
+        #[test]
+        fn prop_partition_is_a_permutation(
+            ids in proptest::collection::vec(0u64..10_000, 0..200),
+            shards in 1u32..16,
+        ) {
+            let map = ShardMap::new(shards);
+            let parts = map.partition(ids.iter().copied());
+            proptest::prop_assert_eq!(parts.len(), shards as usize);
+            for (shard, part) in parts.iter().enumerate() {
+                for &id in part {
+                    proptest::prop_assert_eq!(map.shard_of(id) as usize, shard);
+                }
+            }
+            let mut merged: Vec<u64> = parts.into_iter().flatten().collect();
+            merged.sort_unstable();
+            let mut expect = ids.clone();
+            expect.sort_unstable();
+            proptest::prop_assert_eq!(merged, expect);
+        }
+    }
+}

@@ -208,3 +208,108 @@ fn damon_offloads_but_hurts_warm_latency_on_sparse_traffic() {
 }
 
 use faasmem::workload::Invocation;
+
+// ---------------------------------------------------------------------
+// Differential oracle: the shard-parallel driver vs the serial driver
+// ---------------------------------------------------------------------
+
+use faasmem::faas::FaultConfig;
+use faasmem::sim::FaultSpec;
+use faasmem_bench::harness::{
+    self, BenchCase, ConfigCase, ExperimentGrid, HarnessOptions, TraceSpec,
+};
+use faasmem_bench::PolicyKind;
+
+/// Harness options for a differential run: quick traces, tracing and
+/// series sampling switched on so the comparison covers every exported
+/// artifact. The paths are never written — `run_grid` only collects.
+fn oracle_options(shards: Option<u32>) -> HarnessOptions {
+    HarnessOptions {
+        quick: true,
+        trace: Some(std::path::PathBuf::from("unused.jsonl")),
+        series: Some(std::path::PathBuf::from("unused.json")),
+        shards,
+        ..HarnessOptions::default()
+    }
+}
+
+/// Every deterministic artifact a grid run exports, rendered to the
+/// exact bytes the driver binaries would write to disk.
+struct GridArtifacts {
+    main: String,
+    series: String,
+    trace: String,
+}
+
+fn artifacts(grid: &ExperimentGrid, shards: Option<u32>) -> GridArtifacts {
+    let opts = oracle_options(shards);
+    let run = harness::run_grid(grid, &opts);
+    assert_eq!(run.failures(), 0, "no cell may panic");
+    GridArtifacts {
+        main: run.to_json().to_pretty(),
+        series: run.series_json(opts.series_interval).to_compact(),
+        trace: run.trace_jsonl(),
+    }
+}
+
+/// Races the sharded driver against the serial oracle over the whole
+/// grid and demands byte-identical main JSON, series JSON and trace
+/// JSONL for every shard count.
+fn assert_shard_invariant(grid: &ExperimentGrid) {
+    let serial = artifacts(grid, None);
+    assert!(!serial.trace.is_empty(), "trace events must be recorded");
+    assert!(!serial.series.is_empty(), "series must be sampled");
+    for shards in [1u32, 2, 4, 7] {
+        let sharded = artifacts(grid, Some(shards));
+        assert_eq!(
+            serial.main, sharded.main,
+            "main JSON diverged at shards={shards}"
+        );
+        assert_eq!(
+            serial.series, sharded.series,
+            "series JSON diverged at shards={shards}"
+        );
+        assert_eq!(
+            serial.trace, sharded.trace,
+            "trace JSONL diverged at shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn sharded_grid_matches_serial_on_the_main_eval_shape() {
+    // fig12's shape, miniaturized: two load classes × two benchmarks ×
+    // the Baseline/FaaSMem head-to-head, on quick traces.
+    let grid = ExperimentGrid::new("oracle_fig12")
+        .traces([
+            TraceSpec::synth("high", 12_001, LoadClass::High).bursty(true),
+            TraceSpec::synth("low", 12_002, LoadClass::Low),
+        ])
+        .benches([
+            BenchCase::single(BenchmarkSpec::by_name("web").unwrap()),
+            BenchCase::single(BenchmarkSpec::by_name("bert").unwrap()),
+        ])
+        .policy_kinds([PolicyKind::Baseline, PolicyKind::FaasMem]);
+    assert_shard_invariant(&grid);
+}
+
+#[test]
+fn sharded_grid_matches_serial_under_chaos() {
+    // disc07's shape, miniaturized: the healthy control plus a seeded
+    // outage schedule, Baseline vs FaaSMem on bert.
+    let chaos = PlatformConfig {
+        faults: Some(FaultConfig {
+            spec: FaultSpec::new(0xD15C07)
+                .outages(SimDuration::from_mins(5), SimDuration::from_secs(30)),
+            slo: Some(SimDuration::from_secs(2)),
+            ..FaultConfig::default()
+        }),
+        ..PlatformConfig::default()
+    };
+    let grid = ExperimentGrid::new("oracle_disc07")
+        .trace(TraceSpec::synth("high-bursty", 907, LoadClass::High).bursty(true))
+        .bench(BenchCase::single(BenchmarkSpec::by_name("bert").unwrap()))
+        .configs([ConfigCase::default_case(), ConfigCase::new("chaos", chaos)])
+        .policy_kinds([PolicyKind::Baseline, PolicyKind::FaasMem]);
+    assert_shard_invariant(&grid);
+}
