@@ -93,6 +93,7 @@ impl CloneShallow for faasmem_faas::RunReport {
             reuse_intervals: self.reuse_intervals.clone(),
             finished_at: self.finished_at,
             faults: self.faults,
+            durability: self.durability,
             registry: self.registry.clone(),
         }
     }

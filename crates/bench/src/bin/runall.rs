@@ -40,6 +40,7 @@ const EXPERIMENTS: &[&str] = &[
     "disc05_keepalive_policies",
     "disc06_load_imbalance",
     "disc07_fault_tolerance",
+    "disc08_durability",
     "ext01_coldstart_aware",
     "ext02_recall_prefetch",
     "abl01_window_policy",

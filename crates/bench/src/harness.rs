@@ -1161,6 +1161,69 @@ fn summary_json(s: &RunSummary) -> JsonValue {
     if let Some(f) = &s.faults {
         doc.push("faults", faults_json(f));
     }
+    // Same contract for the fabric: degenerate (single-node,
+    // no-redundancy) runs carry no block and stay byte-identical to
+    // documents written before the fabric existed.
+    if let Some(d) = &s.durability {
+        doc.push("durability", durability_json(d));
+    }
+    doc
+}
+
+fn durability_json(d: &faasmem_faas::DurabilityReport) -> JsonValue {
+    let t = &d.tracker;
+    let mut doc = JsonValue::obj();
+    doc.push("pool_nodes", JsonValue::Num(f64::from(d.pool_nodes)));
+    doc.push("nodes_up", JsonValue::Num(f64::from(d.nodes_up)));
+    doc.push("nodes_lost", JsonValue::Num(t.nodes_lost as f64));
+    doc.push("segments_lost", JsonValue::Num(t.segments_lost as f64));
+    doc.push("bytes_lost", JsonValue::Num(t.bytes_lost as f64));
+    doc.push(
+        "failover_recalls",
+        JsonValue::Num(t.failover_recalls as f64),
+    );
+    doc.push("bytes_recovered", JsonValue::Num(t.bytes_recovered as f64));
+    doc.push(
+        "avoided_cold_rebuilds",
+        JsonValue::Num(t.avoided_cold_rebuilds as f64),
+    );
+    doc.push(
+        "replica_bytes_out",
+        JsonValue::Num(t.replica_bytes_out as f64),
+    );
+    doc.push("repair_bytes", JsonValue::Num(t.repair_bytes as f64));
+    doc.push(
+        "repairs_completed",
+        JsonValue::Num(t.repairs_completed as f64),
+    );
+    doc.push(
+        "repairs_abandoned",
+        JsonValue::Num(t.repairs_abandoned as f64),
+    );
+    doc.push(
+        "mean_mttr_secs",
+        JsonValue::Num(t.mean_mttr().map_or(0.0, |d| d.as_secs_f64())),
+    );
+    doc.push(
+        "max_mttr_secs",
+        JsonValue::Num(t.max_mttr().map_or(0.0, |d| d.as_secs_f64())),
+    );
+    doc.push(
+        "peak_redundant_bytes",
+        JsonValue::Num(t.peak_redundant_bytes as f64),
+    );
+    doc.push(
+        "peak_under_replicated",
+        JsonValue::Num(t.peak_under_replicated as f64),
+    );
+    doc.push(
+        "under_replicated_final",
+        JsonValue::Num(d.under_replicated_final as f64),
+    );
+    doc.push(
+        "repair_backlog_bytes",
+        JsonValue::Num(d.repair_backlog_bytes as f64),
+    );
     doc
 }
 

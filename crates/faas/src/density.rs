@@ -77,6 +77,7 @@ mod tests {
             reuse_intervals: HashMap::new(),
             finished_at: finished,
             faults: None,
+            durability: None,
             registry: faasmem_metrics::MetricsRegistry::new(),
         }
     }

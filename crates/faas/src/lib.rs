@@ -65,7 +65,8 @@ pub use platform::{FaultConfig, PlatformBuilder, PlatformConfig, PlatformSim};
 pub use policy::{MemoryPolicy, NullPolicy, PolicyCtx};
 pub use rack::{NodeProfile, RackPlan, RackReport};
 pub use report::{
-    ContainerRecord, FaultReport, FunctionSummary, RequestRecord, RunReport, RunSummary,
+    ContainerRecord, DurabilityReport, FaultReport, FunctionSummary, RequestRecord, RunReport,
+    RunSummary,
 };
 pub use shard::{ShardSpec, CONTROL_SHARD};
 

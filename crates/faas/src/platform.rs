@@ -5,7 +5,8 @@ use std::collections::HashMap;
 use faasmem_mem::{mib_to_pages, PageId};
 use faasmem_metrics::{MetricsRegistry, SloTracker};
 use faasmem_pool::{
-    BandwidthGovernor, CircuitBreaker, PoolConfig, RecallOutcome, RemoteFaultPolicy, RemotePool,
+    BandwidthGovernor, CircuitBreaker, FabricConfig, PoolConfig, PoolFabric, RecallOutcome,
+    RemoteFaultPolicy, RemotePool,
 };
 use faasmem_sim::faults::{FaultPlan, FaultSpec};
 use faasmem_sim::{Clock, EventQueue, SimDuration, SimRng, SimTime};
@@ -15,7 +16,7 @@ use faasmem_workload::{BenchmarkSpec, FunctionId, Invocation, InvocationTrace, R
 
 use crate::container::{Container, ContainerId, ContainerStage};
 use crate::policy::{MemoryPolicy, NullPolicy, PolicyCtx};
-use crate::report::{ContainerRecord, FaultReport, RequestRecord, RunReport};
+use crate::report::{ContainerRecord, DurabilityReport, FaultReport, RequestRecord, RunReport};
 
 /// Platform-wide configuration.
 ///
@@ -33,6 +34,10 @@ pub struct PlatformConfig {
     pub keep_alive: SimDuration,
     /// Remote pool and interconnect model.
     pub pool: PoolConfig,
+    /// Multi-node pool fabric: placement, redundancy and repair. The
+    /// default (one node, no redundancy) builds no fabric at all, so
+    /// pre-fabric configurations stay byte-identical.
+    pub fabric: FabricConfig,
     /// Sliding window of the offload-bandwidth governor.
     pub governor_window: SimDuration,
     /// Log-normal sigma of execution-time jitter.
@@ -102,11 +107,19 @@ impl PlatformConfig {
             problems.push("platform config: governor window must be positive".into());
         }
         problems.extend(self.pool.validate());
+        problems.extend(self.fabric.validate());
         if let Some(fc) = &self.faults {
             problems.extend(fc.spec.validate());
             problems.extend(fc.policy.validate());
             if fc.slo == Some(SimDuration::ZERO) {
                 problems.push("platform config: SLO threshold must be positive".into());
+            }
+            if fc.spec.pool_node_loss_mtbf.is_some() && fc.spec.pool_node_count != self.fabric.nodes
+            {
+                problems.push(format!(
+                    "platform config: fault spec draws pool-node losses over {} nodes but the fabric has {}",
+                    fc.spec.pool_node_count, self.fabric.nodes
+                ));
             }
         }
         if problems.is_empty() {
@@ -123,6 +136,7 @@ impl Default for PlatformConfig {
             page_size: 64 * 1024,
             keep_alive: SimDuration::from_mins(10),
             pool: PoolConfig::default(),
+            fabric: FabricConfig::default(),
             governor_window: SimDuration::from_secs(1),
             exec_jitter_sigma: 0.05,
             fault_cpu_micros: 8,
@@ -217,6 +231,12 @@ impl PlatformBuilder {
         self
     }
 
+    /// Configures the multi-node pool fabric (see [`FabricConfig`]).
+    pub fn fabric(mut self, fabric: FabricConfig) -> Self {
+        self.config.fabric = fabric;
+        self
+    }
+
     /// Installs an event tracer. The platform shares it with the pool
     /// and every container page table, so one sink observes all layers
     /// in `(sim_time, seq)` order. The default disabled tracer keeps
@@ -249,9 +269,17 @@ impl PlatformBuilder {
         );
         let mut pool = RemotePool::new(self.config.pool.clone());
         pool.attach_tracer(self.tracer.clone());
+        let fabric = if self.config.fabric.is_degenerate() {
+            None
+        } else {
+            let mut fabric = PoolFabric::new(self.config.fabric.clone());
+            fabric.attach_tracer(self.tracer.clone());
+            Some(fabric)
+        };
         PlatformSim {
             rng: SimRng::seed_from(self.config.seed),
             pool,
+            fabric,
             governor,
             specs: self.specs,
             policy: self.policy,
@@ -283,6 +311,8 @@ pub(crate) enum Event {
     NodeLoss(u32),
     /// Index into the fault plan's crash list.
     ContainerCrash(u32),
+    /// Index into the fault plan's pool-node-loss list.
+    PoolNodeLoss(u32),
 }
 
 /// Scheduling surface the event handlers push through: implemented by
@@ -374,6 +404,10 @@ pub struct PlatformSim {
     /// the adaptive keep-alive).
     reuse_gaps: HashMap<FunctionId, Vec<f64>>,
     faults: Option<FaultRuntime>,
+    /// Placement/durability ledger over the pool nodes; `None` for the
+    /// degenerate single-node, no-redundancy configuration (the entire
+    /// pre-fabric fast path).
+    fabric: Option<PoolFabric>,
     tracer: Tracer,
     sampler: Sampler,
     /// Highest node-local footprint observed at any event (bytes).
@@ -496,12 +530,24 @@ impl PlatformSim {
                     );
                 }
             }
-            queue.reserve(plan.node_losses.len() + plan.crashes.len());
+            queue
+                .reserve(plan.node_losses.len() + plan.crashes.len() + plan.pool_node_losses.len());
             for (i, loss) in plan.node_losses.iter().enumerate() {
                 queue.push(loss.at, Event::NodeLoss(i as u32));
             }
             for (i, crash) in plan.crashes.iter().enumerate() {
                 queue.push(crash.at, Event::ContainerCrash(i as u32));
+            }
+            for (i, loss) in plan.pool_node_losses.iter().enumerate() {
+                queue.push(loss.at, Event::PoolNodeLoss(i as u32));
+            }
+            // A plan that kills pool nodes needs the placement ledger
+            // even when the configured fabric is degenerate: materialize
+            // a single-node fabric so the losses have a ledger to hit.
+            if !plan.pool_node_losses.is_empty() && self.fabric.is_none() {
+                let mut fabric = PoolFabric::new(self.config.fabric.clone());
+                fabric.attach_tracer(self.tracer.clone());
+                self.fabric = Some(fabric);
             }
             self.faults = Some(FaultRuntime {
                 plan,
@@ -536,6 +582,7 @@ impl PlatformSim {
             reuse_intervals: HashMap::new(),
             finished_at: SimTime::ZERO,
             faults: None,
+            durability: None,
             registry: MetricsRegistry::new(),
         };
         report.local_mem.record(SimTime::ZERO, 0.0);
@@ -570,6 +617,11 @@ impl PlatformSim {
                 }
                 fr.breaker_open_prev = open;
             }
+            if let Some(fabric) = &mut self.fabric {
+                // Apply background repairs that completed before this
+                // instant, so recall decisions see the repaired state.
+                fabric.advance(now);
+            }
             match event {
                 Event::Invoke(i) => {
                     let inv = setup.invocations[i as usize];
@@ -587,6 +639,7 @@ impl PlatformSim {
                     let mut ids: Vec<ContainerId> = self.containers.keys().copied().collect();
                     ids.sort_unstable();
                     for id in ids {
+                        let remote_before = self.remote_pages_of(id);
                         let container = self.containers.get_mut(&id).expect("live container");
                         let mut ctx = PolicyCtx {
                             now,
@@ -595,6 +648,7 @@ impl PlatformSim {
                             governor: &mut self.governor,
                         };
                         self.policy.on_tick(&mut ctx);
+                        self.sync_fabric(now, id, remote_before);
                     }
                     if let Some(dt) = setup.tick {
                         if !self.containers.is_empty() || queue.has_pending() {
@@ -604,6 +658,7 @@ impl PlatformSim {
                 }
                 Event::NodeLoss(i) => self.handle_node_loss(now, i as usize, report),
                 Event::ContainerCrash(i) => self.handle_crash(now, i as usize, report),
+                Event::PoolNodeLoss(i) => self.handle_pool_node_loss(now, i as usize, report),
             }
             self.record_memory(now, report);
             self.sample_due(now, report);
@@ -648,6 +703,13 @@ impl PlatformSim {
                 slo_violations: fr.slo.map_or(0, |s| s.violations()),
             });
         }
+        report.durability = self.fabric.as_ref().map(|fabric| DurabilityReport {
+            pool_nodes: fabric.nodes(),
+            nodes_up: fabric.nodes_up(),
+            under_replicated_final: fabric.under_replicated() as u64,
+            repair_backlog_bytes: fabric.repair_backlog_bytes(),
+            tracker: *fabric.tracker(),
+        });
         self.fill_registry(report);
     }
 
@@ -710,6 +772,19 @@ impl PlatformSim {
             reg.add("faults.container_crashes", fr.container_crashes);
             reg.add("faults.breaker_opens", fr.breaker.opens());
         }
+        if let Some(fabric) = &self.fabric {
+            let t = fabric.tracker();
+            reg.add("durability.nodes_lost", t.nodes_lost);
+            reg.add("durability.segments_lost", t.segments_lost);
+            reg.add("durability.bytes_lost", t.bytes_lost);
+            reg.add("durability.failover_recalls", t.failover_recalls);
+            reg.add("durability.bytes_recovered", t.bytes_recovered);
+            reg.add("durability.avoided_cold_rebuilds", t.avoided_cold_rebuilds);
+            reg.add("durability.replica_bytes_out", t.replica_bytes_out);
+            reg.add("durability.repair_bytes", t.repair_bytes);
+            reg.add("durability.repairs_completed", t.repairs_completed);
+            reg.add("durability.repairs_abandoned", t.repairs_abandoned);
+        }
         reg.set_gauge("mem.peak_local_bytes", self.peak_local_bytes as f64);
         reg.set_gauge("containers.peak_live", self.peak_live as f64);
     }
@@ -771,6 +846,44 @@ impl PlatformSim {
             .as_mut()
             .expect("fault runtime")
             .container_crashes += 1;
+    }
+
+    /// A whole pool node died. The fabric marks every fragment it
+    /// hosted dead: segments that survive (enough replicas/fragments
+    /// elsewhere) re-home and queue repairs; segments below the recovery
+    /// threshold are gone — their idle owners are recycled here (a
+    /// forced cold rebuild on next use), and owners caught mid-request
+    /// hit the abandoned-recall path on their next demand fault.
+    fn handle_pool_node_loss(&mut self, now: SimTime, index: usize, report: &mut RunReport) {
+        let Some(fr) = &self.faults else { return };
+        let node = fr.plan.pool_node_losses[index].node;
+        let Some(fabric) = &mut self.fabric else {
+            return;
+        };
+        let outcome = fabric.node_down(now, node);
+        if fabric.all_nodes_down() {
+            // Nowhere left to place anything: hold offloads down for the
+            // rest of the run.
+            self.pool.set_offloads_suspended(true);
+        }
+        let mut lost_bytes = 0u64;
+        let mut victims = 0u64;
+        for &(owner, bytes) in &outcome.lost {
+            lost_bytes += bytes;
+            let id = ContainerId(owner);
+            let idle = self
+                .containers
+                .get(&id)
+                .is_some_and(|c| c.stage() == ContainerStage::KeepAlive);
+            if idle {
+                victims += 1;
+                self.recycle_container(now, id, report);
+            }
+        }
+        let fr = self.faults.as_mut().expect("fault runtime");
+        fr.node_loss_events += 1;
+        fr.forced_cold_restarts += victims;
+        fr.lost_remote_bytes += lost_bytes;
     }
 
     /// The keep-alive timeout currently applicable to `function`.
@@ -909,6 +1022,30 @@ impl PlatformSim {
                 .as_ref()
                 .is_some_and(|fr| fr.breaker.is_open(at));
             row.push(("pool.breaker_open", f64::from(u8::from(breaker_open))));
+            if let Some(fabric) = &self.fabric {
+                row.push(("pool.nodes_up", f64::from(fabric.nodes_up())));
+                row.push(("pool.under_replicated", fabric.under_replicated() as f64));
+                row.push((
+                    "pool.repair_backlog_bytes",
+                    fabric.repair_backlog_bytes() as f64,
+                ));
+                row.push(("pool.redundant_bytes", fabric.redundant_bytes() as f64));
+                // Per-node stored bytes need 'static names; eight covers
+                // every fabric the experiments sweep.
+                const NODE_BYTES: [&str; 8] = [
+                    "pool.node0_bytes",
+                    "pool.node1_bytes",
+                    "pool.node2_bytes",
+                    "pool.node3_bytes",
+                    "pool.node4_bytes",
+                    "pool.node5_bytes",
+                    "pool.node6_bytes",
+                    "pool.node7_bytes",
+                ];
+                for (i, name) in NODE_BYTES.iter().enumerate().take(fabric.nodes() as usize) {
+                    row.push((name, fabric.node_stored_bytes(i as u32) as f64));
+                }
+            }
         }
         if sampler.wants(SeriesGroup::Registry) {
             // Registry-style counters are monotone totals; export the
@@ -966,6 +1103,39 @@ impl PlatformSim {
         self.peak_live = self.peak_live.max(self.containers.len() as u64);
     }
 
+    /// Remote page count of `id`'s table (0 when the container is gone) —
+    /// the before/after probe of [`PlatformSim::sync_fabric`].
+    fn remote_pages_of(&self, id: ContainerId) -> u64 {
+        self.containers
+            .get(&id)
+            .map_or(0, |c| c.table().remote_pages())
+    }
+
+    /// Reconciles the fabric ledger with a policy hook's table
+    /// mutations: growth in the container's remote page count is an
+    /// offload (place the segment, charge replica write overhead on the
+    /// real link), shrink is pages coming home. Keeping the ledger out
+    /// of [`PolicyCtx`] means policies stay fabric-oblivious and the
+    /// no-fabric path is byte-identical by construction.
+    fn sync_fabric(&mut self, now: SimTime, id: ContainerId, remote_before: u64) {
+        if self.fabric.is_none() {
+            return;
+        }
+        let remote_now = self.remote_pages_of(id);
+        let page = self.config.page_size;
+        let fabric = self.fabric.as_mut().expect("checked above");
+        if remote_now > remote_before {
+            fabric.on_offload(
+                now,
+                id.0,
+                (remote_now - remote_before) * page,
+                &mut self.pool,
+            );
+        } else if remote_before > remote_now {
+            fabric.on_page_in(id.0, (remote_before - remote_now) * page);
+        }
+    }
+
     fn handle_invoke(
         &mut self,
         now: SimTime,
@@ -1004,6 +1174,7 @@ impl PlatformSim {
                 .or_default()
                 .push(idle.as_secs_f64());
             {
+                let remote_before = self.remote_pages_of(id);
                 let container = self.containers.get_mut(&id).expect("warm container");
                 let mut ctx = PolicyCtx {
                     now,
@@ -1012,6 +1183,7 @@ impl PlatformSim {
                     governor: &mut self.governor,
                 };
                 self.policy.on_request_start(&mut ctx, Some(idle));
+                self.sync_fabric(now, id, remote_before);
             }
             self.containers
                 .get_mut(&id)
@@ -1059,6 +1231,7 @@ impl PlatformSim {
             container.spec().init_time
         };
         {
+            let remote_before = self.remote_pages_of(id);
             let container = self.containers.get_mut(&id).expect("launching container");
             let mut ctx = PolicyCtx {
                 now,
@@ -1067,6 +1240,7 @@ impl PlatformSim {
                 governor: &mut self.governor,
             };
             self.policy.on_runtime_loaded(&mut ctx);
+            self.sync_fabric(now, id, remote_before);
         }
         let jitter = self.rng.lognormal_jitter(0.03);
         queue.push(now + init_time.mul_f64(jitter), Event::InitDone(id));
@@ -1082,6 +1256,7 @@ impl PlatformSim {
             container.finish_init();
         }
         {
+            let remote_before = self.remote_pages_of(id);
             let container = self
                 .containers
                 .get_mut(&id)
@@ -1094,6 +1269,7 @@ impl PlatformSim {
             };
             self.policy.on_init_done(&mut ctx);
             self.policy.on_request_start(&mut ctx, None);
+            self.sync_fabric(now, id, remote_before);
         }
         let flight = *self.in_flight.get(&id).expect("pending request");
         self.start_execution(now, id, flight.req, flight.arrived, true, queue);
@@ -1145,36 +1321,121 @@ impl PlatformSim {
                 / spec.cpu_share.max(0.01);
             let cpu = SimDuration::from_micros(cpu_micros as u64);
             let faulted = u64::from(outcome.faulted);
+            let bytes = faulted * page_size;
             match &mut self.faults {
                 None => {
                     let link = self
                         .pool
                         .page_in(now, faulted, page_size)
                         .expect("faulted pages are held by the pool");
+                    if let Some(fabric) = &mut self.fabric {
+                        fabric.on_page_in(id.0, bytes);
+                    }
                     link + cpu
                 }
                 Some(fr) => {
-                    let recall = self
-                        .pool
-                        .page_in_resilient(now, faulted, page_size, &fr.policy, &mut fr.breaker)
-                        .expect("faulted pages are held by the pool");
-                    match recall {
-                        RecallOutcome::Recovered { stall, retries } => {
-                            fr.page_in_retries += u64::from(retries);
-                            stall + cpu
+                    // How the fabric sees this recall: `lost` means the
+                    // segment was destroyed by a pool-node loss (no retry
+                    // can help), `detour` means the primary path is dead
+                    // or breaker-open but surviving replicas can serve it.
+                    let (lost, detour) = match &self.fabric {
+                        Some(f) if f.has_segment(id.0) => {
+                            let can = f.can_failover(id.0);
+                            let sick = f.primary_down(id.0) || fr.breaker.is_open(now);
+                            (f.primary_down(id.0) && !can, sick && can)
                         }
-                        RecallOutcome::GaveUp { wasted, retries } => {
-                            // The remote pages are unreachable: abandon
-                            // them and rebuild the container's state via
-                            // the slow path (relaunch + reinit) locally.
-                            fr.page_in_retries += u64::from(retries);
-                            fr.page_ins_gave_up += 1;
-                            fr.forced_cold_restarts += 1;
-                            fr.lost_remote_bytes += faulted * page_size;
-                            self.pool
-                                .discard(faulted, page_size)
-                                .expect("faulted pages are held by the pool");
-                            wasted + spec.launch_time + spec.init_time
+                        Some(_) => (true, false),
+                        None => (false, false),
+                    };
+                    if lost {
+                        // The pages died with their pool node: abandon
+                        // them and rebuild the container's state via the
+                        // slow path (relaunch + reinit) locally.
+                        fr.page_ins_gave_up += 1;
+                        fr.forced_cold_restarts += 1;
+                        self.pool
+                            .discard(faulted, page_size)
+                            .expect("faulted pages are held by the pool");
+                        if let Some(fabric) = &mut self.fabric {
+                            fabric.on_recall_lost(id.0);
+                        }
+                        let rebuild = spec.launch_time + spec.init_time;
+                        self.tracer.emit(
+                            Some(id.0),
+                            Some(u64::from(req)),
+                            EventKind::RecallAbandoned {
+                                pages: faulted,
+                                wasted_us: 0,
+                                rebuild_us: rebuild.as_micros(),
+                            },
+                        );
+                        rebuild
+                    } else if detour {
+                        // Failover recall: read from surviving replicas,
+                        // skipping the sick primary path entirely.
+                        let link = self
+                            .pool
+                            .page_in(now, faulted, page_size)
+                            .expect("faulted pages are held by the pool");
+                        let fabric = self.fabric.as_mut().expect("detour implies fabric");
+                        let penalty = fabric.on_failover_recall(id.0, bytes);
+                        link + penalty + cpu
+                    } else {
+                        let recall = self
+                            .pool
+                            .page_in_resilient(now, faulted, page_size, &fr.policy, &mut fr.breaker)
+                            .expect("faulted pages are held by the pool");
+                        match recall {
+                            RecallOutcome::Recovered { stall, retries } => {
+                                fr.page_in_retries += u64::from(retries);
+                                if let Some(fabric) = &mut self.fabric {
+                                    fabric.on_page_in(id.0, bytes);
+                                }
+                                stall + cpu
+                            }
+                            RecallOutcome::GaveUp { wasted, retries } => {
+                                fr.page_in_retries += u64::from(retries);
+                                let replica =
+                                    self.fabric.as_ref().is_some_and(|f| f.can_failover(id.0));
+                                if replica {
+                                    // The primary path timed out but a
+                                    // replica survives: pay the wasted
+                                    // retries, then detour.
+                                    let link = self
+                                        .pool
+                                        .page_in(now + wasted, faulted, page_size)
+                                        .expect("faulted pages are held by the pool");
+                                    let fabric =
+                                        self.fabric.as_mut().expect("replica implies fabric");
+                                    let penalty = fabric.on_failover_recall(id.0, bytes);
+                                    wasted + link + penalty + cpu
+                                } else {
+                                    // The remote pages are unreachable:
+                                    // abandon them and rebuild the
+                                    // container's state via the slow path
+                                    // (relaunch + reinit) locally.
+                                    fr.page_ins_gave_up += 1;
+                                    fr.forced_cold_restarts += 1;
+                                    fr.lost_remote_bytes += bytes;
+                                    self.pool
+                                        .discard(faulted, page_size)
+                                        .expect("faulted pages are held by the pool");
+                                    if let Some(fabric) = &mut self.fabric {
+                                        fabric.on_recall_lost(id.0);
+                                    }
+                                    let rebuild = spec.launch_time + spec.init_time;
+                                    self.tracer.emit(
+                                        Some(id.0),
+                                        Some(u64::from(req)),
+                                        EventKind::RecallAbandoned {
+                                            pages: faulted,
+                                            wasted_us: wasted.as_micros(),
+                                            rebuild_us: rebuild.as_micros(),
+                                        },
+                                    );
+                                    wasted + rebuild
+                                }
+                            }
                         }
                     }
                 }
@@ -1213,6 +1474,7 @@ impl PlatformSim {
             container.finish_execution(now, busy);
         }
         {
+            let remote_before = self.remote_pages_of(id);
             let container = self.containers.get_mut(&id).expect("container");
             let mut ctx = PolicyCtx {
                 now,
@@ -1221,6 +1483,7 @@ impl PlatformSim {
                 governor: &mut self.governor,
             };
             self.policy.on_request_end(&mut ctx);
+            self.sync_fabric(now, id, remote_before);
         }
         let function = self.containers.get(&id).expect("container").function();
         let latency = now.saturating_since(flight.arrived);
@@ -1297,6 +1560,9 @@ impl PlatformSim {
             self.pool
                 .discard(remote_pages, self.config.page_size)
                 .expect("pool holds this container's remote pages");
+        }
+        if let Some(fabric) = &mut self.fabric {
+            fabric.on_discard(id.0);
         }
         self.tracer.emit(
             Some(id.0),
@@ -1642,6 +1908,125 @@ mod tests {
         assert_eq!(f.forced_cold_restarts, 1, "the idle remote-holder dies");
         assert!(f.lost_remote_bytes > 0);
         assert_eq!(r.cold_starts, 2);
+    }
+
+    #[test]
+    fn pool_node_loss_without_redundancy_forces_cold_rebuild() {
+        let plan = FaultPlan {
+            pool_node_losses: vec![faasmem_sim::faults::PoolNodeLossEvent {
+                at: SimTime::from_secs(60),
+                node: 0,
+            }],
+            ..FaultPlan::empty()
+        };
+        let mut s = PlatformSim::builder()
+            .register_function(spec())
+            .policy(OffloadInitPolicy)
+            .seed(5)
+            .faults(FaultConfig {
+                plan_override: Some(plan),
+                ..FaultConfig::default()
+            })
+            .build();
+        let r = s.run(&one_function_trace(&[10, 120]));
+        let f = r.faults.unwrap();
+        assert_eq!(f.node_loss_events, 1);
+        assert_eq!(
+            f.forced_cold_restarts, 1,
+            "the idle remote-holder's pages died with the only node"
+        );
+        assert!(f.lost_remote_bytes > 0);
+        // Even a degenerate config materializes a single-node fabric
+        // once the plan kills pool nodes, so the loss has a ledger.
+        let d = r.durability.expect("pool-node losses imply a fabric");
+        assert_eq!(d.pool_nodes, 1);
+        assert_eq!(d.nodes_up, 0);
+        assert_eq!(d.tracker.nodes_lost, 1);
+        assert!(d.tracker.bytes_lost > 0);
+        assert_eq!(d.tracker.avoided_cold_rebuilds, 0);
+        assert_eq!(r.cold_starts, 2);
+    }
+
+    #[test]
+    fn mirrored_fabric_survives_a_pool_node_loss() {
+        use faasmem_pool::RedundancyPolicy;
+        // Same loss event as the no-redundancy test above, but the
+        // fabric mirrors every segment across two nodes: the replica
+        // carries the recall and the container is never recycled.
+        let plan = FaultPlan {
+            pool_node_losses: vec![faasmem_sim::faults::PoolNodeLossEvent {
+                at: SimTime::from_secs(60),
+                node: 0,
+            }],
+            ..FaultPlan::empty()
+        };
+        let mut s = PlatformSim::builder()
+            .register_function(spec())
+            .policy(OffloadInitPolicy)
+            .fabric(FabricConfig {
+                nodes: 2,
+                redundancy: RedundancyPolicy::Mirror { k: 2 },
+                ..FabricConfig::default()
+            })
+            .seed(5)
+            .faults(FaultConfig {
+                plan_override: Some(plan),
+                ..FaultConfig::default()
+            })
+            .build();
+        let r = s.run(&one_function_trace(&[10, 120]));
+        let f = r.faults.unwrap();
+        assert_eq!(f.node_loss_events, 1);
+        assert_eq!(f.forced_cold_restarts, 0, "the mirror absorbed the loss");
+        assert_eq!(f.lost_remote_bytes, 0);
+        let d = r.durability.expect("fabric run reports durability");
+        assert_eq!(d.pool_nodes, 2);
+        assert_eq!(d.nodes_up, 1);
+        assert_eq!(d.tracker.nodes_lost, 1);
+        assert_eq!(d.tracker.bytes_lost, 0);
+        assert!(d.tracker.avoided_cold_rebuilds >= 1);
+        assert!(
+            d.tracker.replica_bytes_out > 0,
+            "mirroring writes replica traffic"
+        );
+        assert_eq!(r.cold_starts, 1, "the second request stays warm");
+        assert_eq!(r.requests_completed, 2);
+    }
+
+    #[test]
+    fn degenerate_fabric_reports_no_durability() {
+        let mut s = PlatformSim::builder()
+            .register_function(spec())
+            .policy(OffloadInitPolicy)
+            .seed(5)
+            .build();
+        let r = s.run(&one_function_trace(&[10, 30]));
+        assert!(
+            r.durability.is_none(),
+            "one node + no redundancy must not grow a durability block"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_fault_spec_fabric_mismatch() {
+        use faasmem_pool::RedundancyPolicy;
+        let config = PlatformConfig {
+            fabric: FabricConfig {
+                nodes: 4,
+                redundancy: RedundancyPolicy::Mirror { k: 2 },
+                ..FabricConfig::default()
+            },
+            faults: Some(FaultConfig {
+                spec: FaultSpec::new(1).pool_node_losses(SimDuration::from_mins(5), 2),
+                ..FaultConfig::default()
+            }),
+            ..PlatformConfig::default()
+        };
+        let problems = config.validate().expect_err("mismatch must be rejected");
+        assert!(
+            problems.iter().any(|p| p.contains("pool-node losses")),
+            "{problems:?}"
+        );
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use std::collections::HashMap;
 
-use faasmem_metrics::{Cdf, LatencyRecorder, LatencySummary, MetricsRegistry, TimeSeries};
+use faasmem_metrics::{
+    Cdf, DurabilityTracker, LatencyRecorder, LatencySummary, MetricsRegistry, TimeSeries,
+};
 use faasmem_pool::PoolStats;
 use faasmem_sim::{SimDuration, SimTime};
 use faasmem_workload::FunctionId;
@@ -86,6 +88,9 @@ pub struct RunReport {
     /// Fault-injection accounting; `None` when the run had no fault
     /// configuration (every metric below would be trivially zero).
     pub faults: Option<FaultReport>,
+    /// Durability accounting; `None` when the pool fabric is degenerate
+    /// (one node, no redundancy) — i.e., on every pre-fabric config.
+    pub durability: Option<DurabilityReport>,
     /// Named counters and gauges snapshotted at run end — the
     /// introspection surface the harness serializes per cell.
     pub registry: MetricsRegistry,
@@ -217,8 +222,28 @@ impl RunReport {
             containers: self.containers.len(),
             sim_secs: self.finished_at.as_secs_f64(),
             faults: self.faults,
+            durability: self.durability,
         }
     }
+}
+
+/// Durability outcomes of a run against a multi-node pool fabric: what
+/// the redundancy scheme cost (capacity and bandwidth overhead) and what
+/// it bought (failover recalls and avoided cold rebuilds) — the
+/// `disc08` trade-off surface.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DurabilityReport {
+    /// Pool nodes the fabric started with.
+    pub pool_nodes: u32,
+    /// Pool nodes still alive at run end.
+    pub nodes_up: u32,
+    /// Segments below full replication at run end (repairs outstanding
+    /// or impossible).
+    pub under_replicated_final: u64,
+    /// Repair traffic still queued at run end, bytes.
+    pub repair_backlog_bytes: u64,
+    /// Counter snapshot from the fabric's [`DurabilityTracker`].
+    pub tracker: DurabilityTracker,
 }
 
 /// Accounting of one run's injected faults and the platform's reaction —
@@ -302,6 +327,8 @@ pub struct RunSummary {
     /// Fault-injection accounting; `None` when faults were not
     /// configured.
     pub faults: Option<FaultReport>,
+    /// Durability accounting; `None` when the pool fabric is degenerate.
+    pub durability: Option<DurabilityReport>,
 }
 
 /// One function's view of a run (see
@@ -364,6 +391,7 @@ mod tests {
             reuse_intervals: HashMap::new(),
             finished_at: SimTime::from_secs(10),
             faults: None,
+            durability: None,
             registry: MetricsRegistry::new(),
         }
     }

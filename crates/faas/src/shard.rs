@@ -63,9 +63,11 @@ fn target_shard(event: &Event, shards: u32) -> u32 {
         | Event::InitDone(id)
         | Event::FinishExec(id)
         | Event::RecycleCheck(id) => container(id),
-        Event::Invoke(_) | Event::Tick | Event::NodeLoss(_) | Event::ContainerCrash(_) => {
-            CONTROL_SHARD
-        }
+        Event::Invoke(_)
+        | Event::Tick
+        | Event::NodeLoss(_)
+        | Event::ContainerCrash(_)
+        | Event::PoolNodeLoss(_) => CONTROL_SHARD,
     }
 }
 
@@ -310,6 +312,7 @@ mod tests {
         assert_eq!(target_shard(&Event::Invoke(9), 4), CONTROL_SHARD);
         assert_eq!(target_shard(&Event::Tick, 4), CONTROL_SHARD);
         assert_eq!(target_shard(&Event::NodeLoss(1), 4), CONTROL_SHARD);
+        assert_eq!(target_shard(&Event::PoolNodeLoss(1), 4), CONTROL_SHARD);
         assert_eq!(
             target_shard(&Event::FinishExec(ContainerId(6)), 4),
             2,

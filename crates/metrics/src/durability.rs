@@ -1,0 +1,199 @@
+//! Durability accounting for the redundant memory-pool fabric.
+//!
+//! A redundant pool trades capacity and link bandwidth for the ability
+//! to survive pool-node losses. [`DurabilityTracker`] collects both
+//! sides of that trade for one run: what redundancy *cost* (replica
+//! bytes pushed over the out link, repair traffic, peak extra capacity
+//! held) and what it *bought* (segments recalled from a surviving
+//! replica instead of being lost, cold rebuilds avoided, time back to
+//! full redundancy after each loss).
+//!
+//! The tracker is a plain `Copy` value so the platform can embed a
+//! snapshot of it directly in its run report; all counters are exact
+//! and deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use faasmem_metrics::DurabilityTracker;
+//! use faasmem_sim::SimDuration;
+//!
+//! let mut t = DurabilityTracker::default();
+//! t.record_failover(4 << 20);
+//! t.record_repair(1 << 20, SimDuration::from_secs(3));
+//! t.record_repair(1 << 20, SimDuration::from_secs(1));
+//! assert_eq!(t.failover_recalls, 1);
+//! assert_eq!(t.mean_mttr(), Some(SimDuration::from_secs(2)));
+//! ```
+
+use faasmem_sim::SimDuration;
+
+/// Cumulative durability counters for one simulated run.
+///
+/// All byte counters are exact. "MTTR" here is the time from a pool-node
+/// loss to the repair that restored a segment's full redundancy — one
+/// sample per completed repair item.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DurabilityTracker {
+    /// Pool nodes that died during the run.
+    pub nodes_lost: u64,
+    /// Remote bytes whose surviving replicas/fragments dropped below the
+    /// recovery threshold — unrecoverable, forcing a cold rebuild.
+    pub bytes_lost: u64,
+    /// Segments (one per owning container) lost that way.
+    pub segments_lost: u64,
+    /// Recalls served from a surviving replica / reconstructed from
+    /// fragments after the primary path failed.
+    pub failover_recalls: u64,
+    /// Remote bytes brought home through those failover recalls.
+    pub bytes_recovered: u64,
+    /// Cold rebuilds that redundancy avoided: segments that lost a
+    /// fragment to a node death but stayed above the recovery threshold.
+    pub avoided_cold_rebuilds: u64,
+    /// Extra bytes pushed over the out link to create replicas/fragments
+    /// at offload time (write-amplification overhead).
+    pub replica_bytes_out: u64,
+    /// Bytes moved by the background repair queue.
+    pub repair_bytes: u64,
+    /// Repair items completed (redundancy restored for one fragment).
+    pub repairs_completed: u64,
+    /// Repair items abandoned because the segment vanished (paged in or
+    /// discarded) or no eligible target node remained.
+    pub repairs_abandoned: u64,
+    /// Peak extra capacity held for redundancy at any sampled instant.
+    pub peak_redundant_bytes: u64,
+    /// Peak number of simultaneously under-replicated segments.
+    pub peak_under_replicated: u64,
+    /// Sum of loss→repair latencies across completed repairs.
+    mttr_total: SimDuration,
+    /// Largest single loss→repair latency.
+    mttr_max: SimDuration,
+}
+
+impl DurabilityTracker {
+    /// Records a pool-node death.
+    pub fn record_node_loss(&mut self) {
+        self.nodes_lost += 1;
+    }
+
+    /// Records one segment dropping below the recovery threshold.
+    pub fn record_loss(&mut self, bytes: u64) {
+        self.segments_lost += 1;
+        self.bytes_lost += bytes;
+    }
+
+    /// Records a recall served from a surviving replica / fragment set.
+    pub fn record_failover(&mut self, bytes: u64) {
+        self.failover_recalls += 1;
+        self.bytes_recovered += bytes;
+    }
+
+    /// Records a segment that survived a node death above threshold.
+    pub fn record_avoided_rebuild(&mut self) {
+        self.avoided_cold_rebuilds += 1;
+    }
+
+    /// Records replica/fragment bytes pushed at offload time.
+    pub fn record_replica_out(&mut self, bytes: u64) {
+        self.replica_bytes_out += bytes;
+    }
+
+    /// Records a completed repair item and its loss→repair latency.
+    pub fn record_repair(&mut self, bytes: u64, mttr: SimDuration) {
+        self.repairs_completed += 1;
+        self.repair_bytes += bytes;
+        self.mttr_total += mttr;
+        if mttr > self.mttr_max {
+            self.mttr_max = mttr;
+        }
+    }
+
+    /// Records a repair item that could not be applied.
+    pub fn record_repair_abandoned(&mut self) {
+        self.repairs_abandoned += 1;
+    }
+
+    /// Folds an instantaneous redundant-capacity observation into the peak.
+    pub fn note_redundant_bytes(&mut self, bytes: u64) {
+        self.peak_redundant_bytes = self.peak_redundant_bytes.max(bytes);
+    }
+
+    /// Folds an instantaneous under-replicated-segment count into the peak.
+    pub fn note_under_replicated(&mut self, count: u64) {
+        self.peak_under_replicated = self.peak_under_replicated.max(count);
+    }
+
+    /// Mean time-to-repair across completed repairs; `None` before the
+    /// first repair completes.
+    pub fn mean_mttr(&self) -> Option<SimDuration> {
+        if self.repairs_completed == 0 {
+            return None;
+        }
+        Some(SimDuration::from_micros(
+            self.mttr_total.as_micros() / self.repairs_completed,
+        ))
+    }
+
+    /// Largest single time-to-repair; `None` before the first repair.
+    pub fn max_mttr(&self) -> Option<SimDuration> {
+        if self.repairs_completed == 0 {
+            return None;
+        }
+        Some(self.mttr_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_zero() {
+        let t = DurabilityTracker::default();
+        assert_eq!(t, DurabilityTracker::default());
+        assert_eq!(t.mean_mttr(), None);
+        assert_eq!(t.max_mttr(), None);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = DurabilityTracker::default();
+        t.record_node_loss();
+        t.record_loss(4096);
+        t.record_loss(8192);
+        t.record_failover(1 << 20);
+        t.record_avoided_rebuild();
+        t.record_replica_out(2 << 20);
+        t.record_repair_abandoned();
+        assert_eq!(t.nodes_lost, 1);
+        assert_eq!(t.segments_lost, 2);
+        assert_eq!(t.bytes_lost, 12288);
+        assert_eq!(t.failover_recalls, 1);
+        assert_eq!(t.bytes_recovered, 1 << 20);
+        assert_eq!(t.avoided_cold_rebuilds, 1);
+        assert_eq!(t.replica_bytes_out, 2 << 20);
+        assert_eq!(t.repairs_abandoned, 1);
+    }
+
+    #[test]
+    fn mttr_tracks_mean_and_max() {
+        let mut t = DurabilityTracker::default();
+        t.record_repair(100, SimDuration::from_secs(4));
+        t.record_repair(100, SimDuration::from_secs(2));
+        assert_eq!(t.repairs_completed, 2);
+        assert_eq!(t.repair_bytes, 200);
+        assert_eq!(t.mean_mttr(), Some(SimDuration::from_secs(3)));
+        assert_eq!(t.max_mttr(), Some(SimDuration::from_secs(4)));
+    }
+
+    #[test]
+    fn peaks_keep_the_maximum_observation() {
+        let mut t = DurabilityTracker::default();
+        t.note_redundant_bytes(10);
+        t.note_redundant_bytes(5);
+        t.note_under_replicated(3);
+        t.note_under_replicated(1);
+        assert_eq!(t.peak_redundant_bytes, 10);
+        assert_eq!(t.peak_under_replicated, 3);
+    }
+}

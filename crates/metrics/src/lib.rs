@@ -29,6 +29,7 @@
 
 pub mod agg;
 pub mod cdf;
+pub mod durability;
 pub mod histogram;
 pub mod latency;
 pub mod registry;
@@ -36,6 +37,7 @@ pub mod slo;
 pub mod timeseries;
 
 pub use cdf::Cdf;
+pub use durability::DurabilityTracker;
 pub use histogram::Histogram;
 pub use latency::{LatencyRecorder, LatencySummary};
 pub use registry::MetricsRegistry;

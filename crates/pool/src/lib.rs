@@ -32,12 +32,14 @@
 //! ```
 
 pub mod degraded;
+pub mod fabric;
 pub mod governor;
 pub mod link;
 pub mod pool;
 pub mod retry;
 
 pub use degraded::DegradedLink;
+pub use fabric::{FabricConfig, NodeDownOutcome, PoolFabric, RedundancyPolicy};
 pub use governor::BandwidthGovernor;
 pub use link::RdmaLink;
 pub use pool::{PoolConfig, PoolError, PoolStats, RemotePool, ShardTraffic};

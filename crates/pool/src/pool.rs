@@ -426,6 +426,22 @@ impl RemotePool {
         Ok(stall)
     }
 
+    /// Pushes `bytes` of redundancy traffic — replica or fragment copies
+    /// created by a pool fabric at offload time — over the out link at
+    /// `now`, returning the transfer duration. The traffic occupies real
+    /// link bandwidth (so redundancy visibly contends with primary
+    /// offloads) but deliberately bypasses the pool's capacity and
+    /// [`PoolStats`] counters: redundancy overhead is accounted by the
+    /// fabric's durability tracker, never in the primary traffic stats,
+    /// which keeps single-pool runs byte-identical whether or not a
+    /// degenerate fabric is attached.
+    pub fn replicate_out(&mut self, now: SimTime, bytes: u64) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        self.out_link.transfer(now, bytes)
+    }
+
     /// Faults `pages` pages back in under a fault policy: each attempt
     /// waits up to `policy.page_in_timeout` for the link to carry
     /// traffic, timed-out attempts back off exponentially, and after

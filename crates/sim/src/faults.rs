@@ -172,6 +172,20 @@ pub struct NodeLossEvent {
     pub fraction: f64,
 }
 
+/// A scheduled death of one *pool* node in a multi-node pool fabric:
+/// every replica/fragment stored on node `node` is destroyed at `at`.
+///
+/// Unlike [`NodeLossEvent`] (which hits a fraction of remote-holding
+/// containers), this is keyed by pool-node id so a redundancy layer can
+/// reason about exactly which placements died and which survived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolNodeLossEvent {
+    /// When the pool node dies.
+    pub at: SimTime,
+    /// Id of the pool node that dies, in `[0, pool_node_count)`.
+    pub node: u32,
+}
+
 /// A scheduled crash of one idle container; `pick` selects the victim
 /// deterministically among the containers alive at `at`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,6 +206,8 @@ pub struct FaultPlan {
     pub node_losses: Vec<NodeLossEvent>,
     /// Idle-container crash events, sorted by time.
     pub crashes: Vec<CrashEvent>,
+    /// Whole-pool-node deaths keyed by node id, sorted by time.
+    pub pool_node_losses: Vec<PoolNodeLossEvent>,
 }
 
 impl FaultPlan {
@@ -202,7 +218,10 @@ impl FaultPlan {
 
     /// `true` when no fault of any category is scheduled.
     pub fn is_empty(&self) -> bool {
-        self.link.is_empty() && self.node_losses.is_empty() && self.crashes.is_empty()
+        self.link.is_empty()
+            && self.node_losses.is_empty()
+            && self.crashes.is_empty()
+            && self.pool_node_losses.is_empty()
     }
 }
 
@@ -233,6 +252,12 @@ pub struct FaultSpec {
     pub node_loss_fraction: f64,
     /// Mean time between idle-container crashes; `None` disables them.
     pub crash_mtbf: Option<SimDuration>,
+    /// Mean time between whole-pool-node deaths; `None` disables them.
+    pub pool_node_loss_mtbf: Option<SimDuration>,
+    /// Number of pool nodes the fabric runs; victims are drawn uniformly
+    /// from `[0, pool_node_count)`. Only meaningful with
+    /// `pool_node_loss_mtbf` set.
+    pub pool_node_count: u32,
 }
 
 impl Default for FaultSpec {
@@ -247,6 +272,8 @@ impl Default for FaultSpec {
             node_loss_mtbf: None,
             node_loss_fraction: 0.5,
             crash_mtbf: None,
+            pool_node_loss_mtbf: None,
+            pool_node_count: 1,
         }
     }
 }
@@ -290,12 +317,21 @@ impl FaultSpec {
         self
     }
 
+    /// Enables whole-pool-node deaths at the given MTBF across a fabric
+    /// of `nodes` pool nodes.
+    pub fn pool_node_losses(mut self, mtbf: SimDuration, nodes: u32) -> Self {
+        self.pool_node_loss_mtbf = Some(mtbf);
+        self.pool_node_count = nodes;
+        self
+    }
+
     /// `true` when no category is enabled (the plan will be empty).
     pub fn is_inert(&self) -> bool {
         self.outage_mtbf.is_none()
             && self.brownout_mtbf.is_none()
             && self.node_loss_mtbf.is_none()
             && self.crash_mtbf.is_none()
+            && self.pool_node_loss_mtbf.is_none()
     }
 
     /// Checks the spec's numeric ranges, returning one message per
@@ -313,6 +349,10 @@ impl FaultSpec {
         positive("brownout", self.brownout_mtbf, &mut problems);
         positive("node-loss", self.node_loss_mtbf, &mut problems);
         positive("crash", self.crash_mtbf, &mut problems);
+        positive("pool-node-loss", self.pool_node_loss_mtbf, &mut problems);
+        if self.pool_node_loss_mtbf.is_some() && self.pool_node_count == 0 {
+            problems.push("fault spec: pool-node losses need at least one pool node".into());
+        }
         if self.outage_mtbf.is_some() && self.outage_mean.is_zero() {
             problems.push("fault spec: outage mean duration must be positive".into());
         }
@@ -354,6 +394,9 @@ impl FaultSpec {
         let mut brownout_rng = root.fork(2);
         let mut loss_rng = root.fork(3);
         let mut crash_rng = root.fork(4);
+        // Forked *after* the legacy streams so plans that never enable
+        // pool-node losses stay byte-identical to pre-fabric plans.
+        let mut pool_loss_rng = root.fork(5);
 
         let mut windows = Vec::new();
         if let Some(mtbf) = self.outage_mtbf {
@@ -395,10 +438,20 @@ impl FaultSpec {
             }
         }
 
+        let mut pool_node_losses = Vec::new();
+        if let Some(mtbf) = self.pool_node_loss_mtbf {
+            let nodes = u64::from(self.pool_node_count.max(1));
+            for at in poisson_instants(&mut pool_loss_rng, mtbf, horizon) {
+                let node = (pool_loss_rng.next_u64() % nodes) as u32;
+                pool_node_losses.push(PoolNodeLossEvent { at, node });
+            }
+        }
+
         FaultPlan {
             link: LinkSchedule::from_windows(windows),
             node_losses,
             crashes,
+            pool_node_losses,
         }
     }
 }
@@ -492,6 +545,54 @@ mod tests {
             with_outages.plan(horizon).crashes,
             "enabling outages must not perturb the crash schedule"
         );
+    }
+
+    #[test]
+    fn pool_node_losses_do_not_perturb_legacy_streams() {
+        let horizon = SimTime::from_mins(120);
+        let legacy = chaos_spec(9);
+        let with_pool_losses = legacy
+            .clone()
+            .pool_node_losses(SimDuration::from_mins(8), 3);
+        let a = legacy.plan(horizon);
+        let b = with_pool_losses.plan(horizon);
+        assert_eq!(a.link, b.link, "link schedule must not move");
+        assert_eq!(a.node_losses, b.node_losses);
+        assert_eq!(a.crashes, b.crashes);
+        assert!(a.pool_node_losses.is_empty());
+        assert!(!b.pool_node_losses.is_empty());
+    }
+
+    #[test]
+    fn pool_node_losses_are_deterministic_and_in_range() {
+        let horizon = SimTime::from_mins(240);
+        let spec = FaultSpec::new(11).pool_node_losses(SimDuration::from_mins(5), 4);
+        let a = spec.plan(horizon);
+        assert_eq!(a, spec.plan(horizon));
+        assert!(!a.pool_node_losses.is_empty());
+        let mut prev = SimTime::ZERO;
+        for loss in &a.pool_node_losses {
+            assert!(loss.node < 4, "node {} out of fabric", loss.node);
+            assert!(loss.at >= prev, "events must be time-sorted");
+            assert!(loss.at < horizon);
+            prev = loss.at;
+        }
+    }
+
+    #[test]
+    fn pool_node_loss_validation_needs_nodes() {
+        let mut spec = FaultSpec::new(1).pool_node_losses(SimDuration::from_mins(5), 2);
+        assert!(spec.validate().is_empty());
+        spec.pool_node_count = 0;
+        assert!(spec
+            .validate()
+            .iter()
+            .any(|p| p.contains("at least one pool node")));
+        spec.pool_node_loss_mtbf = Some(SimDuration::ZERO);
+        assert!(spec
+            .validate()
+            .iter()
+            .any(|p| p.contains("pool-node-loss MTBF")));
     }
 
     #[test]

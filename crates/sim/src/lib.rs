@@ -30,7 +30,9 @@ pub mod shard;
 pub mod time;
 
 pub use clock::Clock;
-pub use faults::{CrashEvent, FaultPlan, FaultSpec, LinkSchedule, LinkWindow, NodeLossEvent};
+pub use faults::{
+    CrashEvent, FaultPlan, FaultSpec, LinkSchedule, LinkWindow, NodeLossEvent, PoolNodeLossEvent,
+};
 pub use queue::{EventQueue, ScheduledEvent};
 pub use rng::SimRng;
 pub use shard::{ShardMap, ShardedEventQueue};

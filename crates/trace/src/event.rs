@@ -268,6 +268,54 @@ pub enum EventKind {
         /// Bandwidth multiplier in effect (0 = outage).
         factor: f64,
     },
+    /// A resilient recall was abandoned and the container's lost pages
+    /// are being rebuilt locally from a cold start (the previously
+    /// silent give-up path after [`EventKind::RecallGaveUp`]).
+    RecallAbandoned {
+        /// Remote pages written off.
+        pages: u64,
+        /// Simulated microseconds wasted on the failed recall.
+        wasted_us: u64,
+        /// Simulated microseconds the local cold rebuild costs.
+        rebuild_us: u64,
+    },
+    /// A recall was served from a surviving replica / fragment set after
+    /// the primary pool node failed or the breaker forced a detour.
+    ReplicaRecall {
+        /// Pool node the recall was served from.
+        node: u64,
+        /// Bytes brought home.
+        bytes: u64,
+        /// Extra reconstruction latency charged (erasure-coded reads).
+        reconstruct_us: u64,
+    },
+    /// The repair queue scheduled re-replication of one lost fragment.
+    RepairStart {
+        /// Target pool node receiving the new copy.
+        node: u64,
+        /// Bytes to re-replicate.
+        bytes: u64,
+        /// Repair-queue backlog (bytes) including this item.
+        backlog_bytes: u64,
+    },
+    /// A repair item completed and the segment regained a fragment.
+    RepairDone {
+        /// Pool node that received the new copy.
+        node: u64,
+        /// Bytes re-replicated.
+        bytes: u64,
+        /// Time from the node loss to this repair, simulated µs.
+        mttr_us: u64,
+    },
+    /// A whole pool node died; its replicas/fragments are gone.
+    PoolNodeDown {
+        /// Id of the dead pool node.
+        node: u64,
+        /// Segments that dropped below the recovery threshold (lost).
+        lost_segments: u64,
+        /// Segments that survived above threshold (degraded).
+        degraded_segments: u64,
+    },
 }
 
 impl EventKind {
@@ -285,7 +333,8 @@ impl EventKind {
             | KeepAliveEnter
             | ContainerRetire { .. }
             | ContainerCrash
-            | NodeLoss { .. } => TraceLayer::Container,
+            | NodeLoss { .. }
+            | RecallAbandoned { .. } => TraceLayer::Container,
             AccessScan { .. }
             | GenerationCreate { .. }
             | GenerationAge { .. }
@@ -299,7 +348,11 @@ impl EventKind {
             | RecallGaveUp { .. }
             | BreakerOpen
             | BreakerClose
-            | FaultWindow { .. } => TraceLayer::Pool,
+            | FaultWindow { .. }
+            | ReplicaRecall { .. }
+            | RepairStart { .. }
+            | RepairDone { .. }
+            | PoolNodeDown { .. } => TraceLayer::Pool,
         }
     }
 
@@ -333,6 +386,11 @@ impl EventKind {
             BreakerOpen => "breaker_open",
             BreakerClose => "breaker_close",
             FaultWindow { .. } => "fault_window",
+            RecallAbandoned { .. } => "recall_abandoned",
+            ReplicaRecall { .. } => "replica_recall",
+            RepairStart { .. } => "repair_start",
+            RepairDone { .. } => "repair_done",
+            PoolNodeDown { .. } => "pool_node_down",
         }
     }
 
@@ -436,6 +494,51 @@ impl EventKind {
                 doc.push("start_us", num(*start_us));
                 doc.push("end_us", num(*end_us));
                 doc.push("factor", JsonValue::Num(*factor));
+            }
+            RecallAbandoned {
+                pages,
+                wasted_us,
+                rebuild_us,
+            } => {
+                doc.push("pages", num(*pages));
+                doc.push("wasted_us", num(*wasted_us));
+                doc.push("rebuild_us", num(*rebuild_us));
+            }
+            ReplicaRecall {
+                node,
+                bytes,
+                reconstruct_us,
+            } => {
+                doc.push("node", num(*node));
+                doc.push("bytes", num(*bytes));
+                doc.push("reconstruct_us", num(*reconstruct_us));
+            }
+            RepairStart {
+                node,
+                bytes,
+                backlog_bytes,
+            } => {
+                doc.push("node", num(*node));
+                doc.push("bytes", num(*bytes));
+                doc.push("backlog_bytes", num(*backlog_bytes));
+            }
+            RepairDone {
+                node,
+                bytes,
+                mttr_us,
+            } => {
+                doc.push("node", num(*node));
+                doc.push("bytes", num(*bytes));
+                doc.push("mttr_us", num(*mttr_us));
+            }
+            PoolNodeDown {
+                node,
+                lost_segments,
+                degraded_segments,
+            } => {
+                doc.push("node", num(*node));
+                doc.push("lost_segments", num(*lost_segments));
+                doc.push("degraded_segments", num(*degraded_segments));
             }
         }
     }
@@ -626,6 +729,31 @@ mod tests {
                 start_us: 0,
                 end_us: 100,
                 factor: 0.5,
+            },
+            RecallAbandoned {
+                pages: 8,
+                wasted_us: 300,
+                rebuild_us: 5_000,
+            },
+            ReplicaRecall {
+                node: 1,
+                bytes: 4096,
+                reconstruct_us: 500,
+            },
+            RepairStart {
+                node: 2,
+                bytes: 4096,
+                backlog_bytes: 8192,
+            },
+            RepairDone {
+                node: 2,
+                bytes: 4096,
+                mttr_us: 1_000_000,
+            },
+            PoolNodeDown {
+                node: 0,
+                lost_segments: 1,
+                degraded_segments: 2,
             },
         ];
         for kind in &kinds {

@@ -355,6 +355,74 @@ fn chaos_fault_reports_are_shard_count_invariant() {
 }
 
 #[test]
+fn mirrored_fabric_beats_no_redundancy_under_the_same_chaos() {
+    use faasmem::faas::{FaultConfig, PlatformConfig};
+    use faasmem::pool::{FabricConfig, RedundancyPolicy};
+    use faasmem::sim::FaultSpec;
+
+    // Identical trace, platform seed and fault-plan seed: node deaths
+    // land on the same nodes at the same instants in both runs, so any
+    // difference in outcome is the redundancy dividend itself.
+    const NODES: u32 = 4;
+    let spec = BenchmarkSpec::by_name("bert").unwrap();
+    let trace = TraceSynthesizer::new(908)
+        .load_class(LoadClass::High)
+        .bursty(true)
+        .duration(SimTime::from_mins(45))
+        .synthesize_for(FunctionId(0));
+    let run_with = |redundancy: RedundancyPolicy| {
+        let mut sim = PlatformSim::builder()
+            .register_function(spec.clone())
+            .config(PlatformConfig {
+                fabric: FabricConfig {
+                    nodes: NODES,
+                    redundancy,
+                    ..FabricConfig::default()
+                },
+                faults: Some(FaultConfig {
+                    spec: FaultSpec::new(0xD1FF).pool_node_losses(SimDuration::from_mins(8), NODES),
+                    ..FaultConfig::default()
+                }),
+                ..Default::default()
+            })
+            .policy(FaasMemPolicy::new())
+            .seed(6)
+            .build();
+        let report = sim.run(&trace);
+        assert_eq!(report.requests_completed, trace.len());
+        report
+    };
+    let plain = run_with(RedundancyPolicy::None);
+    let mirrored = run_with(RedundancyPolicy::Mirror { k: 2 });
+    let pf = plain.faults.as_ref().expect("fault metrics");
+    let mf = mirrored.faults.as_ref().expect("fault metrics");
+    // The fault plan is a pure function of its seed — both runs saw the
+    // identical sequence of node deaths.
+    assert_eq!(pf.node_loss_events, mf.node_loss_events);
+    assert!(pf.node_loss_events > 0, "chaos must actually bite");
+    // The dividend: mirroring turns forced cold rebuilds into failover
+    // recalls and loses no more remote state than going bare.
+    assert!(
+        mf.forced_cold_restarts < pf.forced_cold_restarts,
+        "mirror {} vs none {} forced rebuilds",
+        mf.forced_cold_restarts,
+        pf.forced_cold_restarts
+    );
+    let pd = plain.durability.expect("fabric runs report durability");
+    let md = mirrored.durability.expect("fabric runs report durability");
+    assert!(
+        md.tracker.avoided_cold_rebuilds > 0,
+        "some segment must survive a node death via its replica"
+    );
+    assert!(md.tracker.bytes_lost <= pd.tracker.bytes_lost);
+    assert!(
+        md.tracker.replica_bytes_out > 0,
+        "the dividend is paid for with replica write traffic"
+    );
+    assert_eq!(pd.tracker.replica_bytes_out, 0);
+}
+
+#[test]
 fn tiny_pool_degrades_gracefully() {
     // A pool that can hold almost nothing: offloads truncate, but runs
     // stay correct and latency bounded.
