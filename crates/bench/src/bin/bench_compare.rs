@@ -7,6 +7,10 @@
 //!     BENCH_fig12_quick.json perf/BENCH_fig12_quick.json --tolerance 0.25
 //! ```
 //!
+//! `--json` swaps the fixed-width report for a machine-readable JSON
+//! document (same exit codes), so the CI perf job can log structured
+//! regressions.
+//!
 //! Exit codes: 0 no regression, 1 at least one metric regressed,
 //! 2 usage / IO / parse error.
 
@@ -14,7 +18,9 @@ use faasmem_bench::json;
 use faasmem_bench::perf::{self, BenchDoc, DEFAULT_TOLERANCE};
 
 fn usage() -> ! {
-    eprintln!("usage: bench_compare <old BENCH.json> <new BENCH.json> [--tolerance FRACTION]");
+    eprintln!(
+        "usage: bench_compare <old BENCH.json> <new BENCH.json> [--tolerance FRACTION] [--json]"
+    );
     std::process::exit(2);
 }
 
@@ -45,6 +51,7 @@ fn load(path: &str) -> BenchDoc {
 fn main() {
     let mut positional = Vec::new();
     let mut tolerance = DEFAULT_TOLERANCE;
+    let mut as_json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if let Some(value) = arg.strip_prefix("--tolerance=") {
@@ -52,6 +59,8 @@ fn main() {
         } else if arg == "--tolerance" {
             let Some(value) = args.next() else { usage() };
             tolerance = parse_tolerance(&value);
+        } else if arg == "--json" {
+            as_json = true;
         } else if arg.starts_with("--") {
             eprintln!("bench_compare: unknown option {arg}");
             usage();
@@ -72,7 +81,14 @@ fn main() {
         std::process::exit(2);
     }
     let cmp = perf::compare(&old, &new, tolerance);
-    print!("{}", perf::render_report(&old, &new, &cmp, tolerance));
+    if as_json {
+        println!(
+            "{}",
+            perf::comparison_json(&old, &new, &cmp, tolerance).to_pretty()
+        );
+    } else {
+        print!("{}", perf::render_report(&old, &new, &cmp, tolerance));
+    }
     if cmp.regressions() > 0 {
         std::process::exit(1);
     }

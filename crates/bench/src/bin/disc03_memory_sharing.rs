@@ -94,6 +94,7 @@ impl CloneShallow for faasmem_faas::RunReport {
             finished_at: self.finished_at,
             faults: self.faults,
             durability: self.durability,
+            blame: self.blame,
             registry: self.registry.clone(),
         }
     }

@@ -41,6 +41,7 @@ const EXPERIMENTS: &[&str] = &[
     "disc06_load_imbalance",
     "disc07_fault_tolerance",
     "disc08_durability",
+    "disc09_tail_blame",
     "ext01_coldstart_aware",
     "ext02_recall_prefetch",
     "abl01_window_policy",

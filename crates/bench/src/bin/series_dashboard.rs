@@ -1,6 +1,8 @@
 //! Renders a `*.series.json` telemetry document as a stacked SVG
 //! dashboard: one timeline panel per series-name prefix group
-//! (`faas.*`, `mem.*`, `pool.*`, `registry.*`).
+//! (`faas.*`, `mem.*`, `pool.*`, `registry.*`), plus a "blame
+//! breakdown" panel when the cell carries latency-blame gauges such as
+//! `faas.invocations_stalled_remote`.
 //!
 //! ```text
 //! cargo run --release -p faasmem-bench --bin fig12_main_eval -- \

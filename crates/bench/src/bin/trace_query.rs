@@ -1,0 +1,105 @@
+//! Queries a `--trace` JSONL file for the invocations that explain the
+//! tail: slowest-N, ranked by end-to-end latency or by one blame
+//! component, with optional critical-path rendering.
+//!
+//! ```text
+//! cargo run --release -p faasmem-bench --bin fig12_main_eval -- \
+//!     --quick --trace results/fig12.trace.jsonl
+//! cargo run --release -p faasmem-bench --bin trace_query -- \
+//!     results/fig12.trace.jsonl
+//! cargo run --release -p faasmem-bench --bin trace_query -- \
+//!     results/fig12.trace.jsonl --slowest 5 --critical-path
+//! cargo run --release -p faasmem-bench --bin trace_query -- \
+//!     results/fig12.trace.jsonl --component recall_stall --cell 3
+//! ```
+//!
+//! The output is a pure function of the trace file (span reconstruction
+//! sorts by the `(sim_time, seq)` total order), so serial and parallel
+//! harness runs query identically.
+//!
+//! Exit codes: 0 success, 1 malformed trace / unknown component /
+//! nothing matched, 2 usage / IO errors.
+
+use faasmem_trace::query::{render, select};
+use faasmem_trace::{spans_from_jsonl, QueryOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace_query <trace.jsonl> [--slowest N] [--component NAME] [--cell N] \
+         [--critical-path]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num(flag: &str, value: &str) -> u64 {
+    match value.parse::<u64>() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("trace_query: bad {flag} value {value:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut path: Option<String> = None;
+    let mut opts = QueryOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut flag = |name: &'static str| -> Option<String> {
+            if let Some(value) = arg.strip_prefix(&format!("{name}=")) {
+                Some(value.to_string())
+            } else if arg == name {
+                match args.next() {
+                    Some(value) => Some(value),
+                    None => usage(),
+                }
+            } else {
+                None
+            }
+        };
+        if let Some(value) = flag("--slowest") {
+            opts.slowest = parse_num("--slowest", &value) as usize;
+        } else if let Some(value) = flag("--component") {
+            opts.component = Some(value);
+        } else if let Some(value) = flag("--cell") {
+            opts.cell = Some(parse_num("--cell", &value));
+        } else if arg == "--critical-path" {
+            opts.critical_path = true;
+        } else if arg.starts_with("--") {
+            eprintln!("trace_query: unknown option {arg}");
+            usage();
+        } else if path.is_none() {
+            path = Some(arg);
+        } else {
+            usage();
+        }
+    }
+    let Some(path) = path else { usage() };
+    let input = match std::fs::read_to_string(&path) {
+        Ok(input) => input,
+        Err(e) => {
+            eprintln!("trace_query: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let forest = match spans_from_jsonl(&input) {
+        Ok(forest) => forest,
+        Err(e) => {
+            eprintln!("trace_query: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let hits = match select(&forest, &opts) {
+        Ok(hits) => hits,
+        Err(e) => {
+            eprintln!("trace_query: {e}");
+            std::process::exit(1);
+        }
+    };
+    if hits.is_empty() {
+        eprintln!("trace_query: no invocations matched in {path}");
+        std::process::exit(1);
+    }
+    print!("{}", render(&hits, &opts));
+}

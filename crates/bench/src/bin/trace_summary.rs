@@ -12,30 +12,38 @@
 //! Prints one block per grid cell: the cell's coordinates and headline
 //! counters, then one row per container with its lifecycle milestones
 //! and memory traffic. `--container ID` narrows the output to a single
-//! container's timeline across all cells. The rendering is a pure
-//! function of the input file, so serial and parallel harness runs
-//! summarize identically.
+//! container's timeline across all cells; `--invocation ID` narrows it
+//! to the containers that executed one request id. The rendering is a
+//! pure function of the input file, so serial and parallel harness
+//! runs summarize identically.
 //!
-//! Exit codes: 0 success, 1 malformed trace, 2 usage / IO errors.
+//! Exit codes: 0 success, 1 malformed trace / id not found, 2 usage /
+//! IO errors.
 
 use faasmem_trace::summarize_jsonl;
 use faasmem_trace::summary::render_text;
 
 fn usage() -> ! {
-    eprintln!("usage: trace_summary <trace.jsonl> [--container ID]");
+    eprintln!("usage: trace_summary <trace.jsonl> [--container ID] [--invocation ID]");
     std::process::exit(2);
 }
 
 fn main() {
     let mut path: Option<String> = None;
     let mut container: Option<u64> = None;
+    let mut invocation: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if let Some(value) = arg.strip_prefix("--container=") {
-            container = Some(parse_container(value));
+            container = Some(parse_id("container", value));
         } else if arg == "--container" {
             let Some(value) = args.next() else { usage() };
-            container = Some(parse_container(&value));
+            container = Some(parse_id("container", &value));
+        } else if let Some(value) = arg.strip_prefix("--invocation=") {
+            invocation = Some(parse_id("invocation", value));
+        } else if arg == "--invocation" {
+            let Some(value) = args.next() else { usage() };
+            invocation = Some(parse_id("invocation", &value));
         } else if arg.starts_with("--") {
             eprintln!("trace_summary: unknown option {arg}");
             usage();
@@ -62,6 +70,13 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            if let Some(id) = invocation {
+                summary.filter_invocation(id);
+                if summary.cells.is_empty() {
+                    eprintln!("trace_summary: invocation {id} not found in {path}");
+                    std::process::exit(1);
+                }
+            }
             print!("{}", render_text(&summary));
         }
         Err(e) => {
@@ -71,11 +86,11 @@ fn main() {
     }
 }
 
-fn parse_container(value: &str) -> u64 {
+fn parse_id(what: &str, value: &str) -> u64 {
     match value.parse::<u64>() {
         Ok(id) => id,
         Err(_) => {
-            eprintln!("trace_summary: bad container id {value:?}");
+            eprintln!("trace_summary: bad {what} id {value:?}");
             std::process::exit(2);
         }
     }

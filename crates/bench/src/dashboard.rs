@@ -9,12 +9,29 @@
 //! panel over sim-time seconds, and stacks the panels vertically into a
 //! single dashboard SVG. Columns with fewer than two finite points are
 //! dropped (a gauge sampled once cannot draw a line), as are gaps the
-//! sampler backfilled with `null`.
+//! sampler backfilled with `null`. When the cell carries any of the
+//! latency-blame gauges (cold-start activity, invocations stalled on a
+//! remote recall, breaker state, under-replication) they are also
+//! collected into one trailing "blame breakdown" panel.
 
 use std::collections::BTreeMap;
 
 use crate::json::{self, JsonValue};
 use crate::svg;
+
+/// Columns collected into the extra "blame breakdown" panel: the
+/// cross-prefix gauges that track where invocation latency blame is
+/// accruing over time. Each maps to a blame-component family —
+/// launching/initializing to cold_start, the stalled-remote gauge to
+/// the recall_stall/abandoned_wait family, breaker_open to
+/// failover_detour, under_replicated to forced_rebuild exposure.
+const BLAME_COLUMNS: [&str; 5] = [
+    "faas.launching",
+    "faas.initializing",
+    "faas.invocations_stalled_remote",
+    "pool.breaker_open",
+    "pool.under_replicated",
+];
 
 /// One grid cell's time series, decoded from the document.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -104,8 +121,10 @@ pub fn parse_series(input: &str) -> Result<SeriesDoc, String> {
 }
 
 /// Renders one cell of the document as a stacked multi-panel SVG: one
-/// panel per series-name prefix group. Returns an error when the cell
-/// index is out of range or no column has two finite points to draw.
+/// panel per series-name prefix group, plus a trailing "blame
+/// breakdown" panel collecting the [`BLAME_COLUMNS`] gauges when any
+/// of them are drawable. Returns an error when the cell index is out
+/// of range or no column has two finite points to draw.
 pub fn render_dashboard(doc: &SeriesDoc, cell_index: usize) -> Result<String, String> {
     let cell = doc.cells.get(cell_index).ok_or_else(|| {
         format!(
@@ -117,6 +136,7 @@ pub fn render_dashboard(doc: &SeriesDoc, cell_index: usize) -> Result<String, St
     // stable (faas, mem, pool, registry).
     type PanelSeries<'a> = Vec<(&'a str, Vec<(f64, f64)>)>;
     let mut groups: BTreeMap<&str, PanelSeries> = BTreeMap::new();
+    let mut blame: PanelSeries = Vec::new();
     for (name, values) in &cell.columns {
         let points: Vec<(f64, f64)> = cell
             .t_secs
@@ -128,6 +148,9 @@ pub fn render_dashboard(doc: &SeriesDoc, cell_index: usize) -> Result<String, St
         if points.len() < 2 {
             continue; // svg::lines needs two points per series
         }
+        if BLAME_COLUMNS.contains(&name.as_str()) {
+            blame.push((name, points.clone()));
+        }
         let prefix = name.split('.').next().unwrap_or(name.as_str());
         groups.entry(prefix).or_default().push((name, points));
     }
@@ -136,7 +159,7 @@ pub fn render_dashboard(doc: &SeriesDoc, cell_index: usize) -> Result<String, St
             "cell {cell_index} has no series with two or more finite points"
         ));
     }
-    let panels: Vec<String> = groups
+    let mut panels: Vec<String> = groups
         .iter()
         .map(|(prefix, series)| {
             svg::lines(
@@ -147,6 +170,14 @@ pub fn render_dashboard(doc: &SeriesDoc, cell_index: usize) -> Result<String, St
             )
         })
         .collect();
+    if !blame.is_empty() {
+        panels.push(svg::lines(
+            &format!("{} [{}] — blame breakdown", doc.grid, cell.label),
+            "sim seconds",
+            "value",
+            &blame,
+        ));
+    }
     Ok(svg::stack_vertical(&panels))
 }
 
@@ -209,8 +240,29 @@ mod tests {
             assert!(svg.contains(needle), "missing panel {needle}");
         }
         assert!(!svg.contains("registry.*"));
+        // No BLAME_COLUMNS in the sample, so no blame panel either.
+        assert!(!svg.contains("blame breakdown"));
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn blame_gauges_get_their_own_panel() {
+        let doc = parse_series(
+            r#"{"grid":"disc09_tail_blame","cells":[
+                {"trace":"high-bursty","bench":"bert","config":"none","policy":"FaaSMem",
+                 "t_us":[0,1000000,2000000],
+                 "series":{"faas.invocations_stalled_remote":[0,3,1],
+                           "pool.breaker_open":[0,1,0],
+                           "mem.local_pages":[5,6,7]}}]}"#,
+        )
+        .unwrap();
+        let svg = render_dashboard(&doc, 0).unwrap();
+        assert!(svg.contains("blame breakdown"));
+        // The gauges still appear in their prefix panels too.
+        assert!(svg.contains("faas.*"));
+        assert!(svg.contains("pool.*"));
+        assert!(svg.contains("mem.*"));
     }
 
     #[test]

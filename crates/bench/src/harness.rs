@@ -1167,6 +1167,54 @@ fn summary_json(s: &RunSummary) -> JsonValue {
     if let Some(d) = &s.durability {
         doc.push("durability", durability_json(d));
     }
+    // And for the blame layer: only runs with `PlatformConfig::blame`
+    // carry the block, so existing artifacts never change shape.
+    if let Some(b) = &s.blame {
+        doc.push("blame", blame_json(b));
+    }
+    doc
+}
+
+/// The latency-anatomy block: per-component distributions plus tail
+/// attribution. All durations are integer microseconds straight from the
+/// simulator, so the block is exact and byte-stable across `--jobs` and
+/// `--shards`.
+fn blame_json(b: &faasmem_faas::BlameReport) -> JsonValue {
+    let mut doc = JsonValue::obj();
+    doc.push("invocations", JsonValue::Num(b.invocations as f64));
+    doc.push(
+        "tail_invocations",
+        JsonValue::Num(b.tail_invocations as f64),
+    );
+    doc.push(
+        "tail_cutoff_us",
+        JsonValue::Num(b.tail_cutoff.as_micros() as f64),
+    );
+    doc.push(
+        "tail_mean_latency_us",
+        JsonValue::Num(b.tail_mean_latency.as_micros() as f64),
+    );
+    doc.push(
+        "conservation_violations",
+        JsonValue::Num(b.conservation_violations as f64),
+    );
+    let mut components = JsonValue::obj();
+    for component in faasmem_faas::BlameComponent::ALL {
+        let c = b.component(component);
+        let mut entry = JsonValue::obj();
+        entry.push("total_us", JsonValue::Num(c.total.as_micros() as f64));
+        entry.push("avg_us", JsonValue::Num(c.dist.avg.as_micros() as f64));
+        entry.push("p50_us", JsonValue::Num(c.dist.p50.as_micros() as f64));
+        entry.push("p95_us", JsonValue::Num(c.dist.p95.as_micros() as f64));
+        entry.push("p99_us", JsonValue::Num(c.dist.p99.as_micros() as f64));
+        entry.push(
+            "tail_mean_us",
+            JsonValue::Num(c.tail_mean.as_micros() as f64),
+        );
+        entry.push("tail_share", JsonValue::Num(b.tail_share(component)));
+        components.push(component.name(), entry);
+    }
+    doc.push("components", components);
     doc
 }
 

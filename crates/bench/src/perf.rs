@@ -148,6 +148,55 @@ pub fn compare(old: &BenchDoc, new: &BenchDoc, tolerance: f64) -> Comparison {
     cmp
 }
 
+/// The comparison as a machine-readable JSON document (the
+/// `bench_compare --json` output): bench id, both revisions, the
+/// tolerance, per-metric deltas in baseline order, missing metrics,
+/// and the regression verdict — everything the CI perf job needs to
+/// log structured regressions.
+pub fn comparison_json(
+    old: &BenchDoc,
+    new: &BenchDoc,
+    cmp: &Comparison,
+    tolerance: f64,
+) -> JsonValue {
+    let mut doc = JsonValue::obj();
+    doc.push("bench", JsonValue::Str(old.bench.clone()));
+    doc.push("old_git_rev", JsonValue::Str(old.git_rev.clone()));
+    doc.push("new_git_rev", JsonValue::Str(new.git_rev.clone()));
+    doc.push("tolerance", JsonValue::Num(tolerance));
+    let deltas: Vec<JsonValue> = cmp
+        .deltas
+        .iter()
+        .map(|d| {
+            let mut entry = JsonValue::obj();
+            entry.push("metric", JsonValue::Str(d.metric.clone()));
+            entry.push("old_secs", JsonValue::Num(d.old));
+            entry.push("new_secs", JsonValue::Num(d.new));
+            if d.old > 0.0 {
+                entry.push("change", JsonValue::Num((d.new - d.old) / d.old));
+            } else {
+                entry.push("change", JsonValue::Null);
+            }
+            entry.push("skipped", JsonValue::Bool(d.skipped));
+            entry.push("regressed", JsonValue::Bool(d.regressed));
+            entry
+        })
+        .collect();
+    doc.push("deltas", JsonValue::Arr(deltas));
+    doc.push(
+        "missing_in_new",
+        JsonValue::Arr(
+            cmp.missing_in_new
+                .iter()
+                .map(|n| JsonValue::Str(n.clone()))
+                .collect(),
+        ),
+    );
+    doc.push("regressions", JsonValue::Num(cmp.regressions() as f64));
+    doc.push("pass", JsonValue::Bool(cmp.regressions() == 0));
+    doc
+}
+
 /// Renders the comparison as the fixed-width report `bench_compare`
 /// prints.
 pub fn render_report(old: &BenchDoc, new: &BenchDoc, cmp: &Comparison, tolerance: f64) -> String {
@@ -265,6 +314,37 @@ mod tests {
         let cmp = compare(&doc(0.001, 0.0005), &doc(0.1, 0.05), 0.25);
         assert_eq!(cmp.regressions(), 0);
         assert!(cmp.deltas.iter().all(|d| d.skipped));
+    }
+
+    #[test]
+    fn comparison_json_carries_the_verdict() {
+        let old = doc(2.0, 1.5);
+        let new = doc(2.0, 2.1);
+        let cmp = compare(&old, &new, 0.25);
+        let out = comparison_json(&old, &new, &cmp, 0.25);
+        assert_eq!(
+            out.get("bench").and_then(JsonValue::as_str),
+            Some("fig12_quick")
+        );
+        assert_eq!(
+            out.get("regressions").and_then(JsonValue::as_num),
+            Some(1.0)
+        );
+        assert_eq!(out.get("pass"), Some(&JsonValue::Bool(false)));
+        let deltas = out.get("deltas").and_then(JsonValue::as_arr).unwrap();
+        let bad = deltas
+            .iter()
+            .find(|d| d.get("regressed") == Some(&JsonValue::Bool(true)))
+            .unwrap();
+        assert_eq!(
+            bad.get("metric").and_then(JsonValue::as_str),
+            Some("phase:simulate")
+        );
+        let change = bad.get("change").and_then(JsonValue::as_num).unwrap();
+        assert!((change - 0.4).abs() < 1e-9, "{change}");
+        // The document round-trips through the workspace parser.
+        let reparsed = crate::json::parse(&out.to_pretty()).unwrap();
+        assert_eq!(reparsed.get("pass"), Some(&JsonValue::Bool(false)));
     }
 
     #[test]

@@ -78,6 +78,7 @@ mod tests {
             finished_at: finished,
             faults: None,
             durability: None,
+            blame: None,
             registry: faasmem_metrics::MetricsRegistry::new(),
         }
     }

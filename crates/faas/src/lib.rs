@@ -73,3 +73,8 @@ pub use shard::{ShardSpec, CONTROL_SHARD};
 // Re-export so downstream crates can name functions without depending on
 // the workload crate directly.
 pub use faasmem_workload::FunctionId;
+
+// Re-export the blame vocabulary alongside the report types that carry
+// it, so harness code can consume `RunReport::blame` without a direct
+// metrics dependency.
+pub use faasmem_metrics::{BlameComponent, BlameReport, ComponentBlame, BLAME_COMPONENTS};

@@ -3,7 +3,9 @@
 use std::collections::HashMap;
 
 use faasmem_mem::{mib_to_pages, PageId};
-use faasmem_metrics::{MetricsRegistry, SloTracker};
+use faasmem_metrics::{
+    BlameAccumulator, BlameBreakdown, BlameComponent, MetricsRegistry, SloTracker,
+};
 use faasmem_pool::{
     BandwidthGovernor, CircuitBreaker, FabricConfig, PoolConfig, PoolFabric, RecallOutcome,
     RemoteFaultPolicy, RemotePool,
@@ -11,7 +13,7 @@ use faasmem_pool::{
 use faasmem_sim::faults::{FaultPlan, FaultSpec};
 use faasmem_sim::{Clock, EventQueue, SimDuration, SimRng, SimTime};
 use faasmem_telemetry::{Sampler, SeriesGroup};
-use faasmem_trace::{EventKind, Tracer};
+use faasmem_trace::{EventKind, StallCause, Tracer};
 use faasmem_workload::{BenchmarkSpec, FunctionId, Invocation, InvocationTrace, RequestAccess};
 
 use crate::container::{Container, ContainerId, ContainerStage};
@@ -64,6 +66,13 @@ pub struct PlatformConfig {
     /// `None` (the default) runs the healthy platform with zero fault
     /// machinery on any hot path.
     pub faults: Option<FaultConfig>,
+    /// Per-invocation latency blame: decompose every request's
+    /// end-to-end latency into named causal components (queue,
+    /// cold-start, exec, and the stall families) and aggregate them
+    /// into the report's blame block. Pure observation — no RNG draws,
+    /// no extra events — so enabling it cannot perturb the run; off by
+    /// default so pre-blame artifacts stay byte-identical by omission.
+    pub blame: bool,
 }
 
 /// Fault injection plus the platform's reaction policy.
@@ -144,6 +153,7 @@ impl Default for PlatformConfig {
             adaptive_keep_alive: None,
             seed: 0xFAA5,
             faults: None,
+            blame: false,
         }
     }
 }
@@ -231,6 +241,13 @@ impl PlatformBuilder {
         self
     }
 
+    /// Enables per-invocation latency blame (see
+    /// [`PlatformConfig::blame`]).
+    pub fn blame(mut self, on: bool) -> Self {
+        self.config.blame = on;
+        self
+    }
+
     /// Configures the multi-node pool fabric (see [`FabricConfig`]).
     pub fn fabric(mut self, fabric: FabricConfig) -> Self {
         self.config.fabric = fabric;
@@ -276,6 +293,7 @@ impl PlatformBuilder {
             fabric.attach_tracer(self.tracer.clone());
             Some(fabric)
         };
+        let blame = self.config.blame.then(BlameAccumulator::new);
         PlatformSim {
             rng: SimRng::seed_from(self.config.seed),
             pool,
@@ -289,6 +307,7 @@ impl PlatformBuilder {
             next_container: 0,
             reuse_gaps: HashMap::new(),
             faults: None,
+            blame,
             tracer: self.tracer,
             sampler: self.sampler,
             peak_local_bytes: 0,
@@ -383,6 +402,29 @@ struct InFlight {
     exec_started: SimTime,
     cold: bool,
     faults: u32,
+    /// Latency components charged so far. Execution start charges
+    /// cold-start, pure exec and every stall addend — the exact
+    /// [`SimDuration`]s the simulator folds into the timeline — so at
+    /// finish the breakdown already sums to the measured latency.
+    breakdown: BlameBreakdown,
+    /// Instant until which this invocation sits blocked on remote
+    /// recall work (stalls serialize at the head of the exec window);
+    /// drives the `faas.invocations_stalled_remote` gauge.
+    remote_stall_until: SimTime,
+}
+
+/// The blame component a traced stall cause charges. The trace and
+/// metrics crates are deliberately decoupled (they agree on component
+/// *names*, not types), so the platform — which depends on both — owns
+/// the mapping.
+fn stall_component(cause: StallCause) -> BlameComponent {
+    match cause {
+        StallCause::FaultCpu => BlameComponent::FaultCpu,
+        StallCause::RecallStall => BlameComponent::RecallStall,
+        StallCause::FailoverDetour => BlameComponent::FailoverDetour,
+        StallCause::AbandonedWait => BlameComponent::AbandonedWait,
+        StallCause::ForcedRebuild => BlameComponent::ForcedRebuild,
+    }
 }
 
 /// The serverless-platform simulator.
@@ -404,6 +446,12 @@ pub struct PlatformSim {
     /// the adaptive keep-alive).
     reuse_gaps: HashMap<FunctionId, Vec<f64>>,
     faults: Option<FaultRuntime>,
+    /// Per-invocation blame accumulator; `Some` only when
+    /// [`PlatformConfig::blame`] is set. Records in `handle_finish`
+    /// order, which both drivers replay identically, so the resulting
+    /// report is shard-invariant by the same argument as every other
+    /// aggregate.
+    blame: Option<BlameAccumulator>,
     /// Placement/durability ledger over the pool nodes; `None` for the
     /// degenerate single-node, no-redundancy configuration (the entire
     /// pre-fabric fast path).
@@ -583,6 +631,7 @@ impl PlatformSim {
             finished_at: SimTime::ZERO,
             faults: None,
             durability: None,
+            blame: None,
             registry: MetricsRegistry::new(),
         };
         report.local_mem.record(SimTime::ZERO, 0.0);
@@ -710,6 +759,7 @@ impl PlatformSim {
             repair_backlog_bytes: fabric.repair_backlog_bytes(),
             tracker: *fabric.tracker(),
         });
+        report.blame = self.blame.as_ref().map(|acc| acc.report());
         self.fill_registry(report);
     }
 
@@ -963,6 +1013,16 @@ impl PlatformSim {
             // The keep-alive queue holds every idle container, warm
             // and semi-warm alike.
             row.push(("faas.keepalive_queue_depth", (warm + semi_warm) as f64));
+            // Invocations currently blocked on a remote recall: the
+            // stall window sits at the head of the exec window, so an
+            // in-flight request counts while the sample boundary falls
+            // inside it. An order-independent count over the map.
+            let stalled_remote = self
+                .in_flight
+                .values()
+                .filter(|f| at < f.remote_stall_until)
+                .count();
+            row.push(("faas.invocations_stalled_remote", stalled_remote as f64));
         }
         if sampler.wants(SeriesGroup::Mem) {
             let mut local_pages = 0u64;
@@ -1216,6 +1276,8 @@ impl PlatformSim {
                     exec_started: now,
                     cold: true,
                     faults: 0,
+                    breakdown: BlameBreakdown::new(),
+                    remote_stall_until: SimTime::ZERO,
                 },
             );
             let jitter = self.rng.lognormal_jitter(0.03);
@@ -1291,6 +1353,12 @@ impl PlatformSim {
             Some(u64::from(req)),
             EventKind::ExecStart { cold },
         );
+        // Everything between arrival and this instant is cold-start
+        // provisioning (launch + init, jitter included); requests never
+        // queue for admission on this single-node platform, so `queue`
+        // stays zero and warm starts (arrived == now) charge nothing.
+        let mut breakdown = BlameBreakdown::new();
+        breakdown.charge(BlameComponent::ColdStart, now.saturating_since(arrived));
         let page_size = self.config.page_size;
         let container = self.containers.get_mut(&id).expect("executing container");
         let spec = container.spec().clone();
@@ -1331,6 +1399,8 @@ impl PlatformSim {
                     if let Some(fabric) = &mut self.fabric {
                         fabric.on_page_in(id.0, bytes);
                     }
+                    breakdown.charge(BlameComponent::RecallStall, link);
+                    breakdown.charge(BlameComponent::FaultCpu, cpu);
                     link + cpu
                 }
                 Some(fr) => {
@@ -1369,6 +1439,7 @@ impl PlatformSim {
                                 rebuild_us: rebuild.as_micros(),
                             },
                         );
+                        breakdown.charge(BlameComponent::ForcedRebuild, rebuild);
                         rebuild
                     } else if detour {
                         // Failover recall: read from surviving replicas,
@@ -1379,6 +1450,9 @@ impl PlatformSim {
                             .expect("faulted pages are held by the pool");
                         let fabric = self.fabric.as_mut().expect("detour implies fabric");
                         let penalty = fabric.on_failover_recall(id.0, bytes);
+                        breakdown.charge(BlameComponent::RecallStall, link);
+                        breakdown.charge(BlameComponent::FailoverDetour, penalty);
+                        breakdown.charge(BlameComponent::FaultCpu, cpu);
                         link + penalty + cpu
                     } else {
                         let recall = self
@@ -1391,6 +1465,8 @@ impl PlatformSim {
                                 if let Some(fabric) = &mut self.fabric {
                                     fabric.on_page_in(id.0, bytes);
                                 }
+                                breakdown.charge(BlameComponent::RecallStall, stall);
+                                breakdown.charge(BlameComponent::FaultCpu, cpu);
                                 stall + cpu
                             }
                             RecallOutcome::GaveUp { wasted, retries } => {
@@ -1408,6 +1484,10 @@ impl PlatformSim {
                                     let fabric =
                                         self.fabric.as_mut().expect("replica implies fabric");
                                     let penalty = fabric.on_failover_recall(id.0, bytes);
+                                    breakdown.charge(BlameComponent::AbandonedWait, wasted);
+                                    breakdown.charge(BlameComponent::RecallStall, link);
+                                    breakdown.charge(BlameComponent::FailoverDetour, penalty);
+                                    breakdown.charge(BlameComponent::FaultCpu, cpu);
                                     wasted + link + penalty + cpu
                                 } else {
                                     // The remote pages are unreachable:
@@ -1433,6 +1513,8 @@ impl PlatformSim {
                                             rebuild_us: rebuild.as_micros(),
                                         },
                                     );
+                                    breakdown.charge(BlameComponent::AbandonedWait, wasted);
+                                    breakdown.charge(BlameComponent::ForcedRebuild, rebuild);
                                     wasted + rebuild
                                 }
                             }
@@ -1445,8 +1527,32 @@ impl PlatformSim {
         };
         container.record_request_penalty(outcome.faulted, stall);
 
+        // Begin-markers for the stall children of the exec span: one
+        // synthetic `exec_stall` per nonzero component, in canonical
+        // cause order (the span model serializes stalls at the head of
+        // the exec window).
+        if self.tracer.wants(faasmem_trace::TraceLayer::Container) {
+            for cause in StallCause::ALL {
+                let us = breakdown.get(stall_component(cause)).as_micros();
+                if us > 0 {
+                    self.tracer.emit(
+                        Some(id.0),
+                        Some(u64::from(req)),
+                        EventKind::ExecStall { cause, us },
+                    );
+                }
+            }
+        }
+
         let jitter = self.rng.lognormal_jitter(self.config.exec_jitter_sigma);
-        let exec_time = spec.exec_time.mul_f64(jitter) + stall;
+        let service = spec.exec_time.mul_f64(jitter);
+        breakdown.charge(BlameComponent::Exec, service);
+        let exec_time = service + stall;
+        // Wall time this request spends blocked on the remote pool:
+        // the recall families, not fault CPU or the local rebuild.
+        let remote_wait = breakdown.get(BlameComponent::RecallStall)
+            + breakdown.get(BlameComponent::FailoverDetour)
+            + breakdown.get(BlameComponent::AbandonedWait);
         self.in_flight.insert(
             id,
             InFlight {
@@ -1455,6 +1561,8 @@ impl PlatformSim {
                 exec_started: now,
                 cold,
                 faults: outcome.faulted,
+                breakdown,
+                remote_stall_until: now + remote_wait,
             },
         );
         queue.push(now + exec_time, Event::FinishExec(id));
@@ -1503,6 +1611,12 @@ impl PlatformSim {
             slo.observe(latency);
         }
         report.latency.record(latency);
+        if let Some(acc) = &mut self.blame {
+            // Conservation is structural: the breakdown holds the exact
+            // addends (cold-start, pure exec, stalls) this latency is
+            // the sum of. `record` still checks and counts violations.
+            acc.record(latency, flight.breakdown);
+        }
         report.requests.push(RequestRecord {
             function,
             arrived: flight.arrived,
@@ -2274,5 +2388,177 @@ mod tests {
         assert!(problems.len() >= 4, "{problems:?}");
         assert!(problems.iter().any(|p| p.contains("page size")));
         assert!(problems.iter().any(|p| p.contains("SLO")));
+    }
+
+    #[test]
+    fn blame_is_off_by_default() {
+        let mut s = sim();
+        let r = s.run(&one_function_trace(&[10]));
+        assert!(r.blame.is_none());
+    }
+
+    #[test]
+    fn blame_conserves_and_matches_latencies() {
+        use faasmem_metrics::BlameComponent;
+        let mut s = PlatformSim::builder()
+            .register_function(spec())
+            .policy(OffloadInitPolicy)
+            .blame(true)
+            .seed(5)
+            .build();
+        let r = s.run(&one_function_trace(&[10, 30, 700]));
+        let blame = r.blame.expect("blame enabled");
+        assert_eq!(blame.invocations, r.requests_completed as u64);
+        assert_eq!(blame.conservation_violations, 0);
+        // Component totals sum to the sum of all end-to-end latencies:
+        // per-invocation conservation, aggregated.
+        let latency_sum: u64 = r.requests.iter().map(|q| q.latency.as_micros()).sum();
+        let component_sum: u64 = BlameComponent::ALL
+            .iter()
+            .map(|&c| blame.component(c).total.as_micros())
+            .sum();
+        assert_eq!(component_sum, latency_sum);
+        // The warm request at t=30 recalls the init pages offloaded
+        // after the first request, so a recall stall is attributed.
+        assert!(blame.component(BlameComponent::RecallStall).total > SimDuration::ZERO);
+        assert!(blame.component(BlameComponent::FaultCpu).total > SimDuration::ZERO);
+        assert!(blame.component(BlameComponent::ColdStart).total > SimDuration::ZERO);
+        assert_eq!(
+            blame.component(BlameComponent::Queue).total,
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn blame_does_not_perturb_the_run() {
+        let run = |on: bool| {
+            let mut s = PlatformSim::builder()
+                .register_function(spec())
+                .policy(OffloadInitPolicy)
+                .blame(on)
+                .seed(5)
+                .build();
+            let mut r = s.run(&one_function_trace(&[10, 30, 700]));
+            (
+                r.requests_completed,
+                r.cold_starts,
+                r.p95_latency(),
+                r.finished_at,
+                r.pool_stats,
+                r.registry.clone(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn blame_attributes_forced_rebuild_under_outage() {
+        use faasmem_metrics::BlameComponent;
+        use faasmem_sim::faults::{LinkSchedule, LinkWindow};
+        let plan = FaultPlan {
+            link: LinkSchedule::from_windows(vec![LinkWindow {
+                start: SimTime::from_secs(40),
+                end: SimTime::from_secs(3_600),
+                factor: 0.0,
+            }]),
+            ..FaultPlan::empty()
+        };
+        let mut s = PlatformSim::builder()
+            .register_function(spec())
+            .policy(OffloadInitPolicy)
+            .blame(true)
+            .seed(5)
+            .faults(FaultConfig {
+                plan_override: Some(plan),
+                policy: RemoteFaultPolicy::hasty(),
+                ..FaultConfig::default()
+            })
+            .build();
+        let r = s.run(&one_function_trace(&[10, 60]));
+        let blame = r.blame.expect("blame enabled");
+        assert_eq!(blame.conservation_violations, 0);
+        // The mid-outage recall wastes its retries, then rebuilds
+        // locally: both phases show up as named components.
+        assert!(blame.component(BlameComponent::AbandonedWait).total > SimDuration::ZERO);
+        assert!(blame.component(BlameComponent::ForcedRebuild).total > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn traced_run_yields_conserving_spans_matching_blame() {
+        use faasmem_metrics::BlameComponent;
+        use faasmem_trace::{build_spans, LayerMask, Tracer};
+        let tracer = Tracer::recording(LayerMask::ALL);
+        let mut s = PlatformSim::builder()
+            .register_function(spec())
+            .policy(OffloadInitPolicy)
+            .blame(true)
+            .seed(5)
+            .tracer(tracer.clone())
+            .build();
+        let r = s.run(&one_function_trace(&[10, 30, 700]));
+        let blame = r.blame.expect("blame enabled");
+        let spans = build_spans(&tracer.take_events());
+        assert_eq!(spans.len(), r.requests_completed);
+        // Every reconstructed tree tiles its invocation exactly, and
+        // summing span blame across invocations reproduces the
+        // accumulator's per-component totals — the event stream and
+        // the in-simulator accounting agree to the microsecond.
+        let mut by_component: HashMap<&str, u64> = HashMap::new();
+        for inv in &spans {
+            assert!(inv.conserves(), "request {} spans must tile", inv.request);
+            for (name, us) in inv.blame() {
+                *by_component.entry(name).or_default() += us;
+            }
+        }
+        for c in BlameComponent::ALL {
+            assert_eq!(
+                by_component.get(c.name()).copied().unwrap_or(0),
+                blame.component(c).total.as_micros(),
+                "component {} diverges between spans and blame",
+                c.name()
+            );
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(12))]
+        // Conservation on real runs: random seeds, load and fault
+        // injection; every completed invocation's components must sum
+        // exactly to its measured latency (the accumulator counts — and
+        // in debug builds asserts on — any violation).
+        #[test]
+        fn prop_blame_conserves_on_real_runs(
+            seed in 0u64..1_000,
+            fault_seed in 0u64..4,
+            mins in 2u64..5,
+        ) {
+            let trace = TraceSynthesizer::new(seed ^ 0x5EED)
+                .load_class(LoadClass::High)
+                .duration(SimTime::from_mins(mins))
+                .synthesize_for(FunctionId(0));
+            let mut b = PlatformSim::builder()
+                .register_function(spec())
+                .policy(OffloadInitPolicy)
+                .blame(true)
+                .seed(seed);
+            if fault_seed > 0 {
+                b = b.faults(FaultConfig {
+                    spec: FaultSpec::new(fault_seed)
+                        .outages(SimDuration::from_mins(2), SimDuration::from_secs(20)),
+                    ..FaultConfig::default()
+                });
+            }
+            let mut s = b.build();
+            let r = s.run(&trace);
+            let blame = r.blame.expect("blame enabled");
+            proptest::prop_assert_eq!(blame.conservation_violations, 0);
+            proptest::prop_assert_eq!(blame.invocations, r.requests_completed as u64);
+            let latency_sum: u64 = r.requests.iter().map(|q| q.latency.as_micros()).sum();
+            let component_sum: u64 = faasmem_metrics::BlameComponent::ALL
+                .iter()
+                .map(|&c| blame.component(c).total.as_micros())
+                .sum();
+            proptest::prop_assert_eq!(component_sum, latency_sum);
+        }
     }
 }

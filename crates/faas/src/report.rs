@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 
 use faasmem_metrics::{
-    Cdf, DurabilityTracker, LatencyRecorder, LatencySummary, MetricsRegistry, TimeSeries,
+    BlameReport, Cdf, DurabilityTracker, LatencyRecorder, LatencySummary, MetricsRegistry,
+    TimeSeries,
 };
 use faasmem_pool::PoolStats;
 use faasmem_sim::{SimDuration, SimTime};
@@ -91,6 +92,9 @@ pub struct RunReport {
     /// Durability accounting; `None` when the pool fabric is degenerate
     /// (one node, no redundancy) — i.e., on every pre-fabric config.
     pub durability: Option<DurabilityReport>,
+    /// Per-invocation latency blame (component distributions and tail
+    /// attribution); `None` unless the platform ran with blame enabled.
+    pub blame: Option<BlameReport>,
     /// Named counters and gauges snapshotted at run end — the
     /// introspection surface the harness serializes per cell.
     pub registry: MetricsRegistry,
@@ -223,6 +227,7 @@ impl RunReport {
             sim_secs: self.finished_at.as_secs_f64(),
             faults: self.faults,
             durability: self.durability,
+            blame: self.blame,
         }
     }
 }
@@ -329,6 +334,8 @@ pub struct RunSummary {
     pub faults: Option<FaultReport>,
     /// Durability accounting; `None` when the pool fabric is degenerate.
     pub durability: Option<DurabilityReport>,
+    /// Latency-blame digest; `None` unless blame was enabled.
+    pub blame: Option<BlameReport>,
 }
 
 /// One function's view of a run (see
@@ -392,6 +399,7 @@ mod tests {
             finished_at: SimTime::from_secs(10),
             faults: None,
             durability: None,
+            blame: None,
             registry: MetricsRegistry::new(),
         }
     }

@@ -28,6 +28,7 @@
 //! ```
 
 pub mod agg;
+pub mod blame;
 pub mod cdf;
 pub mod durability;
 pub mod histogram;
@@ -36,6 +37,9 @@ pub mod registry;
 pub mod slo;
 pub mod timeseries;
 
+pub use blame::{
+    BlameAccumulator, BlameBreakdown, BlameComponent, BlameReport, ComponentBlame, BLAME_COMPONENTS,
+};
 pub use cdf::Cdf;
 pub use durability::DurabilityTracker;
 pub use histogram::Histogram;

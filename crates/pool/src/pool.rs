@@ -408,6 +408,13 @@ impl RemotePool {
         } else {
             0
         };
+        if traced {
+            // Begin-marker of the recall: the completing `PoolPageIn`
+            // below carries the measured stall, so span reconstruction
+            // can pair the two into a page-in wait interval.
+            self.tracer
+                .emit(None, None, EventKind::RecallBegin { bytes });
+        }
         // Demand faults are serial per page in the kernel's swap-in path,
         // but Fastswap batches reads; model the batch as one transfer plus
         // one base fault latency (already folded into the link).
@@ -889,11 +896,20 @@ mod tests {
             vec![
                 "pool_page_out",
                 "pool_page_out",
+                "recall_begin",
                 "pool_page_in",
                 "pool_discard",
                 "offload_refused",
             ]
         );
+        // The begin-marker announces the same bytes the completing
+        // page-in reports.
+        match (&events[2].kind, &events[3].kind) {
+            (EventKind::RecallBegin { bytes: b0 }, EventKind::PoolPageIn { bytes: b1, .. }) => {
+                assert_eq!(b0, b1);
+            }
+            other => panic!("unexpected kinds {other:?}"),
+        }
         // The second page-out saw the first still on the wire.
         match (&events[0].kind, &events[1].kind) {
             (

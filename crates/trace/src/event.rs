@@ -111,6 +111,56 @@ impl Default for LayerMask {
     }
 }
 
+/// The stall family an [`EventKind::ExecStall`] span belongs to.
+///
+/// Mirrors the non-trivial blame components of
+/// `faasmem-metrics::blame` (the trace crate stays dependency-free of
+/// the metrics crate, so the names — not the types — are the contract:
+/// each `name()` equals the matching `BlameComponent::name()`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StallCause {
+    /// CPU cost of servicing page faults.
+    FaultCpu,
+    /// Wall time stalled on remote page transfers (incl. retry
+    /// backoff).
+    RecallStall,
+    /// Extra penalty of a replica detour after primary loss or an open
+    /// breaker.
+    FailoverDetour,
+    /// Time wasted on a recall attempt that ultimately gave up.
+    AbandonedWait,
+    /// Slow-path cold rebuild of remote state lost beyond recovery.
+    ForcedRebuild,
+}
+
+impl StallCause {
+    /// Every cause, in a fixed order.
+    pub const ALL: [StallCause; 5] = [
+        StallCause::FaultCpu,
+        StallCause::RecallStall,
+        StallCause::FailoverDetour,
+        StallCause::AbandonedWait,
+        StallCause::ForcedRebuild,
+    ];
+
+    /// Stable snake_case name used in JSONL payloads; equals the
+    /// matching blame-component name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::FaultCpu => "fault_cpu",
+            StallCause::RecallStall => "recall_stall",
+            StallCause::FailoverDetour => "failover_detour",
+            StallCause::AbandonedWait => "abandoned_wait",
+            StallCause::ForcedRebuild => "forced_rebuild",
+        }
+    }
+
+    /// Parses a cause from its canonical name.
+    pub fn from_name(name: &str) -> Option<StallCause> {
+        StallCause::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
 /// What happened. Each variant belongs to one [`TraceLayer`] and
 /// carries a small, fully deterministic payload (counts, byte totals,
 /// simulated durations in microseconds — never wall-clock).
@@ -164,6 +214,20 @@ pub enum EventKind {
         latency_us: u64,
         /// Demand page faults taken during this execution.
         faults: u64,
+    },
+    /// One named stall component charged to the executing request.
+    ///
+    /// The platform previously folded all stalls invisibly into the
+    /// execution window; this is the begin marker of a synthetic child
+    /// span. Stalls serialize at the head of the execution window, so
+    /// the span covers `[t, t + us)` with consecutive `ExecStall`
+    /// events of one request laid end to end — the matching
+    /// [`EventKind::ExecEnd`] closes the chain.
+    ExecStall {
+        /// Which blame family the stall belongs to.
+        cause: StallCause,
+        /// Stalled simulated microseconds.
+        us: u64,
     },
     /// The container went idle into the keep-alive pool.
     KeepAliveEnter,
@@ -237,6 +301,13 @@ pub enum EventKind {
     /// Remote bytes were discarded without transfer (container retire).
     PoolDiscard {
         /// Bytes released.
+        bytes: u64,
+    },
+    /// A recall transfer was issued to the pool — the begin marker
+    /// paired with the completing [`EventKind::PoolPageIn`] (which was
+    /// previously the only, point, event of a recall).
+    RecallBegin {
+        /// Bytes requested back.
         bytes: u64,
     },
     /// An offload attempt was refused (suspension or link down).
@@ -329,6 +400,7 @@ impl EventKind {
             | RuntimeLoaded
             | InitDone
             | ExecStart { .. }
+            | ExecStall { .. }
             | ExecEnd { .. }
             | KeepAliveEnter
             | ContainerRetire { .. }
@@ -343,6 +415,7 @@ impl EventKind {
             PoolPageOut { .. }
             | PoolPageIn { .. }
             | PoolDiscard { .. }
+            | RecallBegin { .. }
             | OffloadRefused
             | RecallRetry { .. }
             | RecallGaveUp { .. }
@@ -367,6 +440,7 @@ impl EventKind {
             RuntimeLoaded => "runtime_loaded",
             InitDone => "init_done",
             ExecStart { .. } => "exec_start",
+            ExecStall { .. } => "exec_stall",
             ExecEnd { .. } => "exec_end",
             KeepAliveEnter => "keep_alive_enter",
             ContainerRetire { .. } => "container_retire",
@@ -380,6 +454,7 @@ impl EventKind {
             PoolPageOut { .. } => "pool_page_out",
             PoolPageIn { .. } => "pool_page_in",
             PoolDiscard { .. } => "pool_discard",
+            RecallBegin { .. } => "recall_begin",
             OffloadRefused => "offload_refused",
             RecallRetry { .. } => "recall_retry",
             RecallGaveUp { .. } => "recall_gave_up",
@@ -425,6 +500,10 @@ impl EventKind {
             | BreakerOpen | BreakerClose => {}
             ExecStart { cold } => {
                 doc.push("cold", JsonValue::Bool(*cold));
+            }
+            ExecStall { cause, us } => {
+                doc.push("cause", JsonValue::Str(cause.name().into()));
+                doc.push("us", num(*us));
             }
             ExecEnd { latency_us, faults } => {
                 doc.push("latency_us", num(*latency_us));
@@ -475,7 +554,7 @@ impl EventKind {
                 doc.push("stall_us", num(*stall_us));
                 doc.push("queued_us", num(*queued_us));
             }
-            PoolDiscard { bytes } => {
+            PoolDiscard { bytes } | RecallBegin { bytes } => {
                 doc.push("bytes", num(*bytes));
             }
             RecallRetry { attempt, waited_us } => {
@@ -625,6 +704,14 @@ mod tests {
     }
 
     #[test]
+    fn stall_cause_names_roundtrip() {
+        for cause in StallCause::ALL {
+            assert_eq!(StallCause::from_name(cause.name()), Some(cause));
+        }
+        assert_eq!(StallCause::from_name("coffee_break"), None);
+    }
+
+    #[test]
     fn jsonl_envelope_key_order_is_fixed() {
         let event = TraceEvent {
             time: SimTime::from_secs(1),
@@ -678,6 +765,10 @@ mod tests {
             RuntimeLoaded,
             InitDone,
             ExecStart { cold: true },
+            ExecStall {
+                cause: StallCause::RecallStall,
+                us: 250,
+            },
             ExecEnd {
                 latency_us: 1,
                 faults: 0,
@@ -714,6 +805,7 @@ mod tests {
                 queued_us: 5,
             },
             PoolDiscard { bytes: 4096 },
+            RecallBegin { bytes: 4096 },
             OffloadRefused,
             RecallRetry {
                 attempt: 1,

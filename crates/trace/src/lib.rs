@@ -31,11 +31,15 @@
 pub mod chrome;
 pub mod event;
 pub mod json;
+pub mod query;
+pub mod spans;
 pub mod summary;
 pub mod tracer;
 
 pub use chrome::{chrome_trace, ChromeGroup};
-pub use event::{EventKind, LayerMask, TraceEvent, TraceLayer};
+pub use event::{EventKind, LayerMask, StallCause, TraceEvent, TraceLayer};
 pub use json::JsonValue;
+pub use query::{QueryHit, QueryOptions};
+pub use spans::{build_spans, spans_from_jsonl, CellSpans, InvocationSpans, Span, SpanForest};
 pub use summary::{summarize_jsonl, CellSummary, ContainerTimeline, TraceSummary};
 pub use tracer::{BufferSink, JsonlSink, NullSink, RingSink, TraceSink, Tracer};

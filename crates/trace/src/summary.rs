@@ -41,6 +41,9 @@ pub struct ContainerTimeline {
     pub prefetch_pages: u64,
     /// Whether an injected crash killed it.
     pub crashed: bool,
+    /// Request ids served, in execution order (feeds the
+    /// `--invocation` filter).
+    pub requests: Vec<u64>,
 }
 
 /// Totals for one grid cell.
@@ -158,6 +161,9 @@ pub fn summarize_jsonl(input: &str) -> Result<TraceSummary, String> {
                     if doc.get("cold") == Some(&JsonValue::Bool(true)) {
                         tl.cold_execs += 1;
                     }
+                    if let Some(req) = num(&doc, "req") {
+                        tl.requests.push(req);
+                    }
                 }
             }
             "exec_end" => {
@@ -221,6 +227,17 @@ impl TraceSummary {
     pub fn filter_container(&mut self, container: u64) {
         self.cells.retain_mut(|cell| {
             cell.containers.retain(|tl| tl.container == container);
+            !cell.containers.is_empty()
+        });
+    }
+
+    /// Narrows the summary to the containers that served one request
+    /// id (the request index within each cell). Mirrors
+    /// [`TraceSummary::filter_container`]: cells that never executed
+    /// the request are dropped, cell-level totals are untouched.
+    pub fn filter_invocation(&mut self, request: u64) {
+        self.cells.retain_mut(|cell| {
+            cell.containers.retain(|tl| tl.requests.contains(&request));
             !cell.containers.is_empty()
         });
     }
@@ -472,6 +489,37 @@ mod tests {
         // A container that never appears empties the summary.
         summary.filter_container(99);
         assert!(summary.cells.is_empty());
+    }
+
+    #[test]
+    fn filter_invocation_keeps_the_serving_container() {
+        let jsonl = [
+            line(0, 0, Some(0), Some(0), EventKind::ExecStart { cold: true }),
+            line(
+                10,
+                1,
+                Some(1),
+                Some(7),
+                EventKind::ExecStart { cold: false },
+            ),
+        ]
+        .join("\n");
+        let summary = summarize_jsonl(&jsonl).unwrap();
+        assert_eq!(summary.cells[0].containers.len(), 2);
+
+        let mut only_seven = summary.clone();
+        only_seven.filter_invocation(7);
+        assert_eq!(only_seven.cells.len(), 1);
+        assert_eq!(only_seven.cells[0].containers.len(), 1);
+        assert_eq!(only_seven.cells[0].containers[0].container, 1);
+        assert_eq!(only_seven.cells[0].containers[0].requests, vec![7]);
+        // Cell totals describe the whole cell and survive the filter.
+        assert_eq!(only_seven.cells[0].events, 2);
+
+        // A request id that never ran empties the summary.
+        let mut none = summary;
+        none.filter_invocation(99);
+        assert!(none.cells.is_empty());
     }
 
     #[test]
