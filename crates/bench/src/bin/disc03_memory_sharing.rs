@@ -95,6 +95,8 @@ impl CloneShallow for faasmem_faas::RunReport {
             faults: self.faults,
             durability: self.durability,
             blame: self.blame,
+            memory_anatomy: self.memory_anatomy,
+            function_waste: self.function_waste.clone(),
             registry: self.registry.clone(),
         }
     }

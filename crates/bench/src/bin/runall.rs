@@ -42,6 +42,7 @@ const EXPERIMENTS: &[&str] = &[
     "disc07_fault_tolerance",
     "disc08_durability",
     "disc09_tail_blame",
+    "disc10_memory_anatomy",
     "ext01_coldstart_aware",
     "ext02_recall_prefetch",
     "abl01_window_policy",

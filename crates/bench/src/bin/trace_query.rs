@@ -26,7 +26,7 @@ use faasmem_trace::{spans_from_jsonl, QueryOptions};
 fn usage() -> ! {
     eprintln!(
         "usage: trace_query <trace.jsonl> [--slowest N] [--component NAME] [--cell N] \
-         [--critical-path]"
+         [--function ID] [--critical-path]"
     );
     std::process::exit(2);
 }
@@ -64,6 +64,10 @@ fn main() {
             opts.component = Some(value);
         } else if let Some(value) = flag("--cell") {
             opts.cell = Some(parse_num("--cell", &value));
+        } else if let Some(value) = flag("--function") {
+            // Kept as a raw string: an unknown id must exit 1 with the
+            // trace's function vocabulary, which `select` produces.
+            opts.function = Some(value);
         } else if arg == "--critical-path" {
             opts.critical_path = true;
         } else if arg.starts_with("--") {

@@ -12,7 +12,9 @@
 //! sampler backfilled with `null`. When the cell carries any of the
 //! latency-blame gauges (cold-start activity, invocations stalled on a
 //! remote recall, breaker state, under-replication) they are also
-//! collected into one trailing "blame breakdown" panel.
+//! collected into one trailing "blame breakdown" panel, and the
+//! byte-second gauges (keep-alive idle vs active memory, redundant
+//! bytes, repair backlog) into a sibling "memory anatomy" panel.
 
 use std::collections::BTreeMap;
 
@@ -31,6 +33,20 @@ const BLAME_COLUMNS: [&str; 5] = [
     "faas.invocations_stalled_remote",
     "pool.breaker_open",
     "pool.under_replicated",
+];
+
+/// Columns collected into the extra "memory anatomy" panel: the
+/// cross-prefix gauges that track where resident byte-seconds are
+/// accruing — keep-alive idle memory (the waste FaaSMem targets),
+/// actively-executing memory, and the pool-side redundancy and repair
+/// overheads. The `mem.*` pair only exists on runs with
+/// `PlatformConfig::memory_anatomy` on; the `pool.*` pair on fabric
+/// runs — the panel renders whenever any of them are drawable.
+const ANATOMY_COLUMNS: [&str; 4] = [
+    "mem.keepalive_idle_bytes",
+    "mem.active_bytes",
+    "pool.redundant_bytes",
+    "pool.repair_backlog_bytes",
 ];
 
 /// One grid cell's time series, decoded from the document.
@@ -121,10 +137,11 @@ pub fn parse_series(input: &str) -> Result<SeriesDoc, String> {
 }
 
 /// Renders one cell of the document as a stacked multi-panel SVG: one
-/// panel per series-name prefix group, plus a trailing "blame
-/// breakdown" panel collecting the [`BLAME_COLUMNS`] gauges when any
-/// of them are drawable. Returns an error when the cell index is out
-/// of range or no column has two finite points to draw.
+/// panel per series-name prefix group, plus trailing "blame breakdown"
+/// and "memory anatomy" panels collecting the [`BLAME_COLUMNS`] and
+/// [`ANATOMY_COLUMNS`] gauges when any of them are drawable. Returns
+/// an error when the cell index is out of range or no column has two
+/// finite points to draw.
 pub fn render_dashboard(doc: &SeriesDoc, cell_index: usize) -> Result<String, String> {
     let cell = doc.cells.get(cell_index).ok_or_else(|| {
         format!(
@@ -137,6 +154,7 @@ pub fn render_dashboard(doc: &SeriesDoc, cell_index: usize) -> Result<String, St
     type PanelSeries<'a> = Vec<(&'a str, Vec<(f64, f64)>)>;
     let mut groups: BTreeMap<&str, PanelSeries> = BTreeMap::new();
     let mut blame: PanelSeries = Vec::new();
+    let mut anatomy: PanelSeries = Vec::new();
     for (name, values) in &cell.columns {
         let points: Vec<(f64, f64)> = cell
             .t_secs
@@ -150,6 +168,9 @@ pub fn render_dashboard(doc: &SeriesDoc, cell_index: usize) -> Result<String, St
         }
         if BLAME_COLUMNS.contains(&name.as_str()) {
             blame.push((name, points.clone()));
+        }
+        if ANATOMY_COLUMNS.contains(&name.as_str()) {
+            anatomy.push((name, points.clone()));
         }
         let prefix = name.split('.').next().unwrap_or(name.as_str());
         groups.entry(prefix).or_default().push((name, points));
@@ -176,6 +197,14 @@ pub fn render_dashboard(doc: &SeriesDoc, cell_index: usize) -> Result<String, St
             "sim seconds",
             "value",
             &blame,
+        ));
+    }
+    if !anatomy.is_empty() {
+        panels.push(svg::lines(
+            &format!("{} [{}] — memory anatomy", doc.grid, cell.label),
+            "sim seconds",
+            "bytes",
+            &anatomy,
         ));
     }
     Ok(svg::stack_vertical(&panels))
@@ -263,6 +292,27 @@ mod tests {
         assert!(svg.contains("faas.*"));
         assert!(svg.contains("pool.*"));
         assert!(svg.contains("mem.*"));
+    }
+
+    #[test]
+    fn anatomy_gauges_get_their_own_panel() {
+        let doc = parse_series(
+            r#"{"grid":"disc10_memory_anatomy","cells":[
+                {"trace":"middle","bench":"bert","config":"mirror2","policy":"FaaSMem",
+                 "t_us":[0,1000000,2000000],
+                 "series":{"mem.keepalive_idle_bytes":[0,4096,8192],
+                           "mem.active_bytes":[8192,4096,0],
+                           "pool.redundant_bytes":[0,0,4096],
+                           "pool.repair_backlog_bytes":[0,0,0],
+                           "faas.warm":[0,1,1]}}]}"#,
+        )
+        .unwrap();
+        let svg = render_dashboard(&doc, 0).unwrap();
+        assert!(svg.contains("memory anatomy"));
+        assert!(!svg.contains("blame breakdown"), "no blame gauges here");
+        // The gauges still appear in their prefix panels too.
+        assert!(svg.contains("mem.*"));
+        assert!(svg.contains("pool.*"));
     }
 
     #[test]

@@ -679,6 +679,9 @@ pub struct GridRun {
     pub name: String,
     /// Worker threads used.
     pub jobs: usize,
+    /// Shard count when the shard-parallel platform driver ran the
+    /// cells; `None` under the serial driver.
+    pub shards: Option<u32>,
     /// Whether `--quick` truncated the traces.
     pub quick: bool,
     /// Cell results in grid order (traces → benches → configs → policies).
@@ -749,6 +752,12 @@ impl GridRun {
         doc.push("schema_version", JsonValue::Num(SCHEMA_VERSION as f64));
         doc.push("grid", JsonValue::Str(self.name.clone()));
         doc.push("jobs", JsonValue::Num(self.jobs as f64));
+        // Like jobs, shards must never influence the result document —
+        // it is recorded here, in the timing side channel only.
+        match self.shards {
+            Some(n) => doc.push("shards", JsonValue::Num(f64::from(n))),
+            None => doc.push("shards", JsonValue::Null),
+        };
         doc.push("wall_total_secs", JsonValue::Num(self.wall_total_secs));
         doc.push("cell_wall_sum_secs", JsonValue::Num(agg::total(&walls)));
         if let Some((min, max)) = agg::min_max(&walls) {
@@ -1078,6 +1087,36 @@ fn cell_json(cell: &CellResult) -> JsonValue {
                 );
             }
             doc.push("metrics", summary_json(&outcome.summary));
+            // Per-function waste ledgers ride next to the metrics block;
+            // absent unless the anatomy layer ran and charged something,
+            // so pre-anatomy documents keep their exact shape.
+            if !outcome.report.function_waste.is_empty() {
+                use faasmem_faas::{byte_us_to_byte_secs, WasteComponent};
+                let rows: Vec<JsonValue> = outcome
+                    .report
+                    .function_waste
+                    .iter()
+                    .map(|fw| {
+                        let mut entry = JsonValue::obj();
+                        entry.push("function", JsonValue::Num(f64::from(fw.function.0)));
+                        entry.push("name", JsonValue::Str(fw.name.into()));
+                        let mut comps = JsonValue::obj();
+                        for c in WasteComponent::ALL {
+                            comps.push(
+                                c.name(),
+                                JsonValue::Num(byte_us_to_byte_secs(fw.ledger.get(c))),
+                            );
+                        }
+                        entry.push("components", comps);
+                        entry.push(
+                            "total_byte_secs",
+                            JsonValue::Num(byte_us_to_byte_secs(fw.ledger.total())),
+                        );
+                        entry
+                    })
+                    .collect();
+                doc.push("function_waste", JsonValue::Arr(rows));
+            }
             doc.push("registry", registry_json(&outcome.report.registry));
             match &outcome.faasmem {
                 Some(stats) => doc.push("faasmem", faasmem_json(stats)),
@@ -1172,6 +1211,11 @@ fn summary_json(s: &RunSummary) -> JsonValue {
     if let Some(b) = &s.blame {
         doc.push("blame", blame_json(b));
     }
+    // And for the memory anatomy: only runs with
+    // `PlatformConfig::memory_anatomy` carry the block.
+    if let Some(a) = &s.memory_anatomy {
+        doc.push("memory_anatomy", anatomy_json(a));
+    }
     doc
 }
 
@@ -1215,6 +1259,70 @@ fn blame_json(b: &faasmem_faas::BlameReport) -> JsonValue {
         components.push(component.name(), entry);
     }
     doc.push("components", components);
+    doc
+}
+
+/// The memory-anatomy block: byte-second occupancy per component plus
+/// the page-lifecycle flow ledger. Internals are exact u128 byte-µs;
+/// the one f64 division at this boundary is a pure function of the
+/// integers, so the block stays byte-stable across `--jobs` and
+/// `--shards`.
+fn anatomy_json(a: &faasmem_faas::MemoryAnatomyReport) -> JsonValue {
+    use faasmem_faas::{byte_us_to_byte_secs, WasteComponent};
+    let w = &a.waste;
+    let mut doc = JsonValue::obj();
+    doc.push("steps", JsonValue::Num(w.steps as f64));
+    doc.push(
+        "conservation_violations",
+        JsonValue::Num(w.conservation_violations as f64),
+    );
+    doc.push(
+        "compute_byte_secs",
+        JsonValue::Num(byte_us_to_byte_secs(w.compute_byte_us)),
+    );
+    doc.push(
+        "pool_byte_secs",
+        JsonValue::Num(byte_us_to_byte_secs(w.pool_byte_us)),
+    );
+    let mut components = JsonValue::obj();
+    for component in WasteComponent::ALL {
+        components.push(
+            component.name(),
+            JsonValue::Num(byte_us_to_byte_secs(w.component(component))),
+        );
+    }
+    doc.push("components", components);
+    doc.push("flow", flow_json(&a.flow));
+    doc
+}
+
+/// The lifecycle flow ledger: integer page counts per transition edge
+/// and the per-state conservation rows.
+fn flow_json(m: &faasmem_faas::FlowMatrix) -> JsonValue {
+    let mut doc = JsonValue::obj();
+    doc.push("tables", JsonValue::Num(m.tables as f64));
+    let f = &m.flows;
+    for (name, v) in [
+        ("allocated", f.allocated),
+        ("reused", f.reused),
+        ("offloaded", f.offloaded),
+        ("recalled_demand", f.recalled_demand),
+        ("recalled_prefetch", f.recalled_prefetch),
+        ("freed_local", f.freed_local),
+        ("freed_remote", f.freed_remote),
+    ] {
+        doc.push(name, JsonValue::Num(v as f64));
+    }
+    let mut rows = JsonValue::obj();
+    for row in m.rows() {
+        let mut entry = JsonValue::obj();
+        entry.push("entered", JsonValue::Num(row.entered as f64));
+        entry.push("left", JsonValue::Num(row.left as f64));
+        entry.push("resident", JsonValue::Num(row.resident as f64));
+        rows.push(row.state, entry);
+    }
+    doc.push("rows", rows);
+    doc.push("row_violations", JsonValue::Num(m.row_violations() as f64));
     doc
 }
 
@@ -1443,6 +1551,7 @@ pub fn run_grid(grid: &ExperimentGrid, opts: &HarnessOptions) -> GridRun {
     GridRun {
         name: grid.name.clone(),
         jobs,
+        shards: opts.shards,
         quick: opts.quick,
         cells: results
             .into_iter()

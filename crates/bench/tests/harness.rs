@@ -314,6 +314,56 @@ fn clean_cells_export_no_skip_or_fault_fields() {
     assert!(!text.contains("trace_skipped_rows"));
     assert!(!text.contains("fault_seed"));
     assert!(!text.contains("\"faults\""));
+    // Same contract for the anatomy layer: off by default, so
+    // pre-anatomy documents never change shape.
+    assert!(!text.contains("memory_anatomy"));
+    assert!(!text.contains("function_waste"));
+}
+
+#[test]
+fn anatomy_grid_is_deterministic_across_thread_and_shard_counts() {
+    let grid = ExperimentGrid::new("anatomy_grid")
+        .traces([
+            TraceSpec::synth("high", 4242, LoadClass::High),
+            TraceSpec::synth("low", 4243, LoadClass::Low).bursty(true),
+        ])
+        .benches(
+            ["json", "web"]
+                .map(|app| BenchCase::single(BenchmarkSpec::by_name(app).expect("catalog"))),
+        )
+        .config(ConfigCase::new(
+            "anatomy",
+            PlatformConfig {
+                memory_anatomy: true,
+                ..PlatformConfig::default()
+            },
+        ))
+        .policy_kinds([PolicyKind::Baseline, PolicyKind::FaasMem]);
+    let serial = run_grid(&grid, &quick_opts(1)).to_json().to_pretty();
+    assert!(
+        serial.contains("\"memory_anatomy\""),
+        "anatomy runs must export the block"
+    );
+    assert!(
+        serial.contains("\"function_waste\""),
+        "anatomy runs must export per-function ledgers"
+    );
+    assert!(serial.contains("\"conservation_violations\": 0"));
+    for jobs in [2, 5] {
+        let parallel = run_grid(&grid, &quick_opts(jobs)).to_json().to_pretty();
+        assert_eq!(parallel, serial, "anatomy document diverged at jobs={jobs}");
+    }
+    for shards in [2, 4] {
+        let opts = HarnessOptions {
+            shards: Some(shards),
+            ..quick_opts(1)
+        };
+        let sharded = run_grid(&grid, &opts).to_json().to_pretty();
+        assert_eq!(
+            sharded, serial,
+            "anatomy document diverged at shards={shards}"
+        );
+    }
 }
 
 #[test]

@@ -79,6 +79,8 @@ mod tests {
             faults: None,
             durability: None,
             blame: None,
+            memory_anatomy: None,
+            function_waste: Vec::new(),
             registry: faasmem_metrics::MetricsRegistry::new(),
         }
     }

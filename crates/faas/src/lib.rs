@@ -65,8 +65,8 @@ pub use platform::{FaultConfig, PlatformBuilder, PlatformConfig, PlatformSim};
 pub use policy::{MemoryPolicy, NullPolicy, PolicyCtx};
 pub use rack::{NodeProfile, RackPlan, RackReport};
 pub use report::{
-    ContainerRecord, DurabilityReport, FaultReport, FunctionSummary, RequestRecord, RunReport,
-    RunSummary,
+    ContainerRecord, DurabilityReport, FaultReport, FunctionSummary, FunctionWaste,
+    MemoryAnatomyReport, RequestRecord, RunReport, RunSummary,
 };
 pub use shard::{ShardSpec, CONTROL_SHARD};
 
@@ -78,3 +78,9 @@ pub use faasmem_workload::FunctionId;
 // it, so harness code can consume `RunReport::blame` without a direct
 // metrics dependency.
 pub use faasmem_metrics::{BlameComponent, BlameReport, ComponentBlame, BLAME_COMPONENTS};
+
+// Same for the waste vocabulary carried by `RunReport::memory_anatomy`.
+pub use faasmem_mem::{FlowMatrix, FlowRow, PageFlows, FLOW_STATES};
+pub use faasmem_metrics::{
+    byte_us_to_byte_secs, WasteComponent, WasteLedger, WasteReport, WasteSide, WASTE_COMPONENTS,
+};

@@ -2,9 +2,10 @@
 
 use std::collections::HashMap;
 
-use faasmem_mem::{mib_to_pages, PageId};
+use faasmem_mem::{mib_to_pages, FlowMatrix, PageId};
 use faasmem_metrics::{
     BlameAccumulator, BlameBreakdown, BlameComponent, MetricsRegistry, SloTracker,
+    WasteAccumulator, WasteComponent, WasteLedger,
 };
 use faasmem_pool::{
     BandwidthGovernor, CircuitBreaker, FabricConfig, PoolConfig, PoolFabric, RecallOutcome,
@@ -18,7 +19,10 @@ use faasmem_workload::{BenchmarkSpec, FunctionId, Invocation, InvocationTrace, R
 
 use crate::container::{Container, ContainerId, ContainerStage};
 use crate::policy::{MemoryPolicy, NullPolicy, PolicyCtx};
-use crate::report::{ContainerRecord, DurabilityReport, FaultReport, RequestRecord, RunReport};
+use crate::report::{
+    ContainerRecord, DurabilityReport, FaultReport, FunctionWaste, MemoryAnatomyReport,
+    RequestRecord, RunReport,
+};
 
 /// Platform-wide configuration.
 ///
@@ -73,6 +77,14 @@ pub struct PlatformConfig {
     /// no extra events — so enabling it cannot perturb the run; off by
     /// default so pre-blame artifacts stay byte-identical by omission.
     pub blame: bool,
+    /// Byte-second memory anatomy: integrate resident memory over sim
+    /// time and decompose it into named occupancy components (active
+    /// exec, keep-alive idle, init overhead, hot pool, pool primary,
+    /// redundancy, repair backlog, in-flight), with the page-lifecycle
+    /// flow matrix alongside. Pure observation like `blame` — no RNG
+    /// draws, no extra events — and off by default so pre-anatomy
+    /// artifacts stay byte-identical by omission.
+    pub memory_anatomy: bool,
 }
 
 /// Fault injection plus the platform's reaction policy.
@@ -154,6 +166,7 @@ impl Default for PlatformConfig {
             seed: 0xFAA5,
             faults: None,
             blame: false,
+            memory_anatomy: false,
         }
     }
 }
@@ -248,6 +261,13 @@ impl PlatformBuilder {
         self
     }
 
+    /// Enables byte-second memory anatomy (see
+    /// [`PlatformConfig::memory_anatomy`]).
+    pub fn memory_anatomy(mut self, on: bool) -> Self {
+        self.config.memory_anatomy = on;
+        self
+    }
+
     /// Configures the multi-node pool fabric (see [`FabricConfig`]).
     pub fn fabric(mut self, fabric: FabricConfig) -> Self {
         self.config.fabric = fabric;
@@ -294,6 +314,10 @@ impl PlatformBuilder {
             Some(fabric)
         };
         let blame = self.config.blame.then(BlameAccumulator::new);
+        let anatomy = self
+            .config
+            .memory_anatomy
+            .then(|| AnatomyRuntime::new(self.specs.len()));
         PlatformSim {
             rng: SimRng::seed_from(self.config.seed),
             pool,
@@ -308,6 +332,7 @@ impl PlatformBuilder {
             reuse_gaps: HashMap::new(),
             faults: None,
             blame,
+            anatomy,
             tracer: self.tracer,
             sampler: self.sampler,
             peak_local_bytes: 0,
@@ -427,6 +452,47 @@ fn stall_component(cause: StallCause) -> BlameComponent {
     }
 }
 
+/// Runtime state of byte-second memory anatomy (see
+/// [`PlatformConfig::memory_anatomy`]): the interval integrator, the
+/// per-function ledgers, and the lifecycle flow matrix.
+#[derive(Debug)]
+struct AnatomyRuntime {
+    /// Run-wide integrator with the per-side conservation checks.
+    acc: WasteAccumulator,
+    /// Per-function ledgers indexed by function id: each function's
+    /// compute-side charges plus the primary pool occupancy of its own
+    /// offloaded pages.
+    per_function: Vec<WasteLedger>,
+    /// Lifecycle edges folded in once per container, at recycle time.
+    flow: FlowMatrix,
+    /// End of the last integrated interval.
+    last: SimTime,
+    /// Pool transfer byte-µs already charged to `offload_inflight`.
+    last_transfer_byte_us: u128,
+}
+
+impl AnatomyRuntime {
+    fn new(functions: usize) -> Self {
+        AnatomyRuntime {
+            acc: WasteAccumulator::new(),
+            per_function: vec![WasteLedger::new(); functions],
+            flow: FlowMatrix::new(),
+            last: SimTime::ZERO,
+            last_transfer_byte_us: 0,
+        }
+    }
+}
+
+/// The compute-side component a container's plain (non-hot-pool) local
+/// pages occupy, by lifecycle stage.
+fn stage_waste_component(stage: ContainerStage) -> WasteComponent {
+    match stage {
+        ContainerStage::Launching | ContainerStage::Initializing => WasteComponent::InitOverhead,
+        ContainerStage::Executing => WasteComponent::ActiveExec,
+        ContainerStage::KeepAlive => WasteComponent::KeepaliveIdle,
+    }
+}
+
 /// The serverless-platform simulator.
 ///
 /// Construct with [`PlatformSim::builder`], then call [`PlatformSim::run`]
@@ -452,6 +518,12 @@ pub struct PlatformSim {
     /// report is shard-invariant by the same argument as every other
     /// aggregate.
     blame: Option<BlameAccumulator>,
+    /// Byte-second occupancy integrator; `Some` only when
+    /// [`PlatformConfig::memory_anatomy`] is set. Charges at the top of
+    /// `process_event` — before any state mutates — so each interval is
+    /// integrated against the frozen pre-event state, in the global
+    /// `(time, seq)` order both drivers replay identically.
+    anatomy: Option<AnatomyRuntime>,
     /// Placement/durability ledger over the pool nodes; `None` for the
     /// degenerate single-node, no-redundancy configuration (the entire
     /// pre-fabric fast path).
@@ -632,6 +704,8 @@ impl PlatformSim {
             faults: None,
             durability: None,
             blame: None,
+            memory_anatomy: None,
+            function_waste: Vec::new(),
             registry: MetricsRegistry::new(),
         };
         report.local_mem.record(SimTime::ZERO, 0.0);
@@ -653,6 +727,10 @@ impl PlatformSim {
     ) {
         {
             self.tracer.set_now(now);
+            // Integrate occupancy over the interval ending now, against
+            // the state frozen since the previous event — before the
+            // breaker, fabric repairs or the event mutate anything.
+            self.anatomy_advance(now);
             if let Some(fr) = &mut self.faults {
                 // Graceful degradation: while the breaker holds the pool
                 // unhealthy, policies refuse new offloads and the
@@ -717,6 +795,8 @@ impl PlatformSim {
     /// Drains leftover containers and fills the report's run-end fields.
     /// `now` is the final clock time after the event loop emptied.
     pub(crate) fn finish(&mut self, now: SimTime, report: &mut RunReport) {
+        // Close the final occupancy interval before draining state.
+        self.anatomy_advance(now);
         // Retire any containers still alive (should not happen after the
         // keep-alive drain, but be robust).
         let mut leftover: Vec<ContainerId> = self.containers.keys().copied().collect();
@@ -760,6 +840,23 @@ impl PlatformSim {
             tracker: *fabric.tracker(),
         });
         report.blame = self.blame.as_ref().map(|acc| acc.report());
+        if let Some(an) = &self.anatomy {
+            report.memory_anatomy = Some(MemoryAnatomyReport {
+                waste: an.acc.report(),
+                flow: an.flow,
+            });
+            report.function_waste = an
+                .per_function
+                .iter()
+                .enumerate()
+                .filter(|(_, ledger)| ledger.total() > 0)
+                .map(|(i, ledger)| FunctionWaste {
+                    function: FunctionId(i as u32),
+                    name: self.specs[i].name,
+                    ledger: *ledger,
+                })
+                .collect();
+        }
         self.fill_registry(report);
     }
 
@@ -795,6 +892,78 @@ impl PlatformSim {
     /// the report, so shard count cannot leak into any output artefact.
     pub fn pool_shard_traffic(&self) -> &[faasmem_pool::ShardTraffic] {
         self.pool.shard_traffic()
+    }
+
+    /// Integrates resident memory over the interval since the last event
+    /// into the anatomy ledgers. Called at the top of
+    /// [`PlatformSim::process_event`] — before any state mutates — so each
+    /// interval is charged against the exact state that held throughout
+    /// it (state is frozen between events, so piecewise-constant
+    /// integration is exact). No-op when anatomy is off.
+    fn anatomy_advance(&mut self, now: SimTime) {
+        let Some(an) = self.anatomy.as_mut() else {
+            return;
+        };
+        let elapsed = u128::from(now.saturating_since(an.last).as_micros());
+        let transfer_now = self.pool.transfer_byte_micros();
+        let inflight_delta = transfer_now - an.last_transfer_byte_us;
+        if elapsed == 0 && inflight_delta == 0 {
+            return;
+        }
+        an.last = now;
+        an.last_transfer_byte_us = transfer_now;
+
+        // Compute side: every container's local pages, split by lifecycle
+        // stage with hot-pool pages carved out. HashMap iteration order is
+        // fine here: u128 summation is order-independent, so the ledger is
+        // identical however the containers are visited.
+        let mut delta = WasteLedger::new();
+        let mut measured_compute: u128 = 0;
+        let mut remote_byte_us: u128 = 0;
+        for c in self.containers.values() {
+            let table = c.table();
+            let local_bytes = u128::from(table.local_bytes());
+            let hot_bytes = u128::from(table.hot_local_pages() * self.config.page_size);
+            let plain_bytes = local_bytes.saturating_sub(hot_bytes);
+            let stage = stage_waste_component(c.stage());
+            delta.charge(stage, plain_bytes * elapsed);
+            delta.charge(WasteComponent::LocalHotPool, hot_bytes * elapsed);
+            measured_compute += local_bytes * elapsed;
+            let remote = u128::from(table.remote_bytes()) * elapsed;
+            remote_byte_us += remote;
+            let ledger = &mut an.per_function[c.function().0 as usize];
+            ledger.charge(stage, plain_bytes * elapsed);
+            ledger.charge(WasteComponent::LocalHotPool, hot_bytes * elapsed);
+            ledger.charge(WasteComponent::PoolPrimary, remote);
+        }
+
+        // Pool side. Primary occupancy comes from the pool's own ledger,
+        // while the measured total is rebuilt from the page tables plus
+        // fabric overheads — the conservation check is exactly the
+        // cross-ledger reconciliation of those two views.
+        delta.charge(
+            WasteComponent::PoolPrimary,
+            u128::from(self.pool.used_bytes()) * elapsed,
+        );
+        let occupancy = self
+            .fabric
+            .as_ref()
+            .map(|f| f.occupancy())
+            .unwrap_or_default();
+        let overhead_byte_us =
+            u128::from(occupancy.redundant_bytes + occupancy.repair_backlog_bytes) * elapsed;
+        delta.charge(
+            WasteComponent::RedundancyAmplification,
+            u128::from(occupancy.redundant_bytes) * elapsed,
+        );
+        delta.charge(
+            WasteComponent::RepairBacklog,
+            u128::from(occupancy.repair_backlog_bytes) * elapsed,
+        );
+        delta.charge(WasteComponent::OffloadInflight, inflight_delta);
+        let measured_pool = remote_byte_us + overhead_byte_us + inflight_delta;
+
+        an.acc.record_step(&delta, measured_compute, measured_pool);
     }
 
     /// Snapshots the run's counters and gauges into the report registry.
@@ -1028,9 +1197,16 @@ impl PlatformSim {
             let mut local_pages = 0u64;
             let mut remote_pages = 0u64;
             let mut gen_hist = [0u64; 4];
+            let mut keepalive_pages = 0u64;
+            let mut active_pages = 0u64;
             for c in self.containers.values() {
                 local_pages += c.table().local_pages();
                 remote_pages += c.table().remote_pages();
+                match c.stage() {
+                    ContainerStage::KeepAlive => keepalive_pages += c.table().local_pages(),
+                    ContainerStage::Executing => active_pages += c.table().local_pages(),
+                    _ => {}
+                }
                 for (bucket, count) in c
                     .table()
                     .generation_age_histogram(4)
@@ -1039,6 +1215,19 @@ impl PlatformSim {
                 {
                     gen_hist[bucket] += count;
                 }
+            }
+            // Stage-split resident bytes feed the dashboard's memory
+            // anatomy panel. Gated on the anatomy flag so pre-anatomy
+            // series artefacts stay byte-identical by omission.
+            if self.anatomy.is_some() {
+                row.push((
+                    "mem.keepalive_idle_bytes",
+                    (keepalive_pages * self.config.page_size) as f64,
+                ));
+                row.push((
+                    "mem.active_bytes",
+                    (active_pages * self.config.page_size) as f64,
+                ));
             }
             row.push(("mem.local_pages", local_pages as f64));
             row.push(("mem.remote_pages", remote_pages as f64));
@@ -1669,6 +1858,11 @@ impl PlatformSim {
             self.policy.on_container_recycled(&mut ctx);
         }
         let container = self.containers.remove(&id).expect("container to recycle");
+        if let Some(an) = &mut self.anatomy {
+            // Fold the table's lifecycle edges and still-resident pages
+            // into the run-wide flow matrix at end of container life.
+            an.flow.absorb(container.table());
+        }
         let remote_pages = container.table().remote_pages();
         if remote_pages > 0 {
             self.pool
@@ -2559,6 +2753,118 @@ mod tests {
                 .map(|&c| blame.component(c).total.as_micros())
                 .sum();
             proptest::prop_assert_eq!(component_sum, latency_sum);
+        }
+    }
+
+    #[test]
+    fn anatomy_is_off_by_default() {
+        let mut s = sim();
+        let r = s.run(&one_function_trace(&[10]));
+        assert!(r.memory_anatomy.is_none());
+        assert!(r.function_waste.is_empty());
+    }
+
+    #[test]
+    fn anatomy_conserves_and_attributes_residency() {
+        use faasmem_metrics::WasteComponent;
+        let mut s = PlatformSim::builder()
+            .register_function(spec())
+            .policy(OffloadInitPolicy)
+            .memory_anatomy(true)
+            .seed(5)
+            .build();
+        let r = s.run(&one_function_trace(&[10, 30, 700]));
+        let an = r.memory_anatomy.expect("anatomy enabled");
+        assert_eq!(an.conservation_violations(), 0);
+        let w = an.waste;
+        assert!(w.steps > 0);
+        assert!(w.component(WasteComponent::ActiveExec) > 0);
+        // The container dwells in keep-alive between the bursts.
+        assert!(w.component(WasteComponent::KeepaliveIdle) > 0);
+        // Init pages offloaded by the policy occupy the pool and paid
+        // link time on the way out.
+        assert!(w.component(WasteComponent::PoolPrimary) > 0);
+        assert!(w.component(WasteComponent::OffloadInflight) > 0);
+        // Every table was folded into the flow ledger and its rows tile.
+        assert_eq!(an.flow.row_violations(), 0);
+        assert!(an.flow.tables >= 1);
+        assert!(an.flow.flows.offloaded > 0);
+        // Per-function ledgers tile the run-wide compute side exactly.
+        assert!(!r.function_waste.is_empty());
+        for c in [
+            WasteComponent::ActiveExec,
+            WasteComponent::KeepaliveIdle,
+            WasteComponent::InitOverhead,
+            WasteComponent::LocalHotPool,
+        ] {
+            let from_functions: u128 = r.function_waste.iter().map(|f| f.ledger.get(c)).sum();
+            assert_eq!(from_functions, w.component(c), "component {}", c.name());
+        }
+    }
+
+    #[test]
+    fn anatomy_does_not_perturb_the_run() {
+        let run = |on: bool| {
+            let mut s = PlatformSim::builder()
+                .register_function(spec())
+                .policy(OffloadInitPolicy)
+                .memory_anatomy(on)
+                .seed(5)
+                .build();
+            let mut r = s.run(&one_function_trace(&[10, 30, 700]));
+            (
+                r.requests_completed,
+                r.cold_starts,
+                r.p95_latency(),
+                r.finished_at,
+                r.pool_stats,
+                r.registry.clone(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(12))]
+        // Anatomy conservation on real runs: both reconciliations — the
+        // stage partition against local bytes and the pool's ledger
+        // against the tables' remote bytes — must close on every
+        // interval, with and without a redundant fabric under fault
+        // injection.
+        #[test]
+        fn prop_anatomy_conserves_on_real_runs(
+            seed in 0u64..1_000,
+            fault_seed in 0u64..4,
+            mins in 2u64..5,
+        ) {
+            let trace = TraceSynthesizer::new(seed ^ 0x0A7A)
+                .load_class(LoadClass::High)
+                .duration(SimTime::from_mins(mins))
+                .synthesize_for(FunctionId(0));
+            let mut b = PlatformSim::builder()
+                .register_function(spec())
+                .policy(OffloadInitPolicy)
+                .memory_anatomy(true)
+                .seed(seed);
+            if fault_seed > 0 {
+                b = b
+                    .fabric(FabricConfig {
+                        nodes: 2,
+                        redundancy: faasmem_pool::RedundancyPolicy::Mirror { k: 2 },
+                        ..FabricConfig::default()
+                    })
+                    .faults(FaultConfig {
+                        spec: FaultSpec::new(fault_seed)
+                            .outages(SimDuration::from_mins(2), SimDuration::from_secs(20)),
+                        ..FaultConfig::default()
+                    });
+            }
+            let mut s = b.build();
+            let r = s.run(&trace);
+            let an = r.memory_anatomy.expect("anatomy enabled");
+            proptest::prop_assert_eq!(an.waste.conservation_violations, 0);
+            proptest::prop_assert_eq!(an.flow.row_violations(), 0);
+            proptest::prop_assert!(an.waste.steps > 0);
         }
     }
 }

@@ -2,9 +2,10 @@
 
 use std::collections::HashMap;
 
+use faasmem_mem::FlowMatrix;
 use faasmem_metrics::{
     BlameReport, Cdf, DurabilityTracker, LatencyRecorder, LatencySummary, MetricsRegistry,
-    TimeSeries,
+    TimeSeries, WasteLedger, WasteReport,
 };
 use faasmem_pool::PoolStats;
 use faasmem_sim::{SimDuration, SimTime};
@@ -95,6 +96,13 @@ pub struct RunReport {
     /// Per-invocation latency blame (component distributions and tail
     /// attribution); `None` unless the platform ran with blame enabled.
     pub blame: Option<BlameReport>,
+    /// Byte-second memory anatomy (waste decomposition plus the page
+    /// lifecycle flow matrix); `None` unless the platform ran with
+    /// memory anatomy enabled.
+    pub memory_anatomy: Option<MemoryAnatomyReport>,
+    /// Per-function waste ledgers, sorted by function id; empty unless
+    /// memory anatomy was enabled.
+    pub function_waste: Vec<FunctionWaste>,
     /// Named counters and gauges snapshotted at run end — the
     /// introspection surface the harness serializes per cell.
     pub registry: MetricsRegistry,
@@ -228,8 +236,43 @@ impl RunReport {
             faults: self.faults,
             durability: self.durability,
             blame: self.blame,
+            memory_anatomy: self.memory_anatomy,
         }
     }
+}
+
+/// Byte-second memory anatomy of one run: the integrated-occupancy
+/// waste decomposition and the page-lifecycle flow matrix, both with
+/// their conservation checks folded in. `None`-gated on [`RunReport`]
+/// exactly like [`FaultReport`] and [`BlameReport`], so runs without
+/// anatomy keep byte-identical artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryAnatomyReport {
+    /// The integrated byte-second waste decomposition.
+    pub waste: WasteReport,
+    /// Page-lifecycle flows aggregated over every container's table.
+    pub flow: FlowMatrix,
+}
+
+impl MemoryAnatomyReport {
+    /// Total conservation violations across both the waste side checks
+    /// and the flow rows (zero by contract).
+    pub fn conservation_violations(&self) -> u64 {
+        self.waste.conservation_violations + self.flow.row_violations()
+    }
+}
+
+/// One function's accumulated waste ledger (see
+/// [`RunReport::function_waste`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FunctionWaste {
+    /// The function.
+    pub function: FunctionId,
+    /// The function's name from the workload spec.
+    pub name: &'static str,
+    /// Byte-µs charged to this function's containers (compute side) and
+    /// its offloaded pages' primary pool occupancy.
+    pub ledger: WasteLedger,
 }
 
 /// Durability outcomes of a run against a multi-node pool fabric: what
@@ -336,6 +379,8 @@ pub struct RunSummary {
     pub durability: Option<DurabilityReport>,
     /// Latency-blame digest; `None` unless blame was enabled.
     pub blame: Option<BlameReport>,
+    /// Byte-second memory anatomy; `None` unless anatomy was enabled.
+    pub memory_anatomy: Option<MemoryAnatomyReport>,
 }
 
 /// One function's view of a run (see
@@ -400,6 +445,8 @@ mod tests {
             faults: None,
             durability: None,
             blame: None,
+            memory_anatomy: None,
+            function_waste: Vec::new(),
             registry: MetricsRegistry::new(),
         }
     }

@@ -35,12 +35,14 @@
 //! assert_eq!(outcome.faulted, 0); // all local, no remote faults
 //! ```
 
+pub mod flow;
 pub mod page;
 pub mod reference;
 pub mod regions;
 pub mod stats;
 pub mod table;
 
+pub use flow::{FlowMatrix, FlowRow, PageFlows, FLOW_STATES};
 pub use page::{PageId, PageMeta, PageRange, PageState, Segment};
 pub use reference::ReferencePageTable;
 pub use regions::{Region, RegionConfig, RegionMonitor};

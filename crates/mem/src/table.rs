@@ -25,6 +25,7 @@
 //! (the slack of the last partial word) are kept set, so the live-page
 //! mask of any word is simply `!freed[w]` with no last-word special case.
 
+use crate::flow::PageFlows;
 use crate::page::{PageId, PageMeta, PageRange, PageState, Segment};
 use crate::stats::MemStats;
 use faasmem_trace::{EventKind, TraceLayer, Tracer};
@@ -133,9 +134,22 @@ pub struct PageTable {
     remote_pages: u64,
     freed_pages: u64,
     local_by_segment: [u64; 3],
+    /// Live local pages currently flagged hot-pool — the `hot_pool`
+    /// bitmap restricted to local residency, maintained incrementally
+    /// at every transition so occupancy accounting reads it in O(1).
+    hot_local_pages: u64,
     /// Lifetime counters for bandwidth accounting.
     total_offloaded: u64,
     total_faulted: u64,
+    /// Lifetime page-lifecycle edge counters beyond the two above:
+    /// together with them they form the flow matrix (see
+    /// [`crate::flow`]). Every residency transition increments exactly
+    /// one edge, which is what makes the flow rows conserve.
+    total_allocated: u64,
+    total_reused: u64,
+    total_prefetched: u64,
+    total_freed_local: u64,
+    total_freed_remote: u64,
     /// Trace emission handle (disabled by default) and the container id
     /// batch events are attributed to.
     tracer: Tracer,
@@ -169,8 +183,14 @@ impl PageTable {
             remote_pages: 0,
             freed_pages: 0,
             local_by_segment: [0; 3],
+            hot_local_pages: 0,
             total_offloaded: 0,
             total_faulted: 0,
+            total_allocated: 0,
+            total_reused: 0,
+            total_prefetched: 0,
+            total_freed_local: 0,
+            total_freed_remote: 0,
             tracer: Tracer::disabled(),
             owner: None,
         }
@@ -298,6 +318,7 @@ impl PageTable {
         self.len = new_len;
         self.local_pages += u64::from(count);
         self.local_by_segment[segment.index()] += u64::from(count);
+        self.total_allocated += u64::from(count);
         self.bump_gen_live(self.current_gen, u64::from(count));
         PageRange::new(PageId(start as u32), count)
     }
@@ -321,6 +342,7 @@ impl PageTable {
         self.freed_pages -= u64::from(range.len());
         self.local_pages += u64::from(range.len());
         self.local_by_segment[Segment::Execution.index()] += u64::from(range.len());
+        self.total_reused += u64::from(range.len());
         self.bump_gen_live(self.current_gen, u64::from(range.len()));
     }
 
@@ -387,6 +409,7 @@ impl PageTable {
             self.remote_pages -= 1;
             self.local_pages += 1;
             self.local_by_segment[self.segment[i] as usize] += 1;
+            self.hot_local_pages += u64::from(self.hot_pool[w] & b != 0);
             self.total_faulted += 1;
             true
         } else {
@@ -419,6 +442,7 @@ impl PageTable {
                     let n = u64::from(faulted.count_ones());
                     self.remote_pages -= n;
                     self.local_pages += n;
+                    self.hot_local_pages += u64::from((faulted & self.hot_pool[w]).count_ones());
                     self.total_faulted += n;
                     let mut bits = faulted;
                     while bits != 0 {
@@ -479,6 +503,8 @@ impl PageTable {
         self.remote_pages -= 1;
         self.local_pages += 1;
         self.local_by_segment[self.segment[i] as usize] += 1;
+        self.hot_local_pages += u64::from(self.hot_pool[w] & b != 0);
+        self.total_prefetched += 1;
         true
     }
 
@@ -504,6 +530,7 @@ impl PageTable {
                 }
                 moved += movable.count_ones();
                 self.remote[w] &= !movable;
+                self.hot_local_pages += u64::from((movable & self.hot_pool[w]).count_ones());
                 let mut bits = movable;
                 while bits != 0 {
                     let i = (w << 6) | bits.trailing_zeros() as usize;
@@ -514,6 +541,7 @@ impl PageTable {
         }
         self.remote_pages -= u64::from(moved);
         self.local_pages += u64::from(moved);
+        self.total_prefetched += u64::from(moved);
         self.trace_page_in(moved);
         moved
     }
@@ -544,6 +572,7 @@ impl PageTable {
         self.local_pages -= 1;
         self.local_by_segment[self.segment[i] as usize] -= 1;
         self.remote_pages += 1;
+        self.hot_local_pages -= u64::from(self.hot_pool[w] & b != 0);
         self.total_offloaded += 1;
         true
     }
@@ -559,6 +588,7 @@ impl PageTable {
                 }
                 moved += movable.count_ones();
                 self.remote[w] |= movable;
+                self.hot_local_pages -= u64::from((movable & self.hot_pool[w]).count_ones());
                 let mut bits = movable;
                 while bits != 0 {
                     let i = (w << 6) | bits.trailing_zeros() as usize;
@@ -619,6 +649,9 @@ impl PageTable {
                 self.freed_pages += n;
                 self.remote_pages -= nr;
                 self.local_pages -= n - nr;
+                self.total_freed_local += n - nr;
+                self.total_freed_remote += nr;
+                self.hot_local_pages -= u64::from((live & self.hot_pool[w] & !remote).count_ones());
                 self.freed[w] |= live;
                 // The recently-faulted flag deliberately survives a free
                 // (scans consume it; recycling resets it).
@@ -984,6 +1017,7 @@ impl PageTable {
                 self.hot_pool[w] &= !local_hot;
             }
         }
+        self.hot_local_pages -= u64::from(cleared);
         cleared
     }
 
@@ -1019,10 +1053,21 @@ impl PageTable {
     pub fn set_in_hot_pool(&mut self, id: PageId, on: bool) {
         self.assert_allocated(id);
         let (w, b) = word_bit(id.index());
+        let was = self.hot_pool[w] & b != 0;
+        if was == on {
+            return;
+        }
         if on {
             self.hot_pool[w] |= b;
         } else {
             self.hot_pool[w] &= !b;
+        }
+        if (self.freed[w] | self.remote[w]) & b == 0 {
+            if on {
+                self.hot_local_pages += 1;
+            } else {
+                self.hot_local_pages -= 1;
+            }
         }
     }
 
@@ -1087,6 +1132,28 @@ impl PageTable {
     /// Lifetime count of remote pages faulted back in.
     pub fn total_faulted(&self) -> u64 {
         self.total_faulted
+    }
+
+    /// Live local pages currently flagged hot-pool, in O(1) — the
+    /// occupancy-accounting view of the hot pool (the `LocalHotPool`
+    /// waste component charges these bytes).
+    pub fn hot_local_pages(&self) -> u64 {
+        self.hot_local_pages
+    }
+
+    /// The table's lifetime page-lifecycle edge counts: one increment
+    /// per residency transition, so each flow row conserves against
+    /// the current resident counts (see [`crate::flow::FlowMatrix`]).
+    pub fn flows(&self) -> PageFlows {
+        PageFlows {
+            allocated: self.total_allocated,
+            reused: self.total_reused,
+            offloaded: self.total_offloaded,
+            recalled_demand: self.total_faulted,
+            recalled_prefetch: self.total_prefetched,
+            freed_local: self.total_freed_local,
+            freed_remote: self.total_freed_remote,
+        }
     }
 
     /// A cgroup-style accounting snapshot.

@@ -36,6 +36,7 @@ pub mod latency;
 pub mod registry;
 pub mod slo;
 pub mod timeseries;
+pub mod waste;
 
 pub use blame::{
     BlameAccumulator, BlameBreakdown, BlameComponent, BlameReport, ComponentBlame, BLAME_COMPONENTS,
@@ -47,3 +48,7 @@ pub use latency::{LatencyRecorder, LatencySummary};
 pub use registry::MetricsRegistry;
 pub use slo::SloTracker;
 pub use timeseries::TimeSeries;
+pub use waste::{
+    byte_us_to_byte_secs, WasteAccumulator, WasteComponent, WasteLedger, WasteReport, WasteSide,
+    WASTE_COMPONENTS,
+};

@@ -1,0 +1,456 @@
+//! Byte-second memory waste accounting: exact decomposition of
+//! integrated resident memory into named occupancy components.
+//!
+//! The paper's whole argument is about *where* resident memory is
+//! wasted — idle keep-alive pages that could live in the pool — so this
+//! module gives memory the same causal anatomy [`crate::blame`] gave
+//! latency. The platform integrates occupancy over simulated time as a
+//! step function: between two consecutive events every byte count is
+//! frozen, so charging `bytes × elapsed_micros` per interval is an
+//! *exact* integral in integer byte-microseconds, not an approximation.
+//!
+//! Each interval's charge is split across two independently-conserving
+//! sides:
+//!
+//! * **compute side** — node-local DRAM, partitioned by what holds the
+//!   pages: active execution, keep-alive idle (the paper's cold waste),
+//!   cold-start init overhead, and the local hot pool;
+//! * **pool side** — remote-pool occupancy, partitioned into primary
+//!   (first-copy) bytes, redundancy amplification (replicas/parity
+//!   beyond the first copy), repair backlog, and in-flight transfer
+//!   bytes on the interconnect.
+//!
+//! The **conservation invariant** mirrors blame's: per recorded step the
+//! compute components sum exactly to an independently measured compute
+//! integral, and the pool components to an independently measured pool
+//! integral. The two measurements come from *different ledgers* than
+//! the component charges (page-table counters vs. the pool's own byte
+//! ledger), so the check is a real cross-ledger reconciliation, counted
+//! — never dropped — and property-tested like blame's.
+//!
+//! All arithmetic is `u128`: a 1 GiB container idling for one hour is
+//! already ~3.9 × 10²¹ byte-µs, past `u64`. Reports convert to f64
+//! byte-seconds only at the JSON boundary.
+
+/// The named occupancy components one byte-microsecond is charged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WasteComponent {
+    /// Local pages of a container that is executing a request.
+    ActiveExec,
+    /// Local pages of an idle keep-alive container — the paper's cold
+    /// waste, the byte-seconds FaaSMem exists to reclaim.
+    KeepaliveIdle,
+    /// Local pages of a container still cold-starting (launching or
+    /// initializing).
+    InitOverhead,
+    /// Local pages pinned in the policy's hot pool, whatever the
+    /// container's stage.
+    LocalHotPool,
+    /// Bytes in flight on the interconnect, integrated over each
+    /// transfer's stall window.
+    OffloadInflight,
+    /// First-copy bytes resident in the remote pool.
+    PoolPrimary,
+    /// Replica/parity bytes beyond the first copy (the redundancy
+    /// premium of a durable fabric).
+    RedundancyAmplification,
+    /// Bytes queued for background repair after a pool-node loss.
+    RepairBacklog,
+}
+
+/// Number of waste components; the length of every per-component array.
+pub const WASTE_COMPONENTS: usize = 8;
+
+/// Which conservation side a component belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WasteSide {
+    /// Node-local DRAM.
+    Compute,
+    /// Remote pool and interconnect.
+    Pool,
+}
+
+impl WasteComponent {
+    /// Every component, in canonical (reporting) order: the compute
+    /// side first, then the pool side.
+    pub const ALL: [WasteComponent; WASTE_COMPONENTS] = [
+        WasteComponent::ActiveExec,
+        WasteComponent::KeepaliveIdle,
+        WasteComponent::InitOverhead,
+        WasteComponent::LocalHotPool,
+        WasteComponent::OffloadInflight,
+        WasteComponent::PoolPrimary,
+        WasteComponent::RedundancyAmplification,
+        WasteComponent::RepairBacklog,
+    ];
+
+    /// Stable snake_case name used in JSON exports and query filters.
+    pub fn name(self) -> &'static str {
+        match self {
+            WasteComponent::ActiveExec => "active_exec",
+            WasteComponent::KeepaliveIdle => "keepalive_idle",
+            WasteComponent::InitOverhead => "init_overhead",
+            WasteComponent::LocalHotPool => "local_hot_pool",
+            WasteComponent::OffloadInflight => "offload_inflight",
+            WasteComponent::PoolPrimary => "pool_primary",
+            WasteComponent::RedundancyAmplification => "redundancy_amplification",
+            WasteComponent::RepairBacklog => "repair_backlog",
+        }
+    }
+
+    /// Parses a component from its canonical name.
+    pub fn from_name(name: &str) -> Option<WasteComponent> {
+        WasteComponent::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    /// Position in [`WasteComponent::ALL`] (and every component array).
+    pub fn index(self) -> usize {
+        WasteComponent::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("component in ALL")
+    }
+
+    /// The conservation side this component tiles.
+    pub fn side(self) -> WasteSide {
+        match self {
+            WasteComponent::ActiveExec
+            | WasteComponent::KeepaliveIdle
+            | WasteComponent::InitOverhead
+            | WasteComponent::LocalHotPool => WasteSide::Compute,
+            WasteComponent::OffloadInflight
+            | WasteComponent::PoolPrimary
+            | WasteComponent::RedundancyAmplification
+            | WasteComponent::RepairBacklog => WasteSide::Pool,
+        }
+    }
+}
+
+/// Byte-microseconds charged per component — one event interval's
+/// delta, or a whole run's (or function's) accumulated ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WasteLedger {
+    parts: [u128; WASTE_COMPONENTS],
+}
+
+impl WasteLedger {
+    /// An all-zero ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds byte-microseconds to one component.
+    pub fn charge(&mut self, component: WasteComponent, byte_us: u128) {
+        self.parts[component.index()] += byte_us;
+    }
+
+    /// The amount charged to one component, in byte-microseconds.
+    pub fn get(&self, component: WasteComponent) -> u128 {
+        self.parts[component.index()]
+    }
+
+    /// Adds every component of `other` into this ledger.
+    pub fn merge(&mut self, other: &WasteLedger) {
+        for (acc, &part) in self.parts.iter_mut().zip(&other.parts) {
+            *acc += part;
+        }
+    }
+
+    /// Sum of the components on one conservation side.
+    pub fn side_total(&self, side: WasteSide) -> u128 {
+        WasteComponent::ALL
+            .iter()
+            .filter(|c| c.side() == side)
+            .map(|&c| self.get(c))
+            .sum()
+    }
+
+    /// Sum of all components.
+    pub fn total(&self) -> u128 {
+        self.parts.iter().sum()
+    }
+
+    /// Raw per-component byte-microsecond values in
+    /// [`WasteComponent::ALL`] order.
+    pub fn parts(&self) -> &[u128; WASTE_COMPONENTS] {
+        &self.parts
+    }
+}
+
+/// Accumulates per-interval occupancy charges during a run and folds
+/// them into a [`WasteReport`] at the end.
+///
+/// Steps must be recorded in the deterministic event order both drivers
+/// replay identically; the accumulator only sums, so the resulting
+/// report is a pure function of the run.
+#[derive(Debug, Clone, Default)]
+pub struct WasteAccumulator {
+    ledger: WasteLedger,
+    measured_compute: u128,
+    measured_pool: u128,
+    steps: u64,
+    conservation_violations: u64,
+}
+
+impl WasteAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event interval's charges.
+    ///
+    /// `delta` carries the per-component byte-µs of the interval;
+    /// `measured_compute` / `measured_pool` are the same integrals
+    /// measured through independent ledgers. Checks that each side's
+    /// components sum exactly to its measurement and counts — never
+    /// drops — violating steps, so the invariant is observable in the
+    /// report and enforceable in tests.
+    pub fn record_step(
+        &mut self,
+        delta: &WasteLedger,
+        measured_compute: u128,
+        measured_pool: u128,
+    ) {
+        let compute = delta.side_total(WasteSide::Compute);
+        let pool = delta.side_total(WasteSide::Pool);
+        if compute != measured_compute || pool != measured_pool {
+            self.conservation_violations += 1;
+        }
+        debug_assert_eq!(
+            compute, measured_compute,
+            "compute-side components must tile the measured local integral"
+        );
+        debug_assert_eq!(
+            pool, measured_pool,
+            "pool-side components must tile the measured pool integral"
+        );
+        self.ledger.merge(delta);
+        self.measured_compute += measured_compute;
+        self.measured_pool += measured_pool;
+        self.steps += 1;
+    }
+
+    /// Number of intervals recorded.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Folds the accumulated charges into a report.
+    pub fn report(&self) -> WasteReport {
+        WasteReport {
+            steps: self.steps,
+            conservation_violations: self.conservation_violations,
+            compute_byte_us: self.measured_compute,
+            pool_byte_us: self.measured_pool,
+            components: self.ledger.parts,
+        }
+    }
+}
+
+/// Converts integer byte-microseconds to f64 byte-seconds (the JSON
+/// display unit; exactness lives in the integers, not here).
+pub fn byte_us_to_byte_secs(byte_us: u128) -> f64 {
+    byte_us as f64 / 1e6
+}
+
+/// The run-level waste digest. `Copy` so it rides along in the run
+/// summary like the fault, durability and blame blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WasteReport {
+    /// Event intervals integrated.
+    pub steps: u64,
+    /// Steps whose components failed to tile their side's measured
+    /// integral (zero by contract).
+    pub conservation_violations: u64,
+    /// Independently measured compute-side integral, byte-µs.
+    pub compute_byte_us: u128,
+    /// Independently measured pool-side integral, byte-µs.
+    pub pool_byte_us: u128,
+    /// Per-component byte-µs in [`WasteComponent::ALL`] order.
+    pub components: [u128; WASTE_COMPONENTS],
+}
+
+impl WasteReport {
+    /// A report over zero intervals.
+    pub fn empty() -> Self {
+        WasteReport {
+            steps: 0,
+            conservation_violations: 0,
+            compute_byte_us: 0,
+            pool_byte_us: 0,
+            components: [0; WASTE_COMPONENTS],
+        }
+    }
+
+    /// One component's byte-microseconds.
+    pub fn component(&self, component: WasteComponent) -> u128 {
+        self.components[component.index()]
+    }
+
+    /// One component's byte-seconds (display unit).
+    pub fn byte_secs(&self, component: WasteComponent) -> f64 {
+        byte_us_to_byte_secs(self.component(component))
+    }
+
+    /// One side's measured integral, byte-µs.
+    pub fn side_byte_us(&self, side: WasteSide) -> u128 {
+        match side {
+            WasteSide::Compute => self.compute_byte_us,
+            WasteSide::Pool => self.pool_byte_us,
+        }
+    }
+
+    /// This component's share of its own side's integral, in `[0, 1]`
+    /// (0 when the side is empty).
+    pub fn share(&self, component: WasteComponent) -> f64 {
+        let side = self.side_byte_us(component.side());
+        if side == 0 {
+            return 0.0;
+        }
+        self.component(component) as f64 / side as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(parts: &[(WasteComponent, u128)]) -> WasteLedger {
+        let mut d = WasteLedger::new();
+        for &(c, v) in parts {
+            d.charge(c, v);
+        }
+        d
+    }
+
+    #[test]
+    fn component_names_roundtrip() {
+        for c in WasteComponent::ALL {
+            assert_eq!(WasteComponent::from_name(c.name()), Some(c));
+            assert_eq!(WasteComponent::ALL[c.index()], c);
+        }
+        assert_eq!(WasteComponent::from_name("nope"), None);
+    }
+
+    #[test]
+    fn sides_partition_the_components() {
+        let compute = WasteComponent::ALL
+            .iter()
+            .filter(|c| c.side() == WasteSide::Compute)
+            .count();
+        let pool = WasteComponent::ALL
+            .iter()
+            .filter(|c| c.side() == WasteSide::Pool)
+            .count();
+        assert_eq!(compute + pool, WASTE_COMPONENTS);
+        assert_eq!(compute, 4);
+    }
+
+    #[test]
+    fn ledger_sums_by_side() {
+        let d = delta(&[
+            (WasteComponent::ActiveExec, 100),
+            (WasteComponent::KeepaliveIdle, 400),
+            (WasteComponent::PoolPrimary, 70),
+            (WasteComponent::RedundancyAmplification, 30),
+        ]);
+        assert_eq!(d.side_total(WasteSide::Compute), 500);
+        assert_eq!(d.side_total(WasteSide::Pool), 100);
+        assert_eq!(d.total(), 600);
+    }
+
+    #[test]
+    fn empty_accumulator_reports_zeros() {
+        let report = WasteAccumulator::new().report();
+        assert_eq!(report.steps, 0);
+        assert_eq!(report.conservation_violations, 0);
+        assert_eq!(report.share(WasteComponent::KeepaliveIdle), 0.0);
+    }
+
+    #[test]
+    fn report_accumulates_and_shares() {
+        let mut acc = WasteAccumulator::new();
+        acc.record_step(
+            &delta(&[
+                (WasteComponent::KeepaliveIdle, 3_000),
+                (WasteComponent::ActiveExec, 1_000),
+                (WasteComponent::PoolPrimary, 500),
+            ]),
+            4_000,
+            500,
+        );
+        acc.record_step(&delta(&[(WasteComponent::KeepaliveIdle, 1_000)]), 1_000, 0);
+        let report = acc.report();
+        assert_eq!(report.steps, 2);
+        assert_eq!(report.conservation_violations, 0);
+        assert_eq!(report.compute_byte_us, 5_000);
+        assert_eq!(report.pool_byte_us, 500);
+        assert_eq!(report.component(WasteComponent::KeepaliveIdle), 4_000);
+        assert_eq!(report.share(WasteComponent::KeepaliveIdle), 0.8);
+        assert_eq!(report.share(WasteComponent::PoolPrimary), 1.0);
+        assert_eq!(report.byte_secs(WasteComponent::KeepaliveIdle), 0.004);
+    }
+
+    #[test]
+    fn conservation_violations_are_counted() {
+        let mut acc = WasteAccumulator::new();
+        let d = delta(&[(WasteComponent::ActiveExec, 90)]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            acc.record_step(&d, 100, 0);
+        }));
+        if cfg!(debug_assertions) {
+            assert!(result.is_err(), "debug build must assert on violation");
+        } else {
+            assert!(result.is_ok());
+            assert_eq!(acc.report().conservation_violations, 1);
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_sides_conserve_independently(
+            steps in proptest::collection::vec(
+                ((0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+                 (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40)), 1..100)
+        ) {
+            // Conservation in, conservation out: when every step's
+            // components are measured consistently per side, the report
+            // carries zero violations and each side's component sum
+            // equals its measured integral — compute and pool checked
+            // separately, so a pool leak can never hide in compute
+            // slack (and vice versa).
+            let mut acc = WasteAccumulator::new();
+            for &((idle, active, hot), (primary, redundant, inflight)) in &steps {
+                let d = delta(&[
+                    (WasteComponent::KeepaliveIdle, u128::from(idle)),
+                    (WasteComponent::ActiveExec, u128::from(active)),
+                    (WasteComponent::LocalHotPool, u128::from(hot)),
+                    (WasteComponent::PoolPrimary, u128::from(primary)),
+                    (WasteComponent::RedundancyAmplification, u128::from(redundant)),
+                    (WasteComponent::OffloadInflight, u128::from(inflight)),
+                ]);
+                acc.record_step(
+                    &d,
+                    d.side_total(WasteSide::Compute),
+                    d.side_total(WasteSide::Pool),
+                );
+            }
+            let report = acc.report();
+            proptest::prop_assert_eq!(report.conservation_violations, 0);
+            proptest::prop_assert_eq!(report.steps, steps.len() as u64);
+            let compute_sum: u128 = WasteComponent::ALL
+                .iter()
+                .filter(|c| c.side() == WasteSide::Compute)
+                .map(|&c| report.component(c))
+                .sum();
+            let pool_sum: u128 = WasteComponent::ALL
+                .iter()
+                .filter(|c| c.side() == WasteSide::Pool)
+                .map(|&c| report.component(c))
+                .sum();
+            proptest::prop_assert_eq!(compute_sum, report.compute_byte_us);
+            proptest::prop_assert_eq!(pool_sum, report.pool_byte_us);
+        }
+    }
+}

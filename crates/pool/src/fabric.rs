@@ -692,10 +692,35 @@ impl PoolFabric {
             .sum()
     }
 
+    /// A point-in-time attribution of the fabric's occupancy overhead:
+    /// every byte the pool tier holds beyond the primary copies, split
+    /// by cause. Primary bytes themselves are the pool's own ledger
+    /// ([`crate::RemotePool::used_bytes`]); this snapshot covers only
+    /// the premium a durable fabric adds on top.
+    pub fn occupancy(&self) -> FabricOccupancy {
+        FabricOccupancy {
+            redundant_bytes: self.redundant_bytes(),
+            repair_backlog_bytes: self.repair_backlog_bytes(),
+            under_replicated_segments: self.under_replicated() as u64,
+        }
+    }
+
     /// The cumulative durability counters.
     pub fn tracker(&self) -> &DurabilityTracker {
         &self.tracker
     }
+}
+
+/// A point-in-time occupancy-overhead attribution of a pool fabric —
+/// see [`PoolFabric::occupancy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricOccupancy {
+    /// Replica/parity bytes held beyond each segment's primary copy.
+    pub redundant_bytes: u64,
+    /// Bytes of pending repair traffic not yet applied.
+    pub repair_backlog_bytes: u64,
+    /// Segments currently holding fewer live fragments than configured.
+    pub under_replicated_segments: u64,
 }
 
 #[cfg(test)]
@@ -771,6 +796,30 @@ mod tests {
             .any(|p| p.contains("repair bandwidth")));
         assert!(FabricConfig::default().is_degenerate());
         assert!(FabricConfig::default().validate().is_empty());
+    }
+
+    #[test]
+    fn occupancy_snapshot_matches_component_accessors() {
+        let mut f = mirror2(3);
+        let mut p = pool();
+        assert_eq!(f.occupancy(), FabricOccupancy::default());
+        f.on_offload(SimTime::ZERO, 1, 1 << 20, &mut p);
+        let occ = f.occupancy();
+        assert_eq!(
+            occ.redundant_bytes,
+            1 << 20,
+            "mirror k=2 holds one extra copy"
+        );
+        assert_eq!(occ.repair_backlog_bytes, 0);
+        assert_eq!(occ.under_replicated_segments, 0);
+        // Losing a node queues repair traffic and degrades the segment.
+        let node = f.segments.get(&1).unwrap().nodes[0];
+        f.node_down(SimTime::ZERO, node);
+        let occ = f.occupancy();
+        assert_eq!(occ.redundant_bytes, f.redundant_bytes());
+        assert_eq!(occ.repair_backlog_bytes, f.repair_backlog_bytes());
+        assert_eq!(occ.under_replicated_segments, f.under_replicated() as u64);
+        assert!(occ.repair_backlog_bytes > 0 || occ.under_replicated_segments > 0);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod pool;
 pub mod retry;
 
 pub use degraded::DegradedLink;
-pub use fabric::{FabricConfig, NodeDownOutcome, PoolFabric, RedundancyPolicy};
+pub use fabric::{FabricConfig, FabricOccupancy, NodeDownOutcome, PoolFabric, RedundancyPolicy};
 pub use governor::BandwidthGovernor;
 pub use link::RdmaLink;
 pub use pool::{PoolConfig, PoolError, PoolStats, RemotePool, ShardTraffic};

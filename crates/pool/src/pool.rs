@@ -219,6 +219,10 @@ pub struct RemotePool {
     bytes_in: u64,
     out_ops: u64,
     in_ops: u64,
+    /// Lifetime Σ(bytes × stall µs) over every transfer (page-outs,
+    /// page-ins, redundancy copies) — the exact integral of in-flight
+    /// interconnect bytes over time, read by occupancy accounting.
+    transfer_byte_us: u128,
     offloads_suspended: bool,
     offloads_refused: u64,
     tracer: Tracer,
@@ -260,6 +264,7 @@ impl RemotePool {
             bytes_in: 0,
             out_ops: 0,
             in_ops: 0,
+            transfer_byte_us: 0,
             offloads_suspended: false,
             offloads_refused: 0,
             tracer: Tracer::disabled(),
@@ -358,6 +363,7 @@ impl RemotePool {
             0
         };
         let stall = self.out_link.transfer(now, bytes);
+        self.transfer_byte_us += u128::from(bytes) * u128::from(stall.as_micros());
         if traced {
             self.tracer.emit(
                 None,
@@ -419,6 +425,7 @@ impl RemotePool {
         // but Fastswap batches reads; model the batch as one transfer plus
         // one base fault latency (already folded into the link).
         let stall = self.in_link.transfer(now, bytes);
+        self.transfer_byte_us += u128::from(bytes) * u128::from(stall.as_micros());
         if traced {
             self.tracer.emit(
                 None,
@@ -446,7 +453,9 @@ impl RemotePool {
         if bytes == 0 {
             return SimDuration::ZERO;
         }
-        self.out_link.transfer(now, bytes)
+        let stall = self.out_link.transfer(now, bytes);
+        self.transfer_byte_us += u128::from(bytes) * u128::from(stall.as_micros());
+        stall
     }
 
     /// Faults `pages` pages back in under a fault policy: each attempt
@@ -629,6 +638,15 @@ impl RemotePool {
         }
     }
 
+    /// Lifetime Σ(bytes × stall µs) over every transfer in either
+    /// direction, redundancy copies included — the exact integer
+    /// integral of in-flight interconnect bytes over time. Monotone;
+    /// occupancy accounting differences it between events to charge the
+    /// `offload_inflight` waste component.
+    pub fn transfer_byte_micros(&self) -> u128 {
+        self.transfer_byte_us
+    }
+
     /// A traffic snapshot.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
@@ -688,6 +706,24 @@ mod tests {
         assert_eq!(p.in_flight_transfers(later), 0);
         assert_eq!(p.out_backlog(later), SimDuration::ZERO);
         assert!(p.out_utilization(later) < 0.01);
+    }
+
+    #[test]
+    fn transfer_byte_micros_integrates_bytes_over_stalls() {
+        let mut p = pool();
+        assert_eq!(p.transfer_byte_micros(), 0);
+        let out = p.page_out(SimTime::ZERO, 10, 4096).unwrap();
+        let mut expected = 40_960u128 * u128::from(out.as_micros());
+        assert_eq!(p.transfer_byte_micros(), expected);
+        let back = p.page_in(SimTime::from_secs(1), 4, 4096).unwrap();
+        expected += 4 * 4096 * u128::from(back.as_micros());
+        assert_eq!(p.transfer_byte_micros(), expected);
+        let rep = p.replicate_out(SimTime::from_secs(2), 8192);
+        expected += 8192 * u128::from(rep.as_micros());
+        assert_eq!(p.transfer_byte_micros(), expected);
+        // Discards move no bytes over the wire.
+        p.discard(6, 4096).unwrap();
+        assert_eq!(p.transfer_byte_micros(), expected);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod tracer;
 pub use chrome::{chrome_trace, ChromeGroup};
 pub use event::{EventKind, LayerMask, StallCause, TraceEvent, TraceLayer};
 pub use json::JsonValue;
-pub use query::{QueryHit, QueryOptions};
+pub use query::{known_functions, QueryHit, QueryOptions};
 pub use spans::{build_spans, spans_from_jsonl, CellSpans, InvocationSpans, Span, SpanForest};
 pub use summary::{summarize_jsonl, CellSummary, ContainerTimeline, TraceSummary};
 pub use tracer::{BufferSink, JsonlSink, NullSink, RingSink, TraceSink, Tracer};

@@ -20,6 +20,10 @@ pub struct QueryOptions {
     pub component: Option<String>,
     /// Restrict the query to one harness cell.
     pub cell: Option<u64>,
+    /// Restrict the query to one function id. Unlike `cell`, the raw
+    /// string is kept so an unknown (or unparsable) value can error
+    /// with the trace's actual function vocabulary.
+    pub function: Option<String>,
     /// Also render each invocation's critical path (spans by
     /// descending contribution).
     pub critical_path: bool,
@@ -31,9 +35,22 @@ impl Default for QueryOptions {
             slowest: 10,
             component: None,
             cell: None,
+            function: None,
             critical_path: false,
         }
     }
+}
+
+/// The distinct function ids present in `forest`, ascending.
+pub fn known_functions(forest: &SpanForest) -> Vec<u64> {
+    let mut ids: Vec<u64> = forest
+        .cells
+        .iter()
+        .flat_map(|cell| cell.invocations.iter().filter_map(|inv| inv.function))
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
 }
 
 /// Every blame-component name a span can be charged to, in canonical
@@ -76,12 +93,31 @@ pub fn select<'a>(
             ));
         }
     }
+    let function = match &opts.function {
+        None => None,
+        Some(raw) => {
+            let known = known_functions(forest);
+            match raw.parse::<u64>().ok().filter(|f| known.contains(f)) {
+                Some(f) => Some(f),
+                None => {
+                    let vocab: Vec<String> = known.iter().map(|f| f.to_string()).collect();
+                    return Err(format!(
+                        "unknown function {raw:?} (trace contains functions: {})",
+                        vocab.join(", ")
+                    ));
+                }
+            }
+        }
+    };
     let mut hits: Vec<QueryHit<'a>> = Vec::new();
     for cell in &forest.cells {
         if opts.cell.is_some_and(|want| want != cell.cell) {
             continue;
         }
         for invocation in &cell.invocations {
+            if function.is_some() && invocation.function != function {
+                continue;
+            }
             let key_us = match &opts.component {
                 None => invocation.latency_us,
                 Some(name) => invocation
@@ -271,6 +307,35 @@ mod tests {
         let exec_at = text.find("      exec").unwrap();
         let stall_at = text.find("      recall_stall").unwrap();
         assert!(exec_at < stall_at);
+    }
+
+    #[test]
+    fn function_filter_keeps_only_that_function() {
+        let mut forest = forest();
+        forest.cells[0].invocations[1].function = Some(7);
+        let opts = QueryOptions {
+            function: Some("7".into()),
+            ..QueryOptions::default()
+        };
+        let hits = select(&forest, &opts).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].invocation.function, Some(7));
+        assert_eq!(known_functions(&forest), vec![0, 7]);
+    }
+
+    #[test]
+    fn unknown_function_errors_with_vocabulary() {
+        let mut forest = forest();
+        forest.cells[0].invocations[1].function = Some(7);
+        for raw in ["9", "resnet"] {
+            let opts = QueryOptions {
+                function: Some(raw.into()),
+                ..QueryOptions::default()
+            };
+            let err = select(&forest, &opts).unwrap_err();
+            assert!(err.contains(raw), "{err}");
+            assert!(err.contains("0, 7"), "{err}");
+        }
     }
 
     #[test]
