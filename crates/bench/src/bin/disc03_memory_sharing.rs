@@ -98,6 +98,7 @@ impl CloneShallow for faasmem_faas::RunReport {
             memory_anatomy: self.memory_anatomy,
             function_waste: self.function_waste.clone(),
             registry: self.registry.clone(),
+            events_processed: self.events_processed,
         }
     }
 }

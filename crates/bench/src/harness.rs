@@ -774,6 +774,22 @@ impl GridRun {
                 JsonValue::Num(self.sim_secs_total() / self.wall_total_secs),
             );
         }
+        // Event throughput: normalizes wall-clock trajectories by how
+        // much event work each cell actually did, so BENCH comparisons
+        // survive grid reshapes.
+        let events_total: u64 = self
+            .cells
+            .iter()
+            .filter_map(|c| c.outcome.as_ref().ok())
+            .map(|o| o.report.events_processed)
+            .sum();
+        doc.push("events_processed", JsonValue::Num(events_total as f64));
+        if self.wall_total_secs > 0.0 {
+            doc.push(
+                "events_per_sec",
+                JsonValue::Num(events_total as f64 / self.wall_total_secs),
+            );
+        }
         match self.cells.iter().filter_map(|c| c.peak_rss_kb).max() {
             Some(peak) => doc.push("peak_rss_kb", JsonValue::Num(peak as f64)),
             None => doc.push("peak_rss_kb", JsonValue::Null),
@@ -791,6 +807,26 @@ impl GridRun {
                     Some(kb) => cell.push("peak_rss_kb", JsonValue::Num(kb as f64)),
                     None => cell.push("peak_rss_kb", JsonValue::Null),
                 };
+                // Per-cell event throughput (null for panicked cells:
+                // their counts died with the worker).
+                match c.outcome.as_ref().ok() {
+                    Some(o) => {
+                        let events = o.report.events_processed;
+                        cell.push("events_processed", JsonValue::Num(events as f64));
+                        if c.wall_secs > 0.0 {
+                            cell.push(
+                                "events_per_sec",
+                                JsonValue::Num(events as f64 / c.wall_secs),
+                            );
+                        } else {
+                            cell.push("events_per_sec", JsonValue::Null);
+                        }
+                    }
+                    None => {
+                        cell.push("events_processed", JsonValue::Null);
+                        cell.push("events_per_sec", JsonValue::Null);
+                    }
+                }
                 cell
             })
             .collect();

@@ -82,6 +82,7 @@ mod tests {
             memory_anatomy: None,
             function_waste: Vec::new(),
             registry: faasmem_metrics::MetricsRegistry::new(),
+            events_processed: 0,
         }
     }
 

@@ -335,6 +335,7 @@ impl PlatformBuilder {
             anatomy,
             tracer: self.tracer,
             sampler: self.sampler,
+            tick_scratch: Vec::new(),
             peak_local_bytes: 0,
             peak_live: 0,
             ran: false,
@@ -530,6 +531,9 @@ pub struct PlatformSim {
     fabric: Option<PoolFabric>,
     tracer: Tracer,
     sampler: Sampler,
+    /// Run-long scratch buffer for the tick handler's sorted container
+    /// walk, reused so the steady-state event loop never allocates.
+    tick_scratch: Vec<ContainerId>,
     /// Highest node-local footprint observed at any event (bytes).
     peak_local_bytes: u64,
     /// Highest live-container count observed at any event.
@@ -707,6 +711,7 @@ impl PlatformSim {
             memory_anatomy: None,
             function_waste: Vec::new(),
             registry: MetricsRegistry::new(),
+            events_processed: 0,
         };
         report.local_mem.record(SimTime::ZERO, 0.0);
         report.remote_mem.record(SimTime::ZERO, 0.0);
@@ -726,6 +731,7 @@ impl PlatformSim {
         report: &mut RunReport,
     ) {
         {
+            report.events_processed += 1;
             self.tracer.set_now(now);
             // Integrate occupancy over the interval ending now, against
             // the state frozen since the previous event — before the
@@ -762,10 +768,14 @@ impl PlatformSim {
                     // Visit containers in id order: tick-time offloads
                     // queue on the shared link, so HashMap iteration
                     // order would leak into link contention and make
-                    // runs irreproducible.
-                    let mut ids: Vec<ContainerId> = self.containers.keys().copied().collect();
+                    // runs irreproducible. The id buffer lives on the
+                    // simulator and is reused tick after tick, so the
+                    // steady-state loop allocates nothing.
+                    let mut ids = std::mem::take(&mut self.tick_scratch);
+                    ids.clear();
+                    ids.extend(self.containers.keys().copied());
                     ids.sort_unstable();
-                    for id in ids {
+                    for id in ids.drain(..) {
                         let remote_before = self.remote_pages_of(id);
                         let container = self.containers.get_mut(&id).expect("live container");
                         let mut ctx = PolicyCtx {
@@ -777,6 +787,8 @@ impl PlatformSim {
                         self.policy.on_tick(&mut ctx);
                         self.sync_fabric(now, id, remote_before);
                     }
+                    // Hand the (drained) buffer back for the next tick.
+                    self.tick_scratch = ids;
                     if let Some(dt) = setup.tick {
                         if !self.containers.is_empty() || queue.has_pending() {
                             queue.push(now + dt, Event::Tick);

@@ -106,6 +106,12 @@ pub struct RunReport {
     /// Named counters and gauges snapshotted at run end — the
     /// introspection surface the harness serializes per cell.
     pub registry: MetricsRegistry,
+    /// Events popped and processed by the drive loop. Identical across
+    /// the serial and sharded drivers (both replay the same `(time,
+    /// seq)` order), so it doubles as a cheap drive-equivalence check.
+    /// Surfaced through the wall-clock `.timing.json` side channel —
+    /// never serialized into the deterministic result JSON.
+    pub events_processed: u64,
 }
 
 impl RunReport {
@@ -448,6 +454,7 @@ mod tests {
             memory_anatomy: None,
             function_waste: Vec::new(),
             registry: MetricsRegistry::new(),
+            events_processed: 0,
         }
     }
 

@@ -196,6 +196,7 @@ mod tests {
         finished_at: SimTime,
         faults: Option<FaultReport>,
         registry: faasmem_metrics::MetricsRegistry,
+        events_processed: u64,
         trace: Vec<TraceEvent>,
     }
 
@@ -212,6 +213,7 @@ mod tests {
             finished_at: report.finished_at,
             faults: report.faults,
             registry: report.registry,
+            events_processed: report.events_processed,
             trace: tracer.take_events(),
         }
     }

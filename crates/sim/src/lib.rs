@@ -25,6 +25,7 @@
 pub mod clock;
 pub mod faults;
 pub mod queue;
+pub mod reference;
 pub mod rng;
 pub mod shard;
 pub mod time;
@@ -34,6 +35,7 @@ pub use faults::{
     CrashEvent, FaultPlan, FaultSpec, LinkSchedule, LinkWindow, NodeLossEvent, PoolNodeLossEvent,
 };
 pub use queue::{EventQueue, ScheduledEvent};
+pub use reference::ReferenceEventQueue;
 pub use rng::SimRng;
 pub use shard::{ShardMap, ShardedEventQueue};
 pub use time::{SimDuration, SimTime};

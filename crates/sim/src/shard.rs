@@ -1,10 +1,10 @@
 //! Shard-parallel event scheduling: per-shard queues advancing inside a
 //! conservative time window, with deterministic cross-shard delivery.
 //!
-//! The serial [`EventQueue`] is one heap; this module splits the pending
-//! event set across `S` per-shard heaps while keeping the *merged* pop
-//! order byte-identical to the serial queue. Two mechanisms make that
-//! possible:
+//! The serial [`EventQueue`] is one calendar queue; this module splits
+//! the pending event set across `S` per-shard queues while keeping the
+//! *merged* pop order byte-identical to the serial queue. Two
+//! mechanisms make that possible:
 //!
 //! 1. **Global stamps.** Every push draws its sequence number from one
 //!    shared counter ([`ShardedEventQueue::push_from`]) instead of a
@@ -209,7 +209,7 @@ impl<E> ShardedEventQueue<E> {
     pub fn pop_window(&mut self) -> Option<(SimTime, E)> {
         let end = self.window_end.expect("begin_window first");
         let mut best: Option<(usize, SimTime, u64)> = None;
-        for (i, q) in self.queues.iter().enumerate() {
+        for (i, q) in self.queues.iter_mut().enumerate() {
             if let Some(head) = q.peek() {
                 let better = match best {
                     None => true,
@@ -230,8 +230,13 @@ impl<E> ShardedEventQueue<E> {
     }
 
     /// The window barrier: closes the window and delivers every parked
-    /// cross-shard event onto its target heap, in `(at, stamp)` order,
-    /// batched per target run through the stamped batch-push API.
+    /// cross-shard event onto its target queue in `(at, stamp)` order.
+    ///
+    /// Sorting first turns each target's deliveries into ascending
+    /// same-instant runs, which the calendar queue appends onto one
+    /// bucket without re-sorting — the whole flush is a group move. The
+    /// outbox buffer is drained in place and kept, so a steady stream
+    /// of windows allocates nothing.
     pub fn flush_window(&mut self) {
         self.window_end = None;
         if self.outbox.is_empty() {
@@ -241,21 +246,23 @@ impl<E> ShardedEventQueue<E> {
         // Stamps are globally unique, so (at, stamp) is already total —
         // the shard id in the nominal (time, seq, shard) merge key can
         // never act as a tie-breaker.
-        pending.sort_by_key(|(_, ev)| (ev.at, ev.seq));
-        let mut iter = pending.into_iter().peekable();
-        while let Some((target, first)) = iter.next() {
-            let mut batch = vec![first];
-            while iter.peek().is_some_and(|(t, _)| *t == target) {
-                batch.push(iter.next().expect("peeked item").1);
-            }
-            self.queues[target as usize].push_stamped_many(batch);
+        pending.sort_unstable_by_key(|(_, ev)| (ev.at, ev.seq));
+        for (target, ev) in pending.drain(..) {
+            self.queues[target as usize].push_stamped(ev.at, ev.seq, ev.event);
         }
+        // Hand the (empty) buffer back so its capacity is reused.
+        self.outbox = pending;
     }
 
-    /// The earliest pending firing time across all shard heaps (the
-    /// outbox is empty between windows, so heaps are the whole state).
-    pub fn next_time(&self) -> Option<SimTime> {
-        self.queues.iter().filter_map(EventQueue::peek_time).min()
+    /// The earliest pending firing time across all shard queues (the
+    /// outbox is empty between windows, so the queues are the whole
+    /// state). `&mut self` because locating a calendar queue's head may
+    /// advance its cursor (see [`EventQueue::peek_time`]).
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.queues
+            .iter_mut()
+            .filter_map(EventQueue::peek_time)
+            .min()
     }
 
     /// Total pending events, heaps plus outbox.

@@ -1,0 +1,164 @@
+//! Zero steady-state allocation on the event hot path (ISSUE 10).
+//!
+//! The calendar queue, the sharded window machinery and the platform
+//! tick handler all reuse run-long buffers, so once a workload's
+//! geometry has settled, a pop-one/push-one churn and a window
+//! open/drain/flush cycle must perform **zero** heap allocations. A
+//! counting global allocator measures exactly that: warm the structure
+//! through several full cycles at the identical operation mix, switch
+//! the counter on, run the same mix again, and assert the count stayed
+//! at zero.
+//!
+//! One `#[test]` drives every scenario — the counter is process-global,
+//! so concurrent test threads would attribute each other's allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use faasmem_sim::{EventQueue, ShardedEventQueue, SimDuration, SimTime};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with the allocation counter armed and returns how many
+/// allocations (malloc/calloc/realloc) it performed.
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let r = f();
+    COUNTING.store(false, Ordering::SeqCst);
+    (ALLOCATIONS.load(Ordering::SeqCst), r)
+}
+
+/// Pop-one/push-one hold churn: the event-loop shape. Deterministic
+/// deltas, so warmup and measurement run the identical mix.
+fn queue_churn(q: &mut EventQueue<u64>, ops: usize) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..ops {
+        let (at, ev) = q.pop().expect("hold population never drains");
+        acc = acc.wrapping_add(ev);
+        let delta = 500 + (i as u64 % 97) * 31;
+        q.push(at + SimDuration::from_micros(delta), ev);
+    }
+    acc
+}
+
+/// One window generation: open, drain, re-push every popped event,
+/// flush. Most events re-arm on their own shard (the timer-heavy shape
+/// of a real drain); a fixed subset hops to the next shard each time it
+/// fires, keeping the outbox and the barrier redelivery exercised.
+///
+/// The mix is chosen to be time-translation periodic: a constant delta
+/// and a stable per-shard resident population, so every buffer's
+/// high-water mark converges during warmup. A drifting delta or an
+/// all-migrating population keeps setting new high-water marks (or
+/// thrashes the ring's shrink/grow hysteresis) forever — amortized
+/// zero, but not the strict zero asserted here.
+fn window_churn(q: &mut ShardedEventQueue<u64>, windows: usize) {
+    for _ in 0..windows {
+        if q.begin_window(SimDuration::from_micros(2_000)).is_none() {
+            panic!("hold population never drains");
+        }
+        while let Some((at, ev)) = q.pop_window() {
+            let origin = q.current_shard();
+            let target = if ev % 8 == 0 {
+                (origin + 1) % 4
+            } else {
+                origin
+            };
+            q.push_from(origin, target, at + SimDuration::from_micros(700), ev);
+        }
+        q.flush_window();
+    }
+}
+
+#[test]
+fn event_hot_path_allocates_nothing_at_steady_state() {
+    // -- Serial calendar queue under hold churn --------------------
+    let mut q: EventQueue<u64> = EventQueue::with_capacity(1024);
+    for i in 0..1024u64 {
+        q.push(SimTime::from_micros(i * 50), i);
+    }
+    // Warm through several ring laps and any self-tuning re-layouts.
+    queue_churn(&mut q, 50_000);
+    let (allocs, _) = allocations_during(|| queue_churn(&mut q, 50_000));
+    assert_eq!(
+        allocs, 0,
+        "steady-state EventQueue churn must not allocate (got {allocs} allocations over 50k ops)"
+    );
+
+    // -- Grouped same-instant delivery ------------------------------
+    // Group moves land on buckets whose capacity the warmup set; the
+    // steady loop reuses it.
+    fn group_churn(gq: &mut EventQueue<u64>, rounds: usize) {
+        for r in 0..rounds {
+            let at = SimTime::from_micros(r as u64 * 300);
+            gq.push_at_many(at, 0u64..64);
+            for _ in 0..64 {
+                gq.pop().expect("just pushed");
+            }
+        }
+    }
+    let mut gq: EventQueue<u64> = EventQueue::with_capacity(1024);
+    group_churn(&mut gq, 2_000);
+    let (allocs, _) = allocations_during(|| group_churn(&mut gq, 2_000));
+    assert_eq!(
+        allocs, 0,
+        "steady-state grouped push/drain must not allocate (got {allocs} allocations)"
+    );
+
+    // -- Sharded window machinery ----------------------------------
+    // The outbox is drained in place and handed back each barrier, and
+    // each shard's calendar geometry settles during warmup, so a
+    // steady stream of windows — including cross-shard parking and
+    // stamped redelivery — is allocation-free.
+    let mut sq: ShardedEventQueue<u64> = ShardedEventQueue::new(4);
+    for i in 0..2048u64 {
+        sq.push_from(0, (i % 4) as u32, SimTime::from_micros(i * 40), i);
+    }
+    // Warm long enough for one-shot capacity growths (rebuild scratch,
+    // bucket high-water marks, outbox) to happen before counting.
+    window_churn(&mut sq, 1_600);
+    let before = sq.cross_events();
+    let (allocs, _) = allocations_during(|| window_churn(&mut sq, 400));
+    assert!(
+        sq.cross_events() > before,
+        "the measured phase must route events through the outbox"
+    );
+    assert_eq!(
+        allocs, 0,
+        "steady-state sharded window churn must not allocate (got {allocs} allocations)"
+    );
+}
